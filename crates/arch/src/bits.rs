@@ -1,0 +1,84 @@
+//! Small bit-manipulation helpers shared by the encoder/decoder.
+
+/// Extract bits `[hi:lo]` (inclusive) of `word` as a `u32` shifted to bit 0.
+///
+/// ```
+/// assert_eq!(lz_arch::bits::extract(0b1011_0000, 7, 4), 0b1011);
+/// ```
+#[inline]
+pub const fn extract(word: u32, hi: u32, lo: u32) -> u32 {
+    debug_assert!(hi >= lo && hi < 32);
+    let width = hi - lo + 1;
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    (word >> lo) & mask
+}
+
+/// Extract a single bit of `word` as `0` or `1`.
+#[inline]
+pub const fn bit(word: u32, idx: u32) -> u32 {
+    (word >> idx) & 1
+}
+
+/// Sign-extend the low `bits` bits of `value` to a full `i64`.
+///
+/// ```
+/// assert_eq!(lz_arch::bits::sign_extend(0b111, 3), -1);
+/// assert_eq!(lz_arch::bits::sign_extend(0b011, 3), 3);
+/// ```
+#[inline]
+pub const fn sign_extend(value: u64, bits: u32) -> i64 {
+    debug_assert!(bits >= 1 && bits <= 64);
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+/// Place `value` into bits `[hi:lo]` of a word under construction.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `value` does not fit into the field.
+#[inline]
+pub const fn field(value: u32, hi: u32, lo: u32) -> u32 {
+    debug_assert!(hi >= lo && hi < 32);
+    let width = hi - lo + 1;
+    debug_assert!(width == 32 || value < (1u32 << width));
+    value << lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_full_word() {
+        assert_eq!(extract(0xdead_beef, 31, 0), 0xdead_beef);
+    }
+
+    #[test]
+    fn extract_mid_field() {
+        assert_eq!(extract(0xdead_beef, 15, 8), 0xbe);
+    }
+
+    #[test]
+    fn bit_values() {
+        assert_eq!(bit(0b100, 2), 1);
+        assert_eq!(bit(0b100, 1), 0);
+    }
+
+    #[test]
+    fn sign_extend_negative() {
+        assert_eq!(sign_extend(0x1ff, 9), -1);
+        assert_eq!(sign_extend(0x100, 9), -256);
+    }
+
+    #[test]
+    fn sign_extend_positive() {
+        assert_eq!(sign_extend(0x0ff, 9), 255);
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let w = field(0b1011, 7, 4);
+        assert_eq!(extract(w, 7, 4), 0b1011);
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-platform cycle cost model.
+//!
+//! The paper evaluates on two SoCs with very different system-register
+//! performance: the NVIDIA Carmel (Jetson AGX Xavier), where writing
+//! `HCR_EL2`/`VTTBR_EL2` costs *thousands* of cycles, and the Amlogic
+//! Cortex-A55 (Banana Pi BPI-M5), where the same writes cost tens. That
+//! asymmetry drives the paper's headline result (retaining `HCR_EL2` and
+//! `VTTBR_EL2` across traps makes a LightZone syscall *cheaper* than a
+//! host syscall on Carmel) — so the model parameterizes exactly these
+//! primitive costs and derives every reported number by summing the costs
+//! of the operations the implementation actually performs.
+//!
+//! Two parameters (`hcr_el2_write`, `vttbr_el2_write`) are raw hardware
+//! properties the paper itself measured (Table 4, last two rows) and are
+//! taken as platform constants. Everything else is calibrated once so the
+//! *derived* trap round-trips land near Table 4, then held fixed for all
+//! other experiments.
+
+/// The evaluation platforms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// NVIDIA Carmel (Jetson AGX Xavier, 2.2 GHz, ARMv8.2). Fast core,
+    /// pathologically slow system-register writes and traps.
+    Carmel,
+    /// Amlogic S905X3 Cortex-A55 (Banana Pi BPI-M5, 2 GHz). In-order
+    /// little core with cheap traps, matching prior KVM/ARM profiling.
+    CortexA55,
+}
+
+impl Platform {
+    /// The calibrated cycle model for this platform.
+    pub fn model(self) -> CycleModel {
+        match self {
+            Platform::Carmel => CycleModel::carmel(),
+            Platform::CortexA55 => CycleModel::cortex_a55(),
+        }
+    }
+
+    /// Display name used in benchmark output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Platform::Carmel => "Carmel",
+            Platform::CortexA55 => "Cortex A55",
+        }
+    }
+
+    /// Both platforms, in the order the paper's tables list them.
+    pub const ALL: [Platform; 2] = [Platform::Carmel, Platform::CortexA55];
+}
+
+/// Primitive operation costs, in CPU cycles.
+///
+/// The simulator's CPU charges these as it executes; modelled (non-
+/// interpreted) kernel paths charge them explicitly for each architectural
+/// operation they perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Which platform this model describes.
+    pub platform: Platform,
+    /// Base cost of any instruction.
+    pub insn_base: u64,
+    /// L1-hit memory access (load or store data path).
+    pub mem_access: u64,
+    /// Memory access performed by the page-table walker, per level.
+    pub tlb_walk_level: u64,
+    /// Hardware cost of exception entry targeting EL1 (vectoring,
+    /// pipeline flush, PSTATE/ELR/ESR capture).
+    pub exception_entry_el1: u64,
+    /// Hardware cost of exception entry targeting EL2. On Carmel this is
+    /// far more expensive than EL1 entry (Table 4: guest-kernel traps are
+    /// ~2.7x cheaper than hypervisor traps).
+    pub exception_entry_el2: u64,
+    /// Hardware cost of `ERET` from EL1.
+    pub exception_return_el1: u64,
+    /// Hardware cost of `ERET` from EL2.
+    pub exception_return_el2: u64,
+    /// Read of a banked EL1/EL2 system register.
+    pub sysreg_read: u64,
+    /// Write of a banked EL1/EL2 system register (other than the special
+    /// cases below).
+    pub sysreg_write: u64,
+    /// Write of `HCR_EL2` — measured directly by the paper (Table 4).
+    pub hcr_el2_write: u64,
+    /// Write of `VTTBR_EL2` — measured directly by the paper (Table 4).
+    pub vttbr_el2_write: u64,
+    /// Write of `TTBR0_EL1` ("updating PAN or TTBR takes only tens of
+    /// cycles", §1 — but slower on Carmel like all system registers).
+    pub ttbr0_el1_write: u64,
+    /// `MSR PAN, #imm`.
+    pub pan_write: u64,
+    /// `ISB`.
+    pub isb: u64,
+    /// `DSB`.
+    pub dsb: u64,
+    /// Per-register cost of saving or restoring one general-purpose
+    /// register to/from the context frame.
+    pub gpreg_save_restore: u64,
+    /// Cost of switching the vGIC + timer state on a full KVM world
+    /// switch (not needed by LightZone VEs, which share these with the
+    /// kernel — §5.2.2).
+    pub vgic_timer_switch: u64,
+    /// Number of main (L2) TLB entries modelled.
+    pub tlb_entries: usize,
+    /// Number of L1 micro-TLB entries (hit cost 0).
+    pub tlb_l1_entries: usize,
+    /// Extra cycles for a translation that misses the micro-TLB but hits
+    /// the main TLB.
+    pub l2_tlb_hit: u64,
+    /// Extra cycles of cache pollution charged when a trap handler runs
+    /// (the paper notes user↔kernel switches "indirectly incur cache
+    /// pollution", §1).
+    pub trap_cache_pollution: u64,
+    /// Effective instructions-per-cycle divisor for straight-line kernel
+    /// path code: the out-of-order Carmel retires ~3 of these per cycle,
+    /// the in-order A55 ~1. Used by [`CycleModel::path_cost`].
+    pub insn_throughput: u64,
+}
+
+impl CycleModel {
+    /// Calibrated model for NVIDIA Carmel.
+    pub fn carmel() -> Self {
+        CycleModel {
+            platform: Platform::Carmel,
+            insn_base: 1,
+            mem_access: 4,
+            tlb_walk_level: 25,
+            exception_entry_el1: 430,
+            exception_entry_el2: 800,
+            exception_return_el1: 430,
+            exception_return_el2: 800,
+            sysreg_read: 150,
+            sysreg_write: 500,
+            hcr_el2_write: 1600,
+            vttbr_el2_write: 1115,
+            ttbr0_el1_write: 180,
+            pan_write: 7,
+            isb: 60,
+            dsb: 80,
+            gpreg_save_restore: 2,
+            vgic_timer_switch: 4000,
+            tlb_entries: 1024,
+            tlb_l1_entries: 48,
+            l2_tlb_hit: 14,
+            trap_cache_pollution: 120,
+            insn_throughput: 3,
+        }
+    }
+
+    /// Calibrated model for the Amlogic Cortex-A55.
+    pub fn cortex_a55() -> Self {
+        CycleModel {
+            platform: Platform::CortexA55,
+            insn_base: 1,
+            mem_access: 3,
+            tlb_walk_level: 8,
+            exception_entry_el1: 70,
+            exception_entry_el2: 60,
+            exception_return_el1: 60,
+            exception_return_el2: 55,
+            sysreg_read: 4,
+            sysreg_write: 12,
+            hcr_el2_write: 88,
+            vttbr_el2_write: 37,
+            ttbr0_el1_write: 12,
+            pan_write: 2,
+            isb: 8,
+            dsb: 12,
+            gpreg_save_restore: 1,
+            vgic_timer_switch: 120,
+            tlb_entries: 512,
+            tlb_l1_entries: 40,
+            l2_tlb_hit: 9,
+            trap_cache_pollution: 20,
+            insn_throughput: 1,
+        }
+    }
+
+    /// Cost of saving *and later restoring* `n` general-purpose registers.
+    pub fn gpregs_roundtrip(&self, n: u64) -> u64 {
+        2 * n * self.gpreg_save_restore
+    }
+
+    /// Cycles for `n` instructions of straight-line kernel path code.
+    pub fn path_cost(&self, n: u64) -> u64 {
+        n.div_ceil(self.insn_throughput)
+    }
+
+    /// Cost of a full stage-1 (4-level) table walk.
+    pub fn stage1_walk(&self) -> u64 {
+        4 * self.tlb_walk_level
+    }
+
+    /// Cost of a full stage-2 (3-level) table walk.
+    pub fn stage2_walk(&self) -> u64 {
+        3 * self.tlb_walk_level
+    }
+
+    /// Cost of a combined stage-1 + stage-2 walk, as taken by a guest
+    /// access that misses the TLB entirely: each stage-1 level's
+    /// descriptor fetch itself undergoes stage-2 translation.
+    pub fn nested_walk(&self) -> u64 {
+        // 4 stage-1 levels × (1 + 3 stage-2 lookups) + final 3 stage-2
+        // lookups for the output address = 4*4 + 3 = 19 accesses.
+        19 * self.tlb_walk_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_measured_constants_match_table4() {
+        // Table 4, rows 6–7 are direct hardware measurements; the model
+        // must carry them verbatim (Carmel HCR_EL2 is a range 1550–1655).
+        let carmel = CycleModel::carmel();
+        assert!((1550..=1655).contains(&carmel.hcr_el2_write));
+        assert_eq!(carmel.vttbr_el2_write, 1115);
+        let a55 = CycleModel::cortex_a55();
+        assert_eq!(a55.hcr_el2_write, 88);
+        assert_eq!(a55.vttbr_el2_write, 37);
+    }
+
+    #[test]
+    fn carmel_sysregs_slower_than_a55() {
+        let c = CycleModel::carmel();
+        let a = CycleModel::cortex_a55();
+        assert!(c.sysreg_write > a.sysreg_write);
+        assert!(c.exception_entry_el2 > a.exception_entry_el2);
+        assert!(c.hcr_el2_write > a.hcr_el2_write);
+    }
+
+    #[test]
+    fn pan_cheaper_than_ttbr_switch() {
+        // The paper's central efficiency claim: PAN toggling is cheaper
+        // than a TTBR0 update on both platforms.
+        for p in Platform::ALL {
+            let m = p.model();
+            assert!(m.pan_write * 2 < m.ttbr0_el1_write + m.isb, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn platform_model_dispatch() {
+        assert_eq!(Platform::Carmel.model().platform, Platform::Carmel);
+        assert_eq!(Platform::CortexA55.model().platform, Platform::CortexA55);
+    }
+
+    #[test]
+    fn nested_walk_costs_more_than_both_stages() {
+        for p in Platform::ALL {
+            let m = p.model();
+            assert!(m.nested_walk() > m.stage1_walk() + m.stage2_walk());
+        }
+    }
+}

@@ -1,0 +1,929 @@
+//! Decoder and encoder for the A64 subset executed by the simulator.
+//!
+//! Only instructions the workloads, call gates, kernels, and attack
+//! programs need are modelled; everything else decodes to
+//! [`Insn::Unallocated`] and raises an Undefined exception when executed.
+//! All encodings follow the Arm ARM bit layouts so that the
+//! sensitive-instruction sanitizer can classify *raw words* exactly as the
+//! paper's Table 3 does.
+
+use crate::bits::{bit, extract, field, sign_extend};
+use crate::sysreg::SysRegEnc;
+
+/// Access width of a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    X,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemSize::B => 1,
+            MemSize::H => 2,
+            MemSize::W => 4,
+            MemSize::X => 8,
+        }
+    }
+
+    /// The `size` field (bits 31:30) of a load/store encoding.
+    pub const fn size_bits(self) -> u32 {
+        match self {
+            MemSize::B => 0b00,
+            MemSize::H => 0b01,
+            MemSize::W => 0b10,
+            MemSize::X => 0b11,
+        }
+    }
+
+    const fn from_size_bits(sz: u32) -> MemSize {
+        match sz {
+            0b00 => MemSize::B,
+            0b01 => MemSize::H,
+            0b10 => MemSize::W,
+            _ => MemSize::X,
+        }
+    }
+}
+
+/// Condition codes for `B.cond`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Cs,
+    Cc,
+    Mi,
+    Pl,
+    Vs,
+    Vc,
+    Hi,
+    Ls,
+    Ge,
+    Lt,
+    Gt,
+    Le,
+    Al,
+}
+
+impl Cond {
+    /// Architectural 4-bit encoding.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Cond::Eq => 0b0000,
+            Cond::Ne => 0b0001,
+            Cond::Cs => 0b0010,
+            Cond::Cc => 0b0011,
+            Cond::Mi => 0b0100,
+            Cond::Pl => 0b0101,
+            Cond::Vs => 0b0110,
+            Cond::Vc => 0b0111,
+            Cond::Hi => 0b1000,
+            Cond::Ls => 0b1001,
+            Cond::Ge => 0b1010,
+            Cond::Lt => 0b1011,
+            Cond::Gt => 0b1100,
+            Cond::Le => 0b1101,
+            Cond::Al => 0b1110,
+        }
+    }
+
+    const fn from_bits(b: u32) -> Cond {
+        match b {
+            0b0000 => Cond::Eq,
+            0b0001 => Cond::Ne,
+            0b0010 => Cond::Cs,
+            0b0011 => Cond::Cc,
+            0b0100 => Cond::Mi,
+            0b0101 => Cond::Pl,
+            0b0110 => Cond::Vs,
+            0b0111 => Cond::Vc,
+            0b1000 => Cond::Hi,
+            0b1001 => Cond::Ls,
+            0b1010 => Cond::Ge,
+            0b1011 => Cond::Lt,
+            0b1100 => Cond::Gt,
+            0b1101 => Cond::Le,
+            _ => Cond::Al,
+        }
+    }
+
+    /// Evaluate against condition flags.
+    pub fn holds(self, f: crate::pstate::Nzcv) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Al => true,
+        }
+    }
+}
+
+/// Logical register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    And,
+    Orr,
+    Eor,
+    Ands,
+}
+
+/// Barrier kinds within the `op0=0b00, CRn=0b0011` system space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Barrier {
+    Isb,
+    Dsb,
+    Dmb,
+}
+
+/// The decoded A64 subset.
+///
+/// Register fields are 0..=31; 31 reads as zero (`xzr`) except where noted
+/// (load/store base registers treat 31 as `SP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `MOVZ xd, #imm16, LSL #(hw*16)`.
+    Movz { rd: u8, imm16: u16, hw: u8 },
+    /// `MOVK xd, #imm16, LSL #(hw*16)`.
+    Movk { rd: u8, imm16: u16, hw: u8 },
+    /// `MOVN xd, #imm16, LSL #(hw*16)`.
+    Movn { rd: u8, imm16: u16, hw: u8 },
+    /// `ADD/SUB(S) xd, xn, #imm12 {, LSL #12}`.
+    AddImm { rd: u8, rn: u8, imm12: u16, shift12: bool, sub: bool, set_flags: bool },
+    /// `ADD/SUB(S) xd, xn, xm, LSL #shift`.
+    AddReg { rd: u8, rn: u8, rm: u8, shift: u8, sub: bool, set_flags: bool },
+    /// `AND/ORR/EOR/ANDS xd, xn, xm, LSL #shift`.
+    LogicReg { rd: u8, rn: u8, rm: u8, shift: u8, op: LogicOp },
+    /// `LSR xd, xn, #shift` (UBFM alias; only the LSR immediate form).
+    LsrImm { rd: u8, rn: u8, shift: u8 },
+    /// `LSL xd, xn, #shift` (UBFM alias; only the LSL immediate form).
+    LslImm { rd: u8, rn: u8, shift: u8 },
+    /// `ADR xd, label` (PC-relative byte offset).
+    Adr { rd: u8, offset: i64 },
+    /// `ADRP xd, label` (PC-relative, 4 KB pages).
+    Adrp { rd: u8, offset: i64 },
+    /// `LDP xt, xt2, [xn, #offset]` — 64-bit pair, signed offset.
+    Ldp { rt: u8, rt2: u8, rn: u8, offset: i64 },
+    /// `STP xt, xt2, [xn, #offset]`.
+    Stp { rt: u8, rt2: u8, rn: u8, offset: i64 },
+    /// `MADD xd, xn, xm, xa` (`MUL` when `ra == 31`).
+    Madd { rd: u8, rn: u8, rm: u8, ra: u8 },
+    /// `UDIV xd, xn, xm` (zero divisor yields zero, as architected).
+    Udiv { rd: u8, rn: u8, rm: u8 },
+    /// `CSEL xd, xn, xm, cond`.
+    Csel { rd: u8, rn: u8, rm: u8, cond: Cond },
+    /// `CSINC xd, xn, xm, cond` (`CSET`/`CINC` aliases).
+    Csinc { rd: u8, rn: u8, rm: u8, cond: Cond },
+    /// `LDR{,H,B} rt, [xn, #offset]` — unsigned scaled immediate.
+    LdrImm { rt: u8, rn: u8, offset: u64, size: MemSize },
+    /// `STR{,H,B} rt, [xn, #offset]` — unsigned scaled immediate.
+    StrImm { rt: u8, rn: u8, offset: u64, size: MemSize },
+    /// Unprivileged load `LDTR*` — acts as an EL0 access from EL1/EL2.
+    Ldtr { rt: u8, rn: u8, offset: i64, size: MemSize },
+    /// Unprivileged store `STTR*`.
+    Sttr { rt: u8, rn: u8, offset: i64, size: MemSize },
+    /// `B label`.
+    B { offset: i64 },
+    /// `BL label`.
+    Bl { offset: i64 },
+    /// `B.cond label`.
+    BCond { cond: Cond, offset: i64 },
+    /// `CBZ/CBNZ xt, label`.
+    Cbz { rt: u8, offset: i64, nonzero: bool },
+    /// `BR xn`.
+    Br { rn: u8 },
+    /// `BLR xn`.
+    Blr { rn: u8 },
+    /// `RET xn` (xn defaults to x30 in assembly).
+    Ret { rn: u8 },
+    /// `SVC #imm`.
+    Svc { imm: u16 },
+    /// `HVC #imm`.
+    Hvc { imm: u16 },
+    /// `SMC #imm`.
+    Smc { imm: u16 },
+    /// `BRK #imm`.
+    Brk { imm: u16 },
+    /// `ERET`.
+    Eret,
+    /// `NOP`.
+    Nop,
+    /// Barriers (`ISB`, `DSB SY`, `DMB SY`).
+    Barrier(Barrier),
+    /// `MSR <sysreg>, xt` — register form, op0 ∈ {2,3}.
+    MsrReg { enc: SysRegEnc, rt: u8 },
+    /// `MRS xt, <sysreg>`.
+    MrsReg { enc: SysRegEnc, rt: u8 },
+    /// `MSR <pstatefield>, #imm` — immediate form (op0=0b00, CRn=0b0100).
+    /// `op1`/`op2` select the field (PAN is `op1=0b000, op2=0b100`);
+    /// `crm` carries the immediate.
+    MsrImm { op1: u8, crm: u8, op2: u8 },
+    /// `SYS`/`SYSL` — op0=0b01 (cache and TLB maintenance).
+    Sys { l: bool, op1: u8, crn: u8, crm: u8, op2: u8, rt: u8 },
+    /// Anything the model does not implement.
+    Unallocated { word: u32 },
+}
+
+/// `MSR PAN, #imm` pstate-field selectors (op1, op2).
+pub const PSTATE_PAN_OP1: u8 = 0b000;
+pub const PSTATE_PAN_OP2: u8 = 0b100;
+/// `MSR SPSel, #imm` selectors, decoded but rejected by the sanitizer.
+pub const PSTATE_SPSEL_OP1: u8 = 0b000;
+pub const PSTATE_SPSEL_OP2: u8 = 0b101;
+/// `MSR DAIFSet/DAIFClr, #imm` selectors (op1=0b011).
+pub const PSTATE_DAIFSET_OP2: u8 = 0b110;
+pub const PSTATE_DAIFCLR_OP2: u8 = 0b111;
+
+impl Insn {
+    /// Decode a 32-bit word.
+    pub fn decode(word: u32) -> Insn {
+        // Move wide (immediate): sf opc 100101 hw imm16 Rd
+        if extract(word, 28, 23) == 0b100101 && bit(word, 31) == 1 {
+            let opc = extract(word, 30, 29);
+            let hw = extract(word, 22, 21) as u8;
+            let imm16 = extract(word, 20, 5) as u16;
+            let rd = extract(word, 4, 0) as u8;
+            return match opc {
+                0b00 => Insn::Movn { rd, imm16, hw },
+                0b10 => Insn::Movz { rd, imm16, hw },
+                0b11 => Insn::Movk { rd, imm16, hw },
+                _ => Insn::Unallocated { word },
+            };
+        }
+        // ADR / ADRP: op immlo 10000 immhi Rd
+        if extract(word, 28, 24) == 0b10000 {
+            let rd = extract(word, 4, 0) as u8;
+            let immlo = extract(word, 30, 29) as u64;
+            let immhi = extract(word, 23, 5) as u64;
+            let imm = sign_extend((immhi << 2) | immlo, 21);
+            return if bit(word, 31) == 0 {
+                Insn::Adr { rd, offset: imm }
+            } else {
+                Insn::Adrp { rd, offset: imm << 12 }
+            };
+        }
+        // Add/subtract (immediate), 64-bit: sf op S 100010 sh imm12 Rn Rd
+        if extract(word, 28, 23) == 0b100010 && bit(word, 31) == 1 {
+            return Insn::AddImm {
+                rd: extract(word, 4, 0) as u8,
+                rn: extract(word, 9, 5) as u8,
+                imm12: extract(word, 21, 10) as u16,
+                shift12: bit(word, 22) == 1,
+                sub: bit(word, 30) == 1,
+                set_flags: bit(word, 29) == 1,
+            };
+        }
+        // UBFM 64-bit (LSL/LSR immediate aliases): sf 10 100110 1 immr imms Rn Rd
+        if extract(word, 30, 22) == 0b10_100110_1 && bit(word, 31) == 1 {
+            let immr = extract(word, 21, 16) as u8;
+            let imms = extract(word, 15, 10) as u8;
+            let rn = extract(word, 9, 5) as u8;
+            let rd = extract(word, 4, 0) as u8;
+            if imms == 63 {
+                return Insn::LsrImm { rd, rn, shift: immr };
+            }
+            if imms + 1 == immr {
+                return Insn::LslImm { rd, rn, shift: 64 - immr };
+            }
+            return Insn::Unallocated { word };
+        }
+        // Add/subtract (shifted register), 64-bit, LSL only:
+        // sf op S 01011 shift(00) 0 Rm imm6 Rn Rd
+        if extract(word, 28, 24) == 0b01011 && bit(word, 31) == 1 && bit(word, 21) == 0 && extract(word, 23, 22) == 0 {
+            return Insn::AddReg {
+                rd: extract(word, 4, 0) as u8,
+                rn: extract(word, 9, 5) as u8,
+                rm: extract(word, 20, 16) as u8,
+                shift: extract(word, 15, 10) as u8,
+                sub: bit(word, 30) == 1,
+                set_flags: bit(word, 29) == 1,
+            };
+        }
+        // Logical (shifted register), 64-bit, LSL, N=0:
+        // sf opc 01010 shift(00) N(0) Rm imm6 Rn Rd
+        if extract(word, 28, 24) == 0b01010 && bit(word, 31) == 1 && extract(word, 23, 22) == 0 && bit(word, 21) == 0 {
+            let op = match extract(word, 30, 29) {
+                0b00 => LogicOp::And,
+                0b01 => LogicOp::Orr,
+                0b10 => LogicOp::Eor,
+                _ => LogicOp::Ands,
+            };
+            return Insn::LogicReg {
+                rd: extract(word, 4, 0) as u8,
+                rn: extract(word, 9, 5) as u8,
+                rm: extract(word, 20, 16) as u8,
+                shift: extract(word, 15, 10) as u8,
+                op,
+            };
+        }
+        // Load/store pair (signed offset), 64-bit: 10 101 0 010 L imm7 Rt2 Rn Rt
+        if extract(word, 31, 23) == 0b10_1010_010 {
+            let l = bit(word, 22) == 1;
+            let offset = sign_extend(extract(word, 21, 15) as u64, 7) * 8;
+            let rt2 = extract(word, 14, 10) as u8;
+            let rn = extract(word, 9, 5) as u8;
+            let rt = extract(word, 4, 0) as u8;
+            return if l { Insn::Ldp { rt, rt2, rn, offset } } else { Insn::Stp { rt, rt2, rn, offset } };
+        }
+        // Data-processing (3 source), 64-bit MADD: 1 00 11011 000 Rm 0 Ra Rn Rd
+        if extract(word, 31, 21) == 0b1_00_11011_000 && bit(word, 15) == 0 {
+            return Insn::Madd {
+                rd: extract(word, 4, 0) as u8,
+                rn: extract(word, 9, 5) as u8,
+                rm: extract(word, 20, 16) as u8,
+                ra: extract(word, 14, 10) as u8,
+            };
+        }
+        // Data-processing (2 source), 64-bit UDIV: 1 0 0 11010110 Rm 000010 Rn Rd
+        if extract(word, 31, 21) == 0b1_0_0_11010110 && extract(word, 15, 10) == 0b000010 {
+            return Insn::Udiv {
+                rd: extract(word, 4, 0) as u8,
+                rn: extract(word, 9, 5) as u8,
+                rm: extract(word, 20, 16) as u8,
+            };
+        }
+        // Conditional select, 64-bit: 1 0 0 11010100 Rm cond 0 op2 Rn Rd
+        if extract(word, 31, 21) == 0b1_0_0_11010100 && bit(word, 11) == 0 {
+            let cond = Cond::from_bits(extract(word, 15, 12));
+            let rd = extract(word, 4, 0) as u8;
+            let rn = extract(word, 9, 5) as u8;
+            let rm = extract(word, 20, 16) as u8;
+            return match bit(word, 10) {
+                0 => Insn::Csel { rd, rn, rm, cond },
+                _ => Insn::Csinc { rd, rn, rm, cond },
+            };
+        }
+        // Load/store register (unsigned immediate): size 111 0 01 opc imm12 Rn Rt
+        if extract(word, 29, 24) == 0b111001 && bit(word, 26) == 0 {
+            let size = MemSize::from_size_bits(extract(word, 31, 30));
+            let opc = extract(word, 23, 22);
+            let rt = extract(word, 4, 0) as u8;
+            let rn = extract(word, 9, 5) as u8;
+            let offset = extract(word, 21, 10) as u64 * size.bytes();
+            return match opc {
+                0b00 => Insn::StrImm { rt, rn, offset, size },
+                0b01 => Insn::LdrImm { rt, rn, offset, size },
+                _ => Insn::Unallocated { word },
+            };
+        }
+        // Load/store register (unprivileged): size 111 0 00 opc 0 imm9 10 Rn Rt
+        if extract(word, 29, 24) == 0b111000 && bit(word, 26) == 0 && bit(word, 21) == 0 && extract(word, 11, 10) == 0b10 {
+            let size = MemSize::from_size_bits(extract(word, 31, 30));
+            let opc = extract(word, 23, 22);
+            let rt = extract(word, 4, 0) as u8;
+            let rn = extract(word, 9, 5) as u8;
+            let offset = sign_extend(extract(word, 20, 12) as u64, 9);
+            // opc 00 = STTR*, 01 = LDTR*, 10/11 = sign-extending LDTRS*
+            // (modelled as plain loads; sign extension does not matter for
+            // the isolation semantics being studied).
+            return match opc {
+                0b00 => Insn::Sttr { rt, rn, offset, size },
+                _ => Insn::Ldtr { rt, rn, offset, size },
+            };
+        }
+        // Unconditional branch (immediate): op 00101 imm26
+        if extract(word, 30, 26) == 0b00101 {
+            let offset = sign_extend(extract(word, 25, 0) as u64, 26) * 4;
+            return if bit(word, 31) == 0 { Insn::B { offset } } else { Insn::Bl { offset } };
+        }
+        // Compare & branch: sf 011010 op imm19 Rt  (64-bit only)
+        if extract(word, 30, 25) == 0b011010 && bit(word, 31) == 1 {
+            return Insn::Cbz {
+                rt: extract(word, 4, 0) as u8,
+                offset: sign_extend(extract(word, 23, 5) as u64, 19) * 4,
+                nonzero: bit(word, 24) == 1,
+            };
+        }
+        // Conditional branch: 0101010 0 imm19 0 cond
+        if extract(word, 31, 24) == 0b0101_0100 && bit(word, 4) == 0 {
+            return Insn::BCond {
+                cond: Cond::from_bits(extract(word, 3, 0)),
+                offset: sign_extend(extract(word, 23, 5) as u64, 19) * 4,
+            };
+        }
+        // Unconditional branch (register): 1101011 opc(4) 11111 000000 Rn 00000
+        if extract(word, 31, 25) == 0b1101011 && extract(word, 20, 16) == 0b11111 && extract(word, 15, 10) == 0 && extract(word, 4, 0) == 0 {
+            let rn = extract(word, 9, 5) as u8;
+            return match extract(word, 24, 21) {
+                0b0000 => Insn::Br { rn },
+                0b0001 => Insn::Blr { rn },
+                0b0010 => Insn::Ret { rn },
+                // ERET lives in this class with opc=0100, Rn=0b11111.
+                0b0100 if rn == 31 => Insn::Eret,
+                _ => Insn::Unallocated { word },
+            };
+        }
+        // Exception generation: 11010100 opc(23:21) imm16 op2(4:2) LL(1:0)
+        if extract(word, 31, 24) == 0b1101_0100 {
+            let opc = extract(word, 23, 21);
+            let imm = extract(word, 20, 5) as u16;
+            let ll = extract(word, 1, 0);
+            return match (opc, ll) {
+                (0b000, 0b01) => Insn::Svc { imm },
+                (0b000, 0b10) => Insn::Hvc { imm },
+                (0b000, 0b11) => Insn::Smc { imm },
+                (0b001, 0b00) => Insn::Brk { imm },
+                _ => Insn::Unallocated { word },
+            };
+        }
+        // System space: bits 31:22 = 0b1101010100
+        if extract(word, 31, 22) == 0b11_0101_0100 {
+            let l = bit(word, 21) == 1;
+            let enc = SysRegEnc::from_word(word);
+            let rt = extract(word, 4, 0) as u8;
+            match enc.op0 {
+                0b00 => {
+                    // MSR immediate / hints / barriers.
+                    if l {
+                        return Insn::Unallocated { word };
+                    }
+                    match enc.crn {
+                        0b0100 => {
+                            return Insn::MsrImm { op1: enc.op1, crm: enc.crm, op2: enc.op2 };
+                        }
+                        0b0011 => {
+                            return match enc.op2 {
+                                0b110 => Insn::Barrier(Barrier::Isb),
+                                0b100 => Insn::Barrier(Barrier::Dsb),
+                                0b101 => Insn::Barrier(Barrier::Dmb),
+                                _ => Insn::Unallocated { word },
+                            };
+                        }
+                        0b0010 => {
+                            // Hint space: NOP and friends; all behave as NOP.
+                            return Insn::Nop;
+                        }
+                        _ => return Insn::Unallocated { word },
+                    }
+                }
+                0b01 => {
+                    return Insn::Sys { l, op1: enc.op1, crn: enc.crn, crm: enc.crm, op2: enc.op2, rt };
+                }
+                0b10 | 0b11 => {
+                    return if l { Insn::MrsReg { enc, rt } } else { Insn::MsrReg { enc, rt } };
+                }
+                _ => unreachable!(),
+            }
+        }
+        Insn::Unallocated { word }
+    }
+
+    /// Encode back to a 32-bit word.
+    ///
+    /// `decode(encode(i)) == i` for every constructible instruction; this
+    /// is checked by a property test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate or offset is out of range for the encoding
+    /// (the [`crate::asm::Asm`] builder validates before calling).
+    pub fn encode(self) -> u32 {
+        match self {
+            Insn::Movz { rd, imm16, hw } => movx(0b10, rd, imm16, hw),
+            Insn::Movk { rd, imm16, hw } => movx(0b11, rd, imm16, hw),
+            Insn::Movn { rd, imm16, hw } => movx(0b00, rd, imm16, hw),
+            Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags } => {
+                assert!(imm12 < 4096, "imm12 out of range");
+                field(1, 31, 31)
+                    | field(sub as u32, 30, 30)
+                    | field(set_flags as u32, 29, 29)
+                    | field(0b100010, 28, 23)
+                    | field(shift12 as u32, 22, 22)
+                    | field(imm12 as u32, 21, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::AddReg { rd, rn, rm, shift, sub, set_flags } => {
+                assert!(shift < 64);
+                field(1, 31, 31)
+                    | field(sub as u32, 30, 30)
+                    | field(set_flags as u32, 29, 29)
+                    | field(0b01011, 28, 24)
+                    | field(rm as u32, 20, 16)
+                    | field(shift as u32, 15, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::LogicReg { rd, rn, rm, shift, op } => {
+                let opc = match op {
+                    LogicOp::And => 0b00,
+                    LogicOp::Orr => 0b01,
+                    LogicOp::Eor => 0b10,
+                    LogicOp::Ands => 0b11,
+                };
+                assert!(shift < 64);
+                field(1, 31, 31)
+                    | field(opc, 30, 29)
+                    | field(0b01010, 28, 24)
+                    | field(rm as u32, 20, 16)
+                    | field(shift as u32, 15, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::LsrImm { rd, rn, shift } => {
+                assert!(shift < 64);
+                field(1, 31, 31)
+                    | field(0b10_100110_1, 30, 22)
+                    | field(shift as u32, 21, 16)
+                    | field(63, 15, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::LslImm { rd, rn, shift } => {
+                assert!(shift > 0 && shift < 64, "LSL #0 encodes as LSR; use Nop/mov");
+                let immr = 64 - shift as u32;
+                let imms = immr - 1;
+                field(1, 31, 31)
+                    | field(0b10_100110_1, 30, 22)
+                    | field(immr, 21, 16)
+                    | field(imms, 15, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::Adr { rd, offset } => adr_encode(0, rd, offset),
+            Insn::Adrp { rd, offset } => {
+                assert!(offset & 0xfff == 0, "ADRP offset must be page aligned");
+                adr_encode(1, rd, offset >> 12)
+            }
+            Insn::Ldp { rt, rt2, rn, offset } => ldst_pair(true, rt, rt2, rn, offset),
+            Insn::Stp { rt, rt2, rn, offset } => ldst_pair(false, rt, rt2, rn, offset),
+            Insn::Madd { rd, rn, rm, ra } => {
+                field(0b1_00_11011_000, 31, 21)
+                    | field(rm as u32, 20, 16)
+                    | field(ra as u32, 14, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::Udiv { rd, rn, rm } => {
+                field(0b1_0_0_11010110, 31, 21)
+                    | field(rm as u32, 20, 16)
+                    | field(0b000010, 15, 10)
+                    | field(rn as u32, 9, 5)
+                    | field(rd as u32, 4, 0)
+            }
+            Insn::Csel { rd, rn, rm, cond } => csel_word(rd, rn, rm, cond, 0),
+            Insn::Csinc { rd, rn, rm, cond } => csel_word(rd, rn, rm, cond, 1),
+            Insn::LdrImm { rt, rn, offset, size } => ldst_unsigned(0b01, rt, rn, offset, size),
+            Insn::StrImm { rt, rn, offset, size } => ldst_unsigned(0b00, rt, rn, offset, size),
+            Insn::Ldtr { rt, rn, offset, size } => ldst_unpriv(0b01, rt, rn, offset, size),
+            Insn::Sttr { rt, rn, offset, size } => ldst_unpriv(0b00, rt, rn, offset, size),
+            Insn::B { offset } => branch_imm(0, offset),
+            Insn::Bl { offset } => branch_imm(1, offset),
+            Insn::BCond { cond, offset } => {
+                let imm19 = imm_range(offset, 19);
+                field(0b0101_0100, 31, 24) | field(imm19, 23, 5) | field(cond.bits(), 3, 0)
+            }
+            Insn::Cbz { rt, offset, nonzero } => {
+                let imm19 = imm_range(offset, 19);
+                field(1, 31, 31)
+                    | field(0b011010, 30, 25)
+                    | field(nonzero as u32, 24, 24)
+                    | field(imm19, 23, 5)
+                    | field(rt as u32, 4, 0)
+            }
+            Insn::Br { rn } => branch_reg(0b0000, rn),
+            Insn::Blr { rn } => branch_reg(0b0001, rn),
+            Insn::Ret { rn } => branch_reg(0b0010, rn),
+            Insn::Svc { imm } => exc_gen(0b000, imm, 0b01),
+            Insn::Hvc { imm } => exc_gen(0b000, imm, 0b10),
+            Insn::Smc { imm } => exc_gen(0b000, imm, 0b11),
+            Insn::Brk { imm } => exc_gen(0b001, imm, 0b00),
+            Insn::Eret => 0xD69F_03E0,
+            Insn::Nop => 0xD503_201F,
+            Insn::Barrier(Barrier::Isb) => 0xD503_3FDF,
+            Insn::Barrier(Barrier::Dsb) => 0xD503_3F9F,
+            Insn::Barrier(Barrier::Dmb) => 0xD503_3FBF,
+            Insn::MsrReg { enc, rt } => {
+                assert!(enc.op0 >= 2, "register MSR requires op0 in {{2,3}}");
+                sys_word(false, enc, rt)
+            }
+            Insn::MrsReg { enc, rt } => {
+                assert!(enc.op0 >= 2, "register MRS requires op0 in {{2,3}}");
+                sys_word(true, enc, rt)
+            }
+            Insn::MsrImm { op1, crm, op2 } => {
+                let enc = SysRegEnc::new(0b00, op1, 0b0100, crm, op2);
+                sys_word(false, enc, 31)
+            }
+            Insn::Sys { l, op1, crn, crm, op2, rt } => {
+                let enc = SysRegEnc::new(0b01, op1, crn, crm, op2);
+                sys_word(l, enc, rt)
+            }
+            Insn::Unallocated { word } => word,
+        }
+    }
+}
+
+fn movx(opc: u32, rd: u8, imm16: u16, hw: u8) -> u32 {
+    assert!(hw < 4);
+    field(1, 31, 31)
+        | field(opc, 30, 29)
+        | field(0b100101, 28, 23)
+        | field(hw as u32, 22, 21)
+        | field(imm16 as u32, 20, 5)
+        | field(rd as u32, 4, 0)
+}
+
+fn adr_encode(op: u32, rd: u8, imm: i64) -> u32 {
+    assert!((-(1 << 20)..1 << 20).contains(&imm), "ADR/ADRP offset out of range");
+    let imm = (imm as u64) & ((1 << 21) - 1);
+    let immlo = (imm & 0b11) as u32;
+    let immhi = (imm >> 2) as u32;
+    field(op, 31, 31) | field(immlo, 30, 29) | field(0b10000, 28, 24) | field(immhi, 23, 5) | field(rd as u32, 4, 0)
+}
+
+fn ldst_pair(load: bool, rt: u8, rt2: u8, rn: u8, offset: i64) -> u32 {
+    assert!(offset % 8 == 0, "pair offset must be 8-byte scaled");
+    let scaled = offset / 8;
+    assert!((-64..64).contains(&scaled), "pair offset out of range");
+    field(0b10_1010_010, 31, 23)
+        | field(load as u32, 22, 22)
+        | field((scaled as u32) & 0x7f, 21, 15)
+        | field(rt2 as u32, 14, 10)
+        | field(rn as u32, 9, 5)
+        | field(rt as u32, 4, 0)
+}
+
+fn csel_word(rd: u8, rn: u8, rm: u8, cond: Cond, op2: u32) -> u32 {
+    field(0b1_0_0_11010100, 31, 21)
+        | field(rm as u32, 20, 16)
+        | field(cond.bits(), 15, 12)
+        | field(op2, 11, 10)
+        | field(rn as u32, 9, 5)
+        | field(rd as u32, 4, 0)
+}
+
+fn ldst_unsigned(opc: u32, rt: u8, rn: u8, offset: u64, size: MemSize) -> u32 {
+    assert!(offset.is_multiple_of(size.bytes()), "unscaled offset for size");
+    let imm12 = offset / size.bytes();
+    assert!(imm12 < 4096, "load/store offset out of range");
+    field(size.size_bits(), 31, 30)
+        | field(0b111001, 29, 24)
+        | field(opc, 23, 22)
+        | field(imm12 as u32, 21, 10)
+        | field(rn as u32, 9, 5)
+        | field(rt as u32, 4, 0)
+}
+
+fn ldst_unpriv(opc: u32, rt: u8, rn: u8, offset: i64, size: MemSize) -> u32 {
+    assert!((-256..256).contains(&offset), "unprivileged offset out of range");
+    let imm9 = ((offset as u64) & 0x1ff) as u32;
+    field(size.size_bits(), 31, 30)
+        | field(0b111000, 29, 24)
+        | field(opc, 23, 22)
+        | field(imm9, 20, 12)
+        | field(0b10, 11, 10)
+        | field(rn as u32, 9, 5)
+        | field(rt as u32, 4, 0)
+}
+
+fn branch_imm(op: u32, offset: i64) -> u32 {
+    let imm26 = imm_range(offset, 26);
+    field(op, 31, 31) | field(0b00101, 30, 26) | field(imm26, 25, 0)
+}
+
+fn branch_reg(opc: u32, rn: u8) -> u32 {
+    field(0b1101011, 31, 25) | field(opc, 24, 21) | field(0b11111, 20, 16) | field(rn as u32, 9, 5)
+}
+
+fn exc_gen(opc: u32, imm: u16, ll: u32) -> u32 {
+    field(0b1101_0100, 31, 24) | field(opc, 23, 21) | field(imm as u32, 20, 5) | field(ll, 1, 0)
+}
+
+fn sys_word(l: bool, enc: SysRegEnc, rt: u8) -> u32 {
+    field(0b11_0101_0100, 31, 22) | field(l as u32, 21, 21) | enc.to_fields() | field(rt as u32, 4, 0)
+}
+
+fn imm_range(offset: i64, bits: u32) -> u32 {
+    assert!(offset % 4 == 0, "branch offset must be word aligned");
+    let words = offset / 4;
+    let bound = 1i64 << (bits - 1);
+    assert!((-bound..bound).contains(&words), "branch offset out of range");
+    ((words as u64) & ((1 << bits) - 1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysreg::SysReg;
+
+    #[test]
+    fn decode_nop() {
+        assert_eq!(Insn::decode(0xD503_201F), Insn::Nop);
+    }
+
+    #[test]
+    fn decode_eret() {
+        assert_eq!(Insn::decode(0xD69F_03E0), Insn::Eret);
+    }
+
+    #[test]
+    fn decode_known_svc() {
+        // `svc #0` assembles to 0xD4000001.
+        assert_eq!(Insn::decode(0xD400_0001), Insn::Svc { imm: 0 });
+    }
+
+    #[test]
+    fn decode_known_hvc() {
+        // `hvc #0` assembles to 0xD4000002.
+        assert_eq!(Insn::decode(0xD400_0002), Insn::Hvc { imm: 0 });
+    }
+
+    #[test]
+    fn decode_known_ret() {
+        // `ret` (x30) assembles to 0xD65F03C0.
+        assert_eq!(Insn::decode(0xD65F_03C0), Insn::Ret { rn: 30 });
+    }
+
+    #[test]
+    fn decode_known_msr_ttbr0() {
+        // `msr ttbr0_el1, x0` assembles to 0xD5182000.
+        match Insn::decode(0xD518_2000) {
+            Insn::MsrReg { enc, rt } => {
+                assert_eq!(SysReg::from_encoding(enc), Some(SysReg::TTBR0_EL1));
+                assert_eq!(rt, 0);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_known_mrs_ttbr0() {
+        // `mrs x3, ttbr0_el1` assembles to 0xD5382003.
+        match Insn::decode(0xD538_2003) {
+            Insn::MrsReg { enc, rt } => {
+                assert_eq!(SysReg::from_encoding(enc), Some(SysReg::TTBR0_EL1));
+                assert_eq!(rt, 3);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_known_msr_pan_imm() {
+        // `msr pan, #1` assembles to 0xD500419F; `msr pan, #0` to 0xD500409F.
+        assert_eq!(
+            Insn::decode(0xD500_419F),
+            Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 1, op2: PSTATE_PAN_OP2 }
+        );
+        assert_eq!(
+            Insn::decode(0xD500_409F),
+            Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 0, op2: PSTATE_PAN_OP2 }
+        );
+    }
+
+    #[test]
+    fn decode_known_ldr_str() {
+        // `ldr x1, [x2, #16]` = 0xF9400841; `str x1, [x2, #16]` = 0xF9000841.
+        assert_eq!(
+            Insn::decode(0xF940_0841),
+            Insn::LdrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X }
+        );
+        assert_eq!(
+            Insn::decode(0xF900_0841),
+            Insn::StrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X }
+        );
+    }
+
+    #[test]
+    fn decode_known_ldtr() {
+        // `ldtr x0, [x1]` assembles to 0xF8400820.
+        assert_eq!(
+            Insn::decode(0xF840_0820),
+            Insn::Ldtr { rt: 0, rn: 1, offset: 0, size: MemSize::X }
+        );
+        // `sttr x0, [x1]` assembles to 0xF8000820.
+        assert_eq!(
+            Insn::decode(0xF800_0820),
+            Insn::Sttr { rt: 0, rn: 1, offset: 0, size: MemSize::X }
+        );
+    }
+
+    #[test]
+    fn decode_known_branches() {
+        // `b .+8` = 0x14000002; `bl .+8` = 0x94000002.
+        assert_eq!(Insn::decode(0x1400_0002), Insn::B { offset: 8 });
+        assert_eq!(Insn::decode(0x9400_0002), Insn::Bl { offset: 8 });
+        // `b.eq .+8` = 0x54000040.
+        assert_eq!(Insn::decode(0x5400_0040), Insn::BCond { cond: Cond::Eq, offset: 8 });
+        // `cbz x0, .+8` = 0xB4000040.
+        assert_eq!(Insn::decode(0xB400_0040), Insn::Cbz { rt: 0, offset: 8, nonzero: false });
+    }
+
+    #[test]
+    fn decode_negative_branch_offset() {
+        // `b .-4` = 0x17FFFFFF.
+        assert_eq!(Insn::decode(0x17FF_FFFF), Insn::B { offset: -4 });
+    }
+
+    #[test]
+    fn decode_known_movz() {
+        // `mov x0, #42` (movz) = 0xD2800540.
+        assert_eq!(Insn::decode(0xD280_0540), Insn::Movz { rd: 0, imm16: 42, hw: 0 });
+    }
+
+    #[test]
+    fn decode_isb() {
+        assert_eq!(Insn::decode(0xD503_3FDF), Insn::Barrier(Barrier::Isb));
+    }
+
+    #[test]
+    fn decode_dc_civac_is_sys_crn7() {
+        // `dc civac, x0` = 0xD50B7E20 — op0=01, CRn=7 (Table 3 row 4).
+        match Insn::decode(0xD50B_7E20) {
+            Insn::Sys { crn, .. } => assert_eq!(crn, 7),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_tlbi_vmalle1_is_sys_crn8() {
+        // `tlbi vmalle1` = 0xD508871F — op0=01, CRn=8.
+        match Insn::decode(0xD508_871F) {
+            Insn::Sys { crn, op1, .. } => {
+                assert_eq!(crn, 8);
+                assert_eq!(op1, 0);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_known_pair() {
+        // `ldp x1, x2, [x3, #16]` = 0xA9410861; `stp x1, x2, [x3, #16]` = 0xA9010861.
+        assert_eq!(Insn::decode(0xA941_0861), Insn::Ldp { rt: 1, rt2: 2, rn: 3, offset: 16 });
+        assert_eq!(Insn::decode(0xA901_0861), Insn::Stp { rt: 1, rt2: 2, rn: 3, offset: 16 });
+    }
+
+    #[test]
+    fn decode_known_mul_div_csel() {
+        // `mul x0, x1, x2` = 0x9B027C20 (MADD with xzr).
+        assert_eq!(Insn::decode(0x9B02_7C20), Insn::Madd { rd: 0, rn: 1, rm: 2, ra: 31 });
+        // `udiv x0, x1, x2` = 0x9AC20820.
+        assert_eq!(Insn::decode(0x9AC2_0820), Insn::Udiv { rd: 0, rn: 1, rm: 2 });
+        // `csel x0, x1, x2, eq` = 0x9A820020.
+        assert_eq!(Insn::decode(0x9A82_0020), Insn::Csel { rd: 0, rn: 1, rm: 2, cond: Cond::Eq });
+        // `cset x0, eq` = csinc x0, xzr, xzr, ne = 0x9A9F17E0.
+        assert_eq!(Insn::decode(0x9A9F_17E0), Insn::Csinc { rd: 0, rn: 31, rm: 31, cond: Cond::Ne });
+    }
+
+    #[test]
+    fn pair_negative_offset_roundtrip() {
+        for off in [-512i64, -8, 0, 8, 504] {
+            let i = Insn::Ldp { rt: 0, rt2: 1, rn: 2, offset: off };
+            assert_eq!(Insn::decode(i.encode()), i, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn unknown_word_is_unallocated() {
+        assert_eq!(Insn::decode(0xFFFF_FFFF), Insn::Unallocated { word: 0xFFFF_FFFF });
+    }
+
+    #[test]
+    fn cond_eval_eq_ne() {
+        use crate::pstate::Nzcv;
+        let z = Nzcv { z: true, ..Default::default() };
+        assert!(Cond::Eq.holds(z));
+        assert!(!Cond::Ne.holds(z));
+        assert!(Cond::Al.holds(z));
+    }
+
+    #[test]
+    fn cond_eval_signed() {
+        use crate::pstate::Nzcv;
+        // n != v  =>  LT
+        let f = Nzcv { n: true, v: false, ..Default::default() };
+        assert!(Cond::Lt.holds(f));
+        assert!(!Cond::Ge.holds(f));
+    }
+
+    #[test]
+    fn lsl_lsr_roundtrip() {
+        for shift in [1u8, 12, 48, 63] {
+            let i = Insn::LslImm { rd: 1, rn: 2, shift };
+            assert_eq!(Insn::decode(i.encode()), i);
+            let i = Insn::LsrImm { rd: 1, rn: 2, shift };
+            assert_eq!(Insn::decode(i.encode()), i);
+        }
+    }
+}

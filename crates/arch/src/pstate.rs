@@ -1,0 +1,200 @@
+//! Process state (`PSTATE`) — exception level, PAN, interrupt mask, flags.
+
+use std::fmt;
+
+/// ARMv8-A exception levels.
+///
+/// EL0 is user mode, EL1 kernel mode, EL2 hypervisor mode. EL3 (secure
+/// monitor) is not modelled; the paper never uses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExceptionLevel {
+    /// User mode — least privileged; both host and guest processes.
+    El0,
+    /// Kernel mode — guest OS kernels and LightZone processes.
+    El1,
+    /// Hypervisor mode — hypervisors and (with VHE) host OS kernels.
+    El2,
+}
+
+impl ExceptionLevel {
+    /// Numeric level (0, 1 or 2), as encoded in `SPSR_ELx.M[3:2]`.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            ExceptionLevel::El0 => 0,
+            ExceptionLevel::El1 => 1,
+            ExceptionLevel::El2 => 2,
+        }
+    }
+
+    /// Decode from a numeric level.
+    ///
+    /// Returns `None` for levels the model does not implement (EL3 or
+    /// malformed values).
+    pub const fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ExceptionLevel::El0),
+            1 => Some(ExceptionLevel::El1),
+            2 => Some(ExceptionLevel::El2),
+            _ => None,
+        }
+    }
+
+    /// `true` when this level is privileged (EL1 or EL2): privileged levels
+    /// are subject to PAN when accessing user-accessible pages.
+    pub const fn is_privileged(self) -> bool {
+        !matches!(self, ExceptionLevel::El0)
+    }
+}
+
+impl fmt::Display for ExceptionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EL{}", self.as_u8())
+    }
+}
+
+/// Condition flags (`NZCV`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Nzcv {
+    pub n: bool,
+    pub z: bool,
+    pub c: bool,
+    pub v: bool,
+}
+
+impl Nzcv {
+    /// Pack into the `NZCV` register layout (bits 31..28).
+    pub const fn to_bits(self) -> u64 {
+        ((self.n as u64) << 31) | ((self.z as u64) << 30) | ((self.c as u64) << 29) | ((self.v as u64) << 28)
+    }
+
+    /// Unpack from the `NZCV` register layout.
+    pub const fn from_bits(bits: u64) -> Self {
+        Nzcv {
+            n: bits >> 31 & 1 == 1,
+            z: bits >> 30 & 1 == 1,
+            c: bits >> 29 & 1 == 1,
+            v: bits >> 28 & 1 == 1,
+        }
+    }
+}
+
+/// The modelled subset of `PSTATE`.
+///
+/// `pan` is the Privileged Access Never bit central to LightZone's
+/// two-domain isolation mechanism: while set, EL1/EL2 data accesses to
+/// pages marked user-accessible fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PState {
+    /// Current exception level.
+    pub el: ExceptionLevel,
+    /// Privileged Access Never.
+    pub pan: bool,
+    /// IRQ mask (the `I` bit of `DAIF`).
+    pub irq_masked: bool,
+    /// Condition flags.
+    pub nzcv: Nzcv,
+}
+
+impl PState {
+    /// PSTATE at reset: EL1, PAN clear, IRQs masked.
+    pub const fn reset() -> Self {
+        PState {
+            el: ExceptionLevel::El1,
+            pan: false,
+            irq_masked: true,
+            nzcv: Nzcv { n: false, z: false, c: false, v: false },
+        }
+    }
+
+    /// PSTATE for entering a user process: EL0, IRQs unmasked.
+    pub const fn user() -> Self {
+        PState {
+            el: ExceptionLevel::El0,
+            pan: false,
+            irq_masked: false,
+            nzcv: Nzcv { n: false, z: false, c: false, v: false },
+        }
+    }
+
+    /// Pack into an `SPSR_ELx`-style word for exception save/restore.
+    ///
+    /// Layout (subset): `NZCV` in bits 31..28, `PAN` in bit 22, `I` in
+    /// bit 7, `M[3:0]` holding the exception level in bits 3..2 (handler
+    /// stack selected, `SPx`).
+    pub fn to_spsr(self) -> u64 {
+        let mut v = self.nzcv.to_bits();
+        if self.pan {
+            v |= 1 << 22;
+        }
+        if self.irq_masked {
+            v |= 1 << 7;
+        }
+        v |= (self.el.as_u8() as u64) << 2;
+        if self.el.is_privileged() {
+            v |= 1; // SPx
+        }
+        v
+    }
+
+    /// Unpack from an `SPSR_ELx`-style word.
+    ///
+    /// Returns `None` if the mode field encodes an unsupported level —
+    /// the CPU treats such an `ERET` as an illegal exception return.
+    pub fn from_spsr(spsr: u64) -> Option<Self> {
+        let el = ExceptionLevel::from_u8(((spsr >> 2) & 0b11) as u8)?;
+        Some(PState {
+            el,
+            pan: spsr >> 22 & 1 == 1,
+            irq_masked: spsr >> 7 & 1 == 1,
+            nzcv: Nzcv::from_bits(spsr),
+        })
+    }
+}
+
+impl Default for PState {
+    fn default() -> Self {
+        PState::reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn el_ordering_matches_privilege() {
+        assert!(ExceptionLevel::El0 < ExceptionLevel::El1);
+        assert!(ExceptionLevel::El1 < ExceptionLevel::El2);
+    }
+
+    #[test]
+    fn el_roundtrip() {
+        for el in [ExceptionLevel::El0, ExceptionLevel::El1, ExceptionLevel::El2] {
+            assert_eq!(ExceptionLevel::from_u8(el.as_u8()), Some(el));
+        }
+        assert_eq!(ExceptionLevel::from_u8(3), None);
+    }
+
+    #[test]
+    fn spsr_roundtrip_preserves_pan() {
+        let ps = PState {
+            el: ExceptionLevel::El1,
+            pan: true,
+            irq_masked: false,
+            nzcv: Nzcv { n: true, z: false, c: true, v: false },
+        };
+        assert_eq!(PState::from_spsr(ps.to_spsr()), Some(ps));
+    }
+
+    #[test]
+    fn spsr_roundtrip_el0() {
+        let ps = PState::user();
+        assert_eq!(PState::from_spsr(ps.to_spsr()), Some(ps));
+    }
+
+    #[test]
+    fn nzcv_bits_layout() {
+        let f = Nzcv { n: true, z: true, c: false, v: true };
+        assert_eq!(f.to_bits(), (1 << 31) | (1 << 30) | (1 << 28));
+    }
+}

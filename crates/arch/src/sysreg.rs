@@ -1,0 +1,305 @@
+//! System registers and their `MSR`/`MRS` encodings.
+//!
+//! Each register is identified by its architectural `(op0, op1, CRn, CRm,
+//! op2)` tuple. The tuple is what the instruction stream actually carries,
+//! so the sensitive-instruction sanitizer ([`crate::sensitive`]) classifies
+//! instructions by these fields exactly as the paper's Table 3 does.
+
+use crate::bits::extract;
+use std::fmt;
+
+/// A system-register encoding `(op0, op1, CRn, CRm, op2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SysRegEnc {
+    pub op0: u8,
+    pub op1: u8,
+    pub crn: u8,
+    pub crm: u8,
+    pub op2: u8,
+}
+
+impl SysRegEnc {
+    pub const fn new(op0: u8, op1: u8, crn: u8, crm: u8, op2: u8) -> Self {
+        SysRegEnc { op0, op1, crn, crm, op2 }
+    }
+
+    /// Extract the encoding fields from a system instruction word.
+    ///
+    /// Field positions follow the paper's Table 3: bits `(20,19)` are
+    /// `op0`, `(18,16)` `op1`, `(15,12)` `CRn`, `(11,8)` `CRm`, `(7,5)`
+    /// `op2`.
+    pub fn from_word(word: u32) -> Self {
+        SysRegEnc {
+            op0: extract(word, 20, 19) as u8,
+            op1: extract(word, 18, 16) as u8,
+            crn: extract(word, 15, 12) as u8,
+            crm: extract(word, 11, 8) as u8,
+            op2: extract(word, 7, 5) as u8,
+        }
+    }
+
+    /// Pack the fields into bits 20..5 of an `MSR`/`MRS` word.
+    pub const fn to_fields(self) -> u32 {
+        ((self.op0 as u32) << 19)
+            | ((self.op1 as u32) << 16)
+            | ((self.crn as u32) << 12)
+            | ((self.crm as u32) << 8)
+            | ((self.op2 as u32) << 5)
+    }
+}
+
+macro_rules! sysregs {
+    ($( $(#[$doc:meta])* $name:ident => ($op0:expr, $op1:expr, $crn:expr, $crm:expr, $op2:expr) ),+ $(,)?) => {
+        /// The system registers known to the model.
+        ///
+        /// EL1 registers are the guest/kernel-mode bank; EL2 registers are
+        /// the hypervisor bank. ARM physically duplicates these so a guest
+        /// exit does not need to context-switch them (paper §2.1).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(clippy::upper_case_acronyms, non_camel_case_types)]
+        pub enum SysReg {
+            $( $(#[$doc])* $name, )+
+        }
+
+        impl SysReg {
+            /// All registers, for iteration in context-switch code.
+            pub const ALL: &'static [SysReg] = &[ $(SysReg::$name,)+ ];
+
+            /// The architectural encoding of this register.
+            pub const fn encoding(self) -> SysRegEnc {
+                match self {
+                    $( SysReg::$name => SysRegEnc::new($op0, $op1, $crn, $crm, $op2), )+
+                }
+            }
+
+            /// Reverse-map an encoding to a known register.
+            pub fn from_encoding(enc: SysRegEnc) -> Option<SysReg> {
+                $( if enc == SysRegEnc::new($op0, $op1, $crn, $crm, $op2) {
+                    return Some(SysReg::$name);
+                } )+
+                None
+            }
+        }
+
+        impl fmt::Display for SysReg {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let s = match self {
+                    $( SysReg::$name => stringify!($name), )+
+                };
+                write!(f, "{}", s)
+            }
+        }
+    };
+}
+
+sysregs! {
+    /// Stage-1 translation table base for the lower VA half (EL1).
+    TTBR0_EL1 => (0b11, 0b000, 2, 0, 0),
+    /// Stage-1 translation table base for the upper VA half (EL1).
+    TTBR1_EL1 => (0b11, 0b000, 2, 0, 1),
+    /// Translation control (EL1).
+    TCR_EL1 => (0b11, 0b000, 2, 0, 2),
+    /// System control (EL1): MMU enable, WXN, …
+    SCTLR_EL1 => (0b11, 0b000, 1, 0, 0),
+    /// Exception vector base (EL1).
+    VBAR_EL1 => (0b11, 0b000, 12, 0, 0),
+    /// Exception syndrome (EL1).
+    ESR_EL1 => (0b11, 0b000, 5, 2, 0),
+    /// Fault address (EL1).
+    FAR_EL1 => (0b11, 0b000, 6, 0, 0),
+    /// Exception link register (EL1). CRn=4 — covered by Table 3 row 5.
+    ELR_EL1 => (0b11, 0b000, 4, 0, 1),
+    /// Saved program status (EL1). CRn=4.
+    SPSR_EL1 => (0b11, 0b000, 4, 0, 0),
+    /// Stack pointer for EL0, accessible from EL1. CRn=4.
+    SP_EL0 => (0b11, 0b000, 4, 1, 0),
+    /// Context ID (ASID source when TCR.A1=1; we keep ASIDs in TTBRx).
+    CONTEXTIDR_EL1 => (0b11, 0b000, 13, 0, 1),
+    /// Software thread ID, EL0-writable (op1 = 0b011).
+    TPIDR_EL0 => (0b11, 0b011, 13, 0, 2),
+    /// Software thread ID, EL1.
+    TPIDR_EL1 => (0b11, 0b000, 13, 0, 4),
+    /// Memory attribute indirection (EL1).
+    MAIR_EL1 => (0b11, 0b000, 10, 2, 0),
+    /// Auxiliary control (EL1); modelled as an inert scratch register.
+    ACTLR_EL1 => (0b11, 0b001, 1, 0, 1),
+    /// Counter-timer virtual timer control, EL0-accessible.
+    CNTV_CTL_EL0 => (0b11, 0b011, 14, 3, 1),
+    /// Condition flags as a register (op1=0b011, CRn=4, CRm=2).
+    NZCV => (0b11, 0b011, 4, 2, 0),
+    /// Floating-point control. CRn=4.
+    FPCR => (0b11, 0b011, 4, 4, 0),
+    /// Floating-point status. CRn=4.
+    FPSR => (0b11, 0b011, 4, 4, 1),
+    /// Hypervisor configuration: trap controls, guest-mode indicator (VM
+    /// bit), TVM/TRVM stage-1 trapping, PAN behaviour.
+    HCR_EL2 => (0b11, 0b100, 1, 1, 0),
+    /// Stage-2 translation table base + VMID.
+    VTTBR_EL2 => (0b11, 0b100, 2, 1, 0),
+    /// Stage-2 translation control.
+    VTCR_EL2 => (0b11, 0b100, 2, 1, 2),
+    /// System control (EL2).
+    SCTLR_EL2 => (0b11, 0b100, 1, 0, 0),
+    /// Exception vector base (EL2).
+    VBAR_EL2 => (0b11, 0b100, 12, 0, 0),
+    /// Exception syndrome (EL2).
+    ESR_EL2 => (0b11, 0b100, 5, 2, 0),
+    /// Fault address (EL2).
+    FAR_EL2 => (0b11, 0b100, 6, 0, 0),
+    /// Hypervisor IPA fault address: faulting IPA page on stage-2 aborts.
+    HPFAR_EL2 => (0b11, 0b100, 6, 0, 4),
+    /// Exception link register (EL2).
+    ELR_EL2 => (0b11, 0b100, 4, 0, 1),
+    /// Saved program status (EL2).
+    SPSR_EL2 => (0b11, 0b100, 4, 0, 0),
+    /// Stack pointer for EL1, accessible from EL2.
+    SP_EL1 => (0b11, 0b100, 4, 1, 0),
+    /// Translation table base 0 (EL2) — used by a VHE host kernel.
+    TTBR0_EL2 => (0b11, 0b100, 2, 0, 0),
+    /// Translation table base 1 (EL2) — VHE host kernel upper half.
+    TTBR1_EL2 => (0b11, 0b100, 2, 0, 1),
+    /// Translation control (EL2).
+    TCR_EL2 => (0b11, 0b100, 2, 0, 2),
+    /// Architectural feature trap (EL2).
+    CPTR_EL2 => (0b11, 0b100, 1, 1, 2),
+    /// Debug configuration (EL2) — gates watchpoint trapping.
+    MDCR_EL2 => (0b11, 0b100, 1, 1, 1),
+    /// Software thread ID, EL2.
+    TPIDR_EL2 => (0b11, 0b100, 13, 0, 2),
+}
+
+/// Bits of `HCR_EL2` used by the model (subset of the architecture).
+pub mod hcr {
+    /// Virtualization enable: stage-2 translation + EL1/0 are "guest".
+    pub const VM: u64 = 1 << 0;
+    /// Set/Way invalidation override (unused placeholder).
+    pub const SWIO: u64 = 1 << 1;
+    /// Physical IRQ routing to EL2.
+    pub const IMO: u64 = 1 << 4;
+    /// Trap general exceptions: EL0 SVC traps to EL2 (unused).
+    pub const TGE: u64 = 1 << 27;
+    /// Trap virtual-memory controls: guest writes of stage-1 translation
+    /// registers (TTBRx_EL1, TCR_EL1, SCTLR_EL1, …) trap to EL2.
+    pub const TVM: u64 = 1 << 26;
+    /// Trap reads of virtual-memory controls.
+    pub const TRVM: u64 = 1 << 30;
+    /// Trap TLB maintenance instructions.
+    pub const TTLB: u64 = 1 << 25;
+    /// E2H: VHE — the host kernel runs at EL2.
+    pub const E2H: u64 = 1 << 34;
+    /// Trap ID-register/feature accesses (stands in for the "certain
+    /// privileged CPU features" the paper disables, §5.1.1).
+    pub const TIDCP: u64 = 1 << 20;
+    /// Trap WFE/WFI (unused by workloads; kept for completeness).
+    pub const TWI: u64 = 1 << 13;
+}
+
+/// Fields of `VTTBR_EL2`.
+pub mod vttbr {
+    /// The VMID lives in bits 63..48.
+    pub const VMID_SHIFT: u64 = 48;
+    pub const VMID_MASK: u64 = 0xffff << VMID_SHIFT;
+    /// Base-address field (bits 47..1 architecturally; page-aligned here).
+    pub const BADDR_MASK: u64 = !VMID_MASK;
+
+    /// Compose a `VTTBR_EL2` value from a VMID and stage-2 root.
+    pub const fn pack(vmid: u16, baddr: u64) -> u64 {
+        ((vmid as u64) << VMID_SHIFT) | (baddr & BADDR_MASK)
+    }
+
+    /// Extract the VMID.
+    pub const fn vmid(v: u64) -> u16 {
+        ((v & VMID_MASK) >> VMID_SHIFT) as u16
+    }
+
+    /// Extract the stage-2 root base address.
+    pub const fn baddr(v: u64) -> u64 {
+        v & BADDR_MASK
+    }
+}
+
+/// Fields of `TTBRx_EL1`.
+pub mod ttbr {
+    /// The ASID lives in bits 63..48 (TCR.AS = 16-bit ASIDs).
+    pub const ASID_SHIFT: u64 = 48;
+    pub const ASID_MASK: u64 = 0xffff << ASID_SHIFT;
+    pub const BADDR_MASK: u64 = !ASID_MASK;
+
+    /// Compose a `TTBRx_EL1` value from an ASID and a table root.
+    pub const fn pack(asid: u16, baddr: u64) -> u64 {
+        ((asid as u64) << ASID_SHIFT) | (baddr & BADDR_MASK)
+    }
+
+    /// Extract the ASID.
+    pub const fn asid(v: u64) -> u16 {
+        ((v & ASID_MASK) >> ASID_SHIFT) as u16
+    }
+
+    /// Extract the table root base address.
+    pub const fn baddr(v: u64) -> u64 {
+        v & BADDR_MASK
+    }
+}
+
+/// Bits of `SCTLR_EL1` used by the model.
+pub mod sctlr {
+    /// MMU enable for stage-1 translation.
+    pub const M: u64 = 1 << 0;
+    /// Write-implies-XN: writable pages are never executable.
+    pub const WXN: u64 = 1 << 19;
+    /// SPAN: if clear, taking an exception to EL1 sets PSTATE.PAN.
+    pub const SPAN: u64 = 1 << 23;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip_all() {
+        for &reg in SysReg::ALL {
+            let enc = reg.encoding();
+            assert_eq!(
+                SysReg::from_encoding(enc),
+                Some(reg),
+                "encoding collision or mismatch for {reg}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &reg in SysReg::ALL {
+            assert!(seen.insert(reg.encoding()), "duplicate encoding for {reg}");
+        }
+    }
+
+    #[test]
+    fn ttbr0_el1_is_the_table3_target() {
+        // Table 3: op0=0b11 && CRn!=4 && target TTBR0_EL1 is gate-only.
+        let e = SysReg::TTBR0_EL1.encoding();
+        assert_eq!((e.op0, e.op1, e.crn, e.crm, e.op2), (0b11, 0, 2, 0, 0));
+    }
+
+    #[test]
+    fn vttbr_pack_unpack() {
+        let v = vttbr::pack(0xbeef, 0x4_5000);
+        assert_eq!(vttbr::vmid(v), 0xbeef);
+        assert_eq!(vttbr::baddr(v), 0x4_5000);
+    }
+
+    #[test]
+    fn ttbr_pack_unpack() {
+        let v = ttbr::pack(42, 0x8_9000);
+        assert_eq!(ttbr::asid(v), 42);
+        assert_eq!(ttbr::baddr(v), 0x8_9000);
+    }
+
+    #[test]
+    fn sysreg_enc_word_roundtrip() {
+        let enc = SysReg::HCR_EL2.encoding();
+        let word = enc.to_fields();
+        assert_eq!(SysRegEnc::from_word(word), enc);
+    }
+}

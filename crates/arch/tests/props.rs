@@ -1,0 +1,168 @@
+//! Property-based tests for the A64 encoder/decoder and the
+//! sensitive-instruction classifier.
+
+use lz_arch::insn::{Cond, Insn, LogicOp, MemSize};
+use lz_arch::sensitive::{classify, InsnClass, SanitizeMode};
+use lz_arch::sysreg::{SysReg, SysRegEnc};
+use proptest::prelude::*;
+
+fn any_memsize() -> impl Strategy<Value = MemSize> {
+    prop_oneof![Just(MemSize::B), Just(MemSize::H), Just(MemSize::W), Just(MemSize::X)]
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Cs),
+        Just(Cond::Cc),
+        Just(Cond::Mi),
+        Just(Cond::Pl),
+        Just(Cond::Hi),
+        Just(Cond::Ls),
+        Just(Cond::Ge),
+        Just(Cond::Lt),
+        Just(Cond::Gt),
+        Just(Cond::Le),
+    ]
+}
+
+fn any_logic() -> impl Strategy<Value = LogicOp> {
+    prop_oneof![Just(LogicOp::And), Just(LogicOp::Orr), Just(LogicOp::Eor), Just(LogicOp::Ands)]
+}
+
+fn any_sysreg() -> impl Strategy<Value = SysReg> {
+    proptest::sample::select(SysReg::ALL.to_vec())
+}
+
+prop_compose! {
+    fn branch_offset(bits: u32)(words in -(1i64 << (bits - 1))..(1i64 << (bits - 1))) -> i64 {
+        words * 4
+    }
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (0u8..32, any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Insn::Movz { rd, imm16, hw }),
+        (0u8..32, any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Insn::Movk { rd, imm16, hw }),
+        (0u8..32, any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| Insn::Movn { rd, imm16, hw }),
+        (0u8..32, 0u8..32, 0u16..4096, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rn, imm12, shift12, sub, set_flags)| Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags }
+        ),
+        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rn, rm, shift, sub, set_flags)| Insn::AddReg { rd, rn, rm, shift, sub, set_flags }
+        ),
+        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any_logic())
+            .prop_map(|(rd, rn, rm, shift, op)| Insn::LogicReg { rd, rn, rm, shift, op }),
+        (0u8..32, 0u8..32, 0u8..64).prop_map(|(rd, rn, shift)| Insn::LsrImm { rd, rn, shift }),
+        (0u8..32, 0u8..32, 1u8..64).prop_map(|(rd, rn, shift)| Insn::LslImm { rd, rn, shift }),
+        (0u8..32, 0u8..32, 0u64..512, any_memsize()).prop_map(|(rt, rn, idx, size)| Insn::LdrImm {
+            rt,
+            rn,
+            offset: idx * size.bytes(),
+            size
+        }),
+        (0u8..32, 0u8..32, 0u64..512, any_memsize()).prop_map(|(rt, rn, idx, size)| Insn::StrImm {
+            rt,
+            rn,
+            offset: idx * size.bytes(),
+            size
+        }),
+        (0u8..32, 0u8..32, -256i64..256, any_memsize())
+            .prop_map(|(rt, rn, offset, size)| Insn::Sttr { rt, rn, offset, size }),
+        (0u8..32, 0u8..32, 0u8..32, -64i64..64).prop_map(|(rt, rt2, rn, scaled)| Insn::Ldp {
+            rt,
+            rt2,
+            rn,
+            offset: scaled * 8
+        }),
+        (0u8..32, 0u8..32, 0u8..32, -64i64..64).prop_map(|(rt, rt2, rn, scaled)| Insn::Stp {
+            rt,
+            rt2,
+            rn,
+            offset: scaled * 8
+        }),
+        (0u8..32, 0u8..32, 0u8..32, 0u8..32).prop_map(|(rd, rn, rm, ra)| Insn::Madd { rd, rn, rm, ra }),
+        (0u8..32, 0u8..32, 0u8..32).prop_map(|(rd, rn, rm)| Insn::Udiv { rd, rn, rm }),
+        (0u8..32, 0u8..32, 0u8..32, any_cond()).prop_map(|(rd, rn, rm, cond)| Insn::Csel { rd, rn, rm, cond }),
+        (0u8..32, 0u8..32, 0u8..32, any_cond()).prop_map(|(rd, rn, rm, cond)| Insn::Csinc { rd, rn, rm, cond }),
+        branch_offset(26).prop_map(|offset| Insn::B { offset }),
+        branch_offset(26).prop_map(|offset| Insn::Bl { offset }),
+        (any_cond(), branch_offset(19)).prop_map(|(cond, offset)| Insn::BCond { cond, offset }),
+        (0u8..32, branch_offset(19), any::<bool>())
+            .prop_map(|(rt, offset, nonzero)| Insn::Cbz { rt, offset, nonzero }),
+        (0u8..32).prop_map(|rn| Insn::Br { rn }),
+        (0u8..32).prop_map(|rn| Insn::Blr { rn }),
+        (0u8..32).prop_map(|rn| Insn::Ret { rn }),
+        any::<u16>().prop_map(|imm| Insn::Svc { imm }),
+        any::<u16>().prop_map(|imm| Insn::Hvc { imm }),
+        any::<u16>().prop_map(|imm| Insn::Brk { imm }),
+        Just(Insn::Eret),
+        Just(Insn::Nop),
+        (any_sysreg(), 0u8..32).prop_map(|(r, rt)| Insn::MsrReg { enc: r.encoding(), rt }),
+        (any_sysreg(), 0u8..32).prop_map(|(r, rt)| Insn::MrsReg { enc: r.encoding(), rt }),
+        (0u8..2).prop_map(|imm| Insn::MsrImm {
+            op1: lz_arch::insn::PSTATE_PAN_OP1,
+            crm: imm,
+            op2: lz_arch::insn::PSTATE_PAN_OP2
+        }),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction survives an encode/decode roundtrip.
+    #[test]
+    fn encode_decode_roundtrip(insn in any_insn()) {
+        let word = insn.encode();
+        prop_assert_eq!(Insn::decode(word), insn);
+    }
+
+    /// Decoding never panics on arbitrary words.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = Insn::decode(word);
+    }
+
+    /// Classification never panics and is consistent: `Both` is at least as
+    /// strict as each individual mode.
+    #[test]
+    fn classify_both_is_strictest(word in any::<u32>()) {
+        let both = classify(word, SanitizeMode::Both);
+        if both == InsnClass::Allowed {
+            prop_assert_eq!(classify(word, SanitizeMode::Ttbr), InsnClass::Allowed);
+            prop_assert_eq!(classify(word, SanitizeMode::Pan), InsnClass::Allowed);
+        }
+    }
+
+    /// A forbidden word stays forbidden if it appears at any alignment in a
+    /// scanned page (scan looks at every aligned word).
+    #[test]
+    fn scan_finds_planted_eret(prefix_words in 0usize..64) {
+        let mut bytes = vec![];
+        for _ in 0..prefix_words {
+            bytes.extend_from_slice(&0xD503_201Fu32.to_le_bytes()); // nop
+        }
+        bytes.extend_from_slice(&0xD69F_03E0u32.to_le_bytes()); // eret
+        let err = lz_arch::sensitive::scan_code(&bytes, SanitizeMode::Ttbr).unwrap_err();
+        prop_assert_eq!(err.0, prefix_words * 4);
+    }
+
+    /// System-register field packing roundtrips for arbitrary encodings.
+    #[test]
+    fn sysreg_enc_roundtrip(op0 in 0u8..4, op1 in 0u8..8, crn in 0u8..16, crm in 0u8..16, op2 in 0u8..8) {
+        let enc = SysRegEnc::new(op0, op1, crn, crm, op2);
+        prop_assert_eq!(SysRegEnc::from_word(enc.to_fields()), enc);
+    }
+
+    /// MSR of any privileged register except TTBR0_EL1 must never be Allowed
+    /// under TTBR sanitization (Table 3 row 6).
+    #[test]
+    fn privileged_msr_never_allowed(reg in any_sysreg(), rt in 0u8..32) {
+        let enc = reg.encoding();
+        prop_assume!(enc.op0 == 0b11 && enc.op1 != 0b011);
+        prop_assume!(reg != SysReg::TTBR0_EL1);
+        let word = Insn::MsrReg { enc, rt }.encode();
+        prop_assert_ne!(classify(word, SanitizeMode::Ttbr), InsnClass::Allowed);
+        prop_assert_ne!(classify(word, SanitizeMode::Pan), InsnClass::Allowed);
+    }
+}

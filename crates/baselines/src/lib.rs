@@ -1,0 +1,91 @@
+//! Baseline in-process isolation mechanisms the paper compares against
+//! (§8 "Performance Comparison"):
+//!
+//! * [`watchpoint`] — an ioctl-based prototype of hardware-watchpoint
+//!   isolation (Jang & Kang, DAC'19): up to 16 domains guarded by the 4
+//!   architectural watchpoint register pairs, every domain switch
+//!   trapping into the kernel;
+//! * [`lwc`] — a simulated version of light-weight contexts (lwC,
+//!   OSDI'16), a general-purpose kernel abstraction whose domain switch
+//!   is a kernel-mediated context switch.
+//!
+//! Both run ordinary EL0 processes under the base kernel — no
+//! virtualization involved — and are driven through custom syscalls,
+//! mirroring how the paper's prototypes are driven through ioctls.
+
+pub mod lwc;
+pub mod watchpoint;
+
+pub use lwc::LwcState;
+pub use watchpoint::WatchpointState;
+
+use lz_kernel::{Event, Kernel, Pid};
+use lz_machine::Exit;
+
+/// A kernel plus both baseline mechanisms, with the same facade shape as
+/// `lightzone::LightZone`.
+#[derive(Debug)]
+pub struct Baselines {
+    pub kernel: Kernel,
+    pub wp: WatchpointState,
+    pub lwc: LwcState,
+}
+
+impl Baselines {
+    /// Host deployment.
+    pub fn new_host(platform: lz_arch::Platform) -> Self {
+        Baselines { kernel: Kernel::new_host(platform), wp: WatchpointState::new(), lwc: LwcState::new() }
+    }
+
+    /// Guest deployment.
+    pub fn new_guest(platform: lz_arch::Platform) -> Self {
+        Baselines { kernel: Kernel::new_guest(platform), wp: WatchpointState::new(), lwc: LwcState::new() }
+    }
+
+    /// Load a program as a new process.
+    pub fn spawn(&mut self, prog: &lz_kernel::Program) -> Pid {
+        self.kernel.spawn(prog)
+    }
+
+    /// Make `pid` current.
+    pub fn enter_process(&mut self, pid: Pid) {
+        self.kernel.enter_process(pid);
+    }
+
+    /// Run, servicing baseline syscalls and watchpoint hits.
+    pub fn run(&mut self, insn_limit: u64) -> Event {
+        loop {
+            match self.kernel.run(insn_limit) {
+                Event::Custom { nr, args } => {
+                    let ret = match nr {
+                        lz_kernel::syscall::custom::WP_ENTER => self.wp.enter(&mut self.kernel),
+                        lz_kernel::syscall::custom::WP_PROT => self.wp.prot(&mut self.kernel, args[0], args[1]),
+                        lz_kernel::syscall::custom::WP_SWITCH => self.wp.switch_to(&mut self.kernel, args[0]),
+                        lz_kernel::syscall::custom::LWC_CREATE => self.lwc.create(&mut self.kernel),
+                        lz_kernel::syscall::custom::LWC_SWITCH => self.lwc.switch_to(&mut self.kernel, args[0]),
+                        _ => return Event::Custom { nr, args },
+                    };
+                    self.kernel.resume_syscall(ret);
+                }
+                Event::Raw(Exit::El2(lz_arch::esr::ExceptionClass::WatchpointLower))
+                | Event::Raw(Exit::El1(lz_arch::esr::ExceptionClass::WatchpointLower)) => {
+                    // Illegal domain access caught by a watchpoint.
+                    return self.kernel.kill_current(crate::watchpoint::WP_KILL);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Run to exit (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not exit.
+    pub fn run_to_exit(&mut self) -> i64 {
+        match self.run(50_000_000) {
+            Event::Exited(code) => code,
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulated light-weight contexts (lwC, Litton et al., OSDI'16) — the
+//! general-purpose baseline of §8.
+//!
+//! lwC gives a process multiple independent execution contexts (separate
+//! address-space views, file tables, credentials) with `switch` as the
+//! transition primitive. It scales to arbitrarily many domains (Table 1:
+//! "infinite") but every switch is a kernel-mediated context switch:
+//! syscall entry, address-space (TTBR + ASID) switch, context-state swap,
+//! syscall exit. The paper simulates lwC on ARM64 the same way since the
+//! original is FreeBSD/x86; we model the switch cost, not the full
+//! snapshot semantics (only switch performance is compared).
+
+use lz_kernel::{Kernel, Pid};
+use std::collections::HashMap;
+
+/// Kernel-path instruction count of an lwC switch (context bookkeeping,
+/// file-table pointer swaps, credential checks).
+const LWC_SWITCH_PATH_INSNS: u64 = 600;
+/// System registers switched on an lwC context switch: lwC restores the
+/// whole per-context EL1 state (a context is close to a process), unlike
+/// LightZone's single TTBR0 write.
+const LWC_SWITCH_SYSREGS: u64 = 16;
+
+/// Per-process lwC state.
+#[derive(Debug, Default)]
+pub struct LwcState {
+    procs: HashMap<Pid, LwcProc>,
+}
+
+#[derive(Debug, Default)]
+struct LwcProc {
+    contexts: u64,
+    current: u64,
+    switches: u64,
+}
+
+impl LwcState {
+    pub fn new() -> Self {
+        LwcState::default()
+    }
+
+    /// `LWC_CREATE`: allocate a new context; returns its id.
+    pub fn create(&mut self, k: &mut Kernel) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        let p = self.procs.entry(pid).or_default();
+        p.contexts += 1;
+        // Context creation snapshots the address space: proportional to
+        // resident size in a real lwC; a page-table copy here.
+        let m = &k.machine.model;
+        let c = m.path_cost(4000) + 64 * m.mem_access;
+        k.machine.charge(c);
+        p.contexts - 1
+    }
+
+    /// `LWC_SWITCH(ctx)`: switch the caller to context `ctx`.
+    pub fn switch_to(&mut self, k: &mut Kernel, ctx: u64) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        let Some(p) = self.procs.get_mut(&pid) else { return u64::MAX };
+        if ctx >= p.contexts {
+            return u64::MAX;
+        }
+        p.current = ctx;
+        p.switches += 1;
+        let m = &k.machine.model;
+        let cost = m.ttbr0_el1_write
+            + m.isb
+            + LWC_SWITCH_SYSREGS * m.sysreg_write
+            + m.path_cost(LWC_SWITCH_PATH_INSNS)
+            + m.trap_cache_pollution
+            // The new context's working set re-faults into the TLB.
+            + 4 * m.stage1_walk();
+        k.machine.charge(cost);
+        0
+    }
+
+    /// Number of contexts a process created.
+    pub fn context_count(&self, pid: Pid) -> u64 {
+        self.procs.get(&pid).map_or(0, |p| p.contexts)
+    }
+
+    /// Number of switches a process performed.
+    pub fn switch_count(&self, pid: Pid) -> u64 {
+        self.procs.get(&pid).map_or(0, |p| p.switches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_arch::Platform;
+    use lz_kernel::Program;
+
+    fn kernel_with_dummy() -> Kernel {
+        let mut k = Kernel::new_host(Platform::CortexA55);
+        let mut a = lz_arch::asm::Asm::new(0x40_0000);
+        a.nop();
+        let pid = k.spawn(&Program::from_code(0x40_0000, a.bytes()));
+        k.enter_process(pid);
+        k
+    }
+
+    #[test]
+    fn contexts_unbounded() {
+        let mut k = kernel_with_dummy();
+        let mut lwc = LwcState::new();
+        for i in 0..100 {
+            assert_eq!(lwc.create(&mut k), i);
+        }
+        assert_eq!(lwc.context_count(k.current().unwrap()), 100);
+    }
+
+    #[test]
+    fn switch_to_unknown_context_fails() {
+        let mut k = kernel_with_dummy();
+        let mut lwc = LwcState::new();
+        lwc.create(&mut k);
+        assert_eq!(lwc.switch_to(&mut k, 0), 0);
+        assert_eq!(lwc.switch_to(&mut k, 5), u64::MAX);
+    }
+
+    #[test]
+    fn switch_cost_exceeds_plain_ttbr_write() {
+        let mut k = kernel_with_dummy();
+        let mut lwc = LwcState::new();
+        lwc.create(&mut k);
+        let before = k.machine.cpu.cycles;
+        lwc.switch_to(&mut k, 0);
+        let cost = k.machine.cpu.cycles - before;
+        assert!(cost > k.machine.model.ttbr0_el1_write * 3, "lwC switch = {cost}");
+    }
+
+    #[test]
+    fn switches_counted() {
+        let mut k = kernel_with_dummy();
+        let pid = k.current().unwrap();
+        let mut lwc = LwcState::new();
+        lwc.create(&mut k);
+        lwc.switch_to(&mut k, 0);
+        lwc.switch_to(&mut k, 0);
+        assert_eq!(lwc.switch_count(pid), 2);
+    }
+}

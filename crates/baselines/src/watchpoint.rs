@@ -1,0 +1,225 @@
+//! Ioctl-based hardware-watchpoint isolation (the Watchpoint baseline,
+//! paper §8).
+//!
+//! Up to 16 protected domains live in a *contiguous arena* (the DAC'19
+//! design's "strict memory layout constraints"): activating domain `d`
+//! arms the 4 architectural watchpoint pairs to cover the arena minus
+//! `d` — which is exactly 2 exclusion ranges for a contiguous layout.
+//! Every switch is a syscall ("suffers trapping to the OS kernel during
+//! domain switching") that rewrites up to 6 `DBGWVR`/`DBGWCR` registers
+//! and runs the access-control algorithm.
+
+use lz_kernel::{Kernel, Pid};
+use lz_machine::cpu::Watchpoint;
+
+/// Exit code delivered when a watchpoint catches an illegal access.
+pub const WP_KILL: i64 = -17;
+
+/// Hard architectural limit: 16 domains (Table 1).
+pub const MAX_WP_DOMAINS: usize = 16;
+
+/// Instruction count of the kernel-side access-control algorithm.
+const WP_IOCTL_PATH_INSNS: u64 = 500;
+/// Watchpoint register writes per reconfiguration (4 value + 2 control).
+const WP_REG_WRITES: u64 = 6;
+
+/// Per-process state of the watchpoint prototype.
+#[derive(Debug, Default)]
+pub struct WatchpointState {
+    procs: std::collections::HashMap<Pid, WpProc>,
+}
+
+#[derive(Debug, Default)]
+struct WpProc {
+    /// Registered domains as `(start, len)`, in registration order.
+    domains: Vec<(u64, u64)>,
+    active: Option<usize>,
+}
+
+impl WatchpointState {
+    pub fn new() -> Self {
+        WatchpointState::default()
+    }
+
+    /// Number of domains a process registered.
+    pub fn domain_count(&self, pid: Pid) -> usize {
+        self.procs.get(&pid).map_or(0, |p| p.domains.len())
+    }
+
+    /// `WP_ENTER`: enable watchpoint-based protection for the caller.
+    pub fn enter(&mut self, k: &mut Kernel) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        self.procs.entry(pid).or_default();
+        k.machine.cpu.watchpoints_enabled = true;
+        k.machine.charge(k.machine.model.path_cost(200));
+        0
+    }
+
+    /// `WP_PROT(addr, len)`: register the next domain. Domains must be
+    /// adjacent to the previous one (the contiguous-arena constraint);
+    /// at most 16.
+    pub fn prot(&mut self, k: &mut Kernel, addr: u64, len: u64) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        let p = self.procs.entry(pid).or_default();
+        if p.domains.len() >= MAX_WP_DOMAINS {
+            return u64::MAX;
+        }
+        if let Some(&(last_start, last_len)) = p.domains.last() {
+            if addr != last_start + last_len {
+                // Violates the layout constraint.
+                return u64::MAX;
+            }
+        }
+        p.domains.push((addr, len));
+        // Re-arm with no active domain: everything protected.
+        Self::arm(k, p);
+        k.machine.charge(Self::reconfig_cost(k));
+        0
+    }
+
+    /// `WP_SWITCH(domain)`: make `domain` accessible, everything else
+    /// protected. `u64::MAX` deactivates all (exit-domain ioctl).
+    pub fn switch_to(&mut self, k: &mut Kernel, domain: u64) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        let Some(p) = self.procs.get_mut(&pid) else { return u64::MAX };
+        if domain == u64::MAX {
+            p.active = None;
+        } else {
+            if domain as usize >= p.domains.len() {
+                return u64::MAX;
+            }
+            p.active = Some(domain as usize);
+        }
+        Self::arm(k, p);
+        k.machine.charge(Self::reconfig_cost(k));
+        0
+    }
+
+    /// The kernel-side cost of one reconfiguration.
+    fn reconfig_cost(k: &Kernel) -> u64 {
+        let m = &k.machine.model;
+        WP_REG_WRITES * m.sysreg_write + m.path_cost(WP_IOCTL_PATH_INSNS) + m.isb
+    }
+
+    /// Program the 4 machine watchpoint pairs: the arena minus the active
+    /// domain, as at most 2 exclusion ranges (contiguous layout).
+    fn arm(k: &mut Kernel, p: &WpProc) {
+        k.machine.cpu.watchpoints = [None; 4];
+        if p.domains.is_empty() {
+            return;
+        }
+        let arena_start = p.domains[0].0;
+        let last = p.domains[p.domains.len() - 1];
+        let arena_end = last.0 + last.1;
+        let mut idx = 0;
+        let mut push = |start: u64, end: u64| {
+            if start < end && idx < 4 {
+                k.machine.cpu.watchpoints[idx] =
+                    Some(Watchpoint { addr: start, len: end - start, on_read: true, on_write: true });
+                idx += 1;
+            }
+        };
+        match p.active {
+            None => push(arena_start, arena_end),
+            Some(d) => {
+                let (ds, dl) = p.domains[d];
+                push(arena_start, ds);
+                push(ds + dl, arena_end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_arch::Platform;
+    use lz_kernel::Program;
+
+    fn kernel_with_dummy() -> (Kernel, Pid) {
+        let mut k = Kernel::new_host(Platform::CortexA55);
+        let mut a = lz_arch::asm::Asm::new(0x40_0000);
+        a.nop();
+        let pid = k.spawn(&Program::from_code(0x40_0000, a.bytes()));
+        k.enter_process(pid);
+        (k, pid)
+    }
+
+    #[test]
+    fn domains_limited_to_16() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        assert_eq!(wp.enter(&mut k), 0);
+        let base = 0x100_0000u64;
+        for i in 0..16u64 {
+            assert_eq!(wp.prot(&mut k, base + i * 4096, 4096), 0, "domain {i}");
+        }
+        assert_eq!(wp.prot(&mut k, base + 16 * 4096, 4096), u64::MAX, "17th domain rejected");
+    }
+
+    #[test]
+    fn layout_constraint_enforced() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        wp.enter(&mut k);
+        assert_eq!(wp.prot(&mut k, 0x100_0000, 4096), 0);
+        // Non-adjacent region violates the contiguous-arena constraint.
+        assert_eq!(wp.prot(&mut k, 0x200_0000, 4096), u64::MAX);
+    }
+
+    #[test]
+    fn switch_carves_out_active_domain() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        wp.enter(&mut k);
+        let base = 0x100_0000u64;
+        for i in 0..4u64 {
+            wp.prot(&mut k, base + i * 4096, 4096);
+        }
+        wp.switch_to(&mut k, 1);
+        let wps: Vec<_> = k.machine.cpu.watchpoints.iter().flatten().collect();
+        assert_eq!(wps.len(), 2, "two exclusion ranges");
+        // Domain 1's page is not covered.
+        let d1 = base + 4096;
+        for w in &wps {
+            assert!(d1 + 4096 <= w.addr || d1 >= w.addr + w.len);
+        }
+        // Domain 0's page is covered.
+        assert!(wps.iter().any(|w| base >= w.addr && base < w.addr + w.len));
+    }
+
+    #[test]
+    fn switch_charges_syscall_scale_cost() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        wp.enter(&mut k);
+        wp.prot(&mut k, 0x100_0000, 4096);
+        let before = k.machine.cpu.cycles;
+        wp.switch_to(&mut k, 0);
+        let cost = k.machine.cpu.cycles - before;
+        assert!(cost > 500, "reconfiguration is expensive: {cost}");
+    }
+
+    #[test]
+    fn deactivate_covers_whole_arena() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        wp.enter(&mut k);
+        wp.prot(&mut k, 0x100_0000, 4096);
+        wp.prot(&mut k, 0x100_1000, 4096);
+        wp.switch_to(&mut k, u64::MAX);
+        let wps: Vec<_> = k.machine.cpu.watchpoints.iter().flatten().collect();
+        assert_eq!(wps.len(), 1);
+        assert_eq!(wps[0].addr, 0x100_0000);
+        assert_eq!(wps[0].len, 0x2000);
+    }
+
+    #[test]
+    fn bad_switch_rejected() {
+        let (mut k, _) = kernel_with_dummy();
+        let mut wp = WatchpointState::new();
+        wp.enter(&mut k);
+        wp.prot(&mut k, 0x100_0000, 4096);
+        assert_eq!(wp.switch_to(&mut k, 5), u64::MAX);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for the DESIGN.md ablations: gate flavors and
+//! HCR/VTTBR retention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use lightzone::gate::GateFlavor;
+use lightzone::AblationConfig;
+use lz_arch::Platform;
+use lz_workloads::{micro, Deployment};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    let p = Platform::CortexA55;
+    g.bench_function("gate/default", |b| {
+        b.iter(|| micro::ttbr_switch_cycles(p, Deployment::Host, 8))
+    });
+    g.bench_function("gate/no_check_phase", |b| {
+        let abl = AblationConfig {
+            gate_flavor: GateFlavor { check_phase: false, tlbi_after_switch: false },
+            ..Default::default()
+        };
+        b.iter(|| micro::ttbr_switch_cycles_with(p, Deployment::Host, 8, abl.clone()))
+    });
+    g.bench_function("gate/tlbi_instead_of_asid", |b| {
+        let abl = AblationConfig {
+            gate_flavor: GateFlavor { check_phase: true, tlbi_after_switch: true },
+            ..Default::default()
+        };
+        b.iter(|| micro::ttbr_switch_cycles_with(p, Deployment::Host, 8, abl.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 4: the OLTP workload model. Primitives are
+//! measured once outside the timing loop (full pipeline: `repro -- fig4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lz_arch::Platform;
+use lz_workloads::micro::Primitives;
+use lz_workloads::{oltp, Deployment, Mechanism};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_mysql");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    let prims = Primitives::measure(Platform::Carmel, Deployment::Host, 64);
+    let cfg = oltp::OltpConfig::paper(Platform::Carmel);
+    g.bench_function("sweep/Carmel/host", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for m in Mechanism::ALL {
+                for t in [1u64, 2, 4, 8, 16, 32, 64] {
+                    total += oltp::throughput(black_box(&cfg), black_box(&prims), m, t);
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 3: the HTTPS key-protection workload
+//! model. Primitives are measured once outside the timing loop (the full
+//! measured pipeline is `repro -- fig3`); the bench times the per-cell
+//! workload evaluation across the concurrency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lz_arch::Platform;
+use lz_workloads::micro::Primitives;
+use lz_workloads::{httpd, Deployment, Mechanism};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_nginx");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    let prims = Primitives::measure(Platform::Carmel, Deployment::Host, 16);
+    let cfg = httpd::HttpdConfig::paper(Platform::Carmel);
+    g.bench_function("sweep/Carmel/host", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for m in Mechanism::ALL {
+                for c in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+                    total += httpd::throughput(black_box(&cfg), black_box(&prims), m, c);
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

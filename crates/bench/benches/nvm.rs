@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 5: the NVM data-isolation workload (real
+//! simulated search loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use lz_arch::Platform;
+use lz_workloads::{nvm, Deployment, Mechanism};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_nvm");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    for m in [Mechanism::Vanilla, Mechanism::LzPan, Mechanism::LzTtbr] {
+        g.bench_function(format!("search_2buf/{}", m.name()), |b| {
+            b.iter(|| nvm::nvm_cycles_per_op(Platform::CortexA55, Deployment::Host, m, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Table 5: domain switching across mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use lz_arch::Platform;
+use lz_workloads::{micro, Deployment};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    for p in Platform::ALL {
+        g.bench_function(format!("pan_switch/{}", p.name()), |b| {
+            b.iter(|| micro::pan_switch_cycles(p, Deployment::Host))
+        });
+        for domains in [2usize, 128] {
+            g.bench_function(format!("ttbr_switch/{}/{domains}", p.name()), |b| {
+                b.iter(|| micro::ttbr_switch_cycles(p, Deployment::Host, domains))
+            });
+        }
+        g.bench_function(format!("wp_switch/{}", p.name()), |b| {
+            b.iter(|| micro::wp_switch_cycles(p, Deployment::Host, 2))
+        });
+        g.bench_function(format!("lwc_switch/{}", p.name()), |b| {
+            b.iter(|| micro::lwc_switch_cycles(p, Deployment::Host, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Table 4: trap round trips.
+//!
+//! Each iteration runs the real measurement (assembled yield loops on the
+//! simulated machine) for one Table 4 row. The derived cycle counts are
+//! printed by `cargo run -p lz-bench --bin repro -- table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use lz_arch::Platform;
+use lz_workloads::{micro, Deployment};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(500));
+    for p in Platform::ALL {
+        g.bench_function(format!("host_syscall/{}", p.name()), |b| {
+            b.iter(|| micro::vanilla_syscall_cycles(p, Deployment::Host))
+        });
+        g.bench_function(format!("guest_syscall/{}", p.name()), |b| {
+            b.iter(|| micro::vanilla_syscall_cycles(p, Deployment::Guest))
+        });
+        g.bench_function(format!("lz_host_trap/{}", p.name()), |b| {
+            b.iter(|| micro::lz_syscall_cycles(p, Deployment::Host))
+        });
+        g.bench_function(format!("kvm_hypercall/{}", p.name()), |b| {
+            b.iter(|| micro::kvm_hypercall_cycles(p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

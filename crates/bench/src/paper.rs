@@ -1,0 +1,77 @@
+//! The paper's published numbers (Tables 4–5, §9 prose), used to print
+//! "paper vs. reproduced" side by side and to band-check in tests.
+
+use lz_arch::Platform;
+
+/// Table 4 reference values: `(carmel, cortex_a55)`; ranges collapsed to
+/// `(lo, hi)`.
+pub mod table4 {
+    pub const HOST_USER_TO_HYP: (f64, f64) = (3848.0, 299.0);
+    pub const GUEST_USER_TO_KERNEL: (f64, f64) = (1423.0, 288.0);
+    pub const LZ_TO_HOST_HYP: (f64, f64) = (3316.0, 536.0);
+    pub const LZ_TO_GUEST_KERNEL_LO: (f64, f64) = (29_020.0, 1_798.0);
+    pub const LZ_TO_GUEST_KERNEL_HI: (f64, f64) = (32_881.0, 2_179.0);
+    pub const KVM_HYPERCALL: (f64, f64) = (28_580.0, 1_287.0);
+    pub const HCR_WRITE_LO: (f64, f64) = (1_550.0, 88.0);
+    pub const HCR_WRITE_HI: (f64, f64) = (1_655.0, 88.0);
+    pub const VTTBR_WRITE: (f64, f64) = (1_115.0, 37.0);
+}
+
+/// Table 5 reference values per domain-count column.
+pub mod table5 {
+    /// Columns: 1 (PAN), 2, 3, 32, 64, 128.
+    pub const DOMAINS: [usize; 5] = [2, 3, 32, 64, 128];
+    pub const CARMEL_HOST_LZ: [f64; 6] = [22.0, 477.0, 483.0, 469.0, 485.0, 490.0];
+    pub const CARMEL_GUEST_LZ: [f64; 6] = [22.0, 495.0, 494.0, 484.0, 498.0, 507.0];
+    pub const CORTEX_LZ: [f64; 6] = [11.0, 59.0, 57.0, 64.0, 74.0, 82.0];
+    pub const CARMEL_HOST_WP: [f64; 3] = [6_759.0, 6_787.0, 6_944.0];
+    pub const CARMEL_GUEST_WP: [f64; 3] = [2_710.0, 2_733.0, 2_721.0];
+    pub const CORTEX_WP: [f64; 3] = [915.0, 930.0, 927.0];
+}
+
+/// Figure 3 (§9.1) throughput losses, percent.
+pub mod fig3 {
+    /// (pan, ttbr, wp, lwc) per cell.
+    pub const CARMEL_HOST: (f64, f64, f64, f64) = (1.35, 5.65, 45.46, 59.03);
+    pub const CARMEL_GUEST: (f64, f64, f64, f64) = (25.24, 26.91, 23.58, 26.65);
+    pub const CORTEX_HOST: (f64, f64, f64, f64) = (0.91, 3.01, 6.14, 13.71);
+    pub const CORTEX_GUEST: (f64, f64, f64, f64) = (1.98, 2.03, 6.04, 21.24);
+    pub const MEM_FRAGMENTATION: f64 = 1.6;
+    pub const MEM_PAN_TABLES: f64 = 1.2;
+    pub const MEM_TTBR_TABLES: f64 = 22.2;
+}
+
+/// Figure 4 (§9.2) throughput losses, percent.
+pub mod fig4 {
+    pub const CARMEL_HOST: (f64, f64, f64, f64) = (0.1, 3.79, 8.35, 11.80);
+    /// "about 10%" for every mechanism on the Carmel guest.
+    pub const CARMEL_GUEST_ALL: f64 = 10.0;
+    pub const CORTEX_HOST: (f64, f64, f64, f64) = (0.9, 2.84, 2.34, 12.76);
+    pub const CORTEX_GUEST: (f64, f64, f64, f64) = (0.9, 2.35, 1.18, 5.47);
+    /// TTBR stabilization band at ≥16 threads on Carmel host.
+    pub const CARMEL_TTBR_SATURATED: (f64, f64) = (5.26, 6.23);
+    pub const MEM_APP: f64 = 13.3;
+    pub const MEM_PAN_TABLES: f64 = 0.2;
+    pub const MEM_TTBR_TABLES: f64 = 9.8;
+}
+
+/// Figure 5 (§9.3) time overheads, percent.
+pub mod fig5 {
+    pub const CARMEL_HOST_PAN: f64 = 1.75;
+    pub const CARMEL_GUEST_PAN: f64 = 4.39;
+    pub const CARMEL_HOST_TTBR: f64 = 12.92;
+    pub const CARMEL_GUEST_TTBR: f64 = 16.64;
+    pub const CORTEX_HOST_PAN: f64 = 0.26;
+    pub const CORTEX_GUEST_PAN: f64 = 0.20;
+    pub const CORTEX_HOST_TTBR: f64 = 1.81;
+    pub const CORTEX_GUEST_TTBR: f64 = 3.76;
+    pub const MEM_TTBR_TABLES: f64 = 12.1;
+}
+
+/// Pick the per-platform element of a `(carmel, a55)` pair.
+pub fn pick(pair: (f64, f64), platform: Platform) -> f64 {
+    match platform {
+        Platform::Carmel => pair.0,
+        Platform::CortexA55 => pair.1,
+    }
+}

@@ -1,0 +1,260 @@
+//! The user-space API library (paper Table 2, Listing 1).
+//!
+//! Programs in this reproduction are assembled with
+//! [`lz_arch::asm::Asm`]; this module adds the LightZone calls on top:
+//! syscall wrappers for `lz_enter`/`lz_alloc`/`lz_free`/`lz_prot`/
+//! `lz_map_gate_pgt`, the `lz_switch_to_ttbr_gate` macro (which records
+//! the statically-designated ENTRY address in the program image, exactly
+//! like the compile-time allocation of §6.2), and `set_pan`.
+
+use crate::gate::layout;
+use crate::pgt::perm;
+use lz_arch::asm::Asm;
+use lz_kernel::syscall::custom;
+use lz_kernel::{Program, Sysno};
+
+/// `insn_san` argument values for [`LzAsm::lz_enter`].
+pub const SAN_TTBR: u64 = 0;
+pub const SAN_PAN: u64 = 1;
+pub const SAN_BOTH: u64 = 2;
+
+/// A LightZone program: the machine-code image plus the gate ENTRY
+/// metadata the loader hands the kernel module.
+#[derive(Debug, Clone)]
+pub struct LzProgram {
+    pub program: Program,
+    /// `(gate id, statically designated ENTRY va)` pairs.
+    pub gate_entries: Vec<(u16, u64)>,
+}
+
+/// Builder wrapping an assembler and collecting gate entries.
+#[derive(Debug)]
+pub struct LzProgramBuilder {
+    pub asm: Asm,
+    entries: Vec<(u16, u64)>,
+    segments: Vec<(u64, Vec<u8>, lz_kernel::VmProt)>,
+    anon_segments: Vec<(u64, u64, lz_kernel::VmProt)>,
+    huge_segments: Vec<(u64, u64, lz_kernel::VmProt)>,
+}
+
+impl LzProgramBuilder {
+    /// Start a program at `entry`.
+    pub fn new(entry: u64) -> Self {
+        LzProgramBuilder {
+            asm: Asm::new(entry),
+            entries: Vec::new(),
+            segments: Vec::new(),
+            anon_segments: Vec::new(),
+            huge_segments: Vec::new(),
+        }
+    }
+
+    /// Emit `lz_switch_to_ttbr_gate(gate)`: loads the gate address and
+    /// `blr`s to it, making the following instruction the gate's ENTRY
+    /// (registered in the program metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` was already used at a different call site: each
+    /// legitimate entry needs its own gate ("we assign a unique call
+    /// gate to each entry", paper §6.2). Map several gates to the same
+    /// page table instead.
+    pub fn lz_switch_to_ttbr_gate(&mut self, gate: u16) {
+        self.asm.mov_imm64(17, layout::gate_va(gate));
+        self.asm.blr(17);
+        let entry = self.asm.here();
+        if let Some((_, prev)) = self.entries.iter().find(|(g, _)| *g == gate) {
+            assert_eq!(*prev, entry, "gate {gate} already bound to a different entry; use a fresh gate id per call site");
+        }
+        self.entries.push((gate, entry));
+    }
+
+    /// Register a gate ENTRY at an arbitrary address — used when many
+    /// gates share one return site (e.g. a measurement loop calling
+    /// different gates through a function pointer table; the paper allows
+    /// several gates to carry the same ENTRY value, §6.2).
+    pub fn register_gate_entry(&mut self, gate: u16, entry: u64) -> &mut Self {
+        self.entries.push((gate, entry));
+        self
+    }
+
+    /// The current end-of-code address (alias of `asm.here()` for
+    /// callers holding the builder).
+    pub fn here(&self) -> u64 {
+        self.asm.here()
+    }
+
+    /// Add an extra data segment.
+    pub fn with_segment(&mut self, va: u64, data: Vec<u8>, prot: lz_kernel::VmProt) -> &mut Self {
+        self.segments.push((va, data, prot));
+        self
+    }
+
+    /// Add an anonymous zero-filled segment (faults in lazily).
+    pub fn with_anon_segment(&mut self, va: u64, len: u64, prot: lz_kernel::VmProt) -> &mut Self {
+        self.anon_segments.push((va, len, prot));
+        self
+    }
+
+    /// Add a huge-page-backed anonymous segment (2 MiB aligned: the
+    /// paper's NVM buffers, §9.3).
+    pub fn with_huge_segment(&mut self, va: u64, len: u64, prot: lz_kernel::VmProt) -> &mut Self {
+        self.huge_segments.push((va, len, prot));
+        self
+    }
+
+    /// Finalize into an [`LzProgram`].
+    pub fn build(self) -> LzProgram {
+        let entry = self.asm.base();
+        let mut program = Program::from_code(entry, self.asm.bytes());
+        for (va, data, prot) in self.segments {
+            program = program.with_segment(va, data, prot);
+        }
+        for (va, len, prot) in self.anon_segments {
+            program = program.with_anon_segment(va, len, prot);
+        }
+        for (va, len, prot) in self.huge_segments {
+            program = program.with_huge_segment(va, len, prot);
+        }
+        LzProgram { program, gate_entries: self.entries }
+    }
+}
+
+/// Syscall wrappers emitted into program code. All clobber x0–x8.
+pub trait LzAsm {
+    /// `svc` with the number in x8 and up to four arguments (x0–x3)
+    /// loaded from immediates.
+    fn syscall_imm(&mut self, nr: u64, args: &[u64]) -> &mut Self;
+
+    /// `lz_enter(allow_scalable, insn_san)` — one-way ticket into the VE.
+    fn lz_enter(&mut self, allow_scalable: bool, insn_san: u64) -> &mut Self;
+
+    /// `lz_alloc()` — new stage-1 page table; pgt id returned in x0.
+    fn lz_alloc(&mut self) -> &mut Self;
+
+    /// `lz_free(pgt)` with pgt from an immediate.
+    fn lz_free_imm(&mut self, pgt: u64) -> &mut Self;
+
+    /// `lz_prot(addr, len, pgt, perm)` from immediates.
+    fn lz_prot_imm(&mut self, addr: u64, len: u64, pgt: u64, perm: u64) -> &mut Self;
+
+    /// `lz_prot` with the pgt id taken from a register.
+    fn lz_prot_reg(&mut self, addr: u64, len: u64, pgt_reg: u8, perm: u64) -> &mut Self;
+
+    /// `lz_map_gate_pgt(pgt, gate)` from immediates.
+    fn lz_map_gate_pgt_imm(&mut self, pgt: u64, gate: u64) -> &mut Self;
+
+    /// `lz_map_gate_pgt` with the pgt id taken from a register.
+    fn lz_map_gate_pgt_reg(&mut self, pgt_reg: u8, gate: u64) -> &mut Self;
+
+    /// `set_pan(imm)` — the PAN-based domain switch.
+    fn set_pan(&mut self, value: u8) -> &mut Self;
+
+    /// `exit(code)`.
+    fn exit_imm(&mut self, code: u64) -> &mut Self;
+}
+
+impl LzAsm for Asm {
+    fn syscall_imm(&mut self, nr: u64, args: &[u64]) -> &mut Self {
+        assert!(args.len() <= 6);
+        for (i, &v) in args.iter().enumerate() {
+            self.mov_imm64(i as u8, v);
+        }
+        self.mov_imm64(8, nr);
+        self.svc(0);
+        self
+    }
+
+    fn lz_enter(&mut self, allow_scalable: bool, insn_san: u64) -> &mut Self {
+        self.syscall_imm(custom::LZ_ENTER, &[allow_scalable as u64, insn_san])
+    }
+
+    fn lz_alloc(&mut self) -> &mut Self {
+        self.syscall_imm(custom::LZ_ALLOC, &[])
+    }
+
+    fn lz_free_imm(&mut self, pgt: u64) -> &mut Self {
+        self.syscall_imm(custom::LZ_FREE, &[pgt])
+    }
+
+    fn lz_prot_imm(&mut self, addr: u64, len: u64, pgt: u64, perm: u64) -> &mut Self {
+        self.syscall_imm(custom::LZ_PROT, &[addr, len, pgt, perm])
+    }
+
+    fn lz_prot_reg(&mut self, addr: u64, len: u64, pgt_reg: u8, perm: u64) -> &mut Self {
+        self.mov_reg(2, pgt_reg);
+        self.mov_imm64(0, addr);
+        self.mov_imm64(1, len);
+        self.mov_imm64(3, perm);
+        self.mov_imm64(8, custom::LZ_PROT);
+        self.svc(0);
+        self
+    }
+
+    fn lz_map_gate_pgt_imm(&mut self, pgt: u64, gate: u64) -> &mut Self {
+        self.syscall_imm(custom::LZ_MAP_GATE_PGT, &[pgt, gate])
+    }
+
+    fn lz_map_gate_pgt_reg(&mut self, pgt_reg: u8, gate: u64) -> &mut Self {
+        self.mov_reg(0, pgt_reg);
+        self.mov_imm64(1, gate);
+        self.mov_imm64(8, custom::LZ_MAP_GATE_PGT);
+        self.svc(0);
+        self
+    }
+
+    fn set_pan(&mut self, value: u8) -> &mut Self {
+        self.msr_pan(value)
+    }
+
+    fn exit_imm(&mut self, code: u64) -> &mut Self {
+        self.mov_imm64(0, code);
+        self.mov_imm64(8, Sysno::Exit.nr());
+        self.svc(0);
+        self
+    }
+}
+
+/// Re-export of the `lz_prot` permission bits for program authors.
+pub use crate::pgt::perm::{EXEC, READ, USER, WRITE};
+
+/// `READ | WRITE` convenience.
+pub const RW: u64 = perm::READ | perm::WRITE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_gate_entries() {
+        let mut b = LzProgramBuilder::new(0x40_0000);
+        b.asm.nop();
+        b.lz_switch_to_ttbr_gate(3);
+        let after_first = b.asm.here();
+        b.asm.nop();
+        b.lz_switch_to_ttbr_gate(7);
+        let prog = b.build();
+        assert_eq!(prog.gate_entries.len(), 2);
+        assert_eq!(prog.gate_entries[0], (3, after_first));
+        assert_eq!(prog.program.entry, 0x40_0000);
+    }
+
+    #[test]
+    fn switch_macro_ends_with_blr() {
+        let mut b = LzProgramBuilder::new(0x40_0000);
+        b.lz_switch_to_ttbr_gate(0);
+        let entry = b.entries[0].1;
+        let words = b.asm.words();
+        // The word immediately before the entry is the blr.
+        let blr_idx = ((entry - 0x40_0000) / 4 - 1) as usize;
+        assert_eq!(lz_arch::insn::Insn::decode(words[blr_idx]), lz_arch::insn::Insn::Blr { rn: 17 });
+    }
+
+    #[test]
+    fn syscall_imm_loads_number() {
+        let mut a = Asm::new(0);
+        a.syscall_imm(custom::LZ_ALLOC, &[1, 2]);
+        let words = a.words();
+        assert!(matches!(lz_arch::insn::Insn::decode(*words.last().unwrap()), lz_arch::insn::Insn::Svc { .. }));
+    }
+}

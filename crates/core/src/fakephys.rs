@@ -1,0 +1,180 @@
+//! Fake-physical-address randomization layer (paper §5.1.2).
+//!
+//! A LightZone process using TTBR controls its stage-1 translation and
+//! could read the physical addresses in its own PTEs, easing Rowhammer-
+//! style attacks on kernel rows. LightZone therefore interposes a
+//! one-to-one mapping between *fake* physical pages (sequentially
+//! allocated: the first faulted page is `0x1000`, the second `0x2000`, …)
+//! and real frames: stage-1 PTEs hold fake addresses, and stage-2 maps
+//! fake → real. The paper implements the map as a hierarchical table;
+//! a hash map is its moral equivalent here.
+
+use lz_arch::{PAGE_SHIFT, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// One-to-one fake ↔ real page map with sequential fake allocation.
+#[derive(Debug, Default)]
+pub struct FakePhys {
+    next_fake: u64,
+    to_real: HashMap<u64, u64>,
+    to_fake: HashMap<u64, u64>,
+    /// When false (ablation), `assign` returns the real address — the
+    /// "intuitive" identity scheme the paper rejects.
+    randomize: bool,
+}
+
+impl FakePhys {
+    /// A randomizing map (the paper's design).
+    pub fn new() -> Self {
+        FakePhys { next_fake: 1, to_real: HashMap::new(), to_fake: HashMap::new(), randomize: true }
+    }
+
+    /// Identity map (ablation: the "intuitive" translation of §5.1.2).
+    pub fn identity() -> Self {
+        FakePhys { next_fake: 1, to_real: HashMap::new(), to_fake: HashMap::new(), randomize: false }
+    }
+
+    /// Assign (or return the existing) fake page for a real frame.
+    pub fn assign(&mut self, real_pa: u64) -> u64 {
+        debug_assert!(real_pa & (PAGE_SIZE - 1) == 0);
+        if !self.randomize {
+            return real_pa;
+        }
+        if let Some(&f) = self.to_fake.get(&real_pa) {
+            return f;
+        }
+        let fake = self.next_fake << PAGE_SHIFT;
+        self.next_fake += 1;
+        self.to_real.insert(fake, real_pa);
+        self.to_fake.insert(real_pa, fake);
+        fake
+    }
+
+    /// Assign a 2 MiB-aligned run of 512 sequential fake pages to a
+    /// contiguous 2 MiB real region (for block mappings). Returns the
+    /// fake base; idempotent for an already-assigned base.
+    pub fn assign_block(&mut self, real_base: u64) -> u64 {
+        const BLOCK_PAGES: u64 = 512;
+        debug_assert!(real_base & ((BLOCK_PAGES << PAGE_SHIFT) - 1) == 0, "real base must be 2 MiB aligned");
+        if !self.randomize {
+            return real_base;
+        }
+        if let Some(&f) = self.to_fake.get(&real_base) {
+            return f;
+        }
+        // Align the fake cursor to a block boundary.
+        self.next_fake = self.next_fake.div_ceil(BLOCK_PAGES) * BLOCK_PAGES;
+        let fake_base = self.next_fake << PAGE_SHIFT;
+        for i in 0..BLOCK_PAGES {
+            let fake = fake_base + (i << PAGE_SHIFT);
+            let real = real_base + (i << PAGE_SHIFT);
+            self.to_real.insert(fake, real);
+            self.to_fake.insert(real, fake);
+        }
+        self.next_fake += BLOCK_PAGES;
+        fake_base
+    }
+
+    /// Resolve a fake page back to its real frame.
+    pub fn real_of(&self, fake_pa: u64) -> Option<u64> {
+        if !self.randomize {
+            return Some(fake_pa);
+        }
+        self.to_real.get(&(fake_pa & !(PAGE_SIZE - 1))).map(|r| r | (fake_pa & (PAGE_SIZE - 1)))
+    }
+
+    /// The fake page already assigned to a real frame, if any.
+    pub fn fake_of(&self, real_pa: u64) -> Option<u64> {
+        if !self.randomize {
+            return Some(real_pa);
+        }
+        self.to_fake.get(&(real_pa & !(PAGE_SIZE - 1))).copied()
+    }
+
+    /// Drop the mapping for a real frame (page freed).
+    pub fn release(&mut self, real_pa: u64) {
+        if let Some(fake) = self.to_fake.remove(&(real_pa & !(PAGE_SIZE - 1))) {
+            self.to_real.remove(&fake);
+        }
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.to_real.len()
+    }
+
+    /// True when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.to_real.is_empty()
+    }
+
+    /// Whether this map actually randomizes.
+    pub fn randomizes(&self) -> bool {
+        self.randomize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fake_addresses() {
+        // The paper's example: first two faulted pages get fake addresses
+        // 0x1000 and 0x2000 regardless of their real frames.
+        let mut f = FakePhys::new();
+        assert_eq!(f.assign(0x470e_c000), 0x1000);
+        assert_eq!(f.assign(0x4880_0000), 0x2000);
+    }
+
+    #[test]
+    fn assign_is_idempotent() {
+        let mut f = FakePhys::new();
+        let a = f.assign(0x9_d000);
+        assert_eq!(f.assign(0x9_d000), a);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_both_ways() {
+        let mut f = FakePhys::new();
+        let fake = f.assign(0xabc_d000);
+        assert_eq!(f.real_of(fake), Some(0xabc_d000));
+        assert_eq!(f.real_of(fake + 0x123), Some(0xabc_d123));
+        assert_eq!(f.fake_of(0xabc_d000), Some(fake));
+    }
+
+    #[test]
+    fn unknown_fake_is_none() {
+        let f = FakePhys::new();
+        assert_eq!(f.real_of(0x5000), None);
+    }
+
+    #[test]
+    fn release_forgets() {
+        let mut f = FakePhys::new();
+        let fake = f.assign(0x77_7000);
+        f.release(0x77_7000);
+        assert_eq!(f.real_of(fake), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fake_addresses_hide_real_layout() {
+        // Two adjacent real frames get adjacent fakes, but fakes reveal
+        // nothing about the absolute position.
+        let mut f = FakePhys::new();
+        let a = f.assign(0x7000_0000);
+        let b = f.assign(0x1234_5000);
+        assert_eq!(b - a, PAGE_SIZE);
+        assert_ne!(a, 0x7000_0000);
+    }
+
+    #[test]
+    fn identity_mode_passes_through() {
+        let mut f = FakePhys::identity();
+        assert_eq!(f.assign(0x4242_0000), 0x4242_0000);
+        assert_eq!(f.real_of(0x4242_0000), Some(0x4242_0000));
+        assert!(!f.randomizes());
+    }
+}

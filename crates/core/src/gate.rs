@@ -1,0 +1,297 @@
+//! The TTBR1-mapped secure call gate (paper §6.2, Figure 2).
+//!
+//! Each legitimate domain-entry point gets its **own** gate stub, emitted
+//! by the trusted kernel module into pages mapped only through `TTBR1_EL1`
+//! — which the sanitizer guarantees the process can never retarget, so
+//! gate code integrity survives arbitrary `TTBR0` values.
+//!
+//! A switch has two phases:
+//!
+//! * **switch ①** — look up `GateTab[id]` for the target page-table index
+//!   and `TTBRTab[pgtid]` for the new `TTBR0_EL1` value, write it, `isb`;
+//! * **check ②** — re-query both read-only tables and compare against the
+//!   live `x30` (the return address must equal the pre-designated ENTRY)
+//!   and the live `TTBR0_EL1`; any mismatch executes `brk #0xdd`, which
+//!   the module treats as an isolation violation and kills the process.
+//!
+//! Because no indirect jump separates the `msr` from the `ret`, phase ②
+//! is guaranteed to run once `TTBR0` has been changed — jumping into the
+//! middle of the gate with attacker-controlled registers either leaves
+//! `TTBR0` untouched or fails the check.
+
+use lz_arch::asm::Asm;
+use lz_arch::insn::Insn;
+use lz_arch::sysreg::SysReg;
+
+/// Virtual-address layout of the TTBR1-mapped region.
+pub mod layout {
+    /// Exception vector base of a LightZone VE (the API-library stub).
+    pub const STUB_VA: u64 = 0xffff_0000_0000_0000;
+    /// First gate stub; gate `i` lives at `GATE_BASE + i * GATE_STRIDE`.
+    pub const GATE_BASE: u64 = 0xffff_0000_0100_0000;
+    /// Bytes per gate stub.
+    pub const GATE_STRIDE: u64 = 256;
+    /// `TTBRTab`: read-only array of legal `TTBR0_EL1` values, indexed by
+    /// page-table id.
+    pub const TTBRTAB_VA: u64 = 0xffff_0000_0200_0000;
+    /// `GateTab`: read-only array of `(ENTRY, PGTID)` pairs, indexed by
+    /// gate id.
+    pub const GATETAB_VA: u64 = 0xffff_0000_0300_0000;
+    /// Bytes per `GateTab` entry.
+    pub const GATETAB_ENTRY: u64 = 16;
+
+    /// Address of gate stub `i`.
+    pub const fn gate_va(gate: u16) -> u64 {
+        GATE_BASE + gate as u64 * GATE_STRIDE
+    }
+}
+
+/// Error returned by [`GateTables::set_gate_pgt`] for unknown gate or
+/// page-table identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownGateOrTable;
+
+impl std::fmt::Display for UnknownGateOrTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("unknown gate or page-table identifier")
+    }
+}
+
+impl std::error::Error for UnknownGateOrTable {}
+
+/// `brk` immediate used by the gate's fail path.
+pub const GATE_FAIL_BRK: u16 = 0xdd;
+
+/// Gate-emission options (the ablation benchmarks flip these).
+#[derive(Debug, Clone, Copy)]
+pub struct GateFlavor {
+    /// Emit check phase ② (paper design). Without it, a hijacked jump
+    /// into the gate can install an arbitrary table — the ablation shows
+    /// why the check exists.
+    pub check_phase: bool,
+    /// Emit `tlbi vmalle1` after the switch instead of relying on
+    /// per-table ASIDs (ablation for §4.1.2's ASID design).
+    pub tlbi_after_switch: bool,
+}
+
+impl Default for GateFlavor {
+    fn default() -> Self {
+        GateFlavor { check_phase: true, tlbi_after_switch: false }
+    }
+}
+
+/// `tlbi vmalle1` encoding (op0=01, op1=000, CRn=8, CRm=7, op2=0).
+const TLBI_VMALLE1: u32 = 0xD508_871F;
+
+/// Emit the code for gate `gate`, starting at its architectural address.
+///
+/// Clobbers x9, x10, x12–x15 (documented gate ABI); the candidate entry
+/// address arrives in x30 and the gate returns through it.
+pub fn emit_gate(gate: u16, flavor: GateFlavor) -> Vec<u32> {
+    let mut a = Asm::new(layout::gate_va(gate));
+    let fail = a.label();
+
+    // -- switch phase ① ---------------------------------------------------
+    // x10 = &GateTab[gate]
+    a.mov_imm64(10, layout::GATETAB_VA + gate as u64 * layout::GATETAB_ENTRY);
+    // x12 = PGTID
+    a.ldr(12, 10, 8);
+    // x9 = &TTBRTab[PGTID]
+    a.mov_imm64(9, layout::TTBRTAB_VA);
+    a.add_reg_lsl(9, 9, 12, 3);
+    // x13 = new TTBR0 value
+    a.ldr(13, 9, 0);
+    a.msr(SysReg::TTBR0_EL1, 13);
+    a.isb();
+    if flavor.tlbi_after_switch {
+        a.raw(TLBI_VMALLE1);
+        a.emit(Insn::Barrier(lz_arch::insn::Barrier::Dsb));
+    }
+
+    // -- check phase ② ----------------------------------------------------
+    if flavor.check_phase {
+        // ENTRY must equal the live link register.
+        a.ldr(14, 10, 0);
+        a.cmp_reg(14, 30);
+        a.b_ne(fail);
+        // Re-query PGTID and TTBRTab; the live TTBR0 must match.
+        a.ldr(12, 10, 8);
+        a.mov_imm64(9, layout::TTBRTAB_VA);
+        a.add_reg_lsl(9, 9, 12, 3);
+        a.ldr(9, 9, 0);
+        a.mrs(15, SysReg::TTBR0_EL1);
+        a.cmp_reg(9, 15);
+        a.b_ne(fail);
+    }
+    a.ret();
+    a.bind(fail);
+    a.brk(GATE_FAIL_BRK);
+
+    let words = a.words();
+    assert!(words.len() * 4 <= layout::GATE_STRIDE as usize, "gate exceeds its stride");
+    words
+}
+
+/// Read-only table images the module writes into the TTBR1-mapped pages.
+#[derive(Debug, Default)]
+pub struct GateTables {
+    /// `TTBRTab[pgtid]` — legal `TTBR0_EL1` values.
+    pub ttbrtab: Vec<u64>,
+    /// `GateTab[gate] = (ENTRY, PGTID)`.
+    pub gatetab: Vec<(u64, u64)>,
+}
+
+impl GateTables {
+    pub fn new() -> Self {
+        GateTables::default()
+    }
+
+    /// Record a new page table's TTBR value; returns its PGTID.
+    pub fn push_table(&mut self, ttbr0: u64) -> u64 {
+        self.ttbrtab.push(ttbr0);
+        (self.ttbrtab.len() - 1) as u64
+    }
+
+    /// Update the TTBR value of an existing table (e.g. after `lz_free` +
+    /// reuse).
+    pub fn set_table(&mut self, pgtid: u64, ttbr0: u64) {
+        self.ttbrtab[pgtid as usize] = ttbr0;
+    }
+
+    /// Register the statically-designated ENTRY for a gate.
+    pub fn set_entry(&mut self, gate: u16, entry: u64) {
+        let idx = gate as usize;
+        if self.gatetab.len() <= idx {
+            self.gatetab.resize(idx + 1, (0, u64::MAX));
+        }
+        self.gatetab[idx].0 = entry;
+    }
+
+    /// `lz_map_gate_pgt`: associate a gate with the table it switches to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownGateOrTable`] if either identifier was never
+    /// registered.
+    pub fn set_gate_pgt(&mut self, gate: u16, pgtid: u64) -> Result<(), UnknownGateOrTable> {
+        let idx = gate as usize;
+        if idx >= self.gatetab.len() || pgtid as usize >= self.ttbrtab.len() {
+            return Err(UnknownGateOrTable);
+        }
+        self.gatetab[idx].1 = pgtid;
+        Ok(())
+    }
+
+    /// Serialize `TTBRTab` for its read-only page.
+    pub fn ttbrtab_bytes(&self) -> Vec<u8> {
+        self.ttbrtab.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Serialize `GateTab` for its read-only page.
+    pub fn gatetab_bytes(&self) -> Vec<u8> {
+        self.gatetab.iter().flat_map(|(e, p)| [e.to_le_bytes(), p.to_le_bytes()].concat()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_arch::sensitive::{classify, InsnClass, SanitizeMode};
+
+    #[test]
+    fn gate_fits_stride_and_ends_with_brk() {
+        for gate in [0u16, 1, 255, 65535] {
+            let words = emit_gate(gate, GateFlavor::default());
+            assert!(words.len() <= 64);
+            assert_eq!(Insn::decode(*words.last().unwrap()), Insn::Brk { imm: GATE_FAIL_BRK });
+        }
+    }
+
+    #[test]
+    fn gate_contains_exactly_one_ttbr_write() {
+        let words = emit_gate(3, GateFlavor::default());
+        let writes = words
+            .iter()
+            .filter(|&&w| matches!(Insn::decode(w), Insn::MsrReg { enc, .. } if enc == SysReg::TTBR0_EL1.encoding()))
+            .count();
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn gate_code_is_gate_only_sensitive() {
+        // The sanitizer would reject gate code in application pages —
+        // exactly why it must live in TTBR1-mapped module pages.
+        let words = emit_gate(0, GateFlavor::default());
+        let verdicts: Vec<_> = words.iter().map(|&w| classify(w, SanitizeMode::Ttbr)).collect();
+        assert!(verdicts.contains(&InsnClass::GateOnly));
+        // And nothing in the gate is *forbidden* under TTBR rules.
+        assert!(!verdicts.iter().any(|v| matches!(v, InsnClass::Forbidden(_))));
+    }
+
+    #[test]
+    fn no_indirect_jump_between_msr_and_ret() {
+        // §6.2: once TTBR0 is written, phase ② must be unavoidable.
+        let words = emit_gate(0, GateFlavor::default());
+        let msr_at = words
+            .iter()
+            .position(|&w| matches!(Insn::decode(w), Insn::MsrReg { enc, .. } if enc == SysReg::TTBR0_EL1.encoding()))
+            .unwrap();
+        let ret_at = words.iter().position(|&w| matches!(Insn::decode(w), Insn::Ret { .. })).unwrap();
+        assert!(ret_at > msr_at);
+        for &w in &words[msr_at + 1..ret_at] {
+            match Insn::decode(w) {
+                Insn::Br { .. } | Insn::Blr { .. } | Insn::Ret { .. } => {
+                    panic!("indirect jump between msr and ret")
+                }
+                // Conditional branches may only target the fail path
+                // (forward, past the ret) — checked structurally: the
+                // only B.cond targets are > ret_at.
+                Insn::BCond { offset, .. } => {
+                    let idx = words[..ret_at].iter().position(|x| *x == w).unwrap();
+                    let target = idx as i64 + offset / 4;
+                    assert!(target as usize > ret_at, "cond branch must only bail to fail path");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn no_check_flavor_omits_compares() {
+        let with = emit_gate(0, GateFlavor::default());
+        let without = emit_gate(0, GateFlavor { check_phase: false, tlbi_after_switch: false });
+        assert!(without.len() < with.len());
+    }
+
+    #[test]
+    fn tlbi_flavor_contains_tlbi() {
+        let words = emit_gate(0, GateFlavor { check_phase: true, tlbi_after_switch: true });
+        assert!(words.contains(&TLBI_VMALLE1));
+    }
+
+    #[test]
+    fn gate_tables_wire_up() {
+        let mut t = GateTables::new();
+        let pgt0 = t.push_table(0xaaaa);
+        let pgt1 = t.push_table(0xbbbb);
+        t.set_entry(0, 0x40_1000);
+        t.set_entry(1, 0x40_2000);
+        assert!(t.set_gate_pgt(0, pgt0).is_ok());
+        assert!(t.set_gate_pgt(1, pgt1).is_ok());
+        assert_eq!(t.set_gate_pgt(7, pgt0), Err(UnknownGateOrTable), "unknown gate");
+        assert_eq!(t.set_gate_pgt(0, 99), Err(UnknownGateOrTable), "unknown pgt");
+        let gb = t.gatetab_bytes();
+        assert_eq!(&gb[0..8], &0x40_1000u64.to_le_bytes());
+        assert_eq!(&gb[8..16], &pgt0.to_le_bytes());
+        let tb = t.ttbrtab_bytes();
+        assert_eq!(&tb[8..16], &0xbbbbu64.to_le_bytes());
+    }
+
+    #[test]
+    fn gate_va_layout_distinct() {
+        assert_ne!(layout::gate_va(0), layout::gate_va(1));
+        assert_eq!(layout::gate_va(1) - layout::gate_va(0), layout::GATE_STRIDE);
+        // 2^16 gates fit below TTBRTAB.
+        assert!(layout::gate_va(u16::MAX) + layout::GATE_STRIDE <= layout::TTBRTAB_VA);
+    }
+}

@@ -1,0 +1,68 @@
+//! LightZone: lightweight hardware-assisted in-process isolation for
+//! ARM64 — a reproduction of the MIDDLEWARE '24 paper on a simulated
+//! ARMv8 machine.
+//!
+//! LightZone runs a process in **kernel mode (EL1) of its own virtual
+//! environment** so the process can use privileged memory-isolation
+//! features directly, without trapping to the OS kernel on every domain
+//! switch:
+//!
+//! * **TTBR0-based scalable isolation** — mutually distrusting parts of
+//!   the process live in separate stage-1 page tables (up to 2^16); a
+//!   domain switch is a `TTBR0_EL1` write through a [`gate`] that
+//!   validates both the new table and the return address;
+//! * **PAN-based two-domain isolation** — protected pages are marked as
+//!   *user* pages; `MSR PAN, #imm` (a handful of cycles) opens and closes
+//!   access.
+//!
+//! Security rests on the [`sanitizer`] (no sensitive instructions in
+//! executable pages, W^X + break-before-make against TOCTTOU), the
+//! TTBR1-mapped call gate (code the process cannot remap), stage-2
+//! paging, and the fake-physical randomization layer ([`fakephys`]).
+//!
+//! The [`module`] is the kernel-module equivalent (VE lifecycle, trap
+//! forwarding, Table 4's optimized trap paths); [`lowvisor`] adds the
+//! nested-virtualization support for LightZone processes inside guest
+//! VMs; [`api`] is the user-space API library (Table 2) for programs
+//! built with [`lz_arch::asm::Asm`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightzone::api::{LzAsm, LzProgramBuilder};
+//! use lightzone::LightZone;
+//! use lz_arch::Platform;
+//!
+//! // A program that enters LightZone and exits with 7.
+//! let mut b = LzProgramBuilder::new(0x40_0000);
+//! b.asm.lz_enter(true, lightzone::api::SAN_BOTH);
+//! b.asm.movz(0, 7, 0);
+//! b.asm.movz(8, lz_kernel::Sysno::Exit.nr() as u16, 0);
+//! b.asm.svc(0);
+//! let prog = b.build();
+//!
+//! let mut lz = LightZone::new_host(Platform::CortexA55);
+//! let pid = lz.spawn(&prog);
+//! lz.enter_process(pid);
+//! assert_eq!(lz.run_to_exit(), 7);
+//! ```
+
+pub mod api;
+pub mod fakephys;
+pub mod gate;
+pub mod lowvisor;
+pub mod module;
+pub mod pgt;
+pub mod sanitizer;
+
+pub use api::{LzProgram, LzProgramBuilder};
+pub use module::{AblationConfig, LightZone, LzModule};
+
+/// Exit code used when LightZone terminates a process for an isolation
+/// violation ("we detect unauthorized access to protected memory domains
+/// and terminate the compromised process", §4.2).
+pub const SECURITY_KILL: i64 = -9;
+
+/// Maximum number of isolation domains (stage-1 page tables) per process:
+/// 2^16, bounded by the ASID width (paper §4.1, Table 1).
+pub const MAX_DOMAINS: usize = 1 << 16;

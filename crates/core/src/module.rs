@@ -1,0 +1,1126 @@
+//! The LightZone kernel module: virtual-environment lifecycle, the
+//! `lz_*` API implementation, and trap forwarding for kernel-mode
+//! processes (paper §4.1.1, §5).
+//!
+//! Flow of a LightZone process trap (host case): the process runs at EL1
+//! in its own VE; a syscall or stage-1 fault vectors to the VE's own
+//! `VBAR_EL1` where the API-library stub (a single `hvc`) forwards it to
+//! EL2. There this module reads the *original* syndrome out of
+//! `ESR_EL1`/`ELR_EL1`/`SPSR_EL1` and either services the trap (page
+//! fault, `lz_*` call, forwarded kernel syscall) or terminates the
+//! process on an isolation violation. Returns go straight back to the
+//! interrupted instruction via `ERET` from EL2, skipping the stub.
+
+use crate::fakephys::FakePhys;
+use crate::gate::{self, layout, GateFlavor, GateTables};
+use crate::pgt::{LzTable, Overlay, PGT_ALL};
+use crate::sanitizer::{self, WxDecision, WxTracker};
+use crate::{api::LzProgram, lowvisor, SECURITY_KILL};
+use lz_arch::esr::{self, ExceptionClass};
+use lz_arch::pstate::{ExceptionLevel, PState};
+use lz_arch::sensitive::SanitizeMode;
+use lz_arch::sysreg::{hcr, sctlr, vttbr, SysReg};
+use lz_arch::{page_align_down, Platform, PAGE_SIZE};
+use lz_kernel::syscall::{custom, CUSTOM_BASE};
+use lz_kernel::{Event, Kernel, KernelMode, Pid, SysOutcome};
+use lz_machine::pte::{S1Perms, S2Perms};
+use lz_machine::walk::{alloc_table, s2_map_block, s2_map_page};
+use lz_machine::{Exit, Machine};
+use std::collections::{BTreeMap, HashMap};
+
+/// Design knobs for ablation studies (all `true`/paper-default normally).
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// §5.2: eagerly map stage-2 while handling a stage-1 fault, avoiding
+    /// a second back-to-back trap on the same address.
+    pub eager_stage2: bool,
+    /// §5.2.1: retain `HCR_EL2`/`VTTBR_EL2` across traps into the host
+    /// kernel instead of switching them every time.
+    pub retain_hcr_vttbr: bool,
+    /// §6.2: gate code shape (check phase ②, ASID-vs-TLBI).
+    pub gate_flavor: GateFlavor,
+    /// §5.1.2: hide real physical addresses behind sequential fakes.
+    pub randomize_phys: bool,
+    /// §5.2.2: share the `pt_regs` page between Lowvisor and the guest
+    /// kernel, saving one context copy per nested trap.
+    pub shared_pt_regs: bool,
+    /// §5.2.2 (from NEVE): redirect guest sysreg accesses to a shared
+    /// per-core page instead of trapping each one.
+    pub deferred_sysreg_page: bool,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            eager_stage2: true,
+            retain_hcr_vttbr: true,
+            gate_flavor: GateFlavor::default(),
+            randomize_phys: true,
+            shared_pt_regs: true,
+            deferred_sysreg_page: true,
+        }
+    }
+}
+
+/// Per-page protection record (which domains may see the page, and how).
+#[derive(Debug, Default, Clone)]
+pub struct PageProt {
+    /// Attached to all tables as a PAN-guarded user page (`PGT_ALL` +
+    /// `USER`), with the global bit for cheap TTBR switches (Listing 1).
+    pub pan_all: Option<Overlay>,
+    /// Per-domain attachments: `(pgt id, overlay)`.
+    pub attach: Vec<(usize, Overlay)>,
+}
+
+/// Counters for the evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct LzStats {
+    /// Reason for the most recent isolation violation, if any.
+    pub last_violation: Option<&'static str>,
+    pub ve_traps: u64,
+    pub ve_syscalls: u64,
+    pub ve_faults: u64,
+    pub sanitized_pages: u64,
+    pub violations: u64,
+    pub stage2_faults: u64,
+}
+
+/// Module-side state of one LightZone process.
+#[derive(Debug)]
+pub struct LzProc {
+    pub vmid: u16,
+    pub s2_root: u64,
+    pub fake: FakePhys,
+    pub scalable: bool,
+    pub san: SanitizeMode,
+    /// Stage-1 trees by pgt id; `tables[0]` is the default table.
+    pub tables: Vec<Option<LzTable>>,
+    /// Root-fake → pgt id (to recover the current domain from TTBR0).
+    by_root: HashMap<u64, usize>,
+    /// The TTBR1 tree mapping stub, gates, and the two read-only tables.
+    pub ttbr1: LzTable,
+    pub gates: GateTables,
+    ttbrtab_frames: Vec<u64>,
+    gatetab_frames: Vec<u64>,
+    /// Page protections by page VA.
+    pub protections: BTreeMap<u64, PageProt>,
+    /// Which tables currently map each page (for detach and BBM).
+    residence: HashMap<u64, Vec<usize>>,
+    pub wx: WxTracker,
+    next_asid: u16,
+    /// Deferred stage-2 mappings when `eager_stage2` is off.
+    s2_pending: HashMap<u64, (u64, S2Perms)>,
+    /// Repeated-fault guard (va, count).
+    fault_guard: (u64, u32),
+    pub stats: LzStats,
+}
+
+impl LzProc {
+    /// Total stage-1 page-table bytes across all domains (the §9
+    /// "page table memory overhead").
+    pub fn table_bytes(&self) -> u64 {
+        self.tables.iter().flatten().map(|t| t.table_bytes()).sum::<u64>() + self.ttbr1.table_bytes()
+    }
+
+    /// Number of live domains (allocated stage-1 tables).
+    pub fn domain_count(&self) -> usize {
+        self.tables.iter().flatten().count()
+    }
+}
+
+/// The LightZone kernel module (plus Lowvisor state for guests).
+#[derive(Debug, Default)]
+pub struct LzModule {
+    procs: HashMap<Pid, LzProc>,
+    /// Loader-provided gate entries per process (the statically designated
+    /// ENTRY addresses of §6.2), registered at spawn.
+    pending_entries: HashMap<Pid, Vec<(u16, u64)>>,
+    pub ablation: AblationConfig,
+}
+
+impl LzModule {
+    pub fn new() -> Self {
+        LzModule::default()
+    }
+
+    /// Module state for a process, if it entered LightZone.
+    pub fn proc(&self, pid: Pid) -> Option<&LzProc> {
+        self.procs.get(&pid)
+    }
+
+    /// Register loader metadata (gate ENTRY addresses) for a process.
+    pub fn register_entries(&mut self, pid: Pid, entries: Vec<(u16, u64)>) {
+        self.pending_entries.insert(pid, entries);
+    }
+
+    // ------------------------------------------------------------------
+    // lz_enter (§5.1): build the VE and lift the process to EL1.
+    // ------------------------------------------------------------------
+
+    /// Implement `lz_enter(allow_scalable, insn_san)` for the current
+    /// process. Returns the syscall result (0 on success).
+    pub fn lz_enter(&mut self, k: &mut Kernel, allow_scalable: bool, san: SanitizeMode) -> u64 {
+        let Some(pid) = k.current() else { return u64::MAX };
+        if self.procs.contains_key(&pid) {
+            return u64::MAX; // one-way ticket, already inside
+        }
+        let vmid = k.vmids.alloc();
+        let s2_root = alloc_table(&mut k.machine.mem);
+        let mut fake = if self.ablation.randomize_phys { FakePhys::new() } else { FakePhys::identity() };
+
+        // TTBR1 region: stub page, gate stubs, read-only tables.
+        let mut ttbr1 = LzTable::new(&mut k.machine.mem, &mut fake, s2_root, 0);
+        let mut gates = GateTables::new();
+        let entries = self.pending_entries.remove(&pid).unwrap_or_default();
+
+        // Stub page: `hvc #0` at the +0x200 (same-EL) and +0x400
+        // (lower-EL) vector slots.
+        let stub_real = k.machine.mem.alloc_frame();
+        let hvc = lz_arch::insn::Insn::Hvc { imm: 0 }.encode().to_le_bytes();
+        k.machine.mem.write_bytes(stub_real + 0x200, &hvc);
+        k.machine.mem.write_bytes(stub_real + 0x400, &hvc);
+        let stub_fake = fake.assign(stub_real);
+        s2_map_page(&mut k.machine.mem, s2_root, stub_fake, stub_real, S2Perms { read: true, write: false, exec: true });
+        ttbr1.map_page(&mut k.machine.mem, &mut fake, s2_root, layout::STUB_VA, stub_fake, gate_code_perms());
+
+        // Gate stubs for every registered entry.
+        for &(gate_id, entry_va) in &entries {
+            gates.set_entry(gate_id, entry_va);
+            let words = gate::emit_gate(gate_id, self.ablation.gate_flavor);
+            let gva = layout::gate_va(gate_id);
+            self.write_ttbr1_code(k, &mut ttbr1, &mut fake, s2_root, gva, &words);
+        }
+
+        let mut proc = LzProc {
+            vmid,
+            s2_root,
+            fake,
+            scalable: allow_scalable,
+            san,
+            tables: Vec::new(),
+            by_root: HashMap::new(),
+            ttbr1,
+            gates,
+            ttbrtab_frames: Vec::new(),
+            gatetab_frames: Vec::new(),
+            protections: BTreeMap::new(),
+            residence: HashMap::new(),
+            wx: WxTracker::new(),
+            next_asid: 1,
+            s2_pending: HashMap::new(),
+            fault_guard: (0, 0),
+            stats: LzStats::default(),
+        };
+
+        // Default table (pgt 0).
+        let pgt0 = self.alloc_table_in(k, &mut proc);
+        debug_assert_eq!(pgt0, 0);
+
+        // Enter the VE: one-way (paper §4.1.1). The process resumes at
+        // the instruction after the svc, now at EL1.
+        k.process_mut(pid).in_lightzone = true;
+        let resume_pc = k.process(pid).ctx().pc;
+        let sp = k.process(pid).ctx().sp;
+        let m = &mut k.machine;
+        m.set_el1_external(false);
+        let mut hcr_val = hcr::VM | hcr::TTLB | hcr::TIDCP;
+        if self.ablation.gate_flavor.tlbi_after_switch {
+            // Ablation: the gate itself executes TLBI, so TLB maintenance
+            // cannot be trapped (the design the per-table ASIDs avoid).
+            hcr_val &= !hcr::TTLB;
+        }
+        if !allow_scalable {
+            // PAN-only processes may never touch stage-1 translation
+            // (§5.1.2: TVM/TRVM set).
+            hcr_val |= hcr::TVM | hcr::TRVM;
+        }
+        m.write_sysreg_charged(SysReg::HCR_EL2, hcr_val);
+        m.write_sysreg_charged(SysReg::VTTBR_EL2, vttbr::pack(vmid, s2_root));
+        m.write_sysreg_charged(SysReg::SCTLR_EL1, sctlr::M); // SPAN clear: exceptions set PAN
+        m.write_sysreg_charged(SysReg::TTBR0_EL1, proc.tables[0].as_ref().expect("pgt0").ttbr0());
+        m.write_sysreg_charged(SysReg::TTBR1_EL1, proc.ttbr1.root_fake);
+        m.write_sysreg_charged(SysReg::VBAR_EL1, layout::STUB_VA);
+        m.cpu.sp_el1 = sp;
+        // VE construction path (table/gate emission, bookkeeping).
+        let setup = m.model.path_cost(2500) + entries.len() as u64 * m.model.path_cost(200);
+        m.charge(setup);
+        m.cpu.set_reg(0, 0);
+        let ps = PState { el: ExceptionLevel::El1, pan: true, irq_masked: false, nzcv: Default::default() };
+        m.enter(ps, resume_pc);
+
+        self.procs.insert(pid, proc);
+        0
+    }
+
+    fn write_ttbr1_code(
+        &self,
+        k: &mut Kernel,
+        ttbr1: &mut LzTable,
+        fake: &mut FakePhys,
+        s2_root: u64,
+        va: u64,
+        words: &[u32],
+    ) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let page_va = page_align_down(va + off as u64);
+            let in_page = (va + off as u64 - page_va) as usize;
+            let take = (PAGE_SIZE as usize - in_page).min(bytes.len() - off);
+            let real = match ttbr1.lookup(&k.machine.mem, fake, page_va) {
+                Some((leaf_fake, _)) => fake.real_of(leaf_fake).expect("fake resolves"),
+                None => {
+                    let real = k.machine.mem.alloc_frame();
+                    let f = fake.assign(real);
+                    s2_map_page(&mut k.machine.mem, s2_root, f, real, S2Perms { read: true, write: false, exec: true });
+                    ttbr1.map_page(&mut k.machine.mem, fake, s2_root, page_va, f, gate_code_perms());
+                    real
+                }
+            };
+            k.machine.mem.write_bytes(real + in_page as u64, &bytes[off..off + take]);
+            off += take;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // lz_alloc / lz_free / lz_map_gate_pgt / lz_prot (§6.1, Table 2).
+    // ------------------------------------------------------------------
+
+    fn alloc_table_in(&mut self, k: &mut Kernel, proc: &mut LzProc) -> usize {
+        let asid = proc.next_asid;
+        proc.next_asid = proc.next_asid.checked_add(1).expect("ASID space exhausted");
+        let t = LzTable::new(&mut k.machine.mem, &mut proc.fake, proc.s2_root, asid);
+        let ttbr0 = t.ttbr0();
+        let pgt = proc.tables.len();
+        proc.by_root.insert(t.root_fake, pgt);
+        proc.tables.push(Some(t));
+        let pgtid = proc.gates.push_table(ttbr0);
+        debug_assert_eq!(pgtid as usize, pgt);
+        Self::flush_tabs(k, proc);
+        pgt
+    }
+
+    fn lz_alloc(&mut self, k: &mut Kernel, pid: Pid) -> u64 {
+        let mut proc = self.procs.remove(&pid).expect("LZ state exists");
+        if !proc.scalable {
+            self.procs.insert(pid, proc);
+            return u64::MAX;
+        }
+        let pgt = self.alloc_table_in(k, &mut proc);
+        k.machine.charge(k.machine.model.path_cost(300));
+        self.procs.insert(pid, proc);
+        pgt as u64
+    }
+
+    fn lz_free(&mut self, k: &mut Kernel, pid: Pid, pgt: u64) -> u64 {
+        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        let idx = pgt as usize;
+        if idx == 0 || idx >= proc.tables.len() || proc.tables[idx].is_none() {
+            return u64::MAX;
+        }
+        let t = proc.tables[idx].take().expect("checked above");
+        proc.by_root.remove(&t.root_fake);
+        let freed_frames = t.table_frames;
+        t.free_tree(&mut k.machine.mem, &mut proc.fake, proc.s2_root);
+        proc.gates.set_table(pgt, 0);
+        // Invalidate every gate that targeted the freed table: its next
+        // use must fail the gate's own validation, not silently load a
+        // null table root.
+        for entry in proc.gates.gatetab.iter_mut() {
+            if entry.1 == pgt {
+                entry.1 = u64::MAX;
+            }
+        }
+        for pgts in proc.residence.values_mut() {
+            pgts.retain(|&p| p != idx);
+        }
+        Self::flush_tabs(k, proc);
+        // The freed tree's ASID entries go; any leftover block entries
+        // from this view are covered by the VMID-wide shoot-down below.
+        k.machine.tlb.invalidate_vmid(proc.vmid);
+        let m = &k.machine.model;
+        let cost = m.dsb + m.path_cost(200 + 30 * freed_frames);
+        k.machine.charge(cost);
+        0
+    }
+
+    fn lz_map_gate_pgt(&mut self, k: &mut Kernel, pid: Pid, pgt: u64, gate_id: u64) -> u64 {
+        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        if gate_id > u16::MAX as u64 {
+            return u64::MAX;
+        }
+        match proc.gates.set_gate_pgt(gate_id as u16, pgt) {
+            Ok(()) => {
+                Self::flush_tabs(k, proc);
+                k.machine.charge(k.machine.model.path_cost(80));
+                0
+            }
+            Err(_) => u64::MAX,
+        }
+    }
+
+    fn lz_prot(&mut self, k: &mut Kernel, pid: Pid, addr: u64, len: u64, pgt: u64, perm: u64) -> u64 {
+        if addr & (PAGE_SIZE - 1) != 0 || len == 0 {
+            return u64::MAX;
+        }
+        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        let overlay = Overlay::from_bits(perm);
+        let pan_all = pgt == PGT_ALL;
+        if !pan_all && (pgt as usize >= proc.tables.len() || proc.tables[pgt as usize].is_none()) {
+            return u64::MAX;
+        }
+        let end = lz_arch::page_align_up(addr + len);
+        let mut page = addr;
+        while page < end {
+            let prot = proc.protections.entry(page).or_default();
+            if pan_all {
+                prot.pan_all = Some(overlay);
+            } else {
+                prot.attach.retain(|(p, _)| *p != pgt as usize);
+                prot.attach.push((pgt as usize, overlay));
+            }
+            // Detach current mappings (break-before-make): the page
+            // re-faults under the new policy. Huge blocks shed their
+            // whole VMID from the TLB (a block covers many 4 KB TLB
+            // entries).
+            if let Some(mapped) = proc.residence.remove(&page) {
+                for t in mapped {
+                    if let Some(table) = proc.tables[t].as_mut() {
+                        table.unmap_page(&mut k.machine.mem, &proc.fake, page);
+                    }
+                }
+                if k.process(pid).mm.is_huge(page) {
+                    k.machine.tlb.invalidate_vmid(proc.vmid);
+                } else {
+                    k.machine.tlb.invalidate_va(proc.vmid, page);
+                }
+            }
+            page += PAGE_SIZE;
+        }
+        let pages = (end - addr) / PAGE_SIZE;
+        k.machine.charge(k.machine.model.path_cost(150 * pages) + k.machine.model.dsb);
+        0
+    }
+
+    /// Rewrite the read-only TTBRTab/GateTab pages from the canonical
+    /// [`GateTables`], growing the backing as needed.
+    fn flush_tabs(k: &mut Kernel, proc: &mut LzProc) {
+        let ttbr_bytes = proc.gates.ttbrtab_bytes();
+        let gate_bytes = proc.gates.gatetab_bytes();
+        // Destructure to appease the borrow checker.
+        let LzProc { fake, ttbr1, s2_root, ttbrtab_frames, gatetab_frames, .. } = proc;
+        for (base_va, bytes, frames) in [
+            (layout::TTBRTAB_VA, &ttbr_bytes, ttbrtab_frames),
+            (layout::GATETAB_VA, &gate_bytes, gatetab_frames),
+        ] {
+            let pages_needed = bytes.len().div_ceil(PAGE_SIZE as usize);
+            while frames.len() < pages_needed {
+                let real = k.machine.mem.alloc_frame();
+                let f = fake.assign(real);
+                s2_map_page(&mut k.machine.mem, *s2_root, f, real, S2Perms::ro());
+                let va = base_va + frames.len() as u64 * PAGE_SIZE;
+                ttbr1.map_page(&mut k.machine.mem, fake, *s2_root, va, f, tab_data_perms());
+                frames.push(real);
+            }
+            for (i, chunk) in bytes.chunks(PAGE_SIZE as usize).enumerate() {
+                k.machine.mem.write_bytes(frames[i], chunk);
+            }
+        }
+    }
+
+    /// Re-enter a LightZone process after a context switch: restore the
+    /// VE's system registers and the thread's saved context, including
+    /// its TTBR0 (the current domain) and PAN bit — both part of the
+    /// LightZone-extended context (§6, "PAN and TTBR0 are added in the
+    /// signal contexts of the kernel").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` never entered LightZone.
+    pub fn enter_ve_process(&mut self, k: &mut Kernel, pid: Pid) {
+        assert!(k.process(pid).exit_code.is_none(), "cannot schedule an exited process");
+        let proc = self.procs.get(&pid).expect("process is in LightZone");
+        let mut hcr_val = hcr::VM | hcr::TTLB | hcr::TIDCP;
+        if self.ablation.gate_flavor.tlbi_after_switch {
+            hcr_val &= !hcr::TTLB;
+        }
+        if !proc.scalable {
+            hcr_val |= hcr::TVM | hcr::TRVM;
+        }
+        let vttbr_val = vttbr::pack(proc.vmid, proc.s2_root);
+        let ttbr1 = proc.ttbr1.root_fake;
+        let default_ttbr0 = proc.tables[0].as_ref().expect("pgt0").ttbr0();
+        let ctx = k.process(pid).ctx().clone();
+        let m = &mut k.machine;
+        m.set_el1_external(false);
+        m.write_sysreg_charged(SysReg::HCR_EL2, hcr_val);
+        m.write_sysreg_charged(SysReg::VTTBR_EL2, vttbr_val);
+        m.write_sysreg_charged(SysReg::SCTLR_EL1, sctlr::M);
+        let ttbr0 = if ctx.ttbr0 != 0 { ctx.ttbr0 } else { default_ttbr0 };
+        m.write_sysreg_charged(SysReg::TTBR0_EL1, ttbr0);
+        m.write_sysreg_charged(SysReg::TTBR1_EL1, ttbr1);
+        m.write_sysreg_charged(SysReg::VBAR_EL1, layout::STUB_VA);
+        m.cpu.x = ctx.x;
+        m.cpu.sp_el1 = ctx.sp;
+        k.set_current(pid);
+        let mut ps = ctx.pstate;
+        ps.el = ExceptionLevel::El1;
+        k.machine.enter(ps, ctx.pc);
+    }
+
+    // ------------------------------------------------------------------
+    // Trap handling (§5.1.3).
+    // ------------------------------------------------------------------
+
+    /// Handle a machine exit belonging to a LightZone process. Returns
+    /// `None` when the trap was serviced and the process resumed.
+    pub fn handle_ve_exit(&mut self, k: &mut Kernel, exit: Exit) -> Option<Event> {
+        let pid = k.current().expect("a process is current");
+        match exit {
+            Exit::El2(ExceptionClass::Hvc) => {
+                self.charge_forward(k);
+                self.procs.get_mut(&pid).expect("LZ state exists").stats.ve_traps += 1;
+                let esr1 = k.machine.sysreg(SysReg::ESR_EL1);
+                match esr::ExceptionClass::from_esr(esr1) {
+                    Some(ExceptionClass::Svc) => self.ve_syscall(k, pid),
+                    Some(ExceptionClass::DataAbortSame) | Some(ExceptionClass::InsnAbortSame) => {
+                        let is_fetch = esr::ExceptionClass::from_esr(esr1) == Some(ExceptionClass::InsnAbortSame);
+                        self.ve_fault(k, pid, is_fetch)
+                    }
+                    Some(ExceptionClass::Brk) => {
+                        let imm = esr::esr_imm(esr1);
+                        if imm == gate::GATE_FAIL_BRK {
+                            self.violation(k, pid, "call gate validation failed")
+                        } else {
+                            Some(k.kill_current(imm as i64))
+                        }
+                    }
+                    Some(ExceptionClass::Unknown) | Some(ExceptionClass::IllegalState) => {
+                        self.violation(k, pid, "undefined or illegal instruction in VE")
+                    }
+                    _ => self.violation(k, pid, "unexpected trap class in VE"),
+                }
+            }
+            // Direct EL2 exits: stage-2 faults and trapped sysregs.
+            Exit::El2(ExceptionClass::DataAbortLower)
+            | Exit::El2(ExceptionClass::InsnAbortLower)
+            | Exit::El2(ExceptionClass::DataAbortSame)
+            | Exit::El2(ExceptionClass::InsnAbortSame) => self.stage2_fault(k, pid),
+            Exit::El2(ExceptionClass::TrappedSysreg) => {
+                // TVM/TRVM/TTLB trapped a stage-1 or TLB operation — a
+                // sensitive instruction got past static checks.
+                self.violation(k, pid, "trapped system instruction")
+            }
+            Exit::El2(ExceptionClass::Smc) => self.violation(k, pid, "smc from VE"),
+            Exit::Limit => Some(Event::Limit),
+            other => {
+                let _ = other;
+                self.violation(k, pid, "unhandled VE exit")
+            }
+        }
+    }
+
+    /// Table 4 row 3: the module's forwarding path. Cheaper in system-
+    /// register traffic than the host syscall path (it retains `HCR_EL2`
+    /// and `VTTBR_EL2`), at the price of a longer instruction path and the
+    /// extra EL1 vector hop through the stub.
+    fn charge_forward(&self, k: &mut Kernel) {
+        let nested = matches!(k.mode, KernelMode::Guest { .. });
+        if nested {
+            lowvisor::charge_lowvisor_forward(&mut k.machine, &self.ablation);
+            return;
+        }
+        let m = &k.machine.model;
+        let mut cost = m.gpregs_roundtrip(31)
+            + 3 * m.sysreg_read // ESR_EL1, ELR_EL1, FAR_EL1
+            + m.sysreg_write // ELR_EL2 retarget for the direct return
+            + m.path_cost(180)
+            + m.trap_cache_pollution;
+        if !self.ablation.retain_hcr_vttbr {
+            // Ablation: conventional world-switch behaviour.
+            cost += 2 * (m.hcr_el2_write + m.vttbr_el2_write);
+        }
+        k.machine.charge(cost);
+    }
+
+    /// Resume the VE at `pc`, restoring the PSTATE captured in SPSR_EL1
+    /// (which carries the process's PAN bit across the trap).
+    fn resume_ve(&self, k: &mut Kernel, pc: u64) {
+        let spsr1 = k.machine.sysreg(SysReg::SPSR_EL1);
+        let mut ps = PState::from_spsr(spsr1).unwrap_or(PState::reset());
+        debug_assert_eq!(ps.el, ExceptionLevel::El1, "VE traps come from EL1");
+        ps.el = ExceptionLevel::El1;
+        if matches!(k.mode, KernelMode::Guest { .. }) {
+            lowvisor::charge_lowvisor_return(&mut k.machine, &self.ablation);
+        }
+        k.machine.enter(ps, pc);
+    }
+
+    fn ve_syscall(&mut self, k: &mut Kernel, pid: Pid) -> Option<Event> {
+        self.procs.get_mut(&pid).expect("LZ state exists").stats.ve_syscalls += 1;
+        let elr1 = k.machine.sysreg(SysReg::ELR_EL1);
+        let nr = k.machine.cpu.reg(8);
+        let args = [
+            k.machine.cpu.reg(0),
+            k.machine.cpu.reg(1),
+            k.machine.cpu.reg(2),
+            k.machine.cpu.reg(3),
+            k.machine.cpu.reg(4),
+            k.machine.cpu.reg(5),
+        ];
+        let ret = if nr >= CUSTOM_BASE {
+            match nr {
+                custom::LZ_ENTER => u64::MAX, // already inside
+                custom::LZ_ALLOC => self.lz_alloc(k, pid),
+                custom::LZ_FREE => self.lz_free(k, pid, args[0]),
+                custom::LZ_PROT => self.lz_prot(k, pid, args[0], args[1], args[2], args[3]),
+                custom::LZ_MAP_GATE_PGT => self.lz_map_gate_pgt(k, pid, args[0], args[1]),
+                _ => u64::MAX,
+            }
+        } else {
+            match k.do_syscall(nr, args) {
+                SysOutcome::Ret(v) => v,
+                SysOutcome::Sigreturn => return self.ve_sigreturn(k, pid),
+                SysOutcome::Exit(code) => {
+                    // Thread exit: the process ends with its last thread.
+                    if k.process_mut(pid).exit_current_thread() {
+                        return Some(k.kill_current(code));
+                    }
+                    self.ve_switch_thread(k, pid);
+                    return None;
+                }
+            }
+        };
+        k.machine.cpu.set_reg(0, ret);
+        if self.ve_deliver_signal(k, pid, elr1) {
+            return None;
+        }
+        if nr == lz_kernel::Sysno::Yield.nr() && k.process(pid).live_threads() > 1 {
+            self.ve_rotate_thread(k, pid, elr1);
+            return None;
+        }
+        self.resume_ve(k, elr1);
+        None
+    }
+
+    /// Save the current VE thread (including its TTBR0 domain and PAN
+    /// bit) and run the next runnable thread — per-thread domains are
+    /// the paper's MySQL scenario (§9.2: each connection thread's stack
+    /// in its own domain).
+    fn ve_rotate_thread(&mut self, k: &mut Kernel, pid: Pid, pc: u64) {
+        let ttbr0 = k.machine.sysreg(SysReg::TTBR0_EL1);
+        let spsr1 = k.machine.sysreg(SysReg::SPSR_EL1);
+        let frame = lz_kernel::UserContext {
+            x: k.machine.cpu.x,
+            sp: k.machine.cpu.sp_el1,
+            pc,
+            pstate: PState::from_spsr(spsr1).unwrap_or(PState::reset()),
+            ttbr0,
+        };
+        *k.process_mut(pid).ctx_mut() = frame;
+        self.ve_switch_thread(k, pid);
+    }
+
+    /// Load the next runnable VE thread onto the CPU.
+    fn ve_switch_thread(&mut self, k: &mut Kernel, pid: Pid) {
+        let proc = self.procs.get(&pid).expect("LZ state exists");
+        let default_ttbr0 = proc.tables[0].as_ref().expect("pgt0").ttbr0();
+        let next = k.process(pid).next_runnable().expect("a runnable thread exists");
+        let ctx = {
+            let p = k.process_mut(pid);
+            p.cur_thread = next;
+            p.ctx().clone()
+        };
+        let m = &k.machine.model;
+        let cost = m.path_cost(300) + m.gpregs_roundtrip(31);
+        k.machine.charge(cost);
+        k.machine.cpu.x = ctx.x;
+        k.machine.cpu.sp_el1 = ctx.sp;
+        // A fresh thread (never scheduled) has no recorded domain: it
+        // starts in the default table with PAN set.
+        let fresh = ctx.ttbr0 == 0;
+        let ttbr0 = if fresh { default_ttbr0 } else { ctx.ttbr0 };
+        k.machine.write_sysreg_charged(SysReg::TTBR0_EL1, ttbr0);
+        let ps = if fresh {
+            PState { el: ExceptionLevel::El1, pan: true, irq_masked: false, nzcv: Default::default() }
+        } else {
+            let mut p = ctx.pstate;
+            p.el = ExceptionLevel::El1;
+            p
+        };
+        if matches!(k.mode, KernelMode::Guest { .. }) {
+            lowvisor::charge_lowvisor_return(&mut k.machine, &self.ablation);
+        }
+        k.machine.enter(ps, ctx.pc);
+    }
+
+    /// Deliver a pending signal to a LightZone process: the frame saves
+    /// the *full* LightZone context — TTBR0 (current domain) and PAN —
+    /// and the handler starts in the default table with PAN set (least
+    /// privilege), exactly the §6 signal-context extension.
+    fn ve_deliver_signal(&mut self, k: &mut Kernel, pid: Pid, interrupted_pc: u64) -> bool {
+        let Some(proc) = self.procs.get(&pid) else { return false };
+        let default_ttbr0 = proc.tables[0].as_ref().expect("pgt0").ttbr0();
+        let ttbr0 = k.machine.sysreg(SysReg::TTBR0_EL1);
+        let spsr1 = k.machine.sysreg(SysReg::SPSR_EL1);
+        let (sig, handler) = {
+            let p = k.process_mut(pid);
+            if p.sig_frame.is_some() {
+                return false;
+            }
+            let Some(&sig) = p.sig_pending.front() else { return false };
+            let Some(&handler) = p.sig_handlers.get(&sig) else {
+                p.sig_pending.pop_front();
+                return false;
+            };
+            p.sig_pending.pop_front();
+            (sig, handler)
+        };
+        let frame = lz_kernel::UserContext {
+            x: k.machine.cpu.x,
+            sp: k.machine.cpu.sp_el1,
+            pc: interrupted_pc,
+            pstate: PState::from_spsr(spsr1).unwrap_or(PState::reset()),
+            ttbr0,
+        };
+        k.process_mut(pid).sig_frame = Some(frame);
+        let m = &k.machine.model;
+        let cost = m.path_cost(500) + 40 * m.mem_access;
+        k.machine.charge(cost);
+        k.machine.cpu.set_reg(0, sig);
+        // Handler runs in the default table with PAN set.
+        k.machine.write_sysreg_charged(SysReg::TTBR0_EL1, default_ttbr0);
+        let ps = PState { el: ExceptionLevel::El1, pan: true, irq_masked: false, nzcv: Default::default() };
+        if matches!(k.mode, KernelMode::Guest { .. }) {
+            lowvisor::charge_lowvisor_return(&mut k.machine, &self.ablation);
+        }
+        k.machine.enter(ps, handler);
+        true
+    }
+
+    /// `rt_sigreturn` from a LightZone process: restore the interrupted
+    /// domain (TTBR0), PAN, and registers from the frame.
+    fn ve_sigreturn(&mut self, k: &mut Kernel, pid: Pid) -> Option<Event> {
+        let Some(frame) = k.process_mut(pid).sig_frame.take() else {
+            return self.violation(k, pid, "sigreturn without a signal frame");
+        };
+        let m = &k.machine.model;
+        let cost = m.path_cost(400) + 40 * m.mem_access;
+        k.machine.charge(cost);
+        k.machine.cpu.x = frame.x;
+        k.machine.cpu.sp_el1 = frame.sp;
+        k.machine.write_sysreg_charged(SysReg::TTBR0_EL1, frame.ttbr0);
+        let mut ps = frame.pstate;
+        ps.el = ExceptionLevel::El1;
+        if matches!(k.mode, KernelMode::Guest { .. }) {
+            lowvisor::charge_lowvisor_return(&mut k.machine, &self.ablation);
+        }
+        k.machine.enter(ps, frame.pc);
+        None
+    }
+
+    /// Stage-1 fault inside the VE (§5.1.2 memory virtualization +
+    /// §6.1 overlays + §6.3 sanitizer).
+    fn ve_fault(&mut self, k: &mut Kernel, pid: Pid, is_fetch: bool) -> Option<Event> {
+        let mut proc = self.procs.remove(&pid).expect("LZ state exists");
+        let result = self.ve_fault_inner(k, pid, &mut proc, is_fetch);
+        self.procs.insert(pid, proc);
+        result
+    }
+
+    fn ve_fault_inner(&mut self, k: &mut Kernel, pid: Pid, proc: &mut LzProc, is_fetch: bool) -> Option<Event> {
+        proc.stats.ve_faults += 1;
+        let esr1 = k.machine.sysreg(SysReg::ESR_EL1);
+        let far = k.machine.sysreg(SysReg::FAR_EL1);
+        let elr1 = k.machine.sysreg(SysReg::ELR_EL1);
+        let Some((fault, wnr, _)) = esr::esr_abort_info(esr1) else {
+            return self.violation(k, pid, "malformed abort syndrome");
+        };
+        let page = page_align_down(far);
+
+        // Loop guard: the same VA repeatedly faulting means the module
+        // cannot make progress — treat as a violation, not a hang.
+        if proc.fault_guard.0 == far {
+            proc.fault_guard.1 += 1;
+            if proc.fault_guard.1 > 8 {
+                return self.violation(k, pid, "fault loop");
+            }
+        } else {
+            proc.fault_guard = (far, 1);
+        }
+
+        // Faults in the TTBR1 half are always violations: the region is
+        // fully populated by the module (e.g. writes to gate pages).
+        if far >= 0xffff_0000_0000_0000 {
+            return self.violation(k, pid, "access fault in gate region");
+        }
+
+        // Which domain is the thread in? Recover from the live TTBR0.
+        let ttbr0 = k.machine.sysreg(SysReg::TTBR0_EL1);
+        let root_fake = lz_arch::sysreg::ttbr::baddr(ttbr0);
+        let Some(&cur_pgt) = proc.by_root.get(&root_fake) else {
+            return self.violation(k, pid, "TTBR0 points outside TTBRTab");
+        };
+
+        // Protection policy for this page.
+        let prot = proc.protections.get(&page).cloned();
+        let overlay: Option<Overlay> = match &prot {
+            None => None,
+            Some(p) => {
+                if let Some(o) = p.pan_all {
+                    Some(o)
+                } else if let Some((_, o)) = p.attach.iter().find(|(t, _)| *t == cur_pgt) {
+                    Some(*o)
+                } else {
+                    // Protected page not attached to the current domain.
+                    proc.stats.violations += 1;
+                    proc.stats.last_violation = Some("domain access violation");
+                    return self.violation(k, pid, "domain access violation");
+                }
+            }
+        };
+        let pan_page = prot.as_ref().is_some_and(|p| p.pan_all.is_some())
+            || overlay.is_some_and(|o| o.user);
+
+        // PAN-guarded page + permission fault = access with PAN set: the
+        // thread never opened the domain. Kill (pen-test behaviour).
+        if matches!(fault, esr::FaultStatus::Permission(_)) && pan_page {
+            proc.stats.violations += 1;
+            proc.stats.last_violation = Some("PAN violation");
+            return self.violation(k, pid, "PAN violation");
+        }
+
+        // Linux-side residency through the kernel-managed tables.
+        let vma = {
+            let p = k.process(pid);
+            match p.mm.vma_at(far) {
+                Some(v) => (v.prot, v.start),
+                None => return Some(k.kill_current(-11)),
+            }
+        };
+        let (vma_prot, _) = vma;
+        // Apply the overlay: least privilege (intersection, §6.1).
+        let eff_write = vma_prot.write && overlay.is_none_or(|o| o.write);
+        let eff_exec = vma_prot.exec && overlay.is_none_or(|o| o.exec);
+        let eff_read = vma_prot.read && overlay.is_none_or(|o| o.read);
+        if (wnr && !eff_write) || (is_fetch && !eff_exec) || (!wnr && !is_fetch && !eff_read) {
+            if matches!(fault, esr::FaultStatus::Permission(_)) && vma_prot.write && vma_prot.exec {
+                // fallthrough: W^X toggles below handle W+X VMAs.
+            } else {
+                proc.stats.violations += 1;
+                proc.stats.last_violation = Some("permission violation");
+                return self.violation(k, pid, "permission violation");
+            }
+        }
+
+        // Huge-page-backed regions (the §9.3 NVM buffers) map as 2 MiB
+        // blocks in both stages, keeping the block TLB coverage and the
+        // lower table overhead the paper reports.
+        if k.process(pid).mm.is_huge(far) {
+            if is_fetch {
+                proc.stats.violations += 1;
+                proc.stats.last_violation = Some("execute from huge data buffer");
+                return self.violation(k, pid, "execute from huge data buffer");
+            }
+            let block_va = far & !(lz_kernel::vma::BLOCK_SIZE - 1);
+            let pa_block = {
+                let (mm, machine) = k.mm_and_machine(pid);
+                mm.fault_in_block(&mut machine.mem, far, wnr && eff_write)
+            };
+            let Some(pa_block) = pa_block else {
+                return Some(k.kill_current(-11));
+            };
+            let fake_block = proc.fake.assign_block(pa_block);
+            let s2p = S2Perms { read: true, write: eff_write, exec: false };
+            s2_map_block(&mut k.machine.mem, proc.s2_root, fake_block, pa_block, s2p);
+            let is_protected = prot.is_some();
+            let perms = S1Perms {
+                read: eff_read,
+                write: eff_write,
+                user_exec: false,
+                priv_exec: false,
+                el0: pan_page,
+                global: !is_protected || pan_page,
+            };
+            let table = proc.tables[cur_pgt].as_mut().expect("current table exists");
+            table.map_block(&mut k.machine.mem, &mut proc.fake, proc.s2_root, block_va, fake_block, perms);
+            proc.residence.entry(block_va).or_default().retain(|&t| t != cur_pgt);
+            proc.residence.entry(block_va).or_default().push(cur_pgt);
+            let m = &k.machine.model;
+            let cost = m.path_cost(420) + 12 * m.mem_access + m.trap_cache_pollution;
+            k.machine.charge(cost);
+            self.resume_ve(k, elr1);
+            return None;
+        }
+
+        let pa = {
+            let (mm, machine) = k.mm_and_machine(pid);
+            match mm.page_at(page) {
+                Some(pa) => pa,
+                None => match mm.fault_in(&mut machine.mem, far, wnr && eff_write, is_fetch && eff_exec) {
+                    Some(pa) => pa,
+                    None => return Some(k.kill_current(-11)),
+                },
+            }
+        };
+
+        // W^X and sanitizer (§6.3).
+        let decision = proc.wx.on_fault(page, eff_write, eff_exec, is_fetch);
+        let (map_write, map_exec) = match decision {
+            WxDecision::Map { write, exec } => {
+                if !is_fetch && wnr && proc.wx.state(page) == Some(sanitizer::WxState::Executable) {
+                    // Exec -> writable flip: break-before-make in every
+                    // domain that maps it.
+                    self.bbm_unmap_all(k, proc, page);
+                }
+                if write {
+                    proc.wx.commit_write(page);
+                }
+                (write, exec)
+            }
+            WxDecision::ScanThenExec => {
+                // Break-before-make *first*, then scan, then map X.
+                self.bbm_unmap_all(k, proc, page);
+                match sanitizer::sanitize_page(&k.machine.mem, pa, proc.san, &k.machine.model) {
+                    Ok(cost) => {
+                        k.machine.charge(cost);
+                        proc.stats.sanitized_pages += 1;
+                        proc.wx.commit_exec(page);
+                        (false, true)
+                    }
+                    Err(_) => {
+                        proc.stats.violations += 1;
+                        proc.stats.last_violation = Some("sensitive instruction in executable page");
+                        return self.violation(k, pid, "sensitive instruction in executable page");
+                    }
+                }
+            }
+        };
+
+        // Build the stage-1 leaf permissions. Normal memory is a global
+        // kernel page; PAN-protected memory is a global user page;
+        // per-domain memory is a non-global kernel page.
+        let is_protected = prot.is_some();
+        let perms = S1Perms {
+            read: eff_read,
+            write: map_write && eff_write,
+            user_exec: false,
+            priv_exec: map_exec && eff_exec,
+            el0: pan_page,
+            global: !is_protected || (is_protected && pan_page),
+        };
+
+        // Stage-2 mapping for the data page (eager by default, §5.2).
+        let leaf_fake = proc.fake.assign(pa);
+        let s2p = S2Perms { read: true, write: eff_write, exec: eff_exec };
+        if self.ablation.eager_stage2 {
+            s2_map_page(&mut k.machine.mem, proc.s2_root, leaf_fake, pa, s2p);
+        } else {
+            proc.s2_pending.insert(leaf_fake, (pa, s2p));
+        }
+
+        let table = proc.tables[cur_pgt].as_mut().expect("current table exists");
+        table.map_page(&mut k.machine.mem, &mut proc.fake, proc.s2_root, page, leaf_fake, perms);
+        proc.residence.entry(page).or_default().retain(|&t| t != cur_pgt);
+        proc.residence.entry(page).or_default().push(cur_pgt);
+
+        // Fault-path software cost.
+        let m = &k.machine.model;
+        let cost = m.path_cost(380) + 10 * m.mem_access + m.trap_cache_pollution;
+        k.machine.charge(cost);
+
+        self.resume_ve(k, elr1);
+        None
+    }
+
+    /// Zap a page's PTE in every domain that maps it and invalidate the
+    /// TLB (break-before-make).
+    fn bbm_unmap_all(&self, k: &mut Kernel, proc: &mut LzProc, page: u64) {
+        if let Some(mapped) = proc.residence.remove(&page) {
+            for t in mapped {
+                if let Some(table) = proc.tables[t].as_mut() {
+                    table.unmap_page(&mut k.machine.mem, &proc.fake, page);
+                }
+            }
+            k.machine.tlb.invalidate_va(proc.vmid, page);
+            k.machine.charge(k.machine.model.dsb + k.machine.model.path_cost(40));
+        }
+    }
+
+    /// Stage-2 fault (only with `eager_stage2` off, or a real escape
+    /// attempt).
+    fn stage2_fault(&mut self, k: &mut Kernel, pid: Pid) -> Option<Event> {
+        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        proc.stats.stage2_faults += 1;
+        let hpfar = k.machine.sysreg(SysReg::HPFAR_EL2);
+        let fake_page = (hpfar >> 4) << 12;
+        let elr2 = k.machine.sysreg(SysReg::ELR_EL2);
+        if let Some((pa, perms)) = proc.s2_pending.remove(&fake_page) {
+            s2_map_page(&mut k.machine.mem, proc.s2_root, fake_page, pa, perms);
+            let m = &k.machine.model;
+            let cost = m.gpregs_roundtrip(31) + m.path_cost(300) + m.trap_cache_pollution;
+            k.machine.charge(cost);
+            // Return to the faulting instruction with the trapped PSTATE.
+            let spsr2 = k.machine.sysreg(SysReg::SPSR_EL2);
+            let ps = PState::from_spsr(spsr2).unwrap_or(PState::reset());
+            k.machine.enter(ps, elr2);
+            None
+        } else {
+            // A stage-2 fault with nothing pending is an escape attempt
+            // (e.g. forged stage-1 PTE pointing at an unmapped IPA).
+            self.violation(k, pid, "stage-2 fault outside VE memory")
+        }
+    }
+
+    fn violation(&mut self, k: &mut Kernel, pid: Pid, reason: &'static str) -> Option<Event> {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.stats.violations += 1;
+            p.stats.last_violation = Some(reason);
+        }
+        Some(k.kill_current(SECURITY_KILL))
+    }
+
+    // ------------------------------------------------------------------
+    // EL0-side custom syscalls (before entering the VE).
+    // ------------------------------------------------------------------
+
+    /// Handle a custom syscall from a process still at EL0. Only
+    /// `lz_enter` is meaningful there.
+    pub fn handle_custom(&mut self, k: &mut Kernel, nr: u64, args: [u64; 6]) -> Option<Event> {
+        match nr {
+            custom::LZ_ENTER => {
+                let scalable = args[0] != 0;
+                let san = match args[1] {
+                    0 => SanitizeMode::Ttbr,
+                    1 => SanitizeMode::Pan,
+                    _ => SanitizeMode::Both,
+                };
+                let ret = self.lz_enter(k, scalable, san);
+                if ret != 0 {
+                    k.resume_syscall(ret);
+                }
+                // On success lz_enter already resumed into the VE.
+                None
+            }
+            custom::LZ_ALLOC | custom::LZ_FREE | custom::LZ_PROT | custom::LZ_MAP_GATE_PGT => {
+                k.resume_syscall(u64::MAX); // must be inside the VE
+                None
+            }
+            _ => Some(Event::Custom { nr, args }),
+        }
+    }
+}
+
+fn gate_code_perms() -> S1Perms {
+    S1Perms { read: true, write: false, user_exec: false, priv_exec: true, el0: false, global: true }
+}
+
+fn tab_data_perms() -> S1Perms {
+    S1Perms { read: true, write: false, user_exec: false, priv_exec: false, el0: false, global: true }
+}
+
+/// The top-level facade: a kernel plus the LightZone module, driving the
+/// machine to completion.
+#[derive(Debug)]
+pub struct LightZone {
+    pub kernel: Kernel,
+    pub module: LzModule,
+}
+
+impl LightZone {
+    /// Host-kernel deployment (Figure 1 left).
+    pub fn new_host(platform: Platform) -> Self {
+        LightZone { kernel: Kernel::new_host(platform), module: LzModule::new() }
+    }
+
+    /// Guest-kernel deployment with Lowvisor (Figure 1 right).
+    pub fn new_guest(platform: Platform) -> Self {
+        LightZone { kernel: Kernel::new_guest(platform), module: LzModule::new() }
+    }
+
+    /// Same, with ablation knobs.
+    pub fn with_ablation(platform: Platform, guest: bool, ablation: AblationConfig) -> Self {
+        let kernel = if guest { Kernel::new_guest(platform) } else { Kernel::new_host(platform) };
+        let mut module = LzModule::new();
+        module.ablation = ablation;
+        LightZone { kernel, module }
+    }
+
+    /// Spawn a LightZone program (registers its gate entries).
+    pub fn spawn(&mut self, prog: &LzProgram) -> Pid {
+        let pid = self.kernel.spawn(&prog.program);
+        self.module.register_entries(pid, prog.gate_entries.clone());
+        pid
+    }
+
+    /// Enter (schedule) a process.
+    pub fn enter_process(&mut self, pid: Pid) {
+        self.kernel.enter_process(pid);
+    }
+
+    /// Costed context switch that understands LightZone processes: a VE
+    /// target gets its virtual environment restored (the paper's
+    /// scheduling support for kernel-mode processes, §5.1.3).
+    pub fn schedule_to(&mut self, pid: Pid) {
+        self.kernel.save_current();
+        if self.kernel.process(pid).in_lightzone {
+            let m = &self.kernel.machine.model;
+            let cost = m.path_cost(400) + m.gpregs_roundtrip(31);
+            self.kernel.machine.charge(cost);
+            self.module.enter_ve_process(&mut self.kernel, pid);
+        } else {
+            // Leaving a VE for a normal process restores host HCR.
+            let is_host = matches!(self.kernel.mode, lz_kernel::KernelMode::Host);
+            if is_host {
+                let hcr_val = lz_arch::sysreg::hcr::TGE | lz_arch::sysreg::hcr::E2H;
+                self.kernel.machine.write_sysreg_charged(lz_arch::sysreg::SysReg::HCR_EL2, hcr_val);
+            }
+            self.kernel.schedule_to(pid);
+        }
+    }
+
+    /// Run until an event the caller must see.
+    pub fn run(&mut self, insn_limit: u64) -> Event {
+        loop {
+            match self.kernel.run(insn_limit) {
+                Event::Custom { nr, args } => {
+                    if let Some(ev) = self.module.handle_custom(&mut self.kernel, nr, args) {
+                        return ev;
+                    }
+                }
+                Event::Raw(exit) => {
+                    let in_lz = self
+                        .kernel
+                        .current()
+                        .is_some_and(|pid| self.kernel.process(pid).in_lightzone);
+                    if in_lz {
+                        if let Some(ev) = self.module.handle_ve_exit(&mut self.kernel, exit) {
+                            return ev;
+                        }
+                    } else {
+                        return Event::Raw(exit);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Run to process exit; panics on anything else (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program hits the instruction limit or an unhandled
+    /// machine exit instead of exiting.
+    pub fn run_to_exit(&mut self) -> i64 {
+        match self.run(50_000_000) {
+            Event::Exited(code) => code,
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.kernel.machine
+    }
+}

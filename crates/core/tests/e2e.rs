@@ -1,0 +1,466 @@
+//! End-to-end tests: real programs (assembled A64) running in LightZone
+//! virtual environments on the simulated machine.
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_BOTH, SAN_PAN, SAN_TTBR, USER};
+use lightzone::pgt::PGT_ALL;
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::Platform;
+use lz_kernel::Event;
+
+const CODE: u64 = 0x40_0000;
+const DATA0: u64 = 0x50_0000;
+const DATA1: u64 = 0x51_0000;
+const KEY: u64 = 0x52_0000;
+
+fn data_seg(b: &mut LzProgramBuilder, va: u64, fill: u8) {
+    b.with_segment(va, vec![fill; 4096], lz_kernel::VmProt::RW);
+}
+
+/// Run on both platforms and both deployments; return exit codes.
+fn run_everywhere(prog: &lightzone::LzProgram) -> Vec<i64> {
+    let mut codes = Vec::new();
+    for platform in Platform::ALL {
+        for guest in [false, true] {
+            let mut lz = if guest { LightZone::new_guest(platform) } else { LightZone::new_host(platform) };
+            let pid = lz.spawn(prog);
+            lz.enter_process(pid);
+            codes.push(lz.run_to_exit());
+        }
+    }
+    codes
+}
+
+#[test]
+fn listing1_demo_two_domains_plus_pan_key() {
+    // The paper's Listing 1: two mutually distrusting parts with their
+    // own page tables, plus a PAN-protected key attached to all tables.
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, DATA0, 0);
+    data_seg(&mut b, DATA1, 0);
+    data_seg(&mut b, KEY, 0x5a);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.lz_alloc(); // pgt0 (id 1)
+    b.asm.mov_reg(19, 0);
+    b.asm.lz_alloc(); // pgt1 (id 2)
+    b.asm.mov_reg(20, 0);
+    b.asm.lz_map_gate_pgt_reg(19, 0); // call_gate0 -> pgt0
+    b.asm.lz_map_gate_pgt_reg(20, 1); // call_gate1 -> pgt1
+    b.asm.lz_prot_reg(DATA0, 4096, 19, RW);
+    b.asm.lz_prot_reg(DATA1, 4096, 20, RW);
+    b.asm.lz_prot_imm(KEY, 4096, PGT_ALL, 1 | USER); // READ | USER
+
+    // Switch to domain 0 and write data0.
+    b.lz_switch_to_ttbr_gate(0);
+    b.asm.mov_imm64(1, DATA0);
+    b.asm.mov_imm64(2, 100);
+    b.asm.str(2, 1, 0);
+    // Read the key under PAN-open, "encrypt" (xor) data0 with it.
+    b.asm.set_pan(0);
+    b.asm.mov_imm64(3, KEY);
+    b.asm.ldr(4, 3, 0);
+    b.asm.set_pan(1);
+    b.asm.ldr(5, 1, 0);
+    b.asm.eor_reg(5, 5, 4);
+    b.asm.str(5, 1, 0);
+
+    // Switch to domain 1 and write data1.
+    b.lz_switch_to_ttbr_gate(1);
+    b.asm.mov_imm64(1, DATA1);
+    b.asm.mov_imm64(2, 200);
+    b.asm.str(2, 1, 0);
+    b.asm.set_pan(0);
+    b.asm.mov_imm64(3, KEY);
+    b.asm.ldr(4, 3, 0);
+    b.asm.set_pan(1);
+    b.asm.ldr(5, 1, 0);
+    b.asm.eor_reg(5, 5, 4);
+    // Exit with data1 ^ key so the test can verify the dataflow.
+    b.asm.mov_reg(0, 5);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+
+    let key_word = u64::from_le_bytes([0x5a; 8]);
+    for code in run_everywhere(&prog) {
+        assert_eq!(code as u64, 200 ^ key_word);
+    }
+}
+
+#[test]
+fn ttbr_domain_violation_is_killed() {
+    // Access data1 while in domain 0: stage-1 translation fault, module
+    // sees the page attached elsewhere, process terminated (§7.2).
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, DATA0, 0);
+    data_seg(&mut b, DATA1, 0);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc();
+    b.asm.mov_reg(19, 0);
+    b.asm.lz_alloc();
+    b.asm.mov_reg(20, 0);
+    b.asm.lz_map_gate_pgt_reg(19, 0);
+    b.asm.lz_prot_reg(DATA0, 4096, 19, RW);
+    b.asm.lz_prot_reg(DATA1, 4096, 20, RW);
+    b.lz_switch_to_ttbr_gate(0); // now in domain pgt0
+    b.asm.mov_imm64(1, DATA1);
+    b.asm.ldr(2, 1, 0); // illegal: DATA1 belongs to pgt1 only
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn pan_violation_is_killed() {
+    // Touch a PAN-protected page without set_pan(0).
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, KEY, 7);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(KEY, 4096, PGT_ALL, 1 | USER);
+    b.asm.mov_imm64(1, KEY);
+    b.asm.ldr(2, 1, 0); // PAN is set: permission fault -> kill
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn pan_open_close_works() {
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, KEY, 9);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(KEY, 4096, PGT_ALL, RW | USER);
+    b.asm.set_pan(0);
+    b.asm.mov_imm64(1, KEY);
+    b.asm.mov_imm64(2, 0x77);
+    b.asm.str(2, 1, 8);
+    b.asm.ldr(0, 1, 8);
+    b.asm.set_pan(1);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 0x77);
+    }
+}
+
+#[test]
+fn unprotected_memory_always_accessible() {
+    // LightZone processes "always have access to unprotected memory like
+    // regular processes" (§4.1).
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, DATA0, 3);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.mov_imm64(1, DATA0);
+    b.asm.ldrb(0, 1, 1);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 3);
+    }
+}
+
+#[test]
+fn syscalls_forward_from_ve() {
+    // getpid through the stub -> module -> kernel chain.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Getpid.nr());
+    b.asm.svc(0);
+    b.asm.mov_reg(19, 0);
+    b.asm.mov_reg(0, 19);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), pid as i64);
+    let stats = &lz.module.proc(pid).unwrap().stats;
+    assert!(stats.ve_syscalls >= 2);
+    assert!(stats.sanitized_pages >= 1, "code page was sanitized");
+}
+
+#[test]
+fn eret_injection_killed_by_sanitizer() {
+    // A malicious binary plants `eret` — the sanitizer rejects the page
+    // before it ever executes.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.eret();
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn ldtr_killed_under_pan_sanitizer_only() {
+    // LDTR bypasses PAN, so Table 3 forbids it under the PAN mechanism
+    // but allows it under TTBR (stage-1 user-permission checks still
+    // apply to the access itself).
+    let make = |san: u64| {
+        let mut b = LzProgramBuilder::new(CODE);
+        data_seg(&mut b, DATA0, 1);
+        b.asm.lz_enter(san != SAN_PAN, san);
+        b.asm.mov_imm64(1, DATA0);
+        b.asm.ldtr(2, 1, 0);
+        b.asm.exit_imm(42);
+        b.build()
+    };
+    // PAN mode: page never becomes executable (sanitizer rejects).
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&make(SAN_PAN));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+
+    // TTBR mode: sanitizer passes, but the unprivileged load hits a
+    // kernel page (normal memory is privileged-only in a VE) and the
+    // resulting permission fault kills the process — LDTR gains nothing.
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&make(SAN_TTBR));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+}
+
+#[test]
+fn gate_midentry_hijack_killed() {
+    // Control-flow hijack (§7.1.3): jump straight at the gate's `msr`
+    // with a forged TTBR0 value in x13 and the gate's own table pointer
+    // in x10 so execution reaches check phase ②. The link register is
+    // attacker code, not the designated ENTRY, so the check fails and
+    // the gate's brk terminates the process.
+    let words = lightzone::gate::emit_gate(0, Default::default());
+    let msr_off = words
+        .iter()
+        .position(|&w| {
+            matches!(lz_arch::insn::Insn::decode(w),
+                lz_arch::insn::Insn::MsrReg { enc, .. } if enc == lz_arch::sysreg::SysReg::TTBR0_EL1.encoding())
+        })
+        .unwrap() as u64
+        * 4;
+
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, DATA0, 0);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc();
+    b.asm.mov_reg(19, 0);
+    b.asm.lz_map_gate_pgt_reg(19, 0);
+    b.lz_switch_to_ttbr_gate(0); // legitimate use once, so the gate exists
+    // Attack: forged table base, correct GateTab pointer, lr = here.
+    b.asm.mov_imm64(13, 0xdead_b000);
+    b.asm.mov_imm64(10, lightzone::gate::layout::GATETAB_VA);
+    b.asm.mov_imm64(17, lightzone::gate::layout::gate_va(0) + msr_off);
+    b.asm.blr(17);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn forged_ttbr_direct_write_killed() {
+    // Writing TTBR0 outside the gate is a sensitive instruction: the
+    // sanitizer rejects the page (GateOnly is not Allowed).
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.mov_imm64(0, 0xdead_b000);
+    b.asm.msr(lz_arch::sysreg::SysReg::TTBR0_EL1, 0);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn wx_toctou_rescan_on_reexec() {
+    // TOCTTOU defence (§6.3): after a page has been scanned and mapped
+    // executable, writing to it flips it to writable (break-before-make);
+    // re-executing triggers a rescan which finds the injected `eret`.
+    let scratch = 0x60_0000u64;
+    let mut b = LzProgramBuilder::new(CODE);
+    // A W+X scratch segment initially containing a clean `ret`.
+    let mut clean = lz_arch::asm::Asm::new(scratch);
+    clean.ret();
+    b.with_segment(scratch, clean.bytes(), lz_kernel::VmProt::RWX);
+    b.asm.lz_enter(true, SAN_BOTH);
+    // Execute the scratch page (scanned clean, mapped X).
+    b.asm.mov_imm64(17, scratch);
+    b.asm.blr(17);
+    // Inject `eret` at the same address (page flips to W, exec revoked).
+    b.asm.mov_imm64(1, scratch);
+    b.asm.mov_imm64(2, lz_arch::insn::Insn::Eret.encode() as u64);
+    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
+    // Execute again: rescan finds the eret -> kill.
+    b.asm.blr(17);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, SECURITY_KILL);
+    }
+}
+
+#[test]
+fn wx_clean_rewrite_allowed() {
+    // The same W^X flow with a *clean* rewrite must keep working: write
+    // `mov x5, #7; ret`, re-execute, observe x5.
+    let scratch = 0x60_0000u64;
+    let mut b = LzProgramBuilder::new(CODE);
+    let mut clean = lz_arch::asm::Asm::new(scratch);
+    clean.ret();
+    b.with_segment(scratch, clean.bytes(), lz_kernel::VmProt::RWX);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.mov_imm64(17, scratch);
+    b.asm.blr(17);
+    // Rewrite: movz x5,#7 ; ret
+    let mut patch = lz_arch::asm::Asm::new(scratch);
+    patch.movz(5, 7, 0);
+    patch.ret();
+    let words: Vec<u32> = patch.words();
+    b.asm.mov_imm64(1, scratch);
+    for (i, w) in words.iter().enumerate() {
+        b.asm.mov_imm64(2, *w as u64);
+        b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: (i * 4) as u64, size: lz_arch::insn::MemSize::W });
+    }
+    b.asm.blr(17);
+    b.asm.mov_reg(0, 5);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 7);
+    }
+}
+
+#[test]
+fn jit_dual_table_w_and_x_views() {
+    // §6.1: "JIT code pages can switch between writable and executable
+    // permissions via two page tables". Domain 1 sees the page RW,
+    // domain 2 sees it RX; the sanitizer still scans before exec.
+    let jit = 0x61_0000u64;
+    let mut b = LzProgramBuilder::new(CODE);
+    let mut seed = lz_arch::asm::Asm::new(jit);
+    seed.movz(5, 33, 0);
+    seed.ret();
+    b.with_segment(jit, seed.bytes(), lz_kernel::VmProt::RWX);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc();
+    b.asm.mov_reg(19, 0); // writer domain
+    b.asm.lz_alloc();
+    b.asm.mov_reg(20, 0); // executor domain
+    b.asm.lz_map_gate_pgt_reg(19, 0);
+    b.asm.lz_map_gate_pgt_reg(20, 1);
+    b.asm.lz_prot_reg(jit, 4096, 19, RW);
+    b.asm.lz_prot_reg(jit, 4096, 20, 1 | 4); // READ | EXEC
+    // Executor domain: run the seed code.
+    b.lz_switch_to_ttbr_gate(1);
+    b.asm.mov_imm64(17, jit);
+    b.asm.blr(17);
+    b.asm.mov_reg(0, 5);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 33);
+    }
+}
+
+#[test]
+fn lz_enter_twice_returns_error_and_continues() {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_BOTH);
+    b.asm.lz_enter(true, SAN_BOTH);
+    // x0 must be -1 (u64::MAX); exit with 1 if so, 0 otherwise.
+    let bad = b.asm.label();
+    b.asm.cmp_imm(0, 0);
+    b.asm.b_cond(lz_arch::insn::Cond::Eq, bad); // x0 == 0 would be wrong
+    b.asm.exit_imm(1);
+    b.asm.bind(bad);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 1);
+    }
+}
+
+#[test]
+fn pan_only_process_cannot_alloc_tables() {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(false, SAN_PAN); // allow_scalable = false
+    b.asm.lz_alloc();
+    // must fail: exit(x0 == -1)
+    let bad = b.asm.label();
+    b.asm.cmp_imm(0, 0);
+    b.asm.b_cond(lz_arch::insn::Cond::Eq, bad);
+    b.asm.exit_imm(1);
+    b.asm.bind(bad);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for code in run_everywhere(&prog) {
+        assert_eq!(code, 1);
+    }
+}
+
+#[test]
+fn guest_ve_costs_more_than_host_ve() {
+    // Table 4: a LightZone trap to a guest kernel costs much more than
+    // to a host kernel.
+    let mut costs = Vec::new();
+    for guest in [false, true] {
+        let mut b = LzProgramBuilder::new(CODE);
+        b.asm.lz_enter(true, SAN_BOTH);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Yield.nr());
+        b.asm.svc(0);
+        b.asm.svc(0);
+        b.asm.exit_imm(0);
+        let prog = b.build();
+        let mut lz = if guest {
+            LightZone::new_guest(Platform::Carmel)
+        } else {
+            LightZone::new_host(Platform::Carmel)
+        };
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        assert_eq!(lz.run_to_exit(), 0);
+        costs.push(lz.kernel.machine.cpu.cycles);
+    }
+    assert!(costs[1] > costs[0] * 2, "guest {:?} should dwarf host {:?}", costs[1], costs[0]);
+}
+
+#[test]
+fn violation_counters_recorded() {
+    let mut b = LzProgramBuilder::new(CODE);
+    data_seg(&mut b, KEY, 0);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(KEY, 4096, PGT_ALL, 1 | USER);
+    b.asm.mov_imm64(1, KEY);
+    b.asm.ldr(2, 1, 0);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+    assert!(lz.module.proc(pid).unwrap().stats.violations >= 1);
+}
+
+#[test]
+fn limit_event_surfaces() {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_BOTH);
+    let spin = b.asm.label();
+    b.asm.bind(spin);
+    b.asm.b(spin);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    assert_eq!(lz.run(10_000), Event::Limit);
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for LightZone's core data structures and
+//! end-to-end invariants.
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_TTBR};
+use lightzone::fakephys::FakePhys;
+use lightzone::gate::{emit_gate, GateFlavor, GateTables};
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::insn::Insn;
+use lz_arch::sensitive::{classify, InsnClass, SanitizeMode};
+use lz_arch::{Platform, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FakePhys stays a bijection under arbitrary assign/release traffic.
+    #[test]
+    fn fakephys_bijection(ops in proptest::collection::vec((any::<bool>(), 1u64..200), 1..200)) {
+        let mut f = FakePhys::new();
+        let mut live: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (release, frame) in ops {
+            let real = frame << 12;
+            if release {
+                f.release(real);
+                live.remove(&real);
+            } else {
+                let fake = f.assign(real);
+                prop_assert_eq!(fake & 0xfff, 0, "fake addresses are page aligned");
+                if let Some(&prev) = live.get(&real) {
+                    prop_assert_eq!(prev, fake, "assign is stable");
+                }
+                live.insert(real, fake);
+            }
+        }
+        // Forward and backward maps agree for every live pair; fakes are
+        // unique.
+        let mut seen = std::collections::HashSet::new();
+        for (&real, &fake) in &live {
+            prop_assert_eq!(f.real_of(fake), Some(real));
+            prop_assert_eq!(f.fake_of(real), Some(fake));
+            prop_assert!(seen.insert(fake), "fake addresses are unique");
+        }
+        prop_assert_eq!(f.len(), live.len());
+    }
+
+    /// Every gate stub, for any gate id and flavor, contains no
+    /// *forbidden* instruction under TTBR sanitization and exactly one
+    /// TTBR0 write; stubs always fit their stride.
+    #[test]
+    fn gate_stub_invariants(gate in any::<u16>(), check in any::<bool>(), tlbi in any::<bool>()) {
+        let words = emit_gate(gate, GateFlavor { check_phase: check, tlbi_after_switch: tlbi });
+        prop_assert!(words.len() * 4 <= lightzone::gate::layout::GATE_STRIDE as usize);
+        let mut ttbr_writes = 0;
+        for &w in &words {
+            match classify(w, SanitizeMode::Ttbr) {
+                InsnClass::Forbidden(_) if !tlbi => {
+                    prop_assert!(false, "forbidden insn {w:#x} in gate");
+                }
+                _ => {}
+            }
+            if matches!(Insn::decode(w), Insn::MsrReg { enc, .. }
+                if enc == lz_arch::sysreg::SysReg::TTBR0_EL1.encoding())
+            {
+                ttbr_writes += 1;
+            }
+        }
+        prop_assert_eq!(ttbr_writes, 1);
+    }
+
+    /// GateTables serialization round-trips through its byte images.
+    #[test]
+    fn gate_tables_bytes(ttbrs in proptest::collection::vec(any::<u64>(), 1..50),
+                         entries in proptest::collection::vec((0u16..64, any::<u64>()), 0..32)) {
+        let mut t = GateTables::new();
+        for &v in &ttbrs {
+            t.push_table(v);
+        }
+        for &(g, e) in &entries {
+            t.set_entry(g, e);
+        }
+        let tb = t.ttbrtab_bytes();
+        prop_assert_eq!(tb.len(), ttbrs.len() * 8);
+        for (i, &v) in ttbrs.iter().enumerate() {
+            let got = u64::from_le_bytes(tb[i * 8..i * 8 + 8].try_into().unwrap());
+            prop_assert_eq!(got, v);
+        }
+        let gb = t.gatetab_bytes();
+        for &(g, e) in &entries {
+            let off = g as usize * 16;
+            let got = u64::from_le_bytes(gb[off..off + 8].try_into().unwrap());
+            // Later registrations may overwrite earlier ones for the same
+            // gate; only require that the final value is *some* entry
+            // registered for that gate.
+            let candidates: Vec<u64> =
+                entries.iter().filter(|(gg, _)| *gg == g).map(|&(_, ee)| ee).collect();
+            prop_assert!(candidates.contains(&got), "gate {g}: {got:#x} not in {candidates:?}");
+            let _ = e;
+        }
+    }
+
+    /// End-to-end: for any domain count and victim choice, accessing a
+    /// page attached to a different domain is fatal, and accessing one's
+    /// own succeeds.
+    #[test]
+    fn domain_isolation_holds(domains in 2u64..12, inside_raw in 0u64..12, victim_off in 1u64..12, legal in any::<bool>()) {
+        let inside = inside_raw % domains;
+        let victim = (inside + (victim_off % (domains - 1)) + 1) % domains;
+        const ARENA: u64 = 0x5000_0000;
+        let mut b = LzProgramBuilder::new(0x40_0000);
+        b.with_anon_segment(ARENA, domains * PAGE_SIZE, lz_kernel::VmProt::RW);
+        b.asm.lz_enter(true, SAN_TTBR);
+        for d in 0..domains {
+            b.asm.lz_alloc();
+            b.asm.lz_map_gate_pgt_imm(d + 1, d);
+            b.asm.lz_prot_imm(ARENA + d * PAGE_SIZE, PAGE_SIZE, d + 1, RW);
+        }
+        b.lz_switch_to_ttbr_gate(inside as u16);
+        let target = if legal { inside } else { victim };
+        b.asm.mov_imm64(1, ARENA + target * PAGE_SIZE);
+        b.asm.ldr(2, 1, 0);
+        b.asm.exit_imm(42);
+        let prog = b.build();
+        let mut lz = LightZone::new_host(Platform::CortexA55);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        let code = lz.run_to_exit();
+        if legal {
+            prop_assert_eq!(code, 42);
+        } else {
+            prop_assert_eq!(code, SECURITY_KILL);
+        }
+    }
+}

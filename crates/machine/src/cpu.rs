@@ -1,0 +1,1185 @@
+//! The CPU interpreter and the [`Machine`] façade.
+//!
+//! The interpreter executes EL0/EL1 code — everything an in-process
+//! attacker can influence. EL2 software (host kernel, hypervisor,
+//! LightZone Lowvisor) is *modelled*: when an exception routes to EL2 the
+//! interpreter stops with an [`Exit`] and the Rust-level kernel code takes
+//! over, mutating machine state directly and charging cycles for each
+//! architectural operation.
+//!
+//! Exceptions that route to EL1 are either vectored (interpreted EL1
+//! software, e.g. the LightZone API-library stub that forwards traps via
+//! `hvc`) or also exit ([`Machine::set_el1_external`]) when the current
+//! EL1 software is a modelled guest kernel.
+
+use crate::mem::PhysMem;
+use crate::tlb::Tlb;
+use crate::trace::Trace;
+use crate::walk::{self, Access, AccessCtx, Fault, FaultKind, Stage, WalkConfig};
+use lz_arch::esr::{self, ExceptionClass};
+use lz_arch::insn::{Barrier, Insn, LogicOp, MemSize};
+use lz_arch::pstate::{ExceptionLevel, Nzcv, PState};
+use lz_arch::sysreg::{hcr, sctlr, SysReg};
+use lz_arch::{CycleModel, Platform};
+use std::collections::HashMap;
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// An exception routed to EL2. `ESR_EL2`, `FAR_EL2`, `HPFAR_EL2`,
+    /// `ELR_EL2`, and `SPSR_EL2` hold the details.
+    El2(ExceptionClass),
+    /// An exception routed to EL1 while EL1 software is externally
+    /// modelled. `ESR_EL1`, `FAR_EL1`, `ELR_EL1`, `SPSR_EL1` hold the
+    /// details.
+    El1(ExceptionClass),
+    /// The instruction budget given to [`Machine::run`] was exhausted.
+    Limit,
+}
+
+/// A hardware watchpoint (DBGWVR/DBGWCR pair, simplified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchpoint {
+    pub addr: u64,
+    pub len: u64,
+    pub on_read: bool,
+    pub on_write: bool,
+}
+
+/// Architectural CPU state.
+#[derive(Debug)]
+pub struct Cpu {
+    /// General-purpose registers x0–x30.
+    pub x: [u64; 31],
+    /// Stack pointers.
+    pub sp_el0: u64,
+    pub sp_el1: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Process state.
+    pub pstate: PState,
+    sysregs: HashMap<SysReg, u64>,
+    /// Cycle counter.
+    pub cycles: u64,
+    /// Retired-instruction counter.
+    pub insns: u64,
+    /// Watchpoint register pairs (the Watchpoint baseline uses all 4).
+    pub watchpoints: [Option<Watchpoint>; 4],
+    /// Master enable for watchpoint matching on EL0 data accesses.
+    pub watchpoints_enabled: bool,
+}
+
+impl Cpu {
+    fn new() -> Self {
+        Cpu {
+            x: [0; 31],
+            sp_el0: 0,
+            sp_el1: 0,
+            pc: 0,
+            pstate: PState::reset(),
+            sysregs: HashMap::new(),
+            cycles: 0,
+            insns: 0,
+            watchpoints: [None; 4],
+            watchpoints_enabled: false,
+        }
+    }
+
+    /// Read register `i` as an operand (31 = xzr = 0).
+    pub fn reg(&self, i: u8) -> u64 {
+        if i == 31 {
+            0
+        } else {
+            self.x[i as usize]
+        }
+    }
+
+    /// Write register `i` (writes to 31 are discarded).
+    pub fn set_reg(&mut self, i: u8, v: u64) {
+        if i != 31 {
+            self.x[i as usize] = v;
+        }
+    }
+
+    /// Base-register read for loads/stores (31 = SP).
+    fn base_reg(&self, i: u8) -> u64 {
+        if i == 31 {
+            match self.pstate.el {
+                ExceptionLevel::El0 => self.sp_el0,
+                _ => self.sp_el1,
+            }
+        } else {
+            self.x[i as usize]
+        }
+    }
+}
+
+/// The complete simulated machine: one CPU, physical memory, a TLB, and
+/// the platform cycle model.
+#[derive(Debug)]
+pub struct Machine {
+    pub mem: PhysMem,
+    pub tlb: Tlb,
+    pub cpu: Cpu,
+    pub model: CycleModel,
+    /// Retired-instruction trace (off by default).
+    pub trace: Trace,
+    /// When set, exceptions targeting EL1 exit the interpreter instead of
+    /// vectoring through `VBAR_EL1` (the EL1 software is a modelled guest
+    /// kernel rather than interpreted code).
+    el1_external: bool,
+}
+
+impl Machine {
+    /// Create a machine for the given platform.
+    pub fn new(platform: Platform) -> Self {
+        let model = platform.model();
+        let tlb = Tlb::with_l1(model.tlb_l1_entries, model.tlb_entries);
+        Machine { mem: PhysMem::new(), tlb, cpu: Cpu::new(), model, trace: Trace::new(256), el1_external: false }
+    }
+
+    /// Route EL1-targeted exceptions out of the interpreter (modelled
+    /// guest kernel) instead of vectoring through `VBAR_EL1`.
+    pub fn set_el1_external(&mut self, external: bool) {
+        self.el1_external = external;
+    }
+
+    /// Whether EL1 exceptions currently exit the interpreter.
+    pub fn el1_external(&self) -> bool {
+        self.el1_external
+    }
+
+    /// Read a system register (no cycle charge — model-internal).
+    pub fn sysreg(&self, reg: SysReg) -> u64 {
+        self.cpu.sysregs.get(&reg).copied().unwrap_or(0)
+    }
+
+    /// Write a system register (no cycle charge — model-internal).
+    pub fn set_sysreg(&mut self, reg: SysReg, value: u64) {
+        self.cpu.sysregs.insert(reg, value);
+    }
+
+    /// Charge cycles to the CPU counter.
+    pub fn charge(&mut self, cycles: u64) {
+        self.cpu.cycles += cycles;
+    }
+
+    /// The cost of an `MSR` write to `reg` on this platform.
+    pub fn sysreg_write_cost(&self, reg: SysReg) -> u64 {
+        match reg {
+            SysReg::HCR_EL2 => self.model.hcr_el2_write,
+            SysReg::VTTBR_EL2 => self.model.vttbr_el2_write,
+            SysReg::TTBR0_EL1 => self.model.ttbr0_el1_write,
+            _ => self.model.sysreg_write,
+        }
+    }
+
+    /// Write a system register *as software would*: charges the per-
+    /// register `MSR` cost. Used by modelled kernel/hypervisor paths.
+    pub fn write_sysreg_charged(&mut self, reg: SysReg, value: u64) {
+        let cost = self.sysreg_write_cost(reg);
+        self.charge(cost);
+        self.set_sysreg(reg, value);
+    }
+
+    /// Read a system register as software would (charges the `MRS` cost).
+    pub fn read_sysreg_charged(&mut self, reg: SysReg) -> u64 {
+        self.charge(self.model.sysreg_read);
+        self.sysreg(reg)
+    }
+
+    /// Enter interpreted code at `pc` with the given PSTATE, as an `ERET`
+    /// from modelled EL2 software (host kernel / hypervisor / Lowvisor)
+    /// would: charges the EL2 return cost.
+    pub fn enter(&mut self, pstate: PState, pc: u64) {
+        self.charge(self.model.exception_return_el2);
+        self.cpu.pstate = pstate;
+        self.cpu.pc = pc;
+    }
+
+    /// Enter interpreted code as an `ERET` from *modelled EL1 software*
+    /// (a guest kernel) would: charges the EL1 return cost.
+    pub fn enter_from_el1(&mut self, pstate: PState, pc: u64) {
+        self.charge(self.model.exception_return_el1);
+        self.cpu.pstate = pstate;
+        self.cpu.pc = pc;
+    }
+
+    /// Current translation regime configuration from the live registers.
+    pub fn walk_config(&self) -> WalkConfig {
+        let sctlr_el1 = self.sysreg(SysReg::SCTLR_EL1);
+        let hcr_el2 = self.sysreg(SysReg::HCR_EL2);
+        WalkConfig {
+            ttbr0: self.sysreg(SysReg::TTBR0_EL1),
+            ttbr1: self.sysreg(SysReg::TTBR1_EL1),
+            s1_enabled: sctlr_el1 & sctlr::M != 0,
+            wxn: sctlr_el1 & sctlr::WXN != 0,
+            vttbr: if hcr_el2 & hcr::VM != 0 { Some(self.sysreg(SysReg::VTTBR_EL2)) } else { None },
+        }
+    }
+
+    /// Translate a VA in the current context without executing anything
+    /// (used by kernels for `get_user`-style accesses and by tests).
+    pub fn probe(&mut self, va: u64, access: Access, actx: &AccessCtx) -> Result<u64, Fault> {
+        let cfg = self.walk_config();
+        walk::translate(&self.mem, &mut self.tlb, &self.model, &cfg, va, access, actx).map(|t| t.pa)
+    }
+
+    /// Run the interpreter until an exit condition, retiring at most
+    /// `limit` instructions.
+    pub fn run(&mut self, limit: u64) -> Exit {
+        for _ in 0..limit {
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+        Exit::Limit
+    }
+
+    /// Execute one instruction. Returns `Some(exit)` when control leaves
+    /// the interpreter.
+    pub fn step(&mut self) -> Option<Exit> {
+        debug_assert!(
+            self.cpu.pstate.el != ExceptionLevel::El2,
+            "EL2 code is modelled, not interpreted"
+        );
+        let pc = self.cpu.pc;
+        let cfg = self.walk_config();
+        let fetch_ctx = AccessCtx { el: self.cpu.pstate.el, pan: false, unpriv: false };
+        let word = match walk::translate(&self.mem, &mut self.tlb, &self.model, &cfg, pc, Access::Fetch, &fetch_ctx) {
+            Ok(t) => {
+                // Fetch charges only the translation cost: sequential
+                // i-fetch bandwidth is covered by `insn_base`.
+                self.charge(t.cost);
+                match self.mem.read_u32(t.pa) {
+                    Some(w) => w,
+                    None => return self.fault_exception(
+                        Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 3, va: pc, ipa: 0, wnr: false, s1ptw: false },
+                        true,
+                    ),
+                }
+            }
+            Err(f) => {
+                self.charge(self.model.stage1_walk());
+                return self.fault_exception(f, true);
+            }
+        };
+
+        self.cpu.insns += 1;
+        self.charge(self.model.insn_base);
+        self.trace.record(pc, word, self.cpu.pstate.el);
+        let insn = Insn::decode(word);
+        self.execute(insn, word)
+    }
+
+    fn execute(&mut self, insn: Insn, word: u32) -> Option<Exit> {
+        let next_pc = self.cpu.pc + 4;
+        match insn {
+            Insn::Movz { rd, imm16, hw } => {
+                self.cpu.set_reg(rd, (imm16 as u64) << (16 * hw));
+                self.cpu.pc = next_pc;
+            }
+            Insn::Movn { rd, imm16, hw } => {
+                self.cpu.set_reg(rd, !((imm16 as u64) << (16 * hw)));
+                self.cpu.pc = next_pc;
+            }
+            Insn::Movk { rd, imm16, hw } => {
+                let old = self.cpu.reg(rd);
+                let mask = 0xffffu64 << (16 * hw);
+                self.cpu.set_reg(rd, (old & !mask) | ((imm16 as u64) << (16 * hw)));
+                self.cpu.pc = next_pc;
+            }
+            Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags } => {
+                let a = self.cpu.reg(rn);
+                let b = (imm12 as u64) << if shift12 { 12 } else { 0 };
+                self.arith(rd, a, b, sub, set_flags);
+                self.cpu.pc = next_pc;
+            }
+            Insn::AddReg { rd, rn, rm, shift, sub, set_flags } => {
+                let a = self.cpu.reg(rn);
+                let b = self.cpu.reg(rm) << shift;
+                self.arith(rd, a, b, sub, set_flags);
+                self.cpu.pc = next_pc;
+            }
+            Insn::LogicReg { rd, rn, rm, shift, op } => {
+                let a = self.cpu.reg(rn);
+                let b = self.cpu.reg(rm) << shift;
+                let r = match op {
+                    LogicOp::And | LogicOp::Ands => a & b,
+                    LogicOp::Orr => a | b,
+                    LogicOp::Eor => a ^ b,
+                };
+                if op == LogicOp::Ands {
+                    self.cpu.pstate.nzcv = Nzcv { n: r >> 63 == 1, z: r == 0, c: false, v: false };
+                }
+                self.cpu.set_reg(rd, r);
+                self.cpu.pc = next_pc;
+            }
+            Insn::LsrImm { rd, rn, shift } => {
+                self.cpu.set_reg(rd, self.cpu.reg(rn) >> shift);
+                self.cpu.pc = next_pc;
+            }
+            Insn::LslImm { rd, rn, shift } => {
+                self.cpu.set_reg(rd, self.cpu.reg(rn) << shift);
+                self.cpu.pc = next_pc;
+            }
+            Insn::Adr { rd, offset } => {
+                self.cpu.set_reg(rd, self.cpu.pc.wrapping_add_signed(offset));
+                self.cpu.pc = next_pc;
+            }
+            Insn::Adrp { rd, offset } => {
+                self.cpu.set_reg(rd, (self.cpu.pc & !0xfff).wrapping_add_signed(offset));
+                self.cpu.pc = next_pc;
+            }
+            Insn::Ldp { rt, rt2, rn, offset } => {
+                let va = self.cpu.base_reg(rn).wrapping_add_signed(offset);
+                if let Some(exit) = self.data_access(va, MemSize::X, rt, false, false, self.cpu.pc) {
+                    return Some(exit);
+                }
+                return self.data_access(va.wrapping_add(8), MemSize::X, rt2, false, false, next_pc);
+            }
+            Insn::Stp { rt, rt2, rn, offset } => {
+                let va = self.cpu.base_reg(rn).wrapping_add_signed(offset);
+                if let Some(exit) = self.data_access(va, MemSize::X, rt, true, false, self.cpu.pc) {
+                    return Some(exit);
+                }
+                return self.data_access(va.wrapping_add(8), MemSize::X, rt2, true, false, next_pc);
+            }
+            Insn::Madd { rd, rn, rm, ra } => {
+                let v = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rn).wrapping_mul(self.cpu.reg(rm)));
+                self.charge(2); // multiply latency
+                self.cpu.set_reg(rd, v);
+                self.cpu.pc = next_pc;
+            }
+            Insn::Udiv { rd, rn, rm } => {
+                let d = self.cpu.reg(rm);
+                let v = self.cpu.reg(rn).checked_div(d).unwrap_or(0);
+                self.charge(8); // divide latency
+                self.cpu.set_reg(rd, v);
+                self.cpu.pc = next_pc;
+            }
+            Insn::Csel { rd, rn, rm, cond } => {
+                let v = if cond.holds(self.cpu.pstate.nzcv) { self.cpu.reg(rn) } else { self.cpu.reg(rm) };
+                self.cpu.set_reg(rd, v);
+                self.cpu.pc = next_pc;
+            }
+            Insn::Csinc { rd, rn, rm, cond } => {
+                let v = if cond.holds(self.cpu.pstate.nzcv) {
+                    self.cpu.reg(rn)
+                } else {
+                    self.cpu.reg(rm).wrapping_add(1)
+                };
+                self.cpu.set_reg(rd, v);
+                self.cpu.pc = next_pc;
+            }
+            Insn::LdrImm { rt, rn, offset, size } => {
+                let va = self.cpu.base_reg(rn).wrapping_add(offset);
+                return self.data_access(va, size, rt, false, false, next_pc);
+            }
+            Insn::StrImm { rt, rn, offset, size } => {
+                let va = self.cpu.base_reg(rn).wrapping_add(offset);
+                return self.data_access(va, size, rt, true, false, next_pc);
+            }
+            Insn::Ldtr { rt, rn, offset, size } => {
+                let va = self.cpu.base_reg(rn).wrapping_add_signed(offset);
+                return self.data_access(va, size, rt, false, true, next_pc);
+            }
+            Insn::Sttr { rt, rn, offset, size } => {
+                let va = self.cpu.base_reg(rn).wrapping_add_signed(offset);
+                return self.data_access(va, size, rt, true, true, next_pc);
+            }
+            Insn::B { offset } => {
+                self.cpu.pc = self.cpu.pc.wrapping_add_signed(offset);
+            }
+            Insn::Bl { offset } => {
+                self.cpu.set_reg(30, next_pc);
+                self.cpu.pc = self.cpu.pc.wrapping_add_signed(offset);
+            }
+            Insn::BCond { cond, offset } => {
+                self.cpu.pc = if cond.holds(self.cpu.pstate.nzcv) {
+                    self.cpu.pc.wrapping_add_signed(offset)
+                } else {
+                    next_pc
+                };
+            }
+            Insn::Cbz { rt, offset, nonzero } => {
+                let taken = (self.cpu.reg(rt) == 0) != nonzero;
+                self.cpu.pc = if taken { self.cpu.pc.wrapping_add_signed(offset) } else { next_pc };
+            }
+            Insn::Br { rn } => {
+                self.cpu.pc = self.cpu.reg(rn);
+            }
+            Insn::Blr { rn } => {
+                let target = self.cpu.reg(rn);
+                self.cpu.set_reg(30, next_pc);
+                self.cpu.pc = target;
+            }
+            Insn::Ret { rn } => {
+                self.cpu.pc = self.cpu.reg(rn);
+            }
+            Insn::Svc { imm } => {
+                let esr = esr::esr_exception_gen(ExceptionClass::Svc, imm);
+                let target = self.svc_target();
+                return self.take_exception(target, ExceptionClass::Svc, esr, 0, 0, next_pc);
+            }
+            Insn::Hvc { imm } => {
+                if self.cpu.pstate.el == ExceptionLevel::El0 {
+                    // HVC is undefined at EL0.
+                    return self.undefined(word, next_pc);
+                }
+                let esr = esr::esr_exception_gen(ExceptionClass::Hvc, imm);
+                return self.take_exception(ExceptionLevel::El2, ExceptionClass::Hvc, esr, 0, 0, next_pc);
+            }
+            Insn::Smc { imm } => {
+                // No EL3 in the model: treat as a hypervisor trap.
+                let esr = esr::esr_exception_gen(ExceptionClass::Smc, imm);
+                return self.take_exception(ExceptionLevel::El2, ExceptionClass::Smc, esr, 0, 0, next_pc);
+            }
+            Insn::Brk { imm } => {
+                let esr = esr::esr_exception_gen(ExceptionClass::Brk, imm);
+                let target = self.svc_target();
+                // BRK's preferred return is the BRK itself.
+                return self.take_exception(target, ExceptionClass::Brk, esr, 0, 0, self.cpu.pc);
+            }
+            Insn::Eret => {
+                if self.cpu.pstate.el == ExceptionLevel::El0 {
+                    return self.undefined(word, next_pc);
+                }
+                self.charge(self.model.exception_return_el1);
+                let spsr = self.sysreg(SysReg::SPSR_EL1);
+                let elr = self.sysreg(SysReg::ELR_EL1);
+                match PState::from_spsr(spsr) {
+                    Some(ps) if ps.el <= self.cpu.pstate.el => {
+                        self.cpu.pstate = ps;
+                        self.cpu.pc = elr;
+                    }
+                    _ => {
+                        let esr = (ExceptionClass::IllegalState.ec()) << 26;
+                        return self.take_exception(
+                            ExceptionLevel::El1,
+                            ExceptionClass::IllegalState,
+                            esr,
+                            0,
+                            0,
+                            next_pc,
+                        );
+                    }
+                }
+            }
+            Insn::Nop => {
+                self.cpu.pc = next_pc;
+            }
+            Insn::Barrier(b) => {
+                self.charge(match b {
+                    Barrier::Isb => self.model.isb,
+                    Barrier::Dsb => self.model.dsb,
+                    Barrier::Dmb => self.model.dsb / 2,
+                });
+                self.cpu.pc = next_pc;
+            }
+            Insn::MsrImm { op1, crm, op2 } => {
+                return self.msr_imm(op1, crm, op2, word, next_pc);
+            }
+            Insn::MsrReg { enc, rt } => {
+                return self.msr_mrs(enc, rt, false, word, next_pc);
+            }
+            Insn::MrsReg { enc, rt } => {
+                return self.msr_mrs(enc, rt, true, word, next_pc);
+            }
+            Insn::Sys { crn, .. } => {
+                return self.sys_op(crn, word, next_pc);
+            }
+            Insn::Unallocated { .. } => {
+                return self.undefined(word, next_pc);
+            }
+        }
+        None
+    }
+
+    fn arith(&mut self, rd: u8, a: u64, b: u64, sub: bool, set_flags: bool) {
+        let (r, c, v) = if sub {
+            let r = a.wrapping_sub(b);
+            (r, a >= b, ((a ^ b) & (a ^ r)) >> 63 == 1)
+        } else {
+            let r = a.wrapping_add(b);
+            (r, r < a, ((!(a ^ b)) & (a ^ r)) >> 63 == 1)
+        };
+        if set_flags {
+            self.cpu.pstate.nzcv = Nzcv { n: r >> 63 == 1, z: r == 0, c, v };
+        }
+        self.cpu.set_reg(rd, r);
+    }
+
+    fn svc_target(&self) -> ExceptionLevel {
+        // From EL0 under HCR_EL2.TGE (host process on a VHE host), all
+        // synchronous exceptions route to EL2. Otherwise they go to EL1.
+        if self.cpu.pstate.el == ExceptionLevel::El0 && self.sysreg(SysReg::HCR_EL2) & hcr::TGE != 0 {
+            ExceptionLevel::El2
+        } else {
+            ExceptionLevel::El1
+        }
+    }
+
+    fn undefined(&mut self, _word: u32, _next_pc: u64) -> Option<Exit> {
+        let esr = ExceptionClass::Unknown.ec() << 26;
+        let target = self.svc_target();
+        // Preferred return for undefined is the faulting instruction.
+        self.take_exception(target, ExceptionClass::Unknown, esr, 0, 0, self.cpu.pc)
+    }
+
+    fn msr_imm(&mut self, op1: u8, crm: u8, op2: u8, word: u32, next_pc: u64) -> Option<Exit> {
+        use lz_arch::insn::{PSTATE_DAIFCLR_OP2, PSTATE_DAIFSET_OP2, PSTATE_PAN_OP1, PSTATE_PAN_OP2};
+        if self.cpu.pstate.el == ExceptionLevel::El0 {
+            return self.undefined(word, next_pc);
+        }
+        if op1 == PSTATE_PAN_OP1 && op2 == PSTATE_PAN_OP2 {
+            self.charge(self.model.pan_write);
+            self.cpu.pstate.pan = crm & 1 == 1;
+        } else if op1 == 0b011 && op2 == PSTATE_DAIFSET_OP2 {
+            self.cpu.pstate.irq_masked = true;
+        } else if op1 == 0b011 && op2 == PSTATE_DAIFCLR_OP2 {
+            self.cpu.pstate.irq_masked = false;
+        } else {
+            return self.undefined(word, next_pc);
+        }
+        self.cpu.pc = next_pc;
+        None
+    }
+
+    fn msr_mrs(&mut self, enc: lz_arch::sysreg::SysRegEnc, rt: u8, is_read: bool, word: u32, next_pc: u64) -> Option<Exit> {
+        let Some(reg) = SysReg::from_encoding(enc) else {
+            return self.undefined(word, next_pc);
+        };
+        let el0_ok = matches!(reg, SysReg::NZCV | SysReg::FPCR | SysReg::FPSR | SysReg::TPIDR_EL0 | SysReg::CNTV_CTL_EL0);
+        if self.cpu.pstate.el == ExceptionLevel::El0 && !el0_ok {
+            return self.undefined(word, next_pc);
+        }
+        // EL2 registers are not accessible from EL1/EL0 (no nested-virt
+        // re-injection in the interpreter: LightZone never lets the
+        // process see them).
+        let is_el2_reg = matches!(
+            reg,
+            SysReg::HCR_EL2
+                | SysReg::VTTBR_EL2
+                | SysReg::VTCR_EL2
+                | SysReg::SCTLR_EL2
+                | SysReg::VBAR_EL2
+                | SysReg::ESR_EL2
+                | SysReg::FAR_EL2
+                | SysReg::HPFAR_EL2
+                | SysReg::ELR_EL2
+                | SysReg::SPSR_EL2
+                | SysReg::SP_EL1
+                | SysReg::TTBR0_EL2
+                | SysReg::TTBR1_EL2
+                | SysReg::TCR_EL2
+                | SysReg::CPTR_EL2
+                | SysReg::MDCR_EL2
+                | SysReg::TPIDR_EL2
+        );
+        if is_el2_reg && self.cpu.pstate.el != ExceptionLevel::El2 {
+            return self.undefined(word, next_pc);
+        }
+
+        // HCR_EL2.TVM / TRVM: trap EL1 accesses to stage-1 VM controls.
+        let hcr_el2 = self.sysreg(SysReg::HCR_EL2);
+        let vm_ctl = matches!(
+            reg,
+            SysReg::SCTLR_EL1
+                | SysReg::TTBR0_EL1
+                | SysReg::TTBR1_EL1
+                | SysReg::TCR_EL1
+                | SysReg::CONTEXTIDR_EL1
+                | SysReg::MAIR_EL1
+        );
+        if self.cpu.pstate.el == ExceptionLevel::El1 && vm_ctl {
+            let trapped = if is_read { hcr_el2 & hcr::TRVM != 0 } else { hcr_el2 & hcr::TVM != 0 };
+            if trapped {
+                let esr = esr::esr_trapped_sysreg(word);
+                return self.take_exception(
+                    ExceptionLevel::El2,
+                    ExceptionClass::TrappedSysreg,
+                    esr,
+                    0,
+                    0,
+                    self.cpu.pc,
+                );
+            }
+        }
+
+        if is_read {
+            self.charge(self.model.sysreg_read);
+            let v = match reg {
+                SysReg::NZCV => self.cpu.pstate.nzcv.to_bits(),
+                _ => self.sysreg(reg),
+            };
+            self.cpu.set_reg(rt, v);
+        } else {
+            self.charge(self.sysreg_write_cost(reg));
+            let v = self.cpu.reg(rt);
+            match reg {
+                SysReg::NZCV => self.cpu.pstate.nzcv = Nzcv::from_bits(v),
+                _ => self.set_sysreg(reg, v),
+            }
+        }
+        self.cpu.pc = next_pc;
+        None
+    }
+
+    fn sys_op(&mut self, crn: u8, word: u32, next_pc: u64) -> Option<Exit> {
+        if self.cpu.pstate.el == ExceptionLevel::El0 {
+            return self.undefined(word, next_pc);
+        }
+        if crn == 8 {
+            // TLB maintenance: trapped by HCR_EL2.TTLB, else executed.
+            if self.sysreg(SysReg::HCR_EL2) & hcr::TTLB != 0 {
+                let esr = esr::esr_trapped_sysreg(word);
+                return self.take_exception(
+                    ExceptionLevel::El2,
+                    ExceptionClass::TrappedSysreg,
+                    esr,
+                    0,
+                    0,
+                    self.cpu.pc,
+                );
+            }
+            self.charge(self.model.dsb);
+            let cfg = self.walk_config();
+            self.tlb.invalidate_vmid(cfg.vmid());
+        }
+        // Cache maintenance (CRn=7) and others: architecturally effectful,
+        // semantically inert in this model.
+        self.cpu.pc = next_pc;
+        None
+    }
+
+    fn data_access(&mut self, va: u64, size: MemSize, rt: u8, is_write: bool, unpriv: bool, next_pc: u64) -> Option<Exit> {
+        // Watchpoint match (EL0 accesses while enabled).
+        if self.cpu.watchpoints_enabled && self.cpu.pstate.el == ExceptionLevel::El0 {
+            for wp in self.cpu.watchpoints.iter().flatten() {
+                let hit = va < wp.addr + wp.len && va + size.bytes() > wp.addr;
+                if hit && ((is_write && wp.on_write) || (!is_write && wp.on_read)) {
+                    let esr = (ExceptionClass::WatchpointLower.ec() << 26) | ((is_write as u64) << 6);
+                    self.set_sysreg(SysReg::FAR_EL1, va);
+                    self.set_sysreg(SysReg::FAR_EL2, va);
+                    let target = self.svc_target();
+                    return self.take_exception(target, ExceptionClass::WatchpointLower, esr, va, 0, self.cpu.pc);
+                }
+            }
+        }
+
+        let cfg = self.walk_config();
+        let actx = AccessCtx { el: self.cpu.pstate.el, pan: self.cpu.pstate.pan, unpriv };
+        let access = if is_write { Access::Write } else { Access::Read };
+        let bytes = size.bytes();
+
+        // Split accesses that cross a page boundary.
+        let first_len = (4096 - (va & 0xfff)).min(bytes);
+        let mut pas = [(0u64, 0u64); 2];
+        let mut n = 0;
+        for (start, len) in [(va, first_len), (va + first_len, bytes - first_len)] {
+            if len == 0 {
+                continue;
+            }
+            match walk::translate(&self.mem, &mut self.tlb, &self.model, &cfg, start, access, &actx) {
+                Ok(t) => {
+                    self.charge(t.cost);
+                    pas[n] = (t.pa, len);
+                    n += 1;
+                }
+                Err(f) => {
+                    self.charge(self.model.stage1_walk());
+                    return self.fault_exception(f, false);
+                }
+            }
+        }
+        self.charge(self.model.mem_access);
+
+        if is_write {
+            let v = self.cpu.reg(rt);
+            let mut shift = 0;
+            for &(pa, len) in &pas[..n] {
+                let part = (v >> shift) & mask_for(len);
+                if !self.mem.write(pa, part, len) {
+                    return self.bus_error(va);
+                }
+                shift += 8 * len;
+            }
+        } else {
+            let mut v = 0u64;
+            let mut shift = 0;
+            for &(pa, len) in &pas[..n] {
+                match self.mem.read(pa, len) {
+                    Some(part) => v |= part << shift,
+                    None => return self.bus_error(va),
+                }
+                shift += 8 * len;
+            }
+            self.cpu.set_reg(rt, v);
+        }
+        self.cpu.pc = next_pc;
+        None
+    }
+
+    fn bus_error(&mut self, va: u64) -> Option<Exit> {
+        let f = Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 0, va, ipa: 0, wnr: false, s1ptw: false };
+        self.fault_exception(f, false)
+    }
+
+    /// Convert an MMU fault into an exception: stage-1 faults go to EL1
+    /// (EL2 under TGE); stage-2 faults always go to EL2.
+    fn fault_exception(&mut self, f: Fault, is_fetch: bool) -> Option<Exit> {
+        let from_el = self.cpu.pstate.el;
+        let target = match f.stage {
+            Stage::S2 => ExceptionLevel::El2,
+            Stage::S1 => {
+                if from_el == ExceptionLevel::El0 && self.sysreg(SysReg::HCR_EL2) & hcr::TGE != 0 {
+                    ExceptionLevel::El2
+                } else {
+                    ExceptionLevel::El1
+                }
+            }
+        };
+        let from_lower = from_el < target || (from_el == ExceptionLevel::El0);
+        let class = match (is_fetch, from_lower) {
+            (true, true) => ExceptionClass::InsnAbortLower,
+            (true, false) => ExceptionClass::InsnAbortSame,
+            (false, true) => ExceptionClass::DataAbortLower,
+            (false, false) => ExceptionClass::DataAbortSame,
+        };
+        let status = match f.kind {
+            FaultKind::Translation => esr::FaultStatus::Translation(f.level),
+            FaultKind::Permission => esr::FaultStatus::Permission(f.level),
+            FaultKind::AccessFlag => esr::FaultStatus::AccessFlag(f.level),
+        };
+        let esr = esr::esr_abort(class, status, f.wnr, f.s1ptw);
+        let hpfar = (f.ipa >> 12) << 4; // HPFAR_EL2 holds IPA[47:12] at bits 43:4.
+        self.take_exception(target, class, esr, f.va, hpfar, self.cpu.pc)
+    }
+
+    /// Take an exception to `target`. Fills the target EL's syndrome
+    /// registers; either vectors (interpreted EL1) or exits.
+    fn take_exception(
+        &mut self,
+        target: ExceptionLevel,
+        class: ExceptionClass,
+        esr_val: u64,
+        far: u64,
+        hpfar: u64,
+        preferred_return: u64,
+    ) -> Option<Exit> {
+        self.charge(match target {
+            ExceptionLevel::El2 => self.model.exception_entry_el2,
+            _ => self.model.exception_entry_el1,
+        });
+        let spsr = self.cpu.pstate.to_spsr();
+        match target {
+            ExceptionLevel::El1 => {
+                self.set_sysreg(SysReg::ESR_EL1, esr_val);
+                self.set_sysreg(SysReg::FAR_EL1, far);
+                self.set_sysreg(SysReg::ELR_EL1, preferred_return);
+                self.set_sysreg(SysReg::SPSR_EL1, spsr);
+                let from_lower = self.cpu.pstate.el == ExceptionLevel::El0;
+                // SPAN: if clear, exception entry to EL1 sets PAN.
+                let span = self.sysreg(SysReg::SCTLR_EL1) & sctlr::SPAN != 0;
+                self.cpu.pstate.el = ExceptionLevel::El1;
+                self.cpu.pstate.irq_masked = true;
+                if !span {
+                    self.cpu.pstate.pan = true;
+                }
+                if self.el1_external {
+                    return Some(Exit::El1(class));
+                }
+                let vbar = self.sysreg(SysReg::VBAR_EL1);
+                self.cpu.pc = vbar + if from_lower { 0x400 } else { 0x200 };
+                None
+            }
+            ExceptionLevel::El2 => {
+                self.set_sysreg(SysReg::ESR_EL2, esr_val);
+                self.set_sysreg(SysReg::FAR_EL2, far);
+                self.set_sysreg(SysReg::HPFAR_EL2, hpfar);
+                self.set_sysreg(SysReg::ELR_EL2, preferred_return);
+                self.set_sysreg(SysReg::SPSR_EL2, spsr);
+                self.cpu.pstate.el = ExceptionLevel::El2;
+                self.cpu.pstate.irq_masked = true;
+                Some(Exit::El2(class))
+            }
+            ExceptionLevel::El0 => unreachable!("exceptions never target EL0"),
+        }
+    }
+}
+
+fn mask_for(len: u64) -> u64 {
+    if len >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * len)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pte::S1Perms;
+    use crate::walk::{alloc_table, s1_map_page};
+    use lz_arch::asm::Asm;
+    use lz_arch::sysreg::ttbr;
+
+    const CODE: u64 = 0x40_0000;
+    const DATA: u64 = 0x50_0000;
+
+    fn user_code_perms() -> S1Perms {
+        S1Perms { read: true, write: false, user_exec: true, priv_exec: false, el0: true, global: false }
+    }
+
+    fn user_data_perms() -> S1Perms {
+        S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false }
+    }
+
+    /// Build a machine with one EL0 program mapped at CODE and a data page
+    /// at DATA, stage-1 only, TGE set (host process semantics).
+    fn machine_with(asm: Asm) -> Machine {
+        let mut m = Machine::new(Platform::CortexA55);
+        let root = alloc_table(&mut m.mem);
+        let code_pa = m.mem.alloc_frame();
+        let data_pa = m.mem.alloc_frame();
+        let bytes = asm.bytes();
+        m.mem.write_bytes(code_pa, &bytes);
+        s1_map_page(&mut m.mem, root, CODE, code_pa, user_code_perms());
+        s1_map_page(&mut m.mem, root, DATA, data_pa, user_data_perms());
+        m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+        m.cpu.pstate = PState::user();
+        m.cpu.pc = CODE;
+        m
+    }
+
+    #[test]
+    fn runs_arithmetic_and_svc() {
+        let mut a = Asm::new(CODE);
+        a.movz(0, 20, 0);
+        a.movz(1, 22, 0);
+        a.add_reg(2, 0, 1);
+        a.svc(7);
+        let mut m = machine_with(a);
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(2), 42);
+        assert_eq!(esr::esr_imm(m.sysreg(SysReg::ESR_EL2)), 7);
+        assert_eq!(m.sysreg(SysReg::ELR_EL2), CODE + 16);
+        assert_eq!(m.cpu.pstate.el, ExceptionLevel::El2);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA);
+        a.mov_imm64(1, 0xdead_beef);
+        a.str(1, 0, 16);
+        a.ldr(2, 0, 16);
+        a.svc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(2), 0xdead_beef);
+    }
+
+    #[test]
+    fn unaligned_cross_page_access() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA + 0xffc);
+        a.mov_imm64(1, 0x1122_3344_5566_7788);
+        a.str(1, 0, 0);
+        a.ldr(2, 0, 0);
+        a.svc(0);
+        // Needs the next page mapped too.
+        let mut m = machine_with(a);
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let pa = m.mem.alloc_frame();
+        s1_map_page(&mut m.mem, root, DATA + 0x1000, pa, user_data_perms());
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(2), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn store_to_unmapped_faults_to_el2_under_tge() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, 0x70_0000);
+        a.str(0, 0, 0);
+        let mut m = machine_with(a);
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El2(ExceptionClass::DataAbortLower));
+        assert_eq!(m.sysreg(SysReg::FAR_EL2), 0x70_0000);
+        let (fault, wnr, _) = esr::esr_abort_info(m.sysreg(SysReg::ESR_EL2)).unwrap();
+        assert!(matches!(fault, esr::FaultStatus::Translation(_)));
+        assert!(wnr);
+    }
+
+    #[test]
+    fn branch_loop_executes() {
+        let mut a = Asm::new(CODE);
+        a.movz(0, 10, 0);
+        a.movz(1, 0, 0);
+        let top = a.label();
+        a.bind(top);
+        a.add_imm(1, 1, 3);
+        a.subs_imm(0, 0, 1);
+        a.b_ne(top);
+        a.svc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(1000), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(1), 30);
+    }
+
+    #[test]
+    fn bl_ret_links() {
+        let mut a = Asm::new(CODE);
+        let func = a.label();
+        a.bl(func);
+        a.svc(0);
+        a.bind(func);
+        a.movz(5, 99, 0);
+        a.ret();
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(5), 99);
+    }
+
+    #[test]
+    fn el0_cannot_write_privileged_sysreg() {
+        let mut a = Asm::new(CODE);
+        a.movz(0, 0, 0);
+        a.msr(SysReg::TTBR0_EL1, 0);
+        let mut m = machine_with(a);
+        // Undefined routes to EL2 under TGE.
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Unknown));
+    }
+
+    #[test]
+    fn el0_cannot_toggle_pan() {
+        let mut a = Asm::new(CODE);
+        a.msr_pan(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Unknown));
+    }
+
+    #[test]
+    fn el0_can_use_tpidr_el0() {
+        let mut a = Asm::new(CODE);
+        a.movz(0, 77, 0);
+        a.msr(SysReg::TPIDR_EL0, 0);
+        a.mrs(1, SysReg::TPIDR_EL0);
+        a.svc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(1), 77);
+    }
+
+    #[test]
+    fn el1_pan_toggle_and_enforcement() {
+        // EL1 process; data page is user-marked; PAN blocks access until
+        // cleared.
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA);
+        a.msr_pan(1);
+        a.ldr(1, 0, 0); // must fault
+        let mut m = machine_with(a);
+        // Re-enter at EL1 with code executable at EL1: remap code page.
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let (code_pa, _, _) = crate::walk::s1_lookup(&m.mem, root, CODE).unwrap();
+        let kcode = S1Perms { read: true, write: false, user_exec: false, priv_exec: true, el0: false, global: false };
+        s1_map_page(&mut m.mem, root, CODE, code_pa, kcode);
+        m.set_sysreg(SysReg::HCR_EL2, 0); // not a TGE host process
+        m.cpu.pstate = PState { el: ExceptionLevel::El1, pan: false, irq_masked: false, nzcv: Default::default() };
+        m.set_el1_external(true);
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El1(ExceptionClass::DataAbortSame));
+        let (fault, ..) = esr::esr_abort_info(m.sysreg(SysReg::ESR_EL1)).unwrap();
+        assert!(matches!(fault, esr::FaultStatus::Permission(_)));
+    }
+
+    #[test]
+    fn el1_vectors_to_vbar_when_interpreted() {
+        // An EL1 process (LightZone-style) takes SVC to its own VBAR stub,
+        // which forwards via HVC.
+        let mut a = Asm::new(CODE);
+        a.svc(42);
+        let mut m = machine_with(a);
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let (code_pa, _, _) = crate::walk::s1_lookup(&m.mem, root, CODE).unwrap();
+        let kcode = S1Perms { read: true, write: false, user_exec: false, priv_exec: true, el0: false, global: false };
+        s1_map_page(&mut m.mem, root, CODE, code_pa, kcode);
+
+        // Stub at VBAR+0x200 (same-EL): hvc #0.
+        let vbar = 0x60_0000u64;
+        let stub_pa = m.mem.alloc_frame();
+        let mut stub = Asm::new(vbar + 0x200);
+        stub.hvc(0);
+        m.mem.write_bytes(stub_pa + 0x200, &stub.bytes());
+        s1_map_page(&mut m.mem, root, vbar, stub_pa, kcode);
+        m.set_sysreg(SysReg::VBAR_EL1, vbar);
+        m.set_sysreg(SysReg::HCR_EL2, 0);
+        m.cpu.pstate = PState { el: ExceptionLevel::El1, pan: false, irq_masked: false, nzcv: Default::default() };
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Hvc));
+        // The original syndrome is still in ESR_EL1 for the module to read.
+        assert_eq!(esr::esr_imm(m.sysreg(SysReg::ESR_EL1)), 42);
+        assert_eq!(m.sysreg(SysReg::ELR_EL1), CODE + 4);
+    }
+
+    #[test]
+    fn watchpoint_fires_on_el0_access() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA + 0x100);
+        a.ldr(1, 0, 0);
+        let mut m = machine_with(a);
+        m.cpu.watchpoints[0] = Some(Watchpoint { addr: DATA + 0x100, len: 8, on_read: true, on_write: true });
+        m.cpu.watchpoints_enabled = true;
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El2(ExceptionClass::WatchpointLower));
+        assert_eq!(m.sysreg(SysReg::FAR_EL2), DATA + 0x100);
+    }
+
+    #[test]
+    fn watchpoint_does_not_fire_outside_range() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA);
+        a.ldr(1, 0, 0);
+        a.svc(0);
+        let mut m = machine_with(a);
+        m.cpu.watchpoints[0] = Some(Watchpoint { addr: DATA + 0x100, len: 8, on_read: true, on_write: true });
+        m.cpu.watchpoints_enabled = true;
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+    }
+
+    #[test]
+    fn pair_and_arith_instructions_execute() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA);
+        a.mov_imm64(1, 0x1111);
+        a.mov_imm64(2, 0x2222);
+        a.stp(1, 2, 0, 16);
+        a.ldp(3, 4, 0, 16);
+        a.mul(5, 3, 4); // 0x1111 * 0x2222
+        a.mov_imm64(6, 0x22);
+        a.udiv(7, 5, 6);
+        a.cmp_imm(7, 0);
+        a.csel(9, 3, 4, lz_arch::insn::Cond::Ne);
+        a.cset(10, lz_arch::insn::Cond::Ne);
+        a.svc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(3), 0x1111);
+        assert_eq!(m.cpu.reg(4), 0x2222);
+        assert_eq!(m.cpu.reg(5), 0x1111 * 0x2222);
+        assert_eq!(m.cpu.reg(7), (0x1111 * 0x2222) / 0x22);
+        assert_eq!(m.cpu.reg(9), 0x1111, "csel picks rn when NE holds");
+        assert_eq!(m.cpu.reg(10), 1, "cset on NE");
+    }
+
+    #[test]
+    fn udiv_by_zero_is_zero() {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(1, 99);
+        a.movz(2, 0, 0);
+        a.udiv(3, 1, 2);
+        a.svc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(3), 0, "architected zero on divide-by-zero");
+    }
+
+    #[test]
+    fn stp_faults_atomically_enough() {
+        // The second slot of an STP crossing into an unmapped page faults;
+        // after the kernel maps it, restarting the instruction redoes both
+        // stores (idempotent).
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, DATA + 0xff0);
+        a.mov_imm64(1, 7);
+        a.mov_imm64(2, 9);
+        a.stp(1, 2, 0, 8); // second store lands at DATA+0x1000
+        let mut m = machine_with(a);
+        assert_eq!(m.run(100), Exit::El2(ExceptionClass::DataAbortLower));
+        assert_eq!(m.sysreg(SysReg::FAR_EL2), DATA + 0x1000);
+    }
+
+    #[test]
+    fn cycles_accumulate_and_limit_works() {
+        let mut a = Asm::new(CODE);
+        let top = a.label();
+        a.bind(top);
+        let l2 = top;
+        a.b(l2);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(50), Exit::Limit);
+        assert_eq!(m.cpu.insns, 50);
+        assert!(m.cpu.cycles >= 50);
+    }
+
+    #[test]
+    fn eret_from_el1_restores_el0() {
+        let mut a = Asm::new(CODE);
+        a.eret();
+        let mut m = machine_with(a);
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let (code_pa, _, _) = crate::walk::s1_lookup(&m.mem, root, CODE).unwrap();
+        let kcode = S1Perms { read: true, write: false, user_exec: false, priv_exec: true, el0: false, global: false };
+        s1_map_page(&mut m.mem, root, CODE, code_pa, kcode);
+        m.set_sysreg(SysReg::HCR_EL2, 0);
+        m.cpu.pstate = PState { el: ExceptionLevel::El1, pan: false, irq_masked: true, nzcv: Default::default() };
+        m.set_sysreg(SysReg::SPSR_EL1, PState::user().to_spsr());
+        m.set_sysreg(SysReg::ELR_EL1, DATA); // arbitrary EL0 target
+        m.step();
+        assert_eq!(m.cpu.pstate.el, ExceptionLevel::El0);
+        assert_eq!(m.cpu.pc, DATA);
+    }
+
+    #[test]
+    fn hvc_undefined_at_el0() {
+        let mut a = Asm::new(CODE);
+        a.hvc(0);
+        let mut m = machine_with(a);
+        assert_eq!(m.run(10), Exit::El2(ExceptionClass::Unknown));
+    }
+
+    #[test]
+    fn tvm_traps_el1_ttbr_write() {
+        let mut a = Asm::new(CODE);
+        a.movz(0, 0, 0);
+        a.msr(SysReg::SCTLR_EL1, 0);
+        let mut m = machine_with(a);
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let (code_pa, _, _) = crate::walk::s1_lookup(&m.mem, root, CODE).unwrap();
+        let kcode = S1Perms { read: true, write: false, user_exec: false, priv_exec: true, el0: false, global: false };
+        s1_map_page(&mut m.mem, root, CODE, code_pa, kcode);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::VM | hcr::TVM);
+        // Stage-2 required for VM bit: identity-map everything currently
+        // allocated.
+        let s2_root = alloc_table(&mut m.mem);
+        let mut pa = 1 << 20;
+        let end = (1 << 20) + 4096 * 4096;
+        while pa < end {
+            if m.mem.is_mapped(pa) {
+                crate::walk::s2_map_page(&mut m.mem, s2_root, pa, pa, crate::pte::S2Perms::rwx());
+            }
+            pa += 4096;
+        }
+        m.set_sysreg(SysReg::VTTBR_EL2, lz_arch::sysreg::vttbr::pack(5, s2_root));
+        m.cpu.pstate = PState { el: ExceptionLevel::El1, pan: false, irq_masked: false, nzcv: Default::default() };
+        let exit = m.run(100);
+        assert_eq!(exit, Exit::El2(ExceptionClass::TrappedSysreg));
+    }
+
+    #[test]
+    fn charged_sysreg_costs_differ() {
+        let mut m = Machine::new(Platform::Carmel);
+        let before = m.cpu.cycles;
+        m.write_sysreg_charged(SysReg::HCR_EL2, 1);
+        let hcr_cost = m.cpu.cycles - before;
+        assert_eq!(hcr_cost, m.model.hcr_el2_write);
+        let before = m.cpu.cycles;
+        m.write_sysreg_charged(SysReg::TPIDR_EL1, 1);
+        assert_eq!(m.cpu.cycles - before, m.model.sysreg_write);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated ARM64 machine for the LightZone reproduction.
+//!
+//! The machine implements the *architectural* rules LightZone's security
+//! argument depends on:
+//!
+//! * sparse physical memory with a frame allocator ([`mem`]),
+//! * 4-level stage-1 and 3-level stage-2 translation with real descriptor
+//!   bit layouts, hierarchical permission intersection, and `PSTATE.PAN`
+//!   enforcement ([`pte`], [`walk`]),
+//! * a TLB tagged by `(VMID, ASID, page)` with global entries and
+//!   capacity-bounded eviction ([`tlb`]),
+//! * a CPU interpreter over the `lz-arch` instruction subset with
+//!   exception levels, vectored exception entry, `HCR_EL2` trap controls,
+//!   hardware watchpoints, and cycle accounting ([`cpu`]).
+//!
+//! Code that an in-process attacker can influence (application code, the
+//! secure call gate, attack payloads) executes here as real instructions;
+//! trusted kernel and hypervisor paths are modelled by the `lz-kernel`
+//! and `lightzone` crates, which mutate machine state directly and charge
+//! the corresponding cycle costs.
+
+pub mod cpu;
+pub mod mem;
+pub mod pte;
+pub mod tlb;
+pub mod trace;
+pub mod walk;
+
+pub use cpu::{Exit, Machine};
+pub use mem::PhysMem;
+pub use tlb::Tlb;
+pub use walk::{Access, Fault, FaultKind, Stage};

@@ -1,0 +1,236 @@
+//! Sparse physical memory with a frame allocator.
+
+use lz_arch::{page_align_down, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Simulated physical memory.
+///
+/// Frames are allocated lazily; reading an unpopulated-but-allocated frame
+/// sees zeros. Accessing physical addresses outside any allocated frame is
+/// a *bus error* — the walker turns it into a translation fault, and direct
+/// kernel accesses return `None` so substrate bugs surface immediately.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Next frame number to hand out.
+    next_frame: u64,
+    /// Recycled frames.
+    free: Vec<u64>,
+}
+
+impl PhysMem {
+    /// Create an empty physical memory. The first allocated frame starts
+    /// at 1 MiB so that physical address 0 never aliases a real frame
+    /// (null-PA bugs fault loudly).
+    pub fn new() -> Self {
+        PhysMem { frames: HashMap::new(), next_frame: (1 << 20) >> PAGE_SHIFT, free: Vec::new() }
+    }
+
+    /// Allocate a zeroed frame; returns its physical base address.
+    pub fn alloc_frame(&mut self) -> u64 {
+        let frame = self.free.pop().unwrap_or_else(|| {
+            let f = self.next_frame;
+            self.next_frame += 1;
+            f
+        });
+        self.frames.insert(frame, Box::new([0u8; PAGE_SIZE as usize]));
+        frame << PAGE_SHIFT
+    }
+
+    /// Allocate `n` *contiguous* zeroed frames (for 2 MiB blocks); returns
+    /// the physical base address of the first, aligned to `n` frames so
+    /// block descriptors can map it directly.
+    pub fn alloc_contiguous(&mut self, n: u64) -> u64 {
+        let start = self.next_frame.div_ceil(n) * n;
+        self.next_frame = start + n;
+        for f in start..start + n {
+            self.frames.insert(f, Box::new([0u8; PAGE_SIZE as usize]));
+        }
+        start << PAGE_SHIFT
+    }
+
+    /// Free a frame previously returned by [`Self::alloc_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not currently allocated (double free).
+    pub fn free_frame(&mut self, pa: u64) {
+        let frame = pa >> PAGE_SHIFT;
+        assert!(self.frames.remove(&frame).is_some(), "double free of frame {frame:#x}");
+        self.free.push(frame);
+    }
+
+    /// Is this physical address backed by an allocated frame?
+    pub fn is_mapped(&self, pa: u64) -> bool {
+        self.frames.contains_key(&(pa >> PAGE_SHIFT))
+    }
+
+    /// Number of allocated frames (for memory-overhead accounting).
+    pub fn allocated_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame(&self, pa: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.frames.get(&(pa >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn frame_mut(&mut self, pa: u64) -> Option<&mut [u8; PAGE_SIZE as usize]> {
+        self.frames.get_mut(&(pa >> PAGE_SHIFT)).map(|b| &mut **b)
+    }
+
+    /// Read `N`-byte little-endian value. `None` on a bus error.
+    /// The access must not cross a page boundary (callers are aligned).
+    pub fn read(&self, pa: u64, size: u64) -> Option<u64> {
+        debug_assert!(size <= 8 && page_align_down(pa) == page_align_down(pa + size - 1));
+        let frame = self.frame(pa)?;
+        let off = (pa & (PAGE_SIZE - 1)) as usize;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&frame[off..off + size as usize]);
+        Some(u64::from_le_bytes(buf))
+    }
+
+    /// Write `size`-byte little-endian value. `false` on a bus error.
+    pub fn write(&mut self, pa: u64, value: u64, size: u64) -> bool {
+        debug_assert!(size <= 8 && page_align_down(pa) == page_align_down(pa + size - 1));
+        let Some(frame) = self.frame_mut(pa) else { return false };
+        let off = (pa & (PAGE_SIZE - 1)) as usize;
+        frame[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        true
+    }
+
+    /// Read a 64-bit word (page-table descriptors).
+    pub fn read_u64(&self, pa: u64) -> Option<u64> {
+        self.read(pa, 8)
+    }
+
+    /// Write a 64-bit word.
+    pub fn write_u64(&mut self, pa: u64, value: u64) -> bool {
+        self.write(pa, value, 8)
+    }
+
+    /// Read a 32-bit word (instruction fetch).
+    pub fn read_u32(&self, pa: u64) -> Option<u32> {
+        self.read(pa, 4).map(|v| v as u32)
+    }
+
+    /// Copy bytes out of physical memory; `None` if any page is unbacked.
+    pub fn read_bytes(&self, pa: u64, len: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = pa;
+        let end = pa + len as u64;
+        while cur < end {
+            let frame = self.frame(cur)?;
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let take = ((PAGE_SIZE - (cur & (PAGE_SIZE - 1))) as usize).min((end - cur) as usize);
+            out.extend_from_slice(&frame[off..off + take]);
+            cur += take as u64;
+        }
+        Some(out)
+    }
+
+    /// Copy bytes into physical memory; `false` if any page is unbacked.
+    pub fn write_bytes(&mut self, pa: u64, data: &[u8]) -> bool {
+        let mut cur = pa;
+        let mut src = data;
+        while !src.is_empty() {
+            let Some(frame) = self.frame_mut(cur) else { return false };
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let take = ((PAGE_SIZE as usize) - off).min(src.len());
+            frame[off..off + take].copy_from_slice(&src[..take]);
+            cur += take as u64;
+            src = &src[take..];
+        }
+        true
+    }
+
+    /// Zero an entire frame (used by break-before-make unmap).
+    pub fn zero_frame(&mut self, pa: u64) {
+        if let Some(frame) = self.frame_mut(pa) {
+            frame.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_distinct_zeroed_frames() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        assert_ne!(a, b);
+        assert_eq!(m.read_u64(a), Some(0));
+        assert_eq!(m.read_u64(b + 4088), Some(0));
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut m = PhysMem::new();
+        let pa = m.alloc_frame();
+        for (size, value) in [(1, 0xab), (2, 0xabcd), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+            assert!(m.write(pa, value, size));
+            assert_eq!(m.read(pa, size), Some(value));
+        }
+    }
+
+    #[test]
+    fn unbacked_access_is_bus_error() {
+        let mut m = PhysMem::new();
+        assert_eq!(m.read_u64(0x10_0000_0000), None);
+        assert!(!m.write_u64(0x10_0000_0000, 1));
+        assert_eq!(m.read(0, 8), None, "PA 0 must never be backed");
+    }
+
+    #[test]
+    fn free_recycles_frames() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        m.write_u64(a, 0x42);
+        m.free_frame(a);
+        assert!(!m.is_mapped(a));
+        let b = m.alloc_frame();
+        assert_eq!(b, a, "freed frame is recycled");
+        assert_eq!(m.read_u64(b), Some(0), "recycled frame is zeroed");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        m.free_frame(a);
+        m.free_frame(a);
+    }
+
+    #[test]
+    fn contiguous_alloc_is_contiguous() {
+        let mut m = PhysMem::new();
+        let base = m.alloc_contiguous(512); // 2 MiB
+        for i in 0..512 {
+            assert!(m.is_mapped(base + i * PAGE_SIZE));
+        }
+        assert!(m.write_u64(base + 511 * PAGE_SIZE, 7));
+    }
+
+    #[test]
+    fn bytes_roundtrip_across_pages() {
+        let mut m = PhysMem::new();
+        let base = m.alloc_contiguous(2);
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        assert!(m.write_bytes(base + 100, &data));
+        assert_eq!(m.read_bytes(base + 100, 6000).unwrap(), data);
+    }
+
+    #[test]
+    fn allocated_frames_counts() {
+        let mut m = PhysMem::new();
+        assert_eq!(m.allocated_frames(), 0);
+        let a = m.alloc_frame();
+        m.alloc_frame();
+        assert_eq!(m.allocated_frames(), 2);
+        m.free_frame(a);
+        assert_eq!(m.allocated_frames(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! TLB tagged by `(VMID, ASID, page)` with global entries.
+//!
+//! LightZone's TTBR-based domain switching relies on two architectural
+//! TLB behaviours modelled here (paper §4.1.2, §8.2):
+//!
+//! * **per-page-table ASIDs** let a `TTBR0_EL1` write switch translations
+//!   without a TLB invalidation — entries for other ASIDs simply stop
+//!   matching;
+//! * the **global bit** on unprotected memory keeps those entries valid
+//!   across every ASID, so only the protected domain's pages miss after a
+//!   switch.
+
+use crate::pte::{S1Perms, S2Perms};
+use std::collections::{HashMap, VecDeque};
+
+/// One cached translation (a 4 KB page of the final mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// `None` for global entries (`nG == 0`).
+    pub asid: Option<u16>,
+    /// Physical page base of the translation result.
+    pub pa_page: u64,
+    /// Stage-1 leaf permissions (PAN is applied at access time, not
+    /// caching time — the architecture caches the AP bits, not the PAN
+    /// outcome).
+    pub s1: S1Perms,
+    /// Stage-2 leaf permissions, when stage 2 is enabled.
+    pub s2: Option<S2Perms>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TlbKey {
+    vmid: u16,
+    vpn: u64,
+}
+
+/// Which level satisfied a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbHit {
+    /// Micro-TLB hit: free.
+    L1,
+    /// Main-TLB hit: costs `CycleModel::l2_tlb_hit`.
+    L2,
+}
+
+/// One level of the TLB: a capacity-bounded map with FIFO replacement.
+#[derive(Debug)]
+struct TlbLevel {
+    entries: HashMap<TlbKey, Vec<TlbEntry>>,
+    order: VecDeque<TlbKey>,
+    capacity: usize,
+}
+
+impl TlbLevel {
+    fn new(capacity: usize) -> Self {
+        TlbLevel { entries: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    fn lookup(&self, vmid: u16, asid: u16, va: u64) -> Option<TlbEntry> {
+        let key = TlbKey { vmid, vpn: va >> 12 };
+        self.entries.get(&key).and_then(|v| v.iter().find(|e| e.asid.is_none() || e.asid == Some(asid)).copied())
+    }
+
+    fn insert(&mut self, vmid: u16, va: u64, entry: TlbEntry) {
+        let key = TlbKey { vmid, vpn: va >> 12 };
+        while self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        let slot = self.entries.entry(key).or_default();
+        if slot.is_empty() {
+            self.order.push_back(key);
+        }
+        slot.retain(|e| e.asid != entry.asid);
+        slot.push(entry);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+/// A two-level TLB: a small micro-TLB in front of the main TLB, the
+/// usual ARM arrangement. Hitting only the main TLB costs a few cycles —
+/// which is what makes Table 5's switch cost creep upward with the
+/// domain count.
+#[derive(Debug)]
+pub struct Tlb {
+    l1: TlbLevel,
+    l2: TlbLevel,
+    hits: u64,
+    misses: u64,
+    l2_hits: u64,
+}
+
+impl Tlb {
+    /// Create a TLB with the given main capacity and a default micro-TLB.
+    pub fn new(capacity: usize) -> Self {
+        Tlb::with_l1(capacity.min(48), capacity)
+    }
+
+    /// Create a TLB with explicit level capacities.
+    pub fn with_l1(l1_capacity: usize, l2_capacity: usize) -> Self {
+        Tlb { l1: TlbLevel::new(l1_capacity), l2: TlbLevel::new(l2_capacity), hits: 0, misses: 0, l2_hits: 0 }
+    }
+
+    /// Look up `(vmid, asid, va)`; global entries match any ASID. Returns
+    /// the entry and which level supplied it (L2 hits are promoted).
+    pub fn lookup_leveled(&mut self, vmid: u16, asid: u16, va: u64) -> Option<(TlbEntry, TlbHit)> {
+        if let Some(e) = self.l1.lookup(vmid, asid, va) {
+            self.hits += 1;
+            return Some((e, TlbHit::L1));
+        }
+        if let Some(e) = self.l2.lookup(vmid, asid, va) {
+            self.hits += 1;
+            self.l2_hits += 1;
+            self.l1.insert(vmid, va, e);
+            return Some((e, TlbHit::L2));
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Level-blind lookup (compatibility helper for tests).
+    pub fn lookup(&mut self, vmid: u16, asid: u16, va: u64) -> Option<TlbEntry> {
+        self.lookup_leveled(vmid, asid, va).map(|(e, _)| e)
+    }
+
+    /// Insert a translation for `(vmid, va)` into both levels.
+    pub fn insert(&mut self, vmid: u16, va: u64, entry: TlbEntry) {
+        self.l1.insert(vmid, va, entry);
+        self.l2.insert(vmid, va, entry);
+    }
+
+    /// `TLBI ALLE1` equivalent — drop everything.
+    pub fn invalidate_all(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+    }
+
+    /// Drop every entry belonging to one VMID (`TLBI VMALLS12E1`).
+    pub fn invalidate_vmid(&mut self, vmid: u16) {
+        for level in [&mut self.l1, &mut self.l2] {
+            level.entries.retain(|k, _| k.vmid != vmid);
+            level.order.retain(|k| k.vmid != vmid);
+        }
+    }
+
+    /// Drop entries for one `(vmid, asid)` (`TLBI ASIDE1`); global entries
+    /// survive.
+    pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        for level in [&mut self.l1, &mut self.l2] {
+            for (k, v) in level.entries.iter_mut() {
+                if k.vmid == vmid {
+                    v.retain(|e| e.asid != Some(asid));
+                }
+            }
+            let entries = &mut level.entries;
+            let order = &mut level.order;
+            order.retain(|k| entries.get(k).is_some_and(|v| !v.is_empty()));
+            entries.retain(|_, v| !v.is_empty());
+        }
+    }
+
+    /// Drop all entries for one page in a VMID, any ASID (`TLBI VAAE1`).
+    pub fn invalidate_va(&mut self, vmid: u16, va: u64) {
+        let key = TlbKey { vmid, vpn: va >> 12 };
+        for level in [&mut self.l1, &mut self.l2] {
+            level.entries.remove(&key);
+            level.order.retain(|k| *k != key);
+        }
+    }
+
+    /// `(hits, misses)` counters since creation or [`Self::reset_stats`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Main-TLB hits that missed the micro-TLB.
+    pub fn l2_hit_count(&self) -> u64 {
+        self.l2_hits
+    }
+
+    /// Zero the hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.l2_hits = 0;
+    }
+
+    /// Number of resident translations (main TLB).
+    pub fn len(&self) -> usize {
+        self.l2.entries.values().map(Vec::len).sum()
+    }
+
+    /// True when no translations are resident.
+    pub fn is_empty(&self) -> bool {
+        self.l2.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(asid: Option<u16>, pa: u64) -> TlbEntry {
+        TlbEntry { asid, pa_page: pa, s1: S1Perms::kernel_data(), s2: None }
+    }
+
+    #[test]
+    fn asid_mismatch_misses() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(7), 0xa000));
+        assert!(t.lookup(1, 7, 0x1000).is_some());
+        assert!(t.lookup(1, 8, 0x1000).is_none(), "different ASID must miss");
+        assert!(t.lookup(2, 7, 0x1000).is_none(), "different VMID must miss");
+    }
+
+    #[test]
+    fn global_entries_match_all_asids() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x2000, entry(None, 0xb000));
+        assert!(t.lookup(1, 1, 0x2000).is_some());
+        assert!(t.lookup(1, 999, 0x2000).is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut t = Tlb::new(2);
+        t.insert(1, 0x1000, entry(Some(1), 0xa000));
+        t.insert(1, 0x2000, entry(Some(1), 0xb000));
+        t.insert(1, 0x3000, entry(Some(1), 0xc000));
+        assert!(t.lookup(1, 1, 0x1000).is_none(), "oldest entry evicted");
+        assert!(t.lookup(1, 1, 0x3000).is_some());
+    }
+
+    #[test]
+    fn invalidate_asid_spares_globals() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(5), 0xa000));
+        t.insert(1, 0x2000, entry(None, 0xb000));
+        t.invalidate_asid(1, 5);
+        assert!(t.lookup(1, 5, 0x1000).is_none());
+        assert!(t.lookup(1, 5, 0x2000).is_some());
+    }
+
+    #[test]
+    fn invalidate_vmid_is_scoped() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(1), 0xa000));
+        t.insert(2, 0x1000, entry(Some(1), 0xb000));
+        t.invalidate_vmid(1);
+        assert!(t.lookup(1, 1, 0x1000).is_none());
+        assert!(t.lookup(2, 1, 0x1000).is_some());
+    }
+
+    #[test]
+    fn invalidate_va_hits_all_asids() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(1), 0xa000));
+        t.insert(1, 0x1000, entry(Some(2), 0xb000));
+        t.invalidate_va(1, 0x1fff); // same page
+        assert!(t.lookup(1, 1, 0x1000).is_none());
+        assert!(t.lookup(1, 2, 0x1000).is_none());
+    }
+
+    #[test]
+    fn same_asid_reinsert_replaces() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(1), 0xa000));
+        t.insert(1, 0x1000, entry(Some(1), 0xc000));
+        assert_eq!(t.lookup(1, 1, 0x1000).unwrap().pa_page, 0xc000);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut t = Tlb::new(16);
+        t.insert(1, 0x1000, entry(Some(1), 0xa000));
+        t.lookup(1, 1, 0x1000);
+        t.lookup(1, 1, 0x9000);
+        assert_eq!(t.stats(), (1, 1));
+        t.reset_stats();
+        assert_eq!(t.stats(), (0, 0));
+    }
+}

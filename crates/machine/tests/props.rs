@@ -1,0 +1,145 @@
+//! Property-based tests for translation, permissions, and TLB coherence.
+
+use lz_arch::pstate::ExceptionLevel;
+use lz_arch::sysreg::ttbr;
+use lz_arch::Platform;
+use lz_machine::pte::S1Perms;
+use lz_machine::walk::{alloc_table, s1_lookup, s1_map_page, s1_unmap, translate, Access, AccessCtx, FaultKind, WalkConfig};
+use lz_machine::{PhysMem, Tlb};
+use proptest::prelude::*;
+
+fn any_perms() -> impl Strategy<Value = S1Perms> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(write, user_exec, priv_exec, el0, global)| S1Perms {
+            read: true,
+            write,
+            user_exec,
+            priv_exec,
+            el0,
+            global,
+        },
+    )
+}
+
+fn any_page_va() -> impl Strategy<Value = u64> {
+    // Low-half, 48-bit, page-aligned.
+    (0u64..(1 << 36)).prop_map(|p| p << 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// translate() agrees with s1_lookup() on address and reachability for
+    /// arbitrary map sequences.
+    #[test]
+    fn translate_matches_lookup(vas in proptest::collection::vec(any_page_va(), 1..20), probe in any_page_va()) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root = alloc_table(&mut mem);
+        let perms = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        for &va in &vas {
+            let pa = mem.alloc_frame();
+            s1_map_page(&mut mem, root, va, pa, perms);
+        }
+        let cfg = WalkConfig { ttbr0: ttbr::pack(1, root), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let actx = AccessCtx { el: ExceptionLevel::El0, pan: false, unpriv: false };
+        let walked = translate(&mem, &mut tlb, &model, &cfg, probe, Access::Read, &actx);
+        let looked = s1_lookup(&mem, root, probe);
+        match (walked, looked) {
+            (Ok(t), Some((pa, _, _))) => prop_assert_eq!(t.pa, pa),
+            (Err(f), None) => prop_assert_eq!(f.kind, FaultKind::Translation),
+            (w, l) => prop_assert!(false, "mismatch: {:?} vs {:?}", w, l),
+        }
+    }
+
+    /// Permission outcomes are exactly what the leaf bits say, for every
+    /// combination of EL, PAN, and access kind.
+    #[test]
+    fn permissions_honored(perms in any_perms(), el0 in any::<bool>(), pan in any::<bool>(), wr in any::<bool>()) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root = alloc_table(&mut mem);
+        let frame = mem.alloc_frame();
+        let va = 0x40_0000u64;
+        s1_map_page(&mut mem, root, va, frame, perms);
+        let cfg = WalkConfig { ttbr0: ttbr::pack(1, root), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let el = if el0 { ExceptionLevel::El0 } else { ExceptionLevel::El1 };
+        let actx = AccessCtx { el, pan, unpriv: false };
+        let access = if wr { Access::Write } else { Access::Read };
+        let res = translate(&mem, &mut tlb, &model, &cfg, va, access, &actx);
+        let expect_ok = if el0 {
+            perms.el0 && (!wr || perms.write)
+        } else {
+            (!pan || !perms.el0) && (!wr || perms.write)
+        };
+        prop_assert_eq!(res.is_ok(), expect_ok, "perms={:?} el0={} pan={} wr={}", perms, el0, pan, wr);
+    }
+
+    /// After unmapping, translation faults — provided the TLB entry for
+    /// that page is invalidated (break-before-make contract).
+    #[test]
+    fn unmap_with_tlbi_faults(vas in proptest::collection::vec(any_page_va(), 1..10)) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root = alloc_table(&mut mem);
+        let perms = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        for &va in &vas {
+            let pa = mem.alloc_frame();
+            s1_map_page(&mut mem, root, va, pa, perms);
+        }
+        let cfg = WalkConfig { ttbr0: ttbr::pack(1, root), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let actx = AccessCtx { el: ExceptionLevel::El0, pan: false, unpriv: false };
+        let victim = vas[0];
+        // Touch it (fills the TLB)…
+        prop_assert!(translate(&mem, &mut tlb, &model, &cfg, victim, Access::Read, &actx).is_ok());
+        // …unmap + invalidate…
+        s1_unmap(&mut mem, root, victim);
+        tlb.invalidate_va(cfg.vmid(), victim);
+        // …and it faults.
+        prop_assert!(translate(&mem, &mut tlb, &model, &cfg, victim, Access::Read, &actx).is_err());
+    }
+
+    /// A stale TLB entry keeps translating after the tables change — the
+    /// architectural hazard that motivates break-before-make (§6.3).
+    #[test]
+    fn stale_tlb_entry_survives_table_edit(va in any_page_va()) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root = alloc_table(&mut mem);
+        let frame = mem.alloc_frame();
+        let perms = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        s1_map_page(&mut mem, root, va, frame, perms);
+        let cfg = WalkConfig { ttbr0: ttbr::pack(1, root), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let actx = AccessCtx { el: ExceptionLevel::El0, pan: false, unpriv: false };
+        prop_assert!(translate(&mem, &mut tlb, &model, &cfg, va, Access::Read, &actx).is_ok());
+        s1_unmap(&mut mem, root, va);
+        // No TLBI: the stale entry still hits.
+        let t = translate(&mem, &mut tlb, &model, &cfg, va, Access::Read, &actx).unwrap();
+        prop_assert!(t.tlb_hit);
+        prop_assert_eq!(t.pa, frame);
+    }
+
+    /// Different ASIDs never observe each other's non-global mappings.
+    #[test]
+    fn asid_isolation(asid_a in 1u16..100, asid_b in 101u16..200, va in any_page_va()) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root_a = alloc_table(&mut mem);
+        let root_b = alloc_table(&mut mem);
+        let fa = mem.alloc_frame();
+        let perms = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        s1_map_page(&mut mem, root_a, va, fa, perms);
+        // root_b maps nothing.
+        let actx = AccessCtx { el: ExceptionLevel::El0, pan: false, unpriv: false };
+        let cfg_a = WalkConfig { ttbr0: ttbr::pack(asid_a, root_a), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let cfg_b = WalkConfig { ttbr0: ttbr::pack(asid_b, root_b), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        prop_assert!(translate(&mem, &mut tlb, &model, &cfg_a, va, Access::Read, &actx).is_ok());
+        // Domain B must fault even though A's entry is in the TLB.
+        prop_assert!(translate(&mem, &mut tlb, &model, &cfg_b, va, Access::Read, &actx).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! A toy block cipher for the runnable examples.
+//!
+//! Stands in for OpenSSL's AES in the key-protection scenarios: the
+//! *security* property under study is who can read the key, not the
+//! cipher's strength. 16-byte blocks, 16-byte keys, 8 xor-rotate rounds.
+
+/// Block and key size in bytes.
+pub const BLOCK: usize = 16;
+
+/// Encrypt one block in place.
+pub fn encrypt_block(block: &mut [u8; BLOCK], key: &[u8; BLOCK]) {
+    for round in 0..8u32 {
+        for i in 0..BLOCK {
+            block[i] = block[i].wrapping_add(key[(i + round as usize) % BLOCK]).rotate_left(3) ^ (round as u8);
+        }
+    }
+}
+
+/// Decrypt one block in place.
+pub fn decrypt_block(block: &mut [u8; BLOCK], key: &[u8; BLOCK]) {
+    for round in (0..8u32).rev() {
+        for i in (0..BLOCK).rev() {
+            block[i] = (block[i] ^ (round as u8)).rotate_right(3).wrapping_sub(key[(i + round as usize) % BLOCK]);
+        }
+    }
+}
+
+/// Encrypt a buffer (must be a multiple of [`BLOCK`]).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of the block size.
+pub fn encrypt(data: &mut [u8], key: &[u8; BLOCK]) {
+    assert!(data.len().is_multiple_of(BLOCK), "data must be block aligned");
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("chunk is BLOCK bytes");
+        encrypt_block(block, key);
+    }
+}
+
+/// Decrypt a buffer (must be a multiple of [`BLOCK`]).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of the block size.
+pub fn decrypt(data: &mut [u8], key: &[u8; BLOCK]) {
+    assert!(data.len().is_multiple_of(BLOCK), "data must be block aligned");
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("chunk is BLOCK bytes");
+        decrypt_block(block, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; BLOCK];
+        let mut data = (0..64u8).collect::<Vec<_>>();
+        let orig = data.clone();
+        encrypt(&mut data, &key);
+        assert_ne!(data, orig);
+        decrypt(&mut data, &key);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut a = [1u8; BLOCK];
+        let mut b = [1u8; BLOCK];
+        encrypt_block(&mut a, &[2u8; BLOCK]);
+        encrypt_block(&mut b, &[3u8; BLOCK]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "block aligned")]
+    fn unaligned_rejected() {
+        encrypt(&mut [0u8; 5], &[0u8; BLOCK]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deployment and mechanism enums shared by all experiments.
+
+use std::fmt;
+
+/// Where the protected application runs (the paper's Host/Guest columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Directly under the VHE host kernel.
+    Host,
+    /// Inside a KVM guest VM (LightZone then needs Lowvisor).
+    Guest,
+}
+
+impl Deployment {
+    pub const ALL: [Deployment; 2] = [Deployment::Host, Deployment::Guest];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Deployment::Host => "Host",
+            Deployment::Guest => "Guest",
+        }
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The isolation mechanism applied to the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Unprotected baseline.
+    Vanilla,
+    /// LightZone with PAN (two domains, near-free switches).
+    LzPan,
+    /// LightZone with TTBR page-table switching (scalable).
+    LzTtbr,
+    /// The ioctl-based hardware-watchpoint prototype (≤ 16 domains).
+    Watchpoint,
+    /// Simulated light-weight contexts.
+    Lwc,
+}
+
+impl Mechanism {
+    /// All mechanisms, in the order the paper's figures list them.
+    pub const ALL: [Mechanism; 5] =
+        [Mechanism::Vanilla, Mechanism::LzPan, Mechanism::LzTtbr, Mechanism::Watchpoint, Mechanism::Lwc];
+
+    /// The protected mechanisms (everything but vanilla).
+    pub const PROTECTED: [Mechanism; 4] =
+        [Mechanism::LzPan, Mechanism::LzTtbr, Mechanism::Watchpoint, Mechanism::Lwc];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Mechanism::Vanilla => "Original",
+            Mechanism::LzPan => "LightZone PAN",
+            Mechanism::LzTtbr => "LightZone TTBR",
+            Mechanism::Watchpoint => "Watchpoint",
+            Mechanism::Lwc => "lwC",
+        }
+    }
+
+    /// Maximum number of isolation domains the mechanism supports.
+    pub const fn max_domains(self) -> usize {
+        match self {
+            Mechanism::Vanilla => 0,
+            Mechanism::LzPan => 2,
+            Mechanism::LzTtbr => 1 << 16,
+            Mechanism::Watchpoint => 16,
+            Mechanism::Lwc => usize::MAX,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scalability_column() {
+        assert_eq!(Mechanism::Watchpoint.max_domains(), 16);
+        assert_eq!(Mechanism::LzPan.max_domains(), 2);
+        assert_eq!(Mechanism::LzTtbr.max_domains(), 65536);
+        assert!(Mechanism::Lwc.max_domains() > 1 << 16);
+    }
+
+    #[test]
+    fn names_are_figure_labels() {
+        assert_eq!(Mechanism::Vanilla.name(), "Original");
+        assert_eq!(Deployment::Host.name(), "Host");
+    }
+}

@@ -1,0 +1,30 @@
+//! Application workloads and microbenchmarks for the LightZone
+//! evaluation (paper §8–§9).
+//!
+//! * [`micro`] — runs *real assembled programs* on the simulated machine
+//!   to measure trap round-trips (Table 4) and domain-switch costs
+//!   (Table 5) for every mechanism and deployment.
+//! * [`httpd`] — the HTTPS cryptographic-key-protection workload
+//!   (Nginx + OpenSSL, Figure 3): per-connection AES keys in per-key
+//!   domains, function-grained gate crossings.
+//! * [`oltp`] — the multi-threaded database workload (MySQL, Figure 4):
+//!   per-connection stack domains plus a PAN-protected MEMORY storage
+//!   engine (`HP_PTRS`).
+//! * [`nvm`] — the NVM data-isolation workload (Merr-style, Figure 5):
+//!   2 MB string buffers, one domain each, substring searches.
+//! * [`crypto`] — a toy block cipher used by the runnable examples.
+//!
+//! The application workloads are *operation-level* models: their
+//! syscall, domain-switch, and TLB behaviour per request is composed
+//! from primitives measured by [`micro`] on the simulator, so every
+//! mechanism comparison inherits the machine's actual costs.
+
+pub mod crypto;
+pub mod deploy;
+pub mod httpd;
+pub mod micro;
+pub mod nvm;
+pub mod oltp;
+
+pub use deploy::{Deployment, Mechanism};
+pub use micro::Primitives;

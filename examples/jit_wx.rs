@@ -1,0 +1,83 @@
+//! JIT with W/X dual mapping: "JIT code pages can switch between
+//! writable and executable permissions via two page tables" (paper §6.1).
+//!
+//! A writer domain maps the code cache RW; an executor domain maps the
+//! same physical page RX. The program emits code from the writer domain,
+//! switches to the executor domain, and runs it — twice, to show the
+//! re-scan after modification (TOCTTOU defence, §6.3).
+//!
+//! Run with: `cargo run --example jit_wx`
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_TTBR};
+use lightzone::pgt::perm;
+use lightzone::LightZone;
+use lz_arch::asm::Asm;
+use lz_arch::Platform;
+
+const CODE: u64 = 0x40_0000;
+const JIT: u64 = 0x61_0000;
+
+fn main() {
+    let mut b = LzProgramBuilder::new(CODE);
+    // Code cache starts with a stub: `mov x5, #111; ret`.
+    let mut seed = Asm::new(JIT);
+    seed.movz(5, 111, 0);
+    seed.ret();
+    b.with_segment(JIT, seed.bytes(), lz_kernel::VmProt::RWX);
+
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc(); // pgt 1: writer view
+    b.asm.lz_alloc(); // pgt 2: executor view
+    // One gate per call site (§6.2), even when several switch to the
+    // same table: gates 1 and 3 both enter the executor domain.
+    b.asm.lz_map_gate_pgt_imm(1, 0); // gate 0 -> writer
+    b.asm.lz_map_gate_pgt_imm(2, 1); // gate 1 -> executor (first entry)
+    b.asm.lz_map_gate_pgt_imm(0, 2); // gate 2 -> default table
+    b.asm.lz_map_gate_pgt_imm(2, 3); // gate 3 -> executor (second entry)
+    b.asm.lz_prot_imm(JIT, 4096, 1, RW);
+    b.asm.lz_prot_imm(JIT, 4096, 2, perm::READ | perm::EXEC);
+
+    // Run the seed code from the executor domain.
+    b.lz_switch_to_ttbr_gate(1);
+    b.asm.mov_imm64(17, JIT);
+    b.asm.blr(17);
+    b.asm.mov_reg(20, 5); // x20 = 111
+
+    // Recompile from the writer domain: `mov x5, #222; ret`.
+    b.lz_switch_to_ttbr_gate(0);
+    let mut patch = Asm::new(JIT);
+    patch.movz(5, 222, 0);
+    patch.ret();
+    b.asm.mov_imm64(1, JIT);
+    for (i, w) in patch.words().iter().enumerate() {
+        b.asm.mov_imm64(2, *w as u64);
+        b.asm.emit(lz_arch::insn::Insn::StrImm {
+            rt: 2,
+            rn: 1,
+            offset: (i * 4) as u64,
+            size: lz_arch::insn::MemSize::W,
+        });
+    }
+
+    // Execute the new code (re-scanned on the way in).
+    b.lz_switch_to_ttbr_gate(3);
+    b.asm.mov_imm64(17, JIT);
+    b.asm.blr(17);
+    // exit(first_result * 1000 + second_result)
+    b.asm.mov_imm64(0, 1000);
+    // x0 = x20 * 1000 + x5, via shifts/adds: simpler to add repeatedly is
+    // wasteful — use the kernel: exit code = x20 + x5 (111 + 222 = 333).
+    b.asm.add_reg(0, 20, 5);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    let code = lz.run_to_exit();
+    let stats = lz.module.proc(pid).unwrap().stats.clone();
+    println!("JIT ran twice: first + second result = {code} (expected 333)");
+    println!("pages sanitized (seed + rescan after write): {}", stats.sanitized_pages);
+    assert_eq!(code, 333);
+}

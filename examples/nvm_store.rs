@@ -1,0 +1,65 @@
+//! NVM object store: per-object isolation domains over huge-page-backed
+//! buffers (the paper's §9.3 Merr scenario).
+//!
+//! Four 2 MiB "persistent memory" objects each live in their own TTBR
+//! domain. Every operation enters the owning object's domain through its
+//! gate, works on the object, and exits — so a wild pointer produced
+//! while object 0 is open can never corrupt objects 1–3, shrinking the
+//! exposure window exactly as Merr argues.
+//!
+//! Run with: `cargo run --release --example nvm_store`
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_TTBR};
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::Platform;
+use lz_kernel::vma::BLOCK_SIZE;
+use lz_kernel::VmProt;
+
+const CODE: u64 = 0x40_0000;
+const STORE: u64 = 0x8000_0000;
+const OBJECTS: u64 = 4;
+
+fn main() {
+    for (name, wild) in [("clean run", false), ("wild write from object 1 into object 3", true)] {
+        let mut b = LzProgramBuilder::new(CODE);
+        b.with_huge_segment(STORE, OBJECTS * BLOCK_SIZE, VmProt::RW);
+        b.asm.lz_enter(true, SAN_TTBR);
+        for o in 0..OBJECTS {
+            b.asm.lz_alloc();
+            b.asm.lz_map_gate_pgt_imm(o + 1, o);
+            b.asm.lz_prot_imm(STORE + o * BLOCK_SIZE, BLOCK_SIZE, o + 1, RW);
+        }
+        for o in 0..OBJECTS {
+            b.asm.lz_map_gate_pgt_imm(0, OBJECTS + o); // per-site exit gates
+        }
+        b.asm.movz(22, 0, 0);
+        for o in 0..OBJECTS {
+            b.lz_switch_to_ttbr_gate(o as u16);
+            b.asm.mov_imm64(1, STORE + o * BLOCK_SIZE + 0x100);
+            b.asm.mov_imm64(2, 0x10 + o);
+            b.asm.str(2, 1, 0);
+            b.asm.ldr(3, 1, 0);
+            b.asm.add_reg(22, 22, 3);
+            if wild && o == 1 {
+                b.asm.mov_imm64(1, STORE + 3 * BLOCK_SIZE);
+                b.asm.str(2, 1, 0);
+            }
+            b.lz_switch_to_ttbr_gate((OBJECTS + o) as u16);
+        }
+        b.asm.mov_reg(0, 22);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+        b.asm.svc(0);
+        let prog = b.build();
+        let mut lz = LightZone::new_host(Platform::Carmel);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        let code = lz.run_to_exit();
+        let expect: u64 = (0..OBJECTS).map(|o| 0x10 + o).sum();
+        let verdict = if code == SECURITY_KILL {
+            "terminated by LightZone before corrupting the store ✓".to_string()
+        } else {
+            format!("checksum {code:#x} (expected {expect:#x})")
+        };
+        println!("{name:<45} -> {verdict}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace root crate: re-exports the LightZone reproduction crates so
+//! the examples and integration tests can use one import root, plus a
+//! [`prelude`] with the names almost every LightZone program needs.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`lz_arch`] — A64 encodings, assembler, sanitizer rules, cycle model
+//! * [`lz_machine`] — the simulated ARMv8 machine
+//! * [`lz_kernel`] — the kernel substrate
+//! * [`lightzone`] — the paper's contribution
+//! * [`lz_baselines`] — Watchpoint and simulated-lwC baselines
+//! * [`lz_workloads`] — microbenchmarks and the three applications
+//!
+//! # Example
+//!
+//! ```
+//! use lightzone_repro::prelude::*;
+//!
+//! let mut b = LzProgramBuilder::new(0x40_0000);
+//! b.asm.lz_enter(false, SAN_PAN);
+//! b.asm.exit_imm(3);
+//! let mut lz = LightZone::new_host(Platform::CortexA55);
+//! let pid = lz.spawn(&b.build());
+//! lz.enter_process(pid);
+//! assert_eq!(lz.run_to_exit(), 3);
+//! ```
+
+pub use lightzone;
+pub use lz_arch;
+pub use lz_baselines;
+pub use lz_kernel;
+pub use lz_machine;
+pub use lz_workloads;
+
+/// The names almost every LightZone program needs.
+pub mod prelude {
+    pub use lightzone::api::{LzAsm, LzProgram, LzProgramBuilder, RW, SAN_BOTH, SAN_PAN, SAN_TTBR, USER};
+    pub use lightzone::pgt::PGT_ALL;
+    pub use lightzone::{AblationConfig, LightZone, SECURITY_KILL};
+    pub use lz_arch::asm::Asm;
+    pub use lz_arch::Platform;
+    pub use lz_kernel::{Event, Program, Sysno, VmProt};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let _ = Platform::ALL;
+        let _ = SECURITY_KILL;
+        let _ = VmProt::RW;
+    }
+}

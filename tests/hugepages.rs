@@ -1,0 +1,150 @@
+//! Huge-page (2 MiB block) support: the paper maps its NVM buffers with
+//! huge pages (§9.3: "we use huge pages to map the 2MB-sized buffers"),
+//! cutting page-table overhead and TLB pressure for the scalable variant.
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_PAN, SAN_TTBR, USER};
+use lightzone::pgt::PGT_ALL;
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::Platform;
+use lz_kernel::vma::BLOCK_SIZE;
+use lz_kernel::VmProt;
+
+const CODE: u64 = 0x40_0000;
+const BUF: u64 = 0x8000_0000;
+
+#[test]
+fn plain_process_uses_huge_blocks() {
+    // An EL0 process touching a huge region gets a block mapping in the
+    // kernel-managed table.
+    let mut a = lz_arch::asm::Asm::new(CODE);
+    a.mov_imm64(0, BUF + 0x12_3456);
+    a.mov_imm64(1, 0x77);
+    a.strb(1, 0, 0);
+    a.ldrb(2, 0, 0);
+    a.mov_reg(0, 2);
+    a.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    a.svc(0);
+    let prog = lz_kernel::Program::from_code(CODE, a.bytes()).with_huge_segment(BUF, 2 * BLOCK_SIZE, VmProt::RW);
+    let mut k = lz_kernel::Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), lz_kernel::Event::Exited(0x77));
+    // The kernel table holds a level-2 block descriptor.
+    let root = k.process(pid).mm.root;
+    let (_, _, level) = lz_machine::walk::s1_lookup(&k.machine.mem, root, BUF + 0x12_3456).unwrap();
+    assert_eq!(level, 2, "level-2 block mapping");
+    assert!(k.process(pid).mm.block_at(BUF).is_some());
+}
+
+fn lz_huge_prog(buffers: u64, pan: bool, evil: bool) -> lightzone::LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_huge_segment(BUF, buffers * BLOCK_SIZE, VmProt::RW);
+    if pan {
+        b.asm.lz_enter(false, SAN_PAN);
+        b.asm.lz_prot_imm(BUF, buffers * BLOCK_SIZE, PGT_ALL, RW | USER);
+        b.asm.set_pan(0);
+        b.asm.mov_imm64(1, BUF + BLOCK_SIZE + 0x400);
+        b.asm.mov_imm64(2, 0x5a);
+        b.asm.strb(2, 1, 0);
+        b.asm.ldrb(0, 1, 0);
+        b.asm.set_pan(1);
+        if evil {
+            b.asm.mov_imm64(1, BUF);
+            b.asm.ldrb(2, 1, 0); // PAN set: violation
+        }
+    } else {
+        b.asm.lz_enter(true, SAN_TTBR);
+        for d in 0..buffers {
+            b.asm.lz_alloc();
+            b.asm.lz_map_gate_pgt_imm(d + 1, d);
+            b.asm.lz_prot_imm(BUF + d * BLOCK_SIZE, BLOCK_SIZE, d + 1, RW);
+        }
+        b.lz_switch_to_ttbr_gate(0); // enter buffer 0's domain
+        b.asm.mov_imm64(1, BUF + 0x400);
+        b.asm.mov_imm64(2, 0x5a);
+        b.asm.strb(2, 1, 0);
+        b.asm.ldrb(0, 1, 0);
+        if evil {
+            b.asm.mov_imm64(1, BUF + BLOCK_SIZE); // buffer 1: other domain
+            b.asm.ldrb(2, 1, 0);
+        }
+    }
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    b.build()
+}
+
+#[test]
+fn lz_pan_protects_huge_buffers() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_huge_prog(2, true, false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x5a);
+}
+
+#[test]
+fn lz_pan_violation_on_huge_buffer_killed() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_huge_prog(2, true, true));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+}
+
+#[test]
+fn lz_ttbr_domains_on_huge_buffers() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_huge_prog(2, false, false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x5a);
+    // The LZ table holds a block: its leaf fake is 2 MiB aligned.
+    let proc = lz.module.proc(pid).unwrap();
+    let t = proc.tables[1].as_ref().unwrap();
+    let (leaf_fake, _) = t.lookup(&lz.kernel.machine.mem, &proc.fake, BUF + 0x400).unwrap();
+    assert_eq!(leaf_fake & (BLOCK_SIZE - 1), 0x400 & !(0xfffu64), "block-derived address");
+}
+
+#[test]
+fn lz_ttbr_cross_huge_domain_killed() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_huge_prog(2, false, true));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+}
+
+#[test]
+fn huge_mapping_uses_fewer_tlb_entries() {
+    // Touch many pages of one huge buffer: the single block entry covers
+    // them all, so the TLB holds far fewer entries than a 4 KB run.
+    let touch_program = |huge: bool| {
+        let mut b = LzProgramBuilder::new(CODE);
+        if huge {
+            b.with_huge_segment(BUF, BLOCK_SIZE, VmProt::RW);
+        } else {
+            b.with_anon_segment(BUF, BLOCK_SIZE, VmProt::RW);
+        }
+        b.asm.lz_enter(false, SAN_PAN);
+        b.asm.lz_prot_imm(BUF, BLOCK_SIZE, PGT_ALL, RW | USER);
+        b.asm.set_pan(0);
+        b.asm.mov_imm64(1, BUF);
+        b.asm.mov_imm64(23, 64); // touch 64 pages
+        let top = b.asm.label();
+        b.asm.bind(top);
+        b.asm.ldrb(2, 1, 0);
+        b.asm.add_imm(1, 1, 4095);
+        b.asm.add_imm(1, 1, 1);
+        b.asm.subs_imm(23, 23, 1);
+        b.asm.b_ne(top);
+        b.asm.set_pan(1);
+        b.asm.exit_imm(0);
+        let prog = b.build();
+        let mut lz = LightZone::new_host(Platform::CortexA55);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        assert_eq!(lz.run_to_exit(), 0);
+        (lz.kernel.machine.cpu.cycles, lz.module.proc(pid).unwrap().stats.ve_faults)
+    };
+    let (huge_cycles, huge_faults) = touch_program(true);
+    let (page_cycles, page_faults) = touch_program(false);
+    assert!(huge_faults < page_faults / 8, "one block fault vs 64 page faults: {huge_faults} vs {page_faults}");
+    assert!(huge_cycles < page_cycles, "block mapping is cheaper: {huge_cycles} vs {page_cycles}");
+}

@@ -1,0 +1,266 @@
+//! Signal handling across the stack — including the LightZone-extended
+//! signal context carrying PAN and TTBR0 (paper §6: "PAN and TTBR0 are
+//! added in the signal contexts of the kernel for correct signal
+//! handling").
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_PAN, SAN_TTBR, USER};
+use lightzone::pgt::PGT_ALL;
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::asm::Asm;
+use lz_arch::{Platform, PAGE_SIZE};
+use lz_kernel::{Event, Kernel, Program, Sysno, VmProt};
+
+const CODE: u64 = 0x40_0000;
+const HANDLER: u64 = 0x48_0000;
+const DATA: u64 = 0x50_0000;
+/// Handlers communicate through this page: `rt_sigreturn` restores every
+/// register from the frame, so register side effects do not survive.
+const FLAGS: u64 = 0x58_0000;
+const SIGUSR1: u64 = 10;
+
+#[test]
+fn normal_process_signal_roundtrip() {
+    // main: register handler; kill(self); continue; exit(7 + flag).
+    // handler: *FLAGS = 70; sigreturn.
+    let mut main = Asm::new(CODE);
+    main.mov_imm64(0, SIGUSR1);
+    main.mov_imm64(1, HANDLER);
+    main.mov_imm64(8, Sysno::Sigaction.nr());
+    main.svc(0);
+    main.movz(20, 7, 0);
+    main.mov_imm64(0, 0); // self
+    main.mov_imm64(1, SIGUSR1);
+    main.mov_imm64(8, Sysno::Kill.nr());
+    main.svc(0); // handler runs on this syscall's return path
+    main.mov_imm64(9, FLAGS);
+    main.ldr(21, 9, 0);
+    main.add_reg(0, 20, 21);
+    main.mov_imm64(8, Sysno::Exit.nr());
+    main.svc(0);
+
+    let mut handler = Asm::new(HANDLER);
+    handler.mov_imm64(9, FLAGS);
+    handler.movz(21, 70, 0);
+    handler.str(21, 9, 0);
+    handler.mov_imm64(8, Sysno::Sigreturn.nr());
+    handler.svc(0);
+
+    let prog = Program::from_code(CODE, main.bytes())
+        .with_segment(HANDLER, handler.bytes(), VmProt::RX)
+        .with_anon_segment(FLAGS, 4096, VmProt::RW);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(77), "handler ran and mainline resumed");
+}
+
+#[test]
+fn handler_clobbers_do_not_leak_without_sigreturn_restore() {
+    // The frame restores *all* registers: the handler trashes x20 and the
+    // mainline still sees its value.
+    let mut main = Asm::new(CODE);
+    main.mov_imm64(0, SIGUSR1);
+    main.mov_imm64(1, HANDLER);
+    main.mov_imm64(8, Sysno::Sigaction.nr());
+    main.svc(0);
+    main.movz(20, 55, 0);
+    main.mov_imm64(0, 0);
+    main.mov_imm64(1, SIGUSR1);
+    main.mov_imm64(8, Sysno::Kill.nr());
+    main.svc(0);
+    main.mov_reg(0, 20); // must still be 55
+    main.mov_imm64(8, Sysno::Exit.nr());
+    main.svc(0);
+
+    let mut handler = Asm::new(HANDLER);
+    handler.movz(20, 999, 0); // clobber
+    handler.mov_imm64(8, Sysno::Sigreturn.nr());
+    handler.svc(0);
+
+    let prog = Program::from_code(CODE, main.bytes()).with_segment(HANDLER, handler.bytes(), VmProt::RX);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(55));
+}
+
+#[test]
+fn stray_sigreturn_is_fatal() {
+    let mut main = Asm::new(CODE);
+    main.mov_imm64(8, Sysno::Sigreturn.nr());
+    main.svc(0);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&Program::from_code(CODE, main.bytes()));
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(-4));
+}
+
+#[test]
+fn unhandled_signal_is_dropped() {
+    let mut main = Asm::new(CODE);
+    main.mov_imm64(0, 0);
+    main.mov_imm64(1, SIGUSR1);
+    main.mov_imm64(8, Sysno::Kill.nr());
+    main.svc(0);
+    main.mov_imm64(0, 5);
+    main.mov_imm64(8, Sysno::Exit.nr());
+    main.svc(0);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&Program::from_code(CODE, main.bytes()));
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(5));
+}
+
+/// Build the LightZone PAN signal scenario. The mainline opens the PAN
+/// domain, raises a signal, and afterwards (restored) reads protected
+/// data; the handler optionally *also* tries to read it.
+fn lz_pan_signal_prog(handler_touches_secret: bool) -> lightzone::LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_segment(DATA, vec![0x42; 4096], VmProt::RW);
+
+    // Handler: runs with PAN set and the default table.
+    let mut handler = Asm::new(HANDLER);
+    handler.movz(21, 70, 0);
+    if handler_touches_secret {
+        handler.mov_imm64(1, DATA);
+        handler.ldrb(2, 1, 0); // PAN set in handler: violation
+    }
+    handler.mov_imm64(8, Sysno::Sigreturn.nr());
+    handler.svc(0);
+    b.with_segment(HANDLER, handler.bytes(), VmProt::RX);
+
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(DATA, PAGE_SIZE, PGT_ALL, RW | USER);
+    b.asm.mov_imm64(0, SIGUSR1);
+    b.asm.mov_imm64(1, HANDLER);
+    b.asm.mov_imm64(8, Sysno::Sigaction.nr());
+    b.asm.svc(0);
+
+    // Open the domain, then take a signal mid-critical-section.
+    b.asm.set_pan(0);
+    b.asm.mov_imm64(0, 0);
+    b.asm.mov_imm64(1, SIGUSR1);
+    b.asm.mov_imm64(8, Sysno::Kill.nr());
+    b.asm.svc(0);
+    // Back from the handler: PAN must be restored to *open* so this
+    // read succeeds without another set_pan.
+    b.asm.mov_imm64(1, DATA);
+    b.asm.ldrb(0, 1, 0);
+    b.asm.set_pan(1);
+    b.asm.mov_imm64(8, Sysno::Exit.nr());
+    b.asm.svc(0);
+    b.build()
+}
+
+#[test]
+fn lz_signal_restores_pan_state() {
+    // The signal frame carries PAN: interrupted with the domain open,
+    // the mainline resumes with it open.
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_pan_signal_prog(false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x42);
+}
+
+#[test]
+fn lz_handler_runs_with_pan_set() {
+    // Least privilege during handlers: the handler cannot touch the
+    // protected domain even though the mainline had it open.
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_pan_signal_prog(true));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+}
+
+#[test]
+fn lz_signal_restores_ttbr_domain() {
+    // Interrupt a thread inside TTBR domain 1; the handler runs in the
+    // default table; sigreturn restores TTBR0 so the mainline still sees
+    // domain 1's data.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_segment(DATA, vec![9; 4096], VmProt::RW);
+    let mut handler = Asm::new(HANDLER);
+    handler.mov_imm64(8, Sysno::Sigreturn.nr());
+    handler.svc(0);
+    b.with_segment(HANDLER, handler.bytes(), VmProt::RX);
+
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc();
+    b.asm.lz_map_gate_pgt_imm(1, 0);
+    b.asm.lz_prot_imm(DATA, PAGE_SIZE, 1, RW);
+    b.asm.mov_imm64(0, SIGUSR1);
+    b.asm.mov_imm64(1, HANDLER);
+    b.asm.mov_imm64(8, Sysno::Sigaction.nr());
+    b.asm.svc(0);
+    b.lz_switch_to_ttbr_gate(0); // enter domain 1
+    b.asm.mov_imm64(1, DATA);
+    b.asm.ldrb(20, 1, 0); // warm access
+    // Signal while inside the domain.
+    b.asm.mov_imm64(0, 0);
+    b.asm.mov_imm64(1, SIGUSR1);
+    b.asm.mov_imm64(8, Sysno::Kill.nr());
+    b.asm.svc(0);
+    // Restored: still in domain 1, the access must succeed.
+    b.asm.mov_imm64(1, DATA);
+    b.asm.ldrb(0, 1, 0);
+    b.asm.mov_imm64(8, Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 9);
+}
+
+#[test]
+fn lz_signals_work_in_guest_deployment() {
+    let mut lz = LightZone::new_guest(Platform::Carmel);
+    let pid = lz.spawn(&lz_pan_signal_prog(false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x42);
+}
+
+#[test]
+fn harness_injected_signal_delivered() {
+    // The kernel-side `send_signal` API (external kill).
+    let mut main = Asm::new(CODE);
+    main.mov_imm64(0, SIGUSR1);
+    main.mov_imm64(1, HANDLER);
+    main.mov_imm64(8, Sysno::Sigaction.nr());
+    main.svc(0);
+    // Loop (compute + yield) until the handler sets the memory flag.
+    // The compute stretch lets the harness's instruction budget expire
+    // so it can inject the signal from outside.
+    main.mov_imm64(9, FLAGS);
+    let top = main.label();
+    main.bind(top);
+    main.mov_imm64(25, 2_000);
+    let busy = main.label();
+    main.bind(busy);
+    main.subs_imm(25, 25, 1);
+    main.b_ne(busy);
+    main.mov_imm64(8, Sysno::Yield.nr());
+    main.svc(0);
+    main.mov_imm64(9, FLAGS);
+    main.ldr(21, 9, 0);
+    main.cbz(21, top);
+    main.mov_reg(0, 21);
+    main.mov_imm64(8, Sysno::Exit.nr());
+    main.svc(0);
+    let mut handler = Asm::new(HANDLER);
+    handler.mov_imm64(9, FLAGS);
+    handler.movz(21, 33, 0);
+    handler.str(21, 9, 0);
+    handler.mov_imm64(8, Sysno::Sigreturn.nr());
+    handler.svc(0);
+    let prog = Program::from_code(CODE, main.bytes())
+        .with_segment(HANDLER, handler.bytes(), VmProt::RX)
+        .with_anon_segment(FLAGS, 4096, VmProt::RW);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    // Let it spin a little, then signal from outside.
+    assert_eq!(k.run(2_000), Event::Limit);
+    k.send_signal(pid, SIGUSR1);
+    assert_eq!(k.run(10_000_000), Event::Exited(33));
+}

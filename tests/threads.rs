@@ -1,0 +1,199 @@
+//! Thread support across the stack: kernel threads, and LightZone
+//! per-thread domains ("threads in a process are assigned specific
+//! access permissions to protected memory domains", §4.1 — the MySQL
+//! per-connection-stack scenario of §9.2).
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_TTBR};
+use lightzone::{LightZone, SECURITY_KILL};
+use lz_arch::asm::Asm;
+use lz_arch::{Platform, PAGE_SIZE};
+use lz_kernel::{Event, Kernel, Program, Sysno, VmProt};
+
+const CODE: u64 = 0x40_0000;
+const SHARED: u64 = 0x50_0000;
+const STACKS: u64 = 0x7000_0000;
+const STACK1: u64 = 0x5100_0000;
+const STACK2: u64 = 0x5200_0000;
+
+#[test]
+fn kernel_threads_interleave() {
+    // Main thread spawns a worker; both add to a shared counter via
+    // yields; main waits for the worker's flag then exits with the sum.
+    let mut a = Asm::new(CODE);
+    let worker = a.label();
+    // main:
+    a.mov_imm64(9, SHARED);
+    // clone(worker, stack, arg=5)
+    a.adr(0, worker);
+    a.mov_imm64(1, STACKS + 0x4000);
+    a.mov_imm64(2, 5);
+    a.mov_imm64(8, Sysno::Clone.nr());
+    a.svc(0);
+    // main adds 10 to shared.
+    a.ldr(3, 9, 0);
+    a.add_imm(3, 3, 10);
+    a.str(3, 9, 0);
+    // wait until worker sets flag at SHARED+8
+    let wait = a.label();
+    a.bind(wait);
+    a.mov_imm64(8, Sysno::Yield.nr());
+    a.svc(0);
+    a.ldr(4, 9, 8);
+    a.cbz(4, wait);
+    a.ldr(0, 9, 0);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+    // worker(arg in x0): shared += arg; flag = 1; exit(0).
+    a.bind(worker);
+    a.mov_imm64(9, SHARED);
+    a.ldr(3, 9, 0);
+    a.add_reg(3, 3, 0);
+    a.str(3, 9, 0);
+    a.movz(4, 1, 0);
+    a.str(4, 9, 8);
+    a.movz(0, 0, 0);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+
+    let prog = Program::from_code(CODE, a.bytes())
+        .with_anon_segment(SHARED, PAGE_SIZE, VmProt::RW)
+        .with_anon_segment(STACKS, 0x8000, VmProt::RW);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(15), "both threads contributed");
+}
+
+#[test]
+fn gettid_distinguishes_threads() {
+    let mut a = Asm::new(CODE);
+    let worker = a.label();
+    a.adr(0, worker);
+    a.mov_imm64(1, STACKS + 0x4000);
+    a.movz(2, 0, 0);
+    a.mov_imm64(8, Sysno::Clone.nr());
+    a.svc(0);
+    a.mov_reg(20, 0); // new tid (2)
+    // Let the worker run to completion first: the process exit code is
+    // the *last* thread's code, which must be main's.
+    a.mov_imm64(8, Sysno::Yield.nr());
+    a.svc(0);
+    a.mov_imm64(8, Sysno::Gettid.nr());
+    a.svc(0); // own tid (1)
+    // exit(new_tid * 16 + own_tid)
+    a.lsl_imm(20, 20, 4);
+    a.add_reg(0, 20, 0);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+    a.bind(worker);
+    a.movz(0, 0, 0);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+    let prog = Program::from_code(CODE, a.bytes()).with_anon_segment(STACKS, 0x8000, VmProt::RW);
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    let pid = k.spawn(&prog);
+    k.enter_process(pid);
+    assert_eq!(k.run(10_000_000), Event::Exited(0x21), "tid 2 spawned by tid 1");
+}
+
+/// LightZone per-thread stack domains (the §9.2 MySQL pattern): each
+/// worker attaches its own stack region to its own page table via a
+/// gate, then optionally pokes at the other worker's stack.
+fn lz_thread_prog(evil: bool) -> lightzone::LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_anon_segment(STACK1, PAGE_SIZE, VmProt::RW);
+    b.with_anon_segment(STACK2, PAGE_SIZE, VmProt::RW);
+    b.with_anon_segment(SHARED, PAGE_SIZE, VmProt::RW);
+    b.with_anon_segment(STACKS, 0x8000, VmProt::RW);
+
+    let worker = b.asm.label();
+    b.asm.lz_enter(true, SAN_TTBR);
+    // Domain 1 = main's stack region; domain 2 = worker's.
+    b.asm.lz_alloc();
+    b.asm.lz_map_gate_pgt_imm(1, 0);
+    b.asm.lz_prot_imm(STACK1, PAGE_SIZE, 1, RW);
+    b.asm.lz_alloc();
+    b.asm.lz_map_gate_pgt_imm(2, 1);
+    b.asm.lz_prot_imm(STACK2, PAGE_SIZE, 2, RW);
+    // Spawn the worker.
+    {
+        let a = &mut b.asm;
+        a.adr(0, worker);
+        a.mov_imm64(1, STACKS + 0x4000);
+        a.movz(2, 0, 0);
+        a.mov_imm64(8, Sysno::Clone.nr());
+        a.svc(0);
+    }
+    // Main enters its own stack domain and uses it.
+    b.lz_switch_to_ttbr_gate(0);
+    {
+        let a = &mut b.asm;
+        a.mov_imm64(9, STACK1);
+        a.mov_imm64(3, 0x11);
+        a.str(3, 9, 0);
+        // Let the worker run (its domain is restored per thread on each
+        // switch back).
+        a.mov_imm64(8, Sysno::Yield.nr());
+        a.svc(0);
+        // Back in main's thread: its domain must still be active.
+        a.ldr(4, 9, 0);
+        // wait for worker done flag
+        a.mov_imm64(10, SHARED);
+        let wait = a.label();
+        a.bind(wait);
+        a.mov_imm64(8, Sysno::Yield.nr());
+        a.svc(0);
+        a.ldr(5, 10, 0);
+        a.cbz(5, wait);
+        a.mov_reg(0, 4); // 0x11 if per-thread domain survived
+        a.mov_imm64(8, Sysno::Exit.nr());
+        a.svc(0);
+    }
+    // Worker thread: enter its own domain via gate 1.
+    b.asm.bind(worker);
+    b.lz_switch_to_ttbr_gate(1);
+    {
+        let a = &mut b.asm;
+        a.mov_imm64(9, STACK2);
+        a.mov_imm64(3, 0x22);
+        a.str(3, 9, 0);
+        if evil {
+            // Poke the other thread's stack domain: must be fatal.
+            a.mov_imm64(9, STACK1);
+            a.ldr(3, 9, 0);
+        }
+        a.mov_imm64(10, SHARED);
+        a.movz(5, 1, 0);
+        a.str(5, 10, 0);
+        a.movz(0, 0, 0);
+        a.mov_imm64(8, Sysno::Exit.nr());
+        a.svc(0);
+    }
+    b.build()
+}
+
+#[test]
+fn lz_per_thread_domains_roundtrip() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_thread_prog(false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x11, "main's domain restored across thread switches");
+}
+
+#[test]
+fn lz_cross_thread_stack_access_killed() {
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&lz_thread_prog(true));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), SECURITY_KILL);
+    let stats = &lz.module.proc(pid).unwrap().stats;
+    assert!(stats.violations >= 1);
+}
+
+#[test]
+fn lz_threads_in_guest_deployment() {
+    let mut lz = LightZone::new_guest(Platform::CortexA55);
+    let pid = lz.spawn(&lz_thread_prog(false));
+    lz.enter_process(pid);
+    assert_eq!(lz.run_to_exit(), 0x11);
+}

@@ -159,7 +159,7 @@ pub enum Barrier {
 ///
 /// Register fields are 0..=31; 31 reads as zero (`xzr`) except where noted
 /// (load/store base registers treat 31 as `SP`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Insn {
     /// `MOVZ xd, #imm16, LSL #(hw*16)`.
     Movz { rd: u8, imm16: u16, hw: u8 },

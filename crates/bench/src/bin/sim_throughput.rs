@@ -1,0 +1,28 @@
+//! `sim_throughput` — host-side simulator speed on a straight-line hot
+//! loop, decoded-block fetch cache on vs off.
+//!
+//! Prints one line of JSON to stdout (CI captures it as
+//! `BENCH_sim_throughput.json`); a human-readable summary goes to stderr.
+//!
+//! ```text
+//! sim_throughput [INSNS]      default 20000000
+//! ```
+
+fn main() {
+    let insns: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("INSNS must be an integer"))
+        .unwrap_or(20_000_000);
+    let r = lz_bench::throughput::run(insns);
+    eprintln!(
+        "sim_throughput: {:.2} MIPS cache-on vs {:.2} MIPS cache-off ({:.2}x), cycles match: {}",
+        r.mips_on(),
+        r.mips_off(),
+        r.speedup(),
+        r.cycles_match(),
+    );
+    println!("{}", r.json());
+    if !r.cycles_match() {
+        std::process::exit(1);
+    }
+}

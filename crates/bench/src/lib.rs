@@ -2,4 +2,6 @@
 //! reference values for side-by-side comparison.
 
 pub mod paper;
+pub mod report;
 pub mod table;
+pub mod throughput;

@@ -1,0 +1,129 @@
+//! `sim_throughput`: host-side simulation speed (instructions per
+//! second) of the interpreter on a straight-line hot loop, with the
+//! decoded-block fetch cache on and off.
+//!
+//! This measures *wall-clock* simulator throughput, not modelled cycles —
+//! the cache's whole contract is that modelled cycles are identical in
+//! both modes, which [`ThroughputResult::cycles_match`] re-checks.
+
+use lz_arch::asm::Asm;
+use lz_arch::pstate::PState;
+use lz_arch::sysreg::{hcr, sctlr, ttbr, SysReg};
+use lz_arch::Platform;
+use lz_machine::pte::S1Perms;
+use lz_machine::walk::{alloc_table, s1_map_page};
+use lz_machine::{Exit, Machine};
+use std::time::Instant;
+
+const CODE: u64 = 0x40_0000;
+/// ALU instructions per loop iteration, besides the `subs`/`b.ne` pair.
+const UNROLL: u64 = 14;
+
+/// One cache-on/cache-off measurement pair.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    pub insns: u64,
+    pub cycles_on: u64,
+    pub cycles_off: u64,
+    pub secs_on: f64,
+    pub secs_off: f64,
+}
+
+impl ThroughputResult {
+    pub fn mips_on(&self) -> f64 {
+        self.insns as f64 / self.secs_on / 1e6
+    }
+
+    pub fn mips_off(&self) -> f64 {
+        self.insns as f64 / self.secs_off / 1e6
+    }
+
+    /// Host speedup from the cache (≥ 2.0 is the acceptance bar).
+    pub fn speedup(&self) -> f64 {
+        self.secs_off / self.secs_on
+    }
+
+    /// Modelled cycle counts must not depend on the cache.
+    pub fn cycles_match(&self) -> bool {
+        self.cycles_on == self.cycles_off
+    }
+
+    /// One-line JSON for `BENCH_sim_throughput.json`.
+    pub fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"sim_throughput\",\"insns\":{},",
+                "\"insns_per_sec_cache_on\":{:.0},\"insns_per_sec_cache_off\":{:.0},",
+                "\"mips_cache_on\":{:.2},\"mips_cache_off\":{:.2},",
+                "\"speedup\":{:.2},\"cycles_cache_on\":{},\"cycles_cache_off\":{},",
+                "\"cycles_match\":{}}}"
+            ),
+            self.insns,
+            self.insns as f64 / self.secs_on,
+            self.insns as f64 / self.secs_off,
+            self.mips_on(),
+            self.mips_off(),
+            self.speedup(),
+            self.cycles_on,
+            self.cycles_off,
+            self.cycles_match(),
+        )
+    }
+}
+
+/// A machine whose EL0 program is a counted loop of `UNROLL` ALU
+/// instructions, sized to retire roughly `insns_target` instructions.
+fn hot_loop_machine(insns_target: u64, cache_on: bool) -> (Machine, u64) {
+    let iters = (insns_target / (UNROLL + 2)).max(1);
+    let mut a = Asm::new(CODE);
+    a.mov_imm64(0, iters);
+    let top = a.label();
+    a.bind(top);
+    for i in 0..UNROLL {
+        let rd = 1 + (i % 7) as u8;
+        match i % 4 {
+            0 => a.add_imm(rd, rd, 1),
+            1 => a.eor_reg(rd, rd, 8),
+            2 => a.orr_reg(rd, rd, 9),
+            _ => a.add_reg(rd, rd, 10),
+        };
+    }
+    a.subs_imm(0, 0, 1);
+    a.b_ne(top);
+    a.svc(0);
+
+    let mut m = Machine::new(Platform::CortexA55);
+    m.set_fetch_cache(cache_on);
+    let root = alloc_table(&mut m.mem);
+    let code_pa = m.mem.alloc_frame();
+    m.mem.write_bytes(code_pa, &a.bytes());
+    let perms = S1Perms { read: true, write: false, user_exec: true, priv_exec: false, el0: true, global: false };
+    s1_map_page(&mut m.mem, root, CODE, code_pa, perms);
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+    m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+    m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+    m.cpu.pstate = PState::user();
+    m.cpu.pc = CODE;
+    (m, iters * (UNROLL + 2) + 3)
+}
+
+fn timed_run(insns_target: u64, cache_on: bool) -> (u64, u64, f64) {
+    let (mut m, limit) = hot_loop_machine(insns_target, cache_on);
+    let start = Instant::now();
+    let exit = m.run(limit + 100);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(matches!(exit, Exit::El2(_)), "hot loop must run to its svc, got {exit:?}");
+    (m.cpu.insns, m.cpu.cycles, secs)
+}
+
+/// Measure the hot loop in both modes. The cache-off run goes first so a
+/// warm host (page tables, allocator) biases *against* the cache.
+pub fn run(insns_target: u64) -> ThroughputResult {
+    // Warm-up both paths (JIT-less, but touches the allocator and heap).
+    timed_run(insns_target / 10 + 1, false);
+    timed_run(insns_target / 10 + 1, true);
+    let (insns_off, cycles_off, secs_off) = timed_run(insns_target, false);
+    let (insns_on, cycles_on, secs_on) = timed_run(insns_target, true);
+    assert_eq!(insns_on, insns_off, "instruction counts must not depend on the cache");
+    ThroughputResult { insns: insns_on, cycles_on, cycles_off, secs_on, secs_off }
+}

@@ -1,0 +1,151 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! shim supplies the subset of the criterion API the workspace's benches use:
+//! groups, `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are simple (median of timed samples,
+//! no outlier analysis or plots) but the output keeps criterion's familiar
+//! `time: [lo mid hi]` shape so bench logs stay comparable.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let sample_ns = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters_per_sample = (sample_ns / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let lo = samples_ns[0];
+        let mid = samples_ns[samples_ns.len() / 2];
+        let hi = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{}/{:<40} time:   [{} {} {}]",
+            self.name,
+            id,
+            fmt_ns(lo),
+            fmt_ns(mid),
+            fmt_ns(hi)
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{:.4} ns", ns)
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -21,7 +21,36 @@ use lz_arch::insn::{Barrier, Insn, LogicOp, MemSize};
 use lz_arch::pstate::{ExceptionLevel, Nzcv, PState};
 use lz_arch::sysreg::{hcr, sctlr, SysReg};
 use lz_arch::{CycleModel, Platform};
-use std::collections::HashMap;
+use std::cell::Cell;
+use crate::fxhash::FxHashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide default for [`Machine::set_fetch_cache`], initialised from
+/// the `LZ_FETCH_CACHE` environment variable (`0`/`off` disables). Lets
+/// harnesses (`repro`, CI) flip the fast path for whole runs without
+/// threading a flag through every constructor.
+fn default_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = !matches!(
+            std::env::var("LZ_FETCH_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        AtomicBool::new(on)
+    })
+}
+
+/// The default decoded-block cache setting for new [`Machine`]s.
+pub fn default_fetch_cache() -> bool {
+    default_flag().load(Ordering::Relaxed)
+}
+
+/// Override the default decoded-block cache setting for new [`Machine`]s
+/// (tests and benchmarks; existing machines are unaffected).
+pub fn set_default_fetch_cache(on: bool) {
+    default_flag().store(on, Ordering::Relaxed);
+}
 
 /// Why the interpreter stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +87,7 @@ pub struct Cpu {
     pub pc: u64,
     /// Process state.
     pub pstate: PState,
-    sysregs: HashMap<SysReg, u64>,
+    sysregs: FxHashMap<SysReg, u64>,
     /// Cycle counter.
     pub cycles: u64,
     /// Retired-instruction counter.
@@ -77,7 +106,7 @@ impl Cpu {
             sp_el1: 0,
             pc: 0,
             pstate: PState::reset(),
-            sysregs: HashMap::new(),
+            sysregs: FxHashMap::default(),
             cycles: 0,
             insns: 0,
             watchpoints: [None; 4],
@@ -128,6 +157,13 @@ pub struct Machine {
     /// vectoring through `VBAR_EL1` (the EL1 software is a modelled guest
     /// kernel rather than interpreted code).
     el1_external: bool,
+    /// Decoded-block fetch cache toggle. Skips host-side walk + decode
+    /// work only; modelled cycles are bit-identical either way.
+    fetch_cache: bool,
+    /// Generation of the translation-regime system registers; bumped by
+    /// [`Machine::set_sysreg`] so [`Machine::walk_config`] can memoise.
+    cfg_gen: u64,
+    cfg_memo: Cell<Option<(u64, WalkConfig)>>,
 }
 
 impl Machine {
@@ -135,7 +171,29 @@ impl Machine {
     pub fn new(platform: Platform) -> Self {
         let model = platform.model();
         let tlb = Tlb::with_l1(model.tlb_l1_entries, model.tlb_entries);
-        Machine { mem: PhysMem::new(), tlb, cpu: Cpu::new(), model, trace: Trace::new(256), el1_external: false }
+        Machine {
+            mem: PhysMem::new(),
+            tlb,
+            cpu: Cpu::new(),
+            model,
+            trace: Trace::new(256),
+            el1_external: false,
+            fetch_cache: default_fetch_cache(),
+            cfg_gen: 0,
+            cfg_memo: Cell::new(None),
+        }
+    }
+
+    /// Enable or disable the decoded-block fetch cache (tests run both
+    /// paths; see `tests/differential.rs` at the workspace root).
+    pub fn set_fetch_cache(&mut self, on: bool) {
+        self.fetch_cache = on;
+        self.cfg_memo.set(None);
+    }
+
+    /// Whether the decoded-block fetch cache is enabled.
+    pub fn fetch_cache(&self) -> bool {
+        self.fetch_cache
     }
 
     /// Route EL1-targeted exceptions out of the interpreter (modelled
@@ -156,6 +214,12 @@ impl Machine {
 
     /// Write a system register (no cycle charge — model-internal).
     pub fn set_sysreg(&mut self, reg: SysReg, value: u64) {
+        if matches!(
+            reg,
+            SysReg::TTBR0_EL1 | SysReg::TTBR1_EL1 | SysReg::SCTLR_EL1 | SysReg::HCR_EL2 | SysReg::VTTBR_EL2
+        ) {
+            self.cfg_gen += 1;
+        }
         self.cpu.sysregs.insert(reg, value);
     }
 
@@ -206,16 +270,30 @@ impl Machine {
     }
 
     /// Current translation regime configuration from the live registers.
+    /// Memoised against [`Machine::set_sysreg`]'s regime generation when
+    /// the fetch cache is on (the cache-off path keeps the seed behaviour
+    /// exactly, host-side included).
     pub fn walk_config(&self) -> WalkConfig {
+        if self.fetch_cache {
+            if let Some((gen, cfg)) = self.cfg_memo.get() {
+                if gen == self.cfg_gen {
+                    return cfg;
+                }
+            }
+        }
         let sctlr_el1 = self.sysreg(SysReg::SCTLR_EL1);
         let hcr_el2 = self.sysreg(SysReg::HCR_EL2);
-        WalkConfig {
+        let cfg = WalkConfig {
             ttbr0: self.sysreg(SysReg::TTBR0_EL1),
             ttbr1: self.sysreg(SysReg::TTBR1_EL1),
             s1_enabled: sctlr_el1 & sctlr::M != 0,
             wxn: sctlr_el1 & sctlr::WXN != 0,
             vttbr: if hcr_el2 & hcr::VM != 0 { Some(self.sysreg(SysReg::VTTBR_EL2)) } else { None },
+        };
+        if self.fetch_cache {
+            self.cfg_memo.set(Some((self.cfg_gen, cfg)));
         }
+        cfg
     }
 
     /// Translate a VA in the current context without executing anything
@@ -246,30 +324,21 @@ impl Machine {
         let pc = self.cpu.pc;
         let cfg = self.walk_config();
         let fetch_ctx = AccessCtx { el: self.cpu.pstate.el, pan: false, unpriv: false };
-        let word = match walk::translate(&self.mem, &mut self.tlb, &self.model, &cfg, pc, Access::Fetch, &fetch_ctx) {
-            Ok(t) => {
+        match walk::fetch(&self.mem, &mut self.tlb, &self.model, &cfg, pc, &fetch_ctx, self.fetch_cache) {
+            Ok(f) => {
                 // Fetch charges only the translation cost: sequential
                 // i-fetch bandwidth is covered by `insn_base`.
-                self.charge(t.cost);
-                match self.mem.read_u32(t.pa) {
-                    Some(w) => w,
-                    None => return self.fault_exception(
-                        Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 3, va: pc, ipa: 0, wnr: false, s1ptw: false },
-                        true,
-                    ),
-                }
+                self.charge(f.cost);
+                self.cpu.insns += 1;
+                self.charge(self.model.insn_base);
+                self.trace.record(pc, f.word, self.cpu.pstate.el);
+                self.execute(f.insn, f.word)
             }
-            Err(f) => {
-                self.charge(self.model.stage1_walk());
-                return self.fault_exception(f, true);
+            Err((fault, cost)) => {
+                self.charge(cost);
+                self.fault_exception(fault, true)
             }
-        };
-
-        self.cpu.insns += 1;
-        self.charge(self.model.insn_base);
-        self.trace.record(pc, word, self.cpu.pstate.el);
-        let insn = Insn::decode(word);
-        self.execute(insn, word)
+        }
     }
 
     fn execute(&mut self, insn: Insn, word: u32) -> Option<Exit> {

@@ -1,0 +1,488 @@
+//! Decoded-block fetch cache: skips the host-side translation walk and
+//! instruction decode on the interpreter's hot path.
+//!
+//! Every `Cpu::step()` used to pay a full `walk::translate` plus a fresh
+//! `Insn::decode`. This cache keys decoded words by
+//! `(VMID, ASID-or-global, VA page)` — the same tagging discipline as the
+//! TLB — and per page remembers the fill-time translation regime (stage-1
+//! enable, WXN, stage-1 root, VTTBR root) plus the *content version* of the
+//! physical frame the code came from (see `PhysMem::frame_version`).
+//!
+//! # Coherence contract
+//!
+//! A cached block is only served when it is provably equivalent to what the
+//! slow path would produce:
+//!
+//! * **TLBI variants** — every `Tlb::invalidate_*` forwards here with the
+//!   same scope semantics (global entries survive `invalidate_asid`, etc.).
+//! * **Physical writes** — each probe validates the code frame's version
+//!   against `PhysMem`; self-modifying stores, DMA-style `write_bytes`, and
+//!   frame recycling all bump it, evicting the stale block on next fetch.
+//! * **Root changes** — when the main TLB misses, the cache only skips the
+//!   walk if the fill-time `TTBR{0,1}`/`VTTBR` base for the page's VA half
+//!   still matches, covering root switches that ASID/VMID tags alone do not
+//!   disambiguate. When the main TLB *hits*, the cache defers to it: the
+//!   block is served only if the fill-time TLB snapshot is bit-identical to
+//!   the entry the TLB just returned.
+//!
+//! Like the TLB itself (see `stale_tlb_entry_survives_table_edit`), the
+//! cache may keep translating from a stale view after page-table edits that
+//! violate break-before-make — that is the architectural hazard the TLBI
+//! contract exists to prevent, not a new one introduced here.
+//!
+//! Cycle accounting is unaffected by design: the fast path replays exactly
+//! the modelled costs (TLB-hit level cost or the deterministic walk cost for
+//! the active regime) and performs the same TLB state transitions the slow
+//! path would, so paper tables are bit-identical with the cache on or off.
+
+use crate::tlb::TlbEntry;
+use crate::PhysMem;
+use lz_arch::insn::Insn;
+use lz_arch::pstate::ExceptionLevel;
+use crate::fxhash::FxHashMap;
+use std::collections::VecDeque;
+
+const WORDS_PER_PAGE: usize = 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PageKey {
+    vmid: u16,
+    vpn: u64,
+}
+
+/// Fill-time facts that must still hold for a block to be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillInfo {
+    /// `None` for global (`nG = 0`) pages and for the identity regime.
+    pub asid: Option<u16>,
+    /// Exception level of the fill-time fetch (permission checks depend
+    /// on it, so EL0 and EL1 blocks for one page are cached separately).
+    pub el: ExceptionLevel,
+    pub s1_enabled: bool,
+    pub wxn: bool,
+    /// Stage-1 root (baddr) for this VA's half; 0 when stage 1 is off.
+    pub root: u64,
+    /// Stage-2 root (baddr) when stage 2 was on at fill time.
+    pub vttbr: Option<u64>,
+    /// The TLB entry the fill-time translation produced (`None` for the
+    /// identity regime, which bypasses the TLB entirely).
+    pub snapshot: Option<TlbEntry>,
+    /// Physical page the code words were read from.
+    pub pa_page: u64,
+}
+
+#[derive(Debug)]
+struct PageEntry {
+    info: FillInfo,
+    /// `PhysMem::frame_version` of `pa_page` when last validated.
+    frame_version: u64,
+    /// `PhysMem::write_gen` at last validation — if the global generation
+    /// hasn't moved, no frame anywhere changed and the version compare can
+    /// be skipped.
+    checked_gen: u64,
+    /// `Tlb::generation` when this entry was last proven equivalent to a
+    /// free L1 TLB hit (0 = never). While the TLB generation matches and
+    /// the fetch ASID equals `fast_asid`, the L1 lookup result is
+    /// guaranteed unchanged and the slow-path comparison can be skipped.
+    fast_gen: u64,
+    fast_asid: u16,
+    slots: Vec<Option<(u32, Insn)>>,
+}
+
+/// What a probe found.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeHit {
+    pub snapshot: Option<TlbEntry>,
+    /// Fill-time stage-1/stage-2 roots still match the current regime.
+    pub roots_match: bool,
+    pub pa: u64,
+    pub word: u32,
+    pub insn: Insn,
+}
+
+/// The decoded-block cache. Lives inside [`crate::Tlb`] so every TLB
+/// maintenance operation reaches it without new call sites.
+#[derive(Debug)]
+pub struct ICache {
+    pages: FxHashMap<PageKey, Vec<PageEntry>>,
+    order: VecDeque<PageKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for ICache {
+    fn default() -> Self {
+        ICache::new(64)
+    }
+}
+
+impl ICache {
+    /// `capacity` bounds the number of cached *pages* (FIFO replacement).
+    pub fn new(capacity: usize) -> Self {
+        ICache {
+            pages: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look for a decoded block for the fetch at `va`. Validates regime
+    /// flags, the ASID tag (global entries match any ASID), the fetch EL,
+    /// and the code frame's content version; stale entries are evicted on
+    /// the spot. Root mismatches are reported, not evicted — the caller
+    /// decides whether the main TLB vouches for the translation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe(
+        &mut self,
+        mem: &PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+        root: u64,
+        vttbr: Option<u64>,
+    ) -> Option<ProbeHit> {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let entries = match self.pages.get_mut(&key) {
+            Some(v) => v,
+            None => {
+                self.misses += 1;
+                return None;
+            }
+        };
+        let idx = entries.iter().position(|e| {
+            (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el
+        });
+        let Some(idx) = idx else {
+            self.misses += 1;
+            return None;
+        };
+
+        // Regime flags must match exactly; a flipped SCTLR bit changes
+        // permission-check outcomes, so the entry is dead.
+        let stale_flags = {
+            let e = &entries[idx];
+            e.info.s1_enabled != s1_enabled || e.info.wxn != wxn
+        };
+        // Content staleness: O(1) via the global write generation, falling
+        // back to the single frame-version compare.
+        let stale_content = {
+            let e = &mut entries[idx];
+            if e.checked_gen == mem.write_gen() {
+                false
+            } else if mem.frame_version(e.info.pa_page) == Some(e.frame_version) {
+                e.checked_gen = mem.write_gen();
+                false
+            } else {
+                true
+            }
+        };
+        if stale_flags || stale_content {
+            entries.remove(idx);
+            if entries.is_empty() {
+                self.pages.remove(&key);
+                self.order.retain(|k| *k != key);
+            }
+            self.misses += 1;
+            return None;
+        }
+
+        let e = &entries[idx];
+        let slot = (va >> 2) as usize & (WORDS_PER_PAGE - 1);
+        match e.slots[slot] {
+            Some((word, insn)) => {
+                self.hits += 1;
+                Some(ProbeHit {
+                    snapshot: e.info.snapshot,
+                    roots_match: e.info.root == root && e.info.vttbr == vttbr,
+                    pa: e.info.pa_page | (va & 0xfff),
+                    word,
+                    insn,
+                })
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a decoded word after a successful slow-path fetch.
+    pub fn fill(&mut self, mem: &PhysMem, vmid: u16, va: u64, info: FillInfo, word: u32, insn: Insn) {
+        let Some(frame_version) = mem.frame_version(info.pa_page) else { return };
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let slot = (va >> 2) as usize & (WORDS_PER_PAGE - 1);
+        let checked_gen = mem.write_gen();
+
+        if let Some(entries) = self.pages.get_mut(&key) {
+            if let Some(e) = entries.iter_mut().find(|e| e.info.asid == info.asid && e.info.el == info.el) {
+                if e.info == info && e.frame_version == frame_version {
+                    e.checked_gen = checked_gen;
+                    e.slots[slot] = Some((word, insn));
+                } else {
+                    // Regime or content moved on: restart the entry.
+                    e.info = info;
+                    e.frame_version = frame_version;
+                    e.checked_gen = checked_gen;
+                    e.fast_gen = 0;
+                    e.slots.iter_mut().for_each(|s| *s = None);
+                    e.slots[slot] = Some((word, insn));
+                }
+                return;
+            }
+        }
+
+        while self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.pages.remove(&old);
+            }
+        }
+        let entries = self.pages.entry(key).or_default();
+        if entries.is_empty() {
+            self.order.push_back(key);
+        }
+        let mut slots = vec![None; WORDS_PER_PAGE];
+        slots[slot] = Some((word, insn));
+        entries.push(PageEntry { info, frame_version, checked_gen, fast_gen: 0, fast_asid: 0, slots });
+    }
+
+    /// The memoised fast path: serve a block with *no* TLB interaction
+    /// beyond replaying the free L1 hit, valid only while the TLB
+    /// generation recorded by [`Self::arm_fast`] is current (so the L1
+    /// lookup outcome is provably unchanged), the fetch ASID matches the
+    /// arm-time ASID, the regime flags match, and the code frame is
+    /// content-fresh. Returns `(pa, word, insn)`; any failed check falls
+    /// back to the slow path (which handles eviction).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn fast_probe(
+        &mut self,
+        mem: &PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+        tlb_gen: u64,
+    ) -> Option<(u64, u32, Insn)> {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let entries = self.pages.get_mut(&key)?;
+        let e = entries
+            .iter_mut()
+            .find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
+        if e.fast_gen != tlb_gen
+            || e.fast_asid != asid
+            || e.info.s1_enabled != s1_enabled
+            || e.info.wxn != wxn
+        {
+            return None;
+        }
+        if e.checked_gen != mem.write_gen() {
+            if mem.frame_version(e.info.pa_page) != Some(e.frame_version) {
+                return None;
+            }
+            e.checked_gen = mem.write_gen();
+        }
+        let slot = (va >> 2) as usize & (WORDS_PER_PAGE - 1);
+        let (word, insn) = e.slots[slot]?;
+        self.hits += 1;
+        Some((e.info.pa_page | (va & 0xfff), word, insn))
+    }
+
+    /// Record that, at TLB generation `tlb_gen`, serving this page's block
+    /// for `asid` is equivalent to a free L1 TLB hit.
+    pub(crate) fn arm_fast(&mut self, vmid: u16, asid: u16, el: ExceptionLevel, va: u64, tlb_gen: u64) {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        if let Some(entries) = self.pages.get_mut(&key) {
+            if let Some(e) = entries
+                .iter_mut()
+                .find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)
+            {
+                e.fast_gen = tlb_gen;
+                e.fast_asid = asid;
+            }
+        }
+    }
+
+    /// `TLBI ALLE1` scope: drop everything.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.order.clear();
+    }
+
+    /// `TLBI VMALLS12E1` scope: drop one VMID.
+    pub fn invalidate_vmid(&mut self, vmid: u16) {
+        self.pages.retain(|k, _| k.vmid != vmid);
+        self.order.retain(|k| k.vmid != vmid);
+    }
+
+    /// `TLBI ASIDE1` scope: drop one `(vmid, asid)`; global entries survive.
+    pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        for (k, v) in self.pages.iter_mut() {
+            if k.vmid == vmid {
+                v.retain(|e| e.info.asid != Some(asid));
+            }
+        }
+        let pages = &mut self.pages;
+        self.order.retain(|k| pages.get(k).is_some_and(|v| !v.is_empty()));
+        pages.retain(|_, v| !v.is_empty());
+    }
+
+    /// `TLBI VAAE1` scope: drop one page in a VMID, any ASID.
+    pub fn invalidate_va(&mut self, vmid: u16, va: u64) {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        self.pages.remove(&key);
+        self.order.retain(|k| *k != key);
+    }
+
+    /// Does the cache hold an entry with this exact ASID tag for the page?
+    /// (`None` = a global entry.) For tests and diagnostics.
+    pub fn contains(&self, vmid: u16, asid: Option<u16>, va: u64) -> bool {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        self.pages.get(&key).is_some_and(|v| v.iter().any(|e| e.info.asid == asid))
+    }
+
+    /// Number of cached page entries (per-ASID entries counted separately).
+    pub fn len(&self) -> usize {
+        self.pages.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// `(hits, misses)` counters for probes since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Insert a minimal entry directly (test/diagnostic helper): tags a
+    /// decoded `NOP` for `(vmid, asid, va)` against `pa_page` in `mem`.
+    pub fn seed_entry(&mut self, mem: &PhysMem, vmid: u16, asid: Option<u16>, va: u64, pa_page: u64) {
+        let info = FillInfo {
+            asid,
+            el: ExceptionLevel::El0,
+            s1_enabled: true,
+            wxn: false,
+            root: 0,
+            vttbr: None,
+            snapshot: None,
+            pa_page,
+        };
+        const NOP: u32 = 0xD503_201F;
+        self.fill(mem, vmid, va, info, NOP, Insn::decode(NOP));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(mem: &PhysMem, pairs: &[(u16, Option<u16>, u64, u64)]) -> ICache {
+        let mut ic = ICache::new(16);
+        for &(vmid, asid, va, pa) in pairs {
+            ic.seed_entry(mem, vmid, asid, va, pa);
+        }
+        ic
+    }
+
+    #[test]
+    fn invalidate_va_drops_all_asids() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(1, Some(1), 0x1000, pa), (1, Some(2), 0x1000, pa)]);
+        assert_eq!(ic.len(), 2);
+        ic.invalidate_va(1, 0x1abc);
+        assert!(ic.is_empty());
+    }
+
+    #[test]
+    fn invalidate_asid_spares_globals() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(1, Some(5), 0x1000, pa), (1, None, 0x2000, pa)]);
+        ic.invalidate_asid(1, 5);
+        assert!(!ic.contains(1, Some(5), 0x1000));
+        assert!(ic.contains(1, None, 0x2000));
+    }
+
+    #[test]
+    fn invalidate_vmid_is_scoped() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(1, Some(1), 0x1000, pa), (2, Some(1), 0x1000, pa)]);
+        ic.invalidate_vmid(1);
+        assert!(!ic.contains(1, Some(1), 0x1000));
+        assert!(ic.contains(2, Some(1), 0x1000));
+    }
+
+    #[test]
+    fn frame_write_invalidates_on_probe() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(0, Some(1), 0x1000, pa)]);
+        assert!(ic
+            .probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None)
+            .is_some());
+        mem.write(pa, 0xD503_201F, 4);
+        assert!(
+            ic.probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None).is_none(),
+            "write to the code frame must evict the block"
+        );
+        assert!(ic.is_empty());
+    }
+
+    #[test]
+    fn unrelated_write_keeps_entry() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let other = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(0, Some(1), 0x1000, pa)]);
+        mem.write(other, 0x1234_5678, 4);
+        assert!(ic
+            .probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None)
+            .is_some());
+    }
+
+    #[test]
+    fn global_entry_matches_any_asid() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(0, None, 0x1000, pa)]);
+        for asid in [1u16, 7, 999] {
+            assert!(ic
+                .probe(&mem, 0, asid, ExceptionLevel::El0, 0x1000, true, false, 0, None)
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_pages() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = ICache::new(2);
+        ic.seed_entry(&mem, 0, Some(1), 0x1000, pa);
+        ic.seed_entry(&mem, 0, Some(1), 0x2000, pa);
+        ic.seed_entry(&mem, 0, Some(1), 0x3000, pa);
+        assert!(!ic.contains(0, Some(1), 0x1000), "oldest page evicted");
+        assert!(ic.contains(0, Some(1), 0x3000));
+    }
+
+    #[test]
+    fn regime_flag_change_evicts() {
+        let mut mem = PhysMem::new();
+        let pa = mem.alloc_frame();
+        let mut ic = seeded(&mem, &[(0, Some(1), 0x1000, pa)]);
+        assert!(
+            ic.probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, true, 0, None).is_none(),
+            "WXN flip must not serve the old block"
+        );
+        assert!(ic.is_empty());
+    }
+}

@@ -8,7 +8,9 @@
 //!   bit layouts, hierarchical permission intersection, and `PSTATE.PAN`
 //!   enforcement ([`pte`], [`walk`]),
 //! * a TLB tagged by `(VMID, ASID, page)` with global entries and
-//!   capacity-bounded eviction ([`tlb`]),
+//!   capacity-bounded eviction ([`tlb`]), carrying a decoded-block fetch
+//!   cache that skips host-side walk + decode work on the interpreter hot
+//!   path without changing modelled cycles ([`icache`]),
 //! * a CPU interpreter over the `lz-arch` instruction subset with
 //!   exception levels, vectored exception entry, `HCR_EL2` trap controls,
 //!   hardware watchpoints, and cycle accounting ([`cpu`]).
@@ -20,6 +22,8 @@
 //! the corresponding cycle costs.
 
 pub mod cpu;
+pub mod fxhash;
+pub mod icache;
 pub mod mem;
 pub mod pte;
 pub mod tlb;
@@ -27,6 +31,7 @@ pub mod trace;
 pub mod walk;
 
 pub use cpu::{Exit, Machine};
+pub use icache::ICache;
 pub use mem::PhysMem;
 pub use tlb::Tlb;
 pub use walk::{Access, Fault, FaultKind, Stage};

@@ -1,7 +1,17 @@
 //! Sparse physical memory with a frame allocator.
 
+use crate::fxhash::FxHashMap;
 use lz_arch::{page_align_down, PAGE_SHIFT, PAGE_SIZE};
-use std::collections::HashMap;
+
+/// One physical frame plus the generation of its last mutation.
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    /// `PhysMem::write_gen` at the time of the last write/alloc/zero.
+    /// Consumers (the decoded-block cache) snapshot this to detect stale
+    /// cached views of frame *contents* without scanning the frame.
+    version: u64,
+}
 
 /// Simulated physical memory.
 ///
@@ -9,13 +19,20 @@ use std::collections::HashMap;
 /// sees zeros. Accessing physical addresses outside any allocated frame is
 /// a *bus error* — the walker turns it into a translation fault, and direct
 /// kernel accesses return `None` so substrate bugs surface immediately.
+///
+/// Every mutation bumps a global monotonic `write_gen` and stamps the frame
+/// it touched, so content caches can validate in O(1): if the global
+/// generation hasn't moved since the cache entry was last checked, no frame
+/// anywhere has changed; otherwise compare the single frame's version.
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: FxHashMap<u64, Frame>,
     /// Next frame number to hand out.
     next_frame: u64,
     /// Recycled frames.
     free: Vec<u64>,
+    /// Monotonic count of mutations (writes, allocs, frees, zeroing).
+    write_gen: u64,
 }
 
 impl PhysMem {
@@ -23,7 +40,17 @@ impl PhysMem {
     /// at 1 MiB so that physical address 0 never aliases a real frame
     /// (null-PA bugs fault loudly).
     pub fn new() -> Self {
-        PhysMem { frames: HashMap::new(), next_frame: (1 << 20) >> PAGE_SHIFT, free: Vec::new() }
+        PhysMem {
+            frames: FxHashMap::default(),
+            next_frame: (1 << 20) >> PAGE_SHIFT,
+            free: Vec::new(),
+            write_gen: 1,
+        }
+    }
+
+    fn fresh_frame(&mut self) -> Frame {
+        self.write_gen += 1;
+        Frame { data: Box::new([0u8; PAGE_SIZE as usize]), version: self.write_gen }
     }
 
     /// Allocate a zeroed frame; returns its physical base address.
@@ -33,7 +60,8 @@ impl PhysMem {
             self.next_frame += 1;
             f
         });
-        self.frames.insert(frame, Box::new([0u8; PAGE_SIZE as usize]));
+        let fresh = self.fresh_frame();
+        self.frames.insert(frame, fresh);
         frame << PAGE_SHIFT
     }
 
@@ -44,7 +72,8 @@ impl PhysMem {
         let start = self.next_frame.div_ceil(n) * n;
         self.next_frame = start + n;
         for f in start..start + n {
-            self.frames.insert(f, Box::new([0u8; PAGE_SIZE as usize]));
+            let fresh = self.fresh_frame();
+            self.frames.insert(f, fresh);
         }
         start << PAGE_SHIFT
     }
@@ -57,7 +86,21 @@ impl PhysMem {
     pub fn free_frame(&mut self, pa: u64) {
         let frame = pa >> PAGE_SHIFT;
         assert!(self.frames.remove(&frame).is_some(), "double free of frame {frame:#x}");
+        self.write_gen += 1;
         self.free.push(frame);
+    }
+
+    /// Global mutation counter. Strictly increases on every write, alloc,
+    /// free, or zeroing anywhere in physical memory.
+    pub fn write_gen(&self) -> u64 {
+        self.write_gen
+    }
+
+    /// The mutation generation of the frame backing `pa`, or `None` on a
+    /// bus error. Reallocation after a free changes the version, so a stale
+    /// snapshot can never validate against a recycled frame.
+    pub fn frame_version(&self, pa: u64) -> Option<u64> {
+        self.frames.get(&(pa >> PAGE_SHIFT)).map(|f| f.version)
     }
 
     /// Is this physical address backed by an allocated frame?
@@ -71,11 +114,17 @@ impl PhysMem {
     }
 
     fn frame(&self, pa: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.frames.get(&(pa >> PAGE_SHIFT)).map(|b| &**b)
+        self.frames.get(&(pa >> PAGE_SHIFT)).map(|f| &*f.data)
     }
 
+    /// Mutable frame access; bumps the generation stamps because every
+    /// caller is about to write.
     fn frame_mut(&mut self, pa: u64) -> Option<&mut [u8; PAGE_SIZE as usize]> {
-        self.frames.get_mut(&(pa >> PAGE_SHIFT)).map(|b| &mut **b)
+        let gen = self.write_gen + 1;
+        let frame = self.frames.get_mut(&(pa >> PAGE_SHIFT))?;
+        self.write_gen = gen;
+        frame.version = gen;
+        Some(&mut *frame.data)
     }
 
     /// Read `N`-byte little-endian value. `None` on a bus error.
@@ -221,6 +270,36 @@ mod tests {
         let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
         assert!(m.write_bytes(base + 100, &data));
         assert_eq!(m.read_bytes(base + 100, 6000).unwrap(), data);
+    }
+
+    #[test]
+    fn write_gen_tracks_mutations() {
+        let mut m = PhysMem::new();
+        let g0 = m.write_gen();
+        let pa = m.alloc_frame();
+        assert!(m.write_gen() > g0, "alloc bumps the generation");
+        let g1 = m.write_gen();
+        let v1 = m.frame_version(pa).unwrap();
+        assert!(m.write_u64(pa, 7));
+        assert!(m.write_gen() > g1);
+        assert!(m.frame_version(pa).unwrap() > v1, "write stamps the frame");
+        let g2 = m.write_gen();
+        assert_eq!(m.read_u64(pa), Some(7));
+        assert_eq!(m.write_gen(), g2, "reads do not bump the generation");
+        assert!(!m.write_u64(0x10_0000_0000, 1));
+        assert_eq!(m.write_gen(), g2, "bus-error writes do not bump");
+    }
+
+    #[test]
+    fn frame_version_changes_on_recycle() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        let v0 = m.frame_version(a).unwrap();
+        m.free_frame(a);
+        assert_eq!(m.frame_version(a), None);
+        let b = m.alloc_frame();
+        assert_eq!(b, a, "frame is recycled");
+        assert!(m.frame_version(b).unwrap() > v0, "recycled frame gets a fresh version");
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   across every ASID, so only the protected domain's pages miss after a
 //!   switch.
 
+use crate::fxhash::FxHashMap;
+use crate::icache::ICache;
 use crate::pte::{S1Perms, S2Perms};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One cached translation (a 4 KB page of the final mapping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,14 +48,14 @@ pub enum TlbHit {
 /// One level of the TLB: a capacity-bounded map with FIFO replacement.
 #[derive(Debug)]
 struct TlbLevel {
-    entries: HashMap<TlbKey, Vec<TlbEntry>>,
+    entries: FxHashMap<TlbKey, Vec<TlbEntry>>,
     order: VecDeque<TlbKey>,
     capacity: usize,
 }
 
 impl TlbLevel {
     fn new(capacity: usize) -> Self {
-        TlbLevel { entries: HashMap::new(), order: VecDeque::new(), capacity }
+        TlbLevel { entries: FxHashMap::default(), order: VecDeque::new(), capacity }
     }
 
     fn lookup(&self, vmid: u16, asid: u16, va: u64) -> Option<TlbEntry> {
@@ -93,6 +95,15 @@ pub struct Tlb {
     hits: u64,
     misses: u64,
     l2_hits: u64,
+    /// Bumped on every structural mutation (insert, promotion, any
+    /// invalidate). While unchanged, a repeated lookup with the same tags
+    /// is guaranteed to return the same result — the fact the decoded-block
+    /// fast path's memo relies on.
+    gen: u64,
+    /// Decoded-block fetch cache. Embedded here so that every TLB
+    /// maintenance operation (the architectural coherence points) reaches
+    /// it without new call sites; see the `icache` module docs.
+    icache: ICache,
 }
 
 impl Tlb {
@@ -103,7 +114,24 @@ impl Tlb {
 
     /// Create a TLB with explicit level capacities.
     pub fn with_l1(l1_capacity: usize, l2_capacity: usize) -> Self {
-        Tlb { l1: TlbLevel::new(l1_capacity), l2: TlbLevel::new(l2_capacity), hits: 0, misses: 0, l2_hits: 0 }
+        Tlb {
+            l1: TlbLevel::new(l1_capacity),
+            l2: TlbLevel::new(l2_capacity),
+            hits: 0,
+            misses: 0,
+            l2_hits: 0,
+            gen: 1,
+            icache: ICache::default(),
+        }
+    }
+
+    /// The decoded-block cache riding along with this TLB.
+    pub fn icache(&self) -> &ICache {
+        &self.icache
+    }
+
+    pub fn icache_mut(&mut self) -> &mut ICache {
+        &mut self.icache
     }
 
     /// Look up `(vmid, asid, va)`; global entries match any ASID. Returns
@@ -116,6 +144,7 @@ impl Tlb {
         if let Some(e) = self.l2.lookup(vmid, asid, va) {
             self.hits += 1;
             self.l2_hits += 1;
+            self.gen += 1; // promotion mutates L1
             self.l1.insert(vmid, va, e);
             return Some((e, TlbHit::L2));
         }
@@ -128,29 +157,42 @@ impl Tlb {
         self.lookup_leveled(vmid, asid, va).map(|(e, _)| e)
     }
 
+    /// Side-effect-free lookup: no stats, no L1 promotion. Used by the
+    /// fetch-cache fill path to snapshot the entry the walk just inserted
+    /// without perturbing the modelled TLB state.
+    pub fn peek(&self, vmid: u16, asid: u16, va: u64) -> Option<TlbEntry> {
+        self.l1.lookup(vmid, asid, va).or_else(|| self.l2.lookup(vmid, asid, va))
+    }
+
     /// Insert a translation for `(vmid, va)` into both levels.
     pub fn insert(&mut self, vmid: u16, va: u64, entry: TlbEntry) {
+        self.gen += 1;
         self.l1.insert(vmid, va, entry);
         self.l2.insert(vmid, va, entry);
     }
 
-    /// `TLBI ALLE1` equivalent — drop everything.
+    /// `TLBI ALLE1` equivalent — drop everything, decoded blocks included.
     pub fn invalidate_all(&mut self) {
+        self.gen += 1;
         self.l1.clear();
         self.l2.clear();
+        self.icache.clear();
     }
 
     /// Drop every entry belonging to one VMID (`TLBI VMALLS12E1`).
     pub fn invalidate_vmid(&mut self, vmid: u16) {
+        self.gen += 1;
         for level in [&mut self.l1, &mut self.l2] {
             level.entries.retain(|k, _| k.vmid != vmid);
             level.order.retain(|k| k.vmid != vmid);
         }
+        self.icache.invalidate_vmid(vmid);
     }
 
     /// Drop entries for one `(vmid, asid)` (`TLBI ASIDE1`); global entries
-    /// survive.
+    /// survive — in the decoded-block cache too.
     pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        self.gen += 1;
         for level in [&mut self.l1, &mut self.l2] {
             for (k, v) in level.entries.iter_mut() {
                 if k.vmid == vmid {
@@ -162,15 +204,52 @@ impl Tlb {
             order.retain(|k| entries.get(k).is_some_and(|v| !v.is_empty()));
             entries.retain(|_, v| !v.is_empty());
         }
+        self.icache.invalidate_asid(vmid, asid);
     }
 
     /// Drop all entries for one page in a VMID, any ASID (`TLBI VAAE1`).
     pub fn invalidate_va(&mut self, vmid: u16, va: u64) {
+        self.gen += 1;
         let key = TlbKey { vmid, vpn: va >> 12 };
         for level in [&mut self.l1, &mut self.l2] {
             level.entries.remove(&key);
             level.order.retain(|k| *k != key);
         }
+        self.icache.invalidate_va(vmid, va);
+    }
+
+    /// The structural-mutation generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Decoded-block memo fast path: serve `(pa, word, insn)` and replay
+    /// the free L1 hit the uncached fetch would have scored, with no
+    /// other TLB interaction. Sound only because the icache entry was
+    /// armed at the current generation (see `ICache::fast_probe`).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn fetch_fast(
+        &mut self,
+        mem: &crate::PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: lz_arch::pstate::ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+    ) -> Option<(u64, u32, lz_arch::insn::Insn)> {
+        let got = self.icache.fast_probe(mem, vmid, asid, el, va, s1_enabled, wxn, self.gen)?;
+        self.hits += 1;
+        Some(got)
+    }
+
+    /// Arm the decoded-block memo for `(vmid, asid, el, va)` at the
+    /// current generation: the caller just proved that serving the block
+    /// equals a free L1 hit.
+    pub fn arm_fast(&mut self, vmid: u16, asid: u16, el: lz_arch::pstate::ExceptionLevel, va: u64) {
+        let gen = self.gen;
+        self.icache.arm_fast(vmid, asid, el, va, gen);
     }
 
     /// `(hits, misses)` counters since creation or [`Self::reset_stats`].

@@ -10,9 +10,11 @@
 //! * stage-2 tables bound everything a virtual environment can reach,
 //!   regardless of what it writes into its stage-1 tables.
 
+use crate::icache::FillInfo;
 use crate::mem::PhysMem;
 use crate::pte::{self, S1Perms, S2Perms};
-use crate::tlb::{Tlb, TlbEntry};
+use crate::tlb::{Tlb, TlbEntry, TlbHit};
+use lz_arch::insn::Insn;
 use lz_arch::pstate::ExceptionLevel;
 use lz_arch::sysreg::{ttbr, vttbr};
 use lz_arch::CycleModel;
@@ -135,31 +137,53 @@ pub fn translate(
     access: Access,
     actx: &AccessCtx,
 ) -> Result<Translation, Fault> {
+    let pre = if cfg.s1_enabled || cfg.vttbr.is_some() {
+        tlb.lookup_leveled(cfg.vmid(), cfg.asid(), va)
+    } else {
+        None
+    };
+    translate_after_lookup(mem, tlb, model, cfg, va, access, actx, pre)
+}
+
+/// The body of [`translate`] after the TLB has already been consulted.
+///
+/// Split out so the fetch fast path can perform exactly one
+/// `lookup_leveled` (which mutates hit/miss counters and promotes L2 hits)
+/// and still fall back to the slow path without double-counting.
+#[allow(clippy::too_many_arguments)]
+fn translate_after_lookup(
+    mem: &PhysMem,
+    tlb: &mut Tlb,
+    model: &CycleModel,
+    cfg: &WalkConfig,
+    va: u64,
+    access: Access,
+    actx: &AccessCtx,
+    pre: Option<(TlbEntry, TlbHit)>,
+) -> Result<Translation, Fault> {
     let wnr = access == Access::Write;
     let vmid = cfg.vmid();
     let asid = cfg.asid();
 
-    if cfg.s1_enabled || cfg.vttbr.is_some() {
-        if let Some((entry, level)) = tlb.lookup_leveled(vmid, asid, va) {
-            check_s1(&entry.s1, access, actx, cfg.wxn, cfg.s1_enabled)
-                .map_err(|kind| Fault { kind, stage: Stage::S1, level: 3, va, ipa: 0, wnr, s1ptw: false })?;
-            if let Some(s2p) = entry.s2 {
-                check_s2(&s2p, access).map_err(|kind| Fault {
-                    kind,
-                    stage: Stage::S2,
-                    level: 3,
-                    va,
-                    ipa: entry.pa_page | (va & 0xfff),
-                    wnr,
-                    s1ptw: false,
-                })?;
-            }
-            let cost = match level {
-                crate::tlb::TlbHit::L1 => 0,
-                crate::tlb::TlbHit::L2 => model.l2_tlb_hit,
-            };
-            return Ok(Translation { pa: entry.pa_page | (va & 0xfff), cost, tlb_hit: true });
+    if let Some((entry, level)) = pre {
+        check_s1(&entry.s1, access, actx, cfg.wxn, cfg.s1_enabled)
+            .map_err(|kind| Fault { kind, stage: Stage::S1, level: 3, va, ipa: 0, wnr, s1ptw: false })?;
+        if let Some(s2p) = entry.s2 {
+            check_s2(&s2p, access).map_err(|kind| Fault {
+                kind,
+                stage: Stage::S2,
+                level: 3,
+                va,
+                ipa: entry.pa_page | (va & 0xfff),
+                wnr,
+                s1ptw: false,
+            })?;
         }
+        let cost = match level {
+            TlbHit::L1 => 0,
+            TlbHit::L2 => model.l2_tlb_hit,
+        };
+        return Ok(Translation { pa: entry.pa_page | (va & 0xfff), cost, tlb_hit: true });
     }
 
     // Full walk.
@@ -202,6 +226,172 @@ pub fn translate(
     }
 
     Ok(Translation { pa: pa_page | (va & 0xfff), cost, tlb_hit: false })
+}
+
+/// Result of a successful instruction fetch via [`fetch`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fetched {
+    /// Final physical address of the fetched word.
+    pub pa: u64,
+    /// Modelled translation cost — bit-identical to what [`translate`]
+    /// would have returned for this fetch.
+    pub cost: u64,
+    pub word: u32,
+    pub insn: Insn,
+}
+
+fn fetch_bus_fault(va: u64) -> Fault {
+    Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 3, va, ipa: 0, wnr: false, s1ptw: false }
+}
+
+/// The walk cost [`translate`] charges for a fetch missing the TLB in the
+/// current regime. Deterministic given the regime flags: stage-1 walks cost
+/// `stage1_walk` (or `nested_walk` under stage 2, whose leaf stage-2
+/// lookup adds `stage2_walk`), identity-plus-stage-2 costs one stage-2
+/// walk, and the bare identity regime walks nothing.
+fn fetch_walk_cost(model: &CycleModel, cfg: &WalkConfig) -> u64 {
+    match (cfg.s1_enabled, cfg.vttbr.is_some()) {
+        (true, true) => model.nested_walk() + model.stage2_walk(),
+        (true, false) => model.stage1_walk(),
+        (false, true) => model.stage2_walk(),
+        (false, false) => 0,
+    }
+}
+
+/// Stage-1 root (baddr) governing `va`'s half, or `None` for non-canonical
+/// addresses — those always fault and are never cached.
+fn s1_root_for(cfg: &WalkConfig, va: u64) -> Option<u64> {
+    match va >> 48 {
+        LOW_HALF => Some(ttbr::baddr(cfg.ttbr0)),
+        HIGH_HALF => Some(ttbr::baddr(cfg.ttbr1)),
+        _ => None,
+    }
+}
+
+/// Instruction fetch: translation + 32-bit read + decode, with an optional
+/// decoded-block fast path (see the [`crate::icache`] module docs for the
+/// coherence rules).
+///
+/// Errors carry the cycle cost the caller must charge before taking the
+/// fault: `stage1_walk` for translation faults (the interpreter's
+/// historical accounting) or the translation cost for a bus error on a
+/// successfully translated PC.
+///
+/// With `use_cache = false` this is exactly [`translate`] + `read_u32` +
+/// `Insn::decode`. With `use_cache = true` the decoded-block cache may skip
+/// that host-side work, but every modelled side effect is replayed: the TLB
+/// sees the same single lookup, the same insert, and the same hit/miss
+/// statistics, and the returned `cost` is bit-identical.
+pub fn fetch(
+    mem: &PhysMem,
+    tlb: &mut Tlb,
+    model: &CycleModel,
+    cfg: &WalkConfig,
+    va: u64,
+    actx: &AccessCtx,
+    use_cache: bool,
+) -> Result<Fetched, (Fault, u64)> {
+    if !use_cache {
+        let t = translate(mem, tlb, model, cfg, va, Access::Fetch, actx)
+            .map_err(|f| (f, model.stage1_walk()))?;
+        let word = mem.read_u32(t.pa).ok_or((fetch_bus_fault(va), t.cost))?;
+        return Ok(Fetched { pa: t.pa, cost: t.cost, word, insn: Insn::decode(word) });
+    }
+
+    let vmid = cfg.vmid();
+    let asid = cfg.asid();
+    let has_tlb = cfg.s1_enabled || cfg.vttbr.is_some();
+
+    // Memoised fast path: while the TLB generation is unchanged since this
+    // block was last proven equivalent to a free L1 hit, skip the lookup
+    // entirely and just replay its statistics (cost 0, one hit).
+    if has_tlb && !actx.unpriv {
+        if let Some((pa, word, insn)) =
+            tlb.fetch_fast(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn)
+        {
+            return Ok(Fetched { pa, cost: 0, word, insn });
+        }
+    }
+
+    // Unprivileged (LDTR-style) fetches don't exist architecturally, but
+    // `fetch` is public: permission checks differ under `unpriv`, and the
+    // cache tags entries by EL only, so bypass it in that case.
+    let root = if actx.unpriv {
+        None
+    } else if cfg.s1_enabled {
+        s1_root_for(cfg, va)
+    } else {
+        Some(0)
+    };
+    let vttbr_base = cfg.vttbr.map(vttbr::baddr);
+
+    let pre = if has_tlb { tlb.lookup_leveled(vmid, asid, va) } else { None };
+
+    if let Some(root) = root {
+        let hit = tlb
+            .icache_mut()
+            .probe(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn, root, vttbr_base);
+        if let Some(hit) = hit {
+            match (pre, hit.snapshot) {
+                // The main TLB hit and the block was decoded from that very
+                // entry: PA and permission outcomes are reproducible, so
+                // serve the block at the TLB-hit cost.
+                (Some((entry, level)), Some(snap)) if snap == entry => {
+                    let cost = match level {
+                        TlbHit::L1 => 0,
+                        TlbHit::L2 => model.l2_tlb_hit,
+                    };
+                    // From here on (until the next structural TLB change),
+                    // this block is a guaranteed free L1 hit: an L2 hit
+                    // was just promoted, an L1 hit stays put. Arm the
+                    // lookup-free memo.
+                    tlb.arm_fast(vmid, asid, actx.el, va);
+                    return Ok(Fetched { pa: hit.pa, cost, word: hit.word, insn: hit.insn });
+                }
+                // TLB miss, but the fill-time roots still govern the
+                // regime: replay the walk's outcome — re-insert the
+                // snapshot entry and charge the deterministic walk cost.
+                (None, Some(snap)) if has_tlb && hit.roots_match => {
+                    tlb.insert(vmid, va, snap);
+                    return Ok(Fetched {
+                        pa: hit.pa,
+                        cost: fetch_walk_cost(model, cfg),
+                        word: hit.word,
+                        insn: hit.insn,
+                    });
+                }
+                // Bare identity regime: no TLB interaction, no walk cost.
+                (None, None) if !has_tlb && hit.roots_match => {
+                    return Ok(Fetched { pa: hit.pa, cost: 0, word: hit.word, insn: hit.insn });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Slow path. The TLB lookup above already counted, so continue from it.
+    let t = translate_after_lookup(mem, tlb, model, cfg, va, Access::Fetch, actx, pre)
+        .map_err(|f| (f, model.stage1_walk()))?;
+    let word = mem.read_u32(t.pa).ok_or((fetch_bus_fault(va), t.cost))?;
+    let insn = Insn::decode(word);
+    if let Some(root) = root {
+        // Snapshot the entry this fetch hit or inserted; a later lookup of
+        // the same (vmid, asid, va) returns exactly this entry, which is
+        // what makes the fast path's equality check sound.
+        let snapshot = if has_tlb { tlb.peek(vmid, asid, va) } else { None };
+        let info = FillInfo {
+            asid: snapshot.and_then(|s| s.asid),
+            el: actx.el,
+            s1_enabled: cfg.s1_enabled,
+            wxn: cfg.wxn,
+            root,
+            vttbr: vttbr_base,
+            snapshot,
+            pa_page: t.pa & !0xfff,
+        };
+        tlb.icache_mut().fill(mem, vmid, va, info, word, insn);
+    }
+    Ok(Fetched { pa: t.pa, cost: t.cost, word, insn })
 }
 
 /// Walk the stage-1 tree. Returns the IPA *page* of `va`, the leaf

@@ -4,6 +4,7 @@ use lz_arch::pstate::ExceptionLevel;
 use lz_arch::sysreg::ttbr;
 use lz_arch::Platform;
 use lz_machine::pte::S1Perms;
+use lz_machine::tlb::TlbEntry;
 use lz_machine::walk::{alloc_table, s1_lookup, s1_map_page, s1_unmap, translate, Access, AccessCtx, FaultKind, WalkConfig};
 use lz_machine::{PhysMem, Tlb};
 use proptest::prelude::*;
@@ -121,6 +122,109 @@ proptest! {
         let t = translate(&mem, &mut tlb, &model, &cfg, va, Access::Read, &actx).unwrap();
         prop_assert!(t.tlb_hit);
         prop_assert_eq!(t.pa, frame);
+    }
+
+    /// Every TLB invalidation variant also evicts the matching
+    /// decoded-block cache entries: the icache must never outlive the
+    /// TLBI that software issued for the page.
+    #[test]
+    fn tlbi_variants_evict_decoded_blocks(
+        vmid in 0u16..4,
+        asid in 1u16..100,
+        va in any_page_va(),
+        variant in 0u8..4,
+    ) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let pa = mem.alloc_frame();
+        tlb.icache_mut().seed_entry(&mem, vmid, Some(asid), va, pa);
+        prop_assert!(tlb.icache().contains(vmid, Some(asid), va));
+        match variant {
+            0 => tlb.invalidate_all(),
+            1 => tlb.invalidate_vmid(vmid),
+            2 => tlb.invalidate_asid(vmid, asid),
+            _ => tlb.invalidate_va(vmid, va),
+        }
+        prop_assert!(
+            !tlb.icache().contains(vmid, Some(asid), va),
+            "variant {} left a decoded block behind", variant
+        );
+    }
+
+    /// Invalidations scoped to *other* tags leave the entry alone, in the
+    /// TLB and the decoded-block cache alike.
+    #[test]
+    fn scoped_tlbi_spares_unrelated_blocks(
+        vmid in 0u16..4,
+        asid in 1u16..100,
+        va in any_page_va(),
+        other_va in any_page_va(),
+        variant in 0u8..3,
+    ) {
+        prop_assume!(va >> 12 != other_va >> 12);
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let pa = mem.alloc_frame();
+        tlb.icache_mut().seed_entry(&mem, vmid, Some(asid), va, pa);
+        match variant {
+            0 => tlb.invalidate_vmid(vmid + 1),
+            1 => tlb.invalidate_asid(vmid, asid + 1),
+            _ => tlb.invalidate_va(vmid, other_va),
+        }
+        prop_assert!(
+            tlb.icache().contains(vmid, Some(asid), va),
+            "variant {} evicted an unrelated decoded block", variant
+        );
+    }
+
+    /// Global (nG=0) entries survive `TLBI ASIDE1` in both structures —
+    /// the behaviour LightZone's unprotected mappings rely on across
+    /// domain switches.
+    #[test]
+    fn globals_survive_asid_invalidate_in_both(
+        vmid in 0u16..4,
+        asid in 1u16..100,
+        va_g in any_page_va(),
+        va_ng in any_page_va(),
+    ) {
+        prop_assume!(va_g >> 12 != va_ng >> 12);
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let pa_g = mem.alloc_frame();
+        let pa_ng = mem.alloc_frame();
+        let global = TlbEntry { asid: None, pa_page: pa_g, s1: S1Perms::kernel_data(), s2: None };
+        let nonglobal = TlbEntry { asid: Some(asid), pa_page: pa_ng, s1: S1Perms::kernel_data(), s2: None };
+        tlb.insert(vmid, va_g, global);
+        tlb.insert(vmid, va_ng, nonglobal);
+        tlb.icache_mut().seed_entry(&mem, vmid, None, va_g, pa_g);
+        tlb.icache_mut().seed_entry(&mem, vmid, Some(asid), va_ng, pa_ng);
+        tlb.invalidate_asid(vmid, asid);
+        // TLB: global survives, non-global gone.
+        prop_assert!(tlb.lookup(vmid, asid, va_g).is_some());
+        prop_assert!(tlb.lookup(vmid, asid, va_ng).is_none());
+        // Decoded blocks: same fate.
+        prop_assert!(tlb.icache().contains(vmid, None, va_g));
+        prop_assert!(!tlb.icache().contains(vmid, Some(asid), va_ng));
+    }
+
+    /// A write into a cached code frame makes the next probe miss, no
+    /// matter which of the frame's bytes was touched.
+    #[test]
+    fn frame_write_invalidates_decoded_block(va in any_page_va(), off in 0u64..4096) {
+        use lz_arch::pstate::ExceptionLevel;
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let pa = mem.alloc_frame();
+        tlb.icache_mut().seed_entry(&mem, 0, Some(1), va, pa);
+        prop_assert!(tlb
+            .icache_mut()
+            .probe(&mem, 0, 1, ExceptionLevel::El0, va, true, false, 0, None)
+            .is_some());
+        mem.write(pa + (off & !7), 0xffff_ffff_ffff_ffff, 8);
+        prop_assert!(tlb
+            .icache_mut()
+            .probe(&mem, 0, 1, ExceptionLevel::El0, va, true, false, 0, None)
+            .is_none());
     }
 
     /// Different ASIDs never observe each other's non-global mappings.

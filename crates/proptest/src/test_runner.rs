@@ -1,0 +1,130 @@
+//! Case runner: deterministic seeding, reject handling, failure reporting.
+
+use rand::{SeedableRng, StdRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it.
+    Reject(String),
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runs `case` until `cfg.cases` successes, with a bounded reject budget.
+///
+/// The RNG stream is keyed only by the test name (SipHash with fixed keys via
+/// `DefaultHasher`), so a failure always reproduces: rerun the same test
+/// binary and case N sees the same inputs.
+pub fn run_cases<F>(name: &str, cfg: &Config, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let mut rng = StdRng::seed_from_u64(hasher.finish());
+
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let max_rejects = cfg.cases.saturating_mul(16).max(1024);
+    while successes < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejects ({rejects}) before reaching \
+                         {} cases — loosen prop_assume! conditions",
+                        cfg.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {successes}: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_successes() {
+        let mut n = 0;
+        run_cases("counts", &Config::with_cases(10), |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn reports_failures() {
+        run_cases("fails", &Config::with_cases(10), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_not_counted() {
+        let mut attempts = 0;
+        run_cases("rejects", &Config::with_cases(5), |_rng| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                Err(TestCaseError::reject("odd"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts > 5);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = vec![];
+        run_cases("stream", &Config::with_cases(5), |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = vec![];
+        run_cases("stream", &Config::with_cases(5), |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

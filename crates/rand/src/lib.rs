@@ -1,0 +1,148 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace provides the small slice of the `rand` API it actually uses:
+//! a seedable `StdRng` and `random_range` over integer ranges. Determinism
+//! across runs and platforms is the only quality that matters here — the
+//! workloads use seeded RNGs precisely so the paper tables are reproducible.
+//! The generator is splitmix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators"), which passes the statistical bar these workloads need.
+
+use std::ops::Range;
+
+pub mod rngs {
+    /// Deterministic 64-bit PRNG (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Construction from a `u64` seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy {
+    fn from_u64_in(lo: Self, hi: Self, raw: u64) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn from_u64_in(lo: Self, hi: Self, raw: u64) -> Self {
+                let width = (hi as u64) - (lo as u64);
+                lo + (raw % width) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn from_u64_in(lo: Self, hi: Self, raw: u64) -> Self {
+                let width = (hi as i64 - lo as i64) as u64;
+                (lo as i64 + (raw % width) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait RngExt {
+    fn raw_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open integer range. Panics on empty ranges.
+    #[inline]
+    fn random_range<T: UniformInt + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "random_range called with empty range");
+        let raw = self.raw_u64();
+        T::from_u64_in(range.start, range.end, raw)
+    }
+
+    #[inline]
+    fn random_bool(&mut self) -> bool {
+        self.raw_u64() & 1 == 1
+    }
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn raw_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(0..128);
+            assert!(v < 128);
+            let s: i64 = rng.random_range(-256i64..256);
+            assert!((-256..256).contains(&s));
+            let u: usize = rng.random_range(3usize..7);
+            assert!((3..7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_covers_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI for the LightZone reproduction.
+#
+# Runs the tier-1 verify (ROADMAP.md), the full workspace suite with the
+# decoded-block fetch cache both enabled and disabled (both interpreter
+# paths must stay green), the cache differential suite, a `repro all`
+# smoke pass, and emits the simulator-throughput benchmark as
+# BENCH_sim_throughput.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (workspace, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tier-1 verify: cargo test -q (root package) =="
+cargo test -q --release
+
+echo "== workspace tests, fetch cache ON (default) =="
+cargo test -q --release --workspace
+
+echo "== workspace tests, fetch cache OFF =="
+LZ_FETCH_CACHE=0 cargo test -q --release --workspace
+
+echo "== differential suite (cache on vs off, explicit) =="
+cargo test -q --release --test differential
+
+echo "== repro all (smoke mode, non---full) =="
+./target/release/repro all > /dev/null
+
+echo "== sim_throughput -> BENCH_sim_throughput.json =="
+./target/release/sim_throughput > BENCH_sim_throughput.json
+cat BENCH_sim_throughput.json
+
+echo "CI OK"

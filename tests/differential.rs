@@ -1,0 +1,450 @@
+//! Differential testing of the decoded-block fetch cache.
+//!
+//! Every test here builds two identical machines, enables the fetch cache
+//! on one and disables it on the other, drives both through the same
+//! program and the same host-side operations, and asserts the complete
+//! observable state is identical: exit reason, registers, PC, cycle and
+//! instruction counts, TLB statistics, and the retired-instruction trace.
+//! The cache is allowed to skip host-side work only — any divergence is
+//! a coherence or accounting bug.
+//!
+//! Coverage: seeded random programs (ALU, loads/stores, forward branches,
+//! trap-and-resume via `svc`, self-modifying stores into an executed-twice
+//! patch area), plus deterministic scenarios for break-before-make code
+//! remapping, physical code patching without TLBI, and TTBR/ASID domain
+//! switching over global and non-global pages.
+
+use lz_arch::asm::Asm;
+use lz_arch::esr::{self, ExceptionClass};
+use lz_arch::insn::Insn;
+use lz_arch::pstate::{ExceptionLevel, PState};
+use lz_arch::sysreg::{hcr, sctlr, ttbr, SysReg};
+use lz_arch::Platform;
+use lz_machine::pte::S1Perms;
+use lz_machine::walk::{alloc_table, s1_map_page, s1_unmap};
+use lz_machine::{Exit, Machine};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const CODE: u64 = 0x40_0000;
+const PATCH: u64 = CODE + 0x3000;
+const DATA: u64 = 0x50_0000;
+const NOP: u32 = 0xD503_201F;
+
+fn user_rwx() -> S1Perms {
+    // Writable + executable so self-modifying stores are legal (WXN off).
+    S1Perms { read: true, write: true, user_exec: true, priv_exec: false, el0: true, global: false }
+}
+
+fn user_rw() -> S1Perms {
+    S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false }
+}
+
+/// Build one machine: 4 code pages at `CODE` (the last is the patch
+/// area), 2 data pages at `DATA`, stage-1 only, TGE host semantics.
+fn build_machine(code: &[u8], patch: &[u8], cache_on: bool) -> Machine {
+    let mut m = Machine::new(Platform::CortexA55);
+    m.set_fetch_cache(cache_on);
+    let root = alloc_table(&mut m.mem);
+    for page in 0..4u64 {
+        let pa = m.mem.alloc_frame();
+        s1_map_page(&mut m.mem, root, CODE + page * 0x1000, pa, user_rwx());
+        let src = if page == 3 { patch } else {
+            let lo = (page * 0x1000) as usize;
+            if lo >= code.len() { &[] } else { &code[lo..code.len().min(lo + 0x1000)] }
+        };
+        m.mem.write_bytes(pa, src);
+    }
+    for page in 0..2u64 {
+        let pa = m.mem.alloc_frame();
+        s1_map_page(&mut m.mem, root, DATA + page * 0x1000, pa, user_rw());
+    }
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+    m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+    m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+    m.trace.set_enabled(true);
+    m.cpu.pstate = PState::user();
+    m.cpu.pc = CODE;
+    m
+}
+
+/// Everything a program can observe about one run.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    exit: Exit,
+    resumes: u32,
+    pc: u64,
+    regs: Vec<u64>,
+    cycles: u64,
+    insns: u64,
+    tlb_stats: (u64, u64),
+    l2_hits: u64,
+    trace: Vec<(u64, u32, ExceptionLevel)>,
+}
+
+fn snapshot(m: &Machine, exit: Exit, resumes: u32) -> Snapshot {
+    Snapshot {
+        exit,
+        resumes,
+        pc: m.cpu.pc,
+        regs: (0..31).map(|i| m.cpu.reg(i)).collect(),
+        cycles: m.cpu.cycles,
+        insns: m.cpu.insns,
+        tlb_stats: m.tlb.stats(),
+        l2_hits: m.tlb.l2_hit_count(),
+        trace: m.trace.entries().map(|e| (e.pc, e.word, e.el)).collect(),
+    }
+}
+
+/// Run until `svc #0` (program exit) or a non-SVC exception; `svc #k`
+/// with `k != 0` is treated as a trap the host resumes from (identically
+/// on both machines).
+fn run_to_completion(m: &mut Machine) -> (Exit, u32) {
+    let mut resumes = 0u32;
+    loop {
+        let exit = m.run(200_000);
+        match exit {
+            Exit::El2(ExceptionClass::Svc) => {
+                if esr::esr_imm(m.sysreg(SysReg::ESR_EL2)) == 0 {
+                    return (exit, resumes);
+                }
+                resumes += 1;
+                let elr = m.sysreg(SysReg::ELR_EL2);
+                m.enter(PState::user(), elr);
+            }
+            other => return (other, resumes),
+        }
+    }
+}
+
+fn assert_identical(on: Snapshot, off: Snapshot, ctx: &str) {
+    assert_eq!(on, off, "cache-on and cache-off runs diverged ({ctx})");
+}
+
+/// A patch area of `slots` NOP words followed by `ret`, at `PATCH`.
+fn patch_area(slots: usize) -> Vec<u8> {
+    let mut a = Asm::new(PATCH);
+    for _ in 0..slots {
+        a.nop();
+    }
+    a.ret();
+    a.bytes()
+}
+
+/// Candidate instruction words a self-modifying store may plant in a
+/// patch slot. All are safe at EL0 and side-effect-bounded.
+fn plantable(rng: &mut StdRng) -> u32 {
+    match rng.random_range(0u32..4) {
+        0 => NOP,
+        1 => Insn::AddImm {
+            rd: 0,
+            rn: 0,
+            imm12: rng.random_range(0u16..64),
+            shift12: false,
+            sub: false,
+            set_flags: false,
+        }
+        .encode(),
+        2 => Insn::Movz { rd: rng.random_range(2u8..8), imm16: rng.random_range(0u16..1000), hw: 0 }.encode(),
+        _ => Insn::AddImm { rd: 1, rn: 1, imm12: 1, shift12: false, sub: true, set_flags: false }.encode(),
+    }
+}
+
+/// Emit one seeded random program. Structure:
+///
+/// * prologue: base registers x19/x20 (data pages), x21 (patch area),
+///   seed immediates in x0..x7;
+/// * `blr` into the patch area (populates the decoded-block cache);
+/// * `len` random body instructions: ALU, loads/stores, compares,
+///   forward conditional branches, resumable traps, and stores of
+///   instruction words into patch slots;
+/// * `blr` into the patch area again (patched words must now execute);
+/// * `svc #0`.
+fn random_program(seed: u64, len: usize, slots: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Asm::new(CODE);
+    a.mov_imm64(19, DATA);
+    a.mov_imm64(20, DATA + 0x1000);
+    a.mov_imm64(21, PATCH);
+    for r in 0..8u8 {
+        a.mov_imm64(r, rng.raw_u64() & 0xffff_ffff);
+    }
+    a.mov_imm64(10, PATCH);
+    a.blr(10);
+    // A short counted loop so even store-heavy programs re-fetch some
+    // code and give the decoded-block cache something to hit.
+    a.mov_imm64(11, 64);
+    let warm = a.label();
+    a.bind(warm);
+    a.add_imm(12, 12, 1);
+    a.subs_imm(11, 11, 1);
+    a.b_ne(warm);
+    for _ in 0..len {
+        match rng.random_range(0u32..100) {
+            0..=39 => {
+                // ALU on x0..x7.
+                let (rd, rn, rm) =
+                    (rng.random_range(0u8..8), rng.random_range(0u8..8), rng.random_range(0u8..8));
+                match rng.random_range(0u32..8) {
+                    0 => a.add_reg(rd, rn, rm),
+                    1 => a.sub_reg(rd, rn, rm),
+                    2 => a.and_reg(rd, rn, rm),
+                    3 => a.orr_reg(rd, rn, rm),
+                    4 => a.eor_reg(rd, rn, rm),
+                    5 => a.mul(rd, rn, rm),
+                    6 => a.add_imm(rd, rn, rng.random_range(0u16..4096)),
+                    _ => a.lsr_imm(rd, rn, rng.random_range(1u8..32)),
+                };
+            }
+            40..=64 => {
+                // Load/store within the mapped data pages.
+                let base = if rng.random_bool() { 19 } else { 20 };
+                let off = rng.random_range(0u64..512) * 8;
+                let rt = rng.random_range(0u8..8);
+                if rng.random_bool() {
+                    a.str(rt, base, off);
+                } else {
+                    a.ldr(rt, base, off);
+                }
+            }
+            65..=79 => {
+                // Compare + short forward conditional skip.
+                let (rn, imm) = (rng.random_range(0u8..8), rng.random_range(0u16..100));
+                a.cmp_imm(rn, imm);
+                let skip = a.label();
+                if rng.random_bool() {
+                    a.b_eq(skip);
+                } else {
+                    a.b_ne(skip);
+                }
+                for _ in 0..rng.random_range(1u32..4) {
+                    let rd = rng.random_range(0u8..8);
+                    a.add_imm(rd, rd, 1);
+                }
+                a.bind(skip);
+            }
+            80..=89 => {
+                // Self-modifying store: plant (insn, NOP) into a patch slot.
+                let slot = rng.random_range(0u64..(slots as u64 / 2)) * 2;
+                let pair = (NOP as u64) << 32 | plantable(&mut rng) as u64;
+                a.mov_imm64(9, pair);
+                a.str(9, 21, slot * 4);
+            }
+            _ => {
+                // Resumable trap.
+                a.svc(rng.random_range(1u16..100));
+            }
+        }
+    }
+    a.mov_imm64(10, PATCH);
+    a.blr(10);
+    a.svc(0);
+    let bytes = a.bytes();
+    assert!(bytes.len() <= 3 * 0x1000, "random body overflowed the code pages");
+    (bytes, patch_area(slots))
+}
+
+fn differential_run(seed: u64) {
+    let (code, patch) = random_program(seed, 400, 64);
+    let mut on = build_machine(&code, &patch, true);
+    let mut off = build_machine(&code, &patch, false);
+    let (exit_on, res_on) = run_to_completion(&mut on);
+    let (exit_off, res_off) = run_to_completion(&mut off);
+    assert_identical(
+        snapshot(&on, exit_on, res_on),
+        snapshot(&off, exit_off, res_off),
+        &format!("random program, seed {seed}"),
+    );
+    // The cache must actually have been exercised, or this test proves
+    // nothing: the patch area alone is fetched twice.
+    let (hits, _) = on.tlb.icache().stats();
+    assert!(hits > 0, "seed {seed}: fetch cache never hit");
+}
+
+#[test]
+fn random_programs_agree() {
+    for seed in 0..24u64 {
+        differential_run(seed);
+    }
+}
+
+#[test]
+fn hot_loop_agrees_and_hits() {
+    // Straight-line loop: the cache's bread and butter.
+    let mut a = Asm::new(CODE);
+    a.mov_imm64(0, 5_000);
+    a.movz(1, 0, 0);
+    let top = a.label();
+    a.bind(top);
+    a.add_imm(1, 1, 3);
+    a.eor_reg(2, 1, 0);
+    a.subs_imm(0, 0, 1);
+    a.b_ne(top);
+    a.svc(0);
+    let code = a.bytes();
+    let patch = patch_area(4);
+    let mut on = build_machine(&code, &patch, true);
+    let mut off = build_machine(&code, &patch, false);
+    let (e_on, r_on) = run_to_completion(&mut on);
+    let (e_off, r_off) = run_to_completion(&mut off);
+    assert_identical(snapshot(&on, e_on, r_on), snapshot(&off, e_off, r_off), "hot loop");
+    let (hits, misses) = on.tlb.icache().stats();
+    assert!(hits > 10 * misses, "hot loop should be cache-dominated: {hits} hits / {misses} misses");
+}
+
+/// Break-before-make code remap: unmap, TLBI, write fresh frame, remap.
+/// Both machines must observe the new code on re-entry.
+#[test]
+fn break_before_make_remap_agrees() {
+    let body = |ret: u16| {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, ret as u64);
+        a.svc(0);
+        a.bytes()
+    };
+    let run_pair = |m: &mut Machine| {
+        // First pass: original code.
+        let (exit, _) = run_to_completion(m);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(0), 111);
+        // Break-before-make: unmap + TLBI, then map new frame.
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        s1_unmap(&mut m.mem, root, CODE);
+        m.tlb.invalidate_va(0, CODE); // VMID 0: stage 1 only, no VTTBR
+        let fresh = m.mem.alloc_frame();
+        m.mem.write_bytes(fresh, &body(222));
+        s1_map_page(&mut m.mem, root, CODE, fresh, user_rwx());
+        m.enter(PState::user(), CODE);
+        let (exit, _) = run_to_completion(m);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        exit
+    };
+    let mut on = build_machine(&body(111), &patch_area(4), true);
+    let mut off = build_machine(&body(111), &patch_area(4), false);
+    let e_on = run_pair(&mut on);
+    let e_off = run_pair(&mut off);
+    assert_eq!(on.cpu.reg(0), 222, "remapped code must execute (cache on)");
+    assert_identical(snapshot(&on, e_on, 0), snapshot(&off, e_off, 0), "break-before-make");
+}
+
+/// Physical patch of the live code frame with no TLBI at all: the frame
+/// version check must evict the stale decoded block.
+#[test]
+fn physical_code_patch_agrees() {
+    let mut a = Asm::new(CODE);
+    a.mov_imm64(0, 5);
+    a.movz(1, 7, 0); // patched to movz(1, 9, 0) below
+    a.svc(0);
+    let code = a.bytes();
+    let patched_word = Insn::Movz { rd: 1, imm16: 9, hw: 0 }.encode();
+    let run_pair = |m: &mut Machine| {
+        let (exit, _) = run_to_completion(m);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(1), 7);
+        // Overwrite the movz in place — same frame, no TLB maintenance.
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        let (pa, _, _) = lz_machine::walk::s1_lookup(&m.mem, root, CODE).expect("code mapped");
+        m.mem.write(pa + 4, patched_word as u64, 4);
+        m.enter(PState::user(), CODE);
+        let (exit, _) = run_to_completion(m);
+        exit
+    };
+    let mut on = build_machine(&code, &patch_area(4), true);
+    let mut off = build_machine(&code, &patch_area(4), false);
+    let e_on = run_pair(&mut on);
+    let e_off = run_pair(&mut off);
+    assert_eq!(on.cpu.reg(1), 9, "patched word must be fetched fresh (cache on)");
+    assert_identical(snapshot(&on, e_on, 0), snapshot(&off, e_off, 0), "physical patch");
+}
+
+/// TTBR/ASID domain switching: two address spaces with different code at
+/// the same VA plus a shared global data page; the host switches TTBR0
+/// back and forth. ASID tagging must keep the decoded blocks separate
+/// while global data entries persist.
+#[test]
+fn ttbr_domain_switch_agrees() {
+    let body = |tag: u64| {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, tag);
+        a.mov_imm64(19, DATA);
+        a.ldr(1, 19, 0);
+        a.add_reg(1, 1, 0);
+        a.str(1, 19, 0);
+        a.svc(0);
+        a.bytes()
+    };
+    let global_rw =
+        S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: true };
+    let build = |cache_on: bool| {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_fetch_cache(cache_on);
+        let shared = m.mem.alloc_frame();
+        let mut roots = [0u64; 2];
+        for (i, tag) in [1u64, 1000].iter().enumerate() {
+            let root = alloc_table(&mut m.mem);
+            let code_pa = m.mem.alloc_frame();
+            m.mem.write_bytes(code_pa, &body(*tag));
+            s1_map_page(&mut m.mem, root, CODE, code_pa, user_rwx());
+            s1_map_page(&mut m.mem, root, DATA, shared, global_rw);
+            roots[i] = root;
+        }
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+        m.trace.set_enabled(true);
+        (m, roots)
+    };
+    let drive = |m: &mut Machine, roots: [u64; 2]| {
+        let mut last = Exit::Limit;
+        for round in 0..7u64 {
+            let domain = (round % 2) as usize;
+            m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(domain as u16 + 1, roots[domain]));
+            m.enter(PState::user(), CODE);
+            let (exit, _) = run_to_completion(m);
+            assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+            last = exit;
+        }
+        last
+    };
+    let (mut on, roots_on) = build(true);
+    let (mut off, roots_off) = build(false);
+    let e_on = drive(&mut on, roots_on);
+    let e_off = drive(&mut off, roots_off);
+    // 7 rounds alternating: 4 × tag 1, 3 × tag 1000.
+    let expect = 4 * 1 + 3 * 1000;
+    assert_eq!(on.mem.read_u32(
+        {
+            let (pa, _, _) = lz_machine::walk::s1_lookup(&on.mem, roots_on[0], DATA).unwrap();
+            pa
+        }).unwrap() as u64,
+        expect,
+        "shared counter must accumulate across domains"
+    );
+    assert_identical(snapshot(&on, e_on, 0), snapshot(&off, e_off, 0), "domain switch");
+}
+
+/// The full LightZone stack (gate, kernel, traps) under both settings:
+/// a guest syscall loop must produce identical cycle counts.
+#[test]
+fn lightzone_syscall_loop_agrees() {
+    use lightzone::api::{LzAsm, LzProgramBuilder, SAN_TTBR};
+    let run = |cache_on: bool| {
+        let mut b = LzProgramBuilder::new(CODE);
+        b.asm.lz_enter(true, SAN_TTBR);
+        b.asm.mov_imm64(23, 200);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Yield.nr());
+        let top = b.asm.label();
+        b.asm.bind(top);
+        b.asm.svc(0);
+        b.asm.subs_imm(23, 23, 1);
+        b.asm.b_ne(top);
+        b.asm.exit_imm(0);
+        let prog = b.build();
+        let mut lz = lightzone::LightZone::new_host(Platform::CortexA55);
+        lz.kernel.machine.set_fetch_cache(cache_on);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        assert_eq!(lz.run(400_000_000), lz_kernel::Event::Exited(0));
+        (lz.kernel.machine.cpu.cycles, lz.kernel.machine.cpu.insns)
+    };
+    assert_eq!(run(true), run(false), "LightZone syscall loop diverged");
+}

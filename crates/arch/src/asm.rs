@@ -433,11 +433,7 @@ impl Asm {
     /// (`set_pan(imm)` in Listing 1).
     pub fn msr_pan(&mut self, imm: u8) -> &mut Self {
         assert!(imm <= 1);
-        self.emit(Insn::MsrImm {
-            op1: crate::insn::PSTATE_PAN_OP1,
-            crm: imm,
-            op2: crate::insn::PSTATE_PAN_OP2,
-        })
+        self.emit(Insn::MsrImm { op1: crate::insn::PSTATE_PAN_OP1, crm: imm, op2: crate::insn::PSTATE_PAN_OP2 })
     }
 }
 

@@ -182,7 +182,10 @@ impl fmt::Display for Insn {
             Insn::MsrReg { enc, rt } => write!(f, "msr {}, {}", sysreg_name(enc), reg(rt)),
             Insn::MrsReg { enc, rt } => write!(f, "mrs {}, {}", reg(rt), sysreg_name(enc)),
             Insn::MsrImm { op1, crm, op2 } => {
-                use crate::insn::{PSTATE_DAIFCLR_OP2, PSTATE_DAIFSET_OP2, PSTATE_PAN_OP1, PSTATE_PAN_OP2, PSTATE_SPSEL_OP1, PSTATE_SPSEL_OP2};
+                use crate::insn::{
+                    PSTATE_DAIFCLR_OP2, PSTATE_DAIFSET_OP2, PSTATE_PAN_OP1, PSTATE_PAN_OP2, PSTATE_SPSEL_OP1,
+                    PSTATE_SPSEL_OP2,
+                };
                 if op1 == PSTATE_PAN_OP1 && op2 == PSTATE_PAN_OP2 {
                     write!(f, "msr pan, #{crm}")
                 } else if op1 == PSTATE_SPSEL_OP1 && op2 == PSTATE_SPSEL_OP2 {

@@ -386,7 +386,11 @@ impl Insn {
             };
         }
         // Load/store register (unprivileged): size 111 0 00 opc 0 imm9 10 Rn Rt
-        if extract(word, 29, 24) == 0b111000 && bit(word, 26) == 0 && bit(word, 21) == 0 && extract(word, 11, 10) == 0b10 {
+        if extract(word, 29, 24) == 0b111000
+            && bit(word, 26) == 0
+            && bit(word, 21) == 0
+            && extract(word, 11, 10) == 0b10
+        {
             let size = MemSize::from_size_bits(extract(word, 31, 30));
             let opc = extract(word, 23, 22);
             let rt = extract(word, 4, 0) as u8;
@@ -421,7 +425,11 @@ impl Insn {
             };
         }
         // Unconditional branch (register): 1101011 opc(4) 11111 000000 Rn 00000
-        if extract(word, 31, 25) == 0b1101011 && extract(word, 20, 16) == 0b11111 && extract(word, 15, 10) == 0 && extract(word, 4, 0) == 0 {
+        if extract(word, 31, 25) == 0b1101011
+            && extract(word, 20, 16) == 0b11111
+            && extract(word, 15, 10) == 0
+            && extract(word, 4, 0) == 0
+        {
             let rn = extract(word, 9, 5) as u8;
             return match extract(word, 24, 21) {
                 0b0000 => Insn::Br { rn },
@@ -781,41 +789,23 @@ mod tests {
     #[test]
     fn decode_known_msr_pan_imm() {
         // `msr pan, #1` assembles to 0xD500419F; `msr pan, #0` to 0xD500409F.
-        assert_eq!(
-            Insn::decode(0xD500_419F),
-            Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 1, op2: PSTATE_PAN_OP2 }
-        );
-        assert_eq!(
-            Insn::decode(0xD500_409F),
-            Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 0, op2: PSTATE_PAN_OP2 }
-        );
+        assert_eq!(Insn::decode(0xD500_419F), Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 1, op2: PSTATE_PAN_OP2 });
+        assert_eq!(Insn::decode(0xD500_409F), Insn::MsrImm { op1: PSTATE_PAN_OP1, crm: 0, op2: PSTATE_PAN_OP2 });
     }
 
     #[test]
     fn decode_known_ldr_str() {
         // `ldr x1, [x2, #16]` = 0xF9400841; `str x1, [x2, #16]` = 0xF9000841.
-        assert_eq!(
-            Insn::decode(0xF940_0841),
-            Insn::LdrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X }
-        );
-        assert_eq!(
-            Insn::decode(0xF900_0841),
-            Insn::StrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X }
-        );
+        assert_eq!(Insn::decode(0xF940_0841), Insn::LdrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X });
+        assert_eq!(Insn::decode(0xF900_0841), Insn::StrImm { rt: 1, rn: 2, offset: 16, size: MemSize::X });
     }
 
     #[test]
     fn decode_known_ldtr() {
         // `ldtr x0, [x1]` assembles to 0xF8400820.
-        assert_eq!(
-            Insn::decode(0xF840_0820),
-            Insn::Ldtr { rt: 0, rn: 1, offset: 0, size: MemSize::X }
-        );
+        assert_eq!(Insn::decode(0xF840_0820), Insn::Ldtr { rt: 0, rn: 1, offset: 0, size: MemSize::X });
         // `sttr x0, [x1]` assembles to 0xF8000820.
-        assert_eq!(
-            Insn::decode(0xF800_0820),
-            Insn::Sttr { rt: 0, rn: 1, offset: 0, size: MemSize::X }
-        );
+        assert_eq!(Insn::decode(0xF800_0820), Insn::Sttr { rt: 0, rn: 1, offset: 0, size: MemSize::X });
     }
 
     #[test]

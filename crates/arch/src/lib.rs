@@ -42,8 +42,8 @@
 
 pub mod asm;
 pub mod bits;
-pub mod disasm;
 pub mod cycles;
+pub mod disasm;
 pub mod esr;
 pub mod insn;
 pub mod pstate;

@@ -69,12 +69,7 @@ impl Nzcv {
 
     /// Unpack from the `NZCV` register layout.
     pub const fn from_bits(bits: u64) -> Self {
-        Nzcv {
-            n: bits >> 31 & 1 == 1,
-            z: bits >> 30 & 1 == 1,
-            c: bits >> 29 & 1 == 1,
-            v: bits >> 28 & 1 == 1,
-        }
+        Nzcv { n: bits >> 31 & 1 == 1, z: bits >> 30 & 1 == 1, c: bits >> 29 & 1 == 1, v: bits >> 28 & 1 == 1 }
     }
 }
 
@@ -142,12 +137,7 @@ impl PState {
     /// the CPU treats such an `ERET` as an illegal exception return.
     pub fn from_spsr(spsr: u64) -> Option<Self> {
         let el = ExceptionLevel::from_u8(((spsr >> 2) & 0b11) as u8)?;
-        Some(PState {
-            el,
-            pan: spsr >> 22 & 1 == 1,
-            irq_masked: spsr >> 7 & 1 == 1,
-            nzcv: Nzcv::from_bits(spsr),
-        })
+        Some(PState { el, pan: spsr >> 22 & 1 == 1, irq_masked: spsr >> 7 & 1 == 1, nzcv: Nzcv::from_bits(spsr) })
     }
 }
 

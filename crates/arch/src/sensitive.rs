@@ -127,11 +127,7 @@ pub fn classify(word: u32, mode: SanitizeMode) -> InsnClass {
                 // MSR immediate rows: op0=0b00 && CRn=0b0100.
                 if enc.crn == 0b0100 {
                     let is_pan = enc.op1 == PSTATE_PAN_OP1 && enc.op2 == PSTATE_PAN_OP2;
-                    return if is_pan {
-                        InsnClass::Allowed
-                    } else {
-                        InsnClass::Forbidden(Sensitivity::PstateImm)
-                    };
+                    return if is_pan { InsnClass::Allowed } else { InsnClass::Forbidden(Sensitivity::PstateImm) };
                 }
                 // Hints and barriers are harmless.
                 InsnClass::Allowed
@@ -213,10 +209,7 @@ mod tests {
     #[test]
     fn eret_forbidden_in_both_modes() {
         for mode in [SanitizeMode::Ttbr, SanitizeMode::Pan, SanitizeMode::Both] {
-            assert_eq!(
-                classify(0xD69F_03E0, mode),
-                InsnClass::Forbidden(Sensitivity::ExceptionReturn)
-            );
+            assert_eq!(classify(0xD69F_03E0, mode), InsnClass::Forbidden(Sensitivity::ExceptionReturn));
         }
     }
 
@@ -224,14 +217,8 @@ mod tests {
     fn ldtr_allowed_in_ttbr_forbidden_in_pan() {
         let w = word(Insn::Ldtr { rt: 0, rn: 1, offset: 0, size: crate::insn::MemSize::X });
         assert_eq!(classify(w, SanitizeMode::Ttbr), InsnClass::Allowed);
-        assert_eq!(
-            classify(w, SanitizeMode::Pan),
-            InsnClass::Forbidden(Sensitivity::UnprivilegedLoadStore)
-        );
-        assert_eq!(
-            classify(w, SanitizeMode::Both),
-            InsnClass::Forbidden(Sensitivity::UnprivilegedLoadStore)
-        );
+        assert_eq!(classify(w, SanitizeMode::Pan), InsnClass::Forbidden(Sensitivity::UnprivilegedLoadStore));
+        assert_eq!(classify(w, SanitizeMode::Both), InsnClass::Forbidden(Sensitivity::UnprivilegedLoadStore));
     }
 
     #[test]
@@ -250,11 +237,7 @@ mod tests {
 
     #[test]
     fn msr_spsel_imm_forbidden() {
-        let w = word(Insn::MsrImm {
-            op1: crate::insn::PSTATE_SPSEL_OP1,
-            crm: 1,
-            op2: crate::insn::PSTATE_SPSEL_OP2,
-        });
+        let w = word(Insn::MsrImm { op1: crate::insn::PSTATE_SPSEL_OP1, crm: 1, op2: crate::insn::PSTATE_SPSEL_OP2 });
         assert_eq!(classify(w, SanitizeMode::Ttbr), InsnClass::Forbidden(Sensitivity::PstateImm));
     }
 
@@ -267,10 +250,7 @@ mod tests {
     #[test]
     fn dc_cache_op_forbidden() {
         // dc civac, x0 — op0=01, CRn=7.
-        assert_eq!(
-            classify(0xD50B_7E20, SanitizeMode::Ttbr),
-            InsnClass::Forbidden(Sensitivity::CacheMaintenance)
-        );
+        assert_eq!(classify(0xD50B_7E20, SanitizeMode::Ttbr), InsnClass::Forbidden(Sensitivity::CacheMaintenance));
     }
 
     #[test]
@@ -282,10 +262,7 @@ mod tests {
     #[test]
     fn msr_ttbr0_gate_only_in_ttbr_mode() {
         assert_eq!(classify(0xD518_2000, SanitizeMode::Ttbr), InsnClass::GateOnly);
-        assert_eq!(
-            classify(0xD518_2000, SanitizeMode::Pan),
-            InsnClass::Forbidden(Sensitivity::TranslationTableBase)
-        );
+        assert_eq!(classify(0xD518_2000, SanitizeMode::Pan), InsnClass::Forbidden(Sensitivity::TranslationTableBase));
     }
 
     #[test]

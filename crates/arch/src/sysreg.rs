@@ -259,11 +259,7 @@ mod tests {
     fn encoding_roundtrip_all() {
         for &reg in SysReg::ALL {
             let enc = reg.encoding();
-            assert_eq!(
-                SysReg::from_encoding(enc),
-                Some(reg),
-                "encoding collision or mismatch for {reg}"
-            );
+            assert_eq!(SysReg::from_encoding(enc), Some(reg), "encoding collision or mismatch for {reg}");
         }
     }
 

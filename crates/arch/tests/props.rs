@@ -49,11 +49,15 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         (0u8..32, 0u8..32, 0u16..4096, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
             |(rd, rn, imm12, shift12, sub, set_flags)| Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags }
         ),
-        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any::<bool>(), any::<bool>()).prop_map(
-            |(rd, rn, rm, shift, sub, set_flags)| Insn::AddReg { rd, rn, rm, shift, sub, set_flags }
-        ),
-        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any_logic())
-            .prop_map(|(rd, rn, rm, shift, op)| Insn::LogicReg { rd, rn, rm, shift, op }),
+        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any::<bool>(), any::<bool>())
+            .prop_map(|(rd, rn, rm, shift, sub, set_flags)| Insn::AddReg { rd, rn, rm, shift, sub, set_flags }),
+        (0u8..32, 0u8..32, 0u8..32, 0u8..64, any_logic()).prop_map(|(rd, rn, rm, shift, op)| Insn::LogicReg {
+            rd,
+            rn,
+            rm,
+            shift,
+            op
+        }),
         (0u8..32, 0u8..32, 0u8..64).prop_map(|(rd, rn, shift)| Insn::LsrImm { rd, rn, shift }),
         (0u8..32, 0u8..32, 1u8..64).prop_map(|(rd, rn, shift)| Insn::LslImm { rd, rn, shift }),
         (0u8..32, 0u8..32, 0u64..512, any_memsize()).prop_map(|(rt, rn, idx, size)| Insn::LdrImm {
@@ -68,8 +72,12 @@ fn any_insn() -> impl Strategy<Value = Insn> {
             offset: idx * size.bytes(),
             size
         }),
-        (0u8..32, 0u8..32, -256i64..256, any_memsize())
-            .prop_map(|(rt, rn, offset, size)| Insn::Sttr { rt, rn, offset, size }),
+        (0u8..32, 0u8..32, -256i64..256, any_memsize()).prop_map(|(rt, rn, offset, size)| Insn::Sttr {
+            rt,
+            rn,
+            offset,
+            size
+        }),
         (0u8..32, 0u8..32, 0u8..32, -64i64..64).prop_map(|(rt, rt2, rn, scaled)| Insn::Ldp {
             rt,
             rt2,
@@ -89,8 +97,7 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         branch_offset(26).prop_map(|offset| Insn::B { offset }),
         branch_offset(26).prop_map(|offset| Insn::Bl { offset }),
         (any_cond(), branch_offset(19)).prop_map(|(cond, offset)| Insn::BCond { cond, offset }),
-        (0u8..32, branch_offset(19), any::<bool>())
-            .prop_map(|(rt, offset, nonzero)| Insn::Cbz { rt, offset, nonzero }),
+        (0u8..32, branch_offset(19), any::<bool>()).prop_map(|(rt, offset, nonzero)| Insn::Cbz { rt, offset, nonzero }),
         (0u8..32).prop_map(|rn| Insn::Br { rn }),
         (0u8..32).prop_map(|rn| Insn::Blr { rn }),
         (0u8..32).prop_map(|rn| Insn::Ret { rn }),

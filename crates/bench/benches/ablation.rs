@@ -2,11 +2,11 @@
 //! HCR/VTTBR retention.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use lightzone::gate::GateFlavor;
 use lightzone::AblationConfig;
 use lz_arch::Platform;
 use lz_workloads::{micro, Deployment};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(4));
     g.warm_up_time(Duration::from_millis(500));
     let p = Platform::CortexA55;
-    g.bench_function("gate/default", |b| {
-        b.iter(|| micro::ttbr_switch_cycles(p, Deployment::Host, 8))
-    });
+    g.bench_function("gate/default", |b| b.iter(|| micro::ttbr_switch_cycles(p, Deployment::Host, 8)));
     g.bench_function("gate/no_check_phase", |b| {
         let abl = AblationConfig {
             gate_flavor: GateFlavor { check_phase: false, tlbi_after_switch: false },

@@ -2,9 +2,9 @@
 //! simulated search loops).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use lz_arch::Platform;
 use lz_workloads::{nvm, Deployment, Mechanism};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_nvm");

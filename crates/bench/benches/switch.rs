@@ -1,9 +1,9 @@
 //! Criterion bench for Table 5: domain switching across mechanisms.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use lz_arch::Platform;
 use lz_workloads::{micro, Deployment};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table5");

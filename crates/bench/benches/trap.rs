@@ -5,9 +5,9 @@
 //! printed by `cargo run -p lz-bench --bin repro -- table4`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use lz_arch::Platform;
 use lz_workloads::{micro, Deployment};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
@@ -24,9 +24,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("lz_host_trap/{}", p.name()), |b| {
             b.iter(|| micro::lz_syscall_cycles(p, Deployment::Host))
         });
-        g.bench_function(format!("kvm_hypercall/{}", p.name()), |b| {
-            b.iter(|| micro::kvm_hypercall_cycles(p))
-        });
+        g.bench_function(format!("kvm_hypercall/{}", p.name()), |b| b.iter(|| micro::kvm_hypercall_cycles(p)));
     }
     g.finish();
 }

@@ -9,10 +9,8 @@
 //! ```
 
 fn main() {
-    let insns: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("INSNS must be an integer"))
-        .unwrap_or(20_000_000);
+    let insns: u64 =
+        std::env::args().nth(1).map(|s| s.parse().expect("INSNS must be an integer")).unwrap_or(20_000_000);
     let r = lz_bench::throughput::run(insns);
     eprintln!(
         "sim_throughput: {:.2} MIPS cache-on vs {:.2} MIPS cache-off ({:.2}x), cycles match: {}",

@@ -18,13 +18,55 @@ pub fn table4_report() -> String {
     let c = micro::table4(Platform::Carmel);
     let a = micro::table4(Platform::CortexA55);
     let rows: [(&str, f64, f64, f64, f64); 7] = [
-        ("host user mode -> host hypervisor mode", c.host_user_to_host_hyp, paper::table4::HOST_USER_TO_HYP.0, a.host_user_to_host_hyp, paper::table4::HOST_USER_TO_HYP.1),
-        ("guest user mode -> guest kernel mode", c.guest_user_to_guest_kernel, paper::table4::GUEST_USER_TO_KERNEL.0, a.guest_user_to_guest_kernel, paper::table4::GUEST_USER_TO_KERNEL.1),
-        ("LightZone kernel mode -> host hypervisor mode", c.lz_to_host_hyp, paper::table4::LZ_TO_HOST_HYP.0, a.lz_to_host_hyp, paper::table4::LZ_TO_HOST_HYP.1),
-        ("LightZone kernel mode -> guest kernel mode", c.lz_to_guest_kernel, (paper::table4::LZ_TO_GUEST_KERNEL_LO.0 + paper::table4::LZ_TO_GUEST_KERNEL_HI.0) / 2.0, a.lz_to_guest_kernel, (paper::table4::LZ_TO_GUEST_KERNEL_LO.1 + paper::table4::LZ_TO_GUEST_KERNEL_HI.1) / 2.0),
-        ("KVM VHE hypercall", c.kvm_vhe_hypercall, paper::table4::KVM_HYPERCALL.0, a.kvm_vhe_hypercall, paper::table4::KVM_HYPERCALL.1),
-        ("update HCR_EL2", c.update_hcr_el2, (paper::table4::HCR_WRITE_LO.0 + paper::table4::HCR_WRITE_HI.0) / 2.0, a.update_hcr_el2, paper::table4::HCR_WRITE_LO.1),
-        ("update VTTBR_EL2", c.update_vttbr_el2, paper::table4::VTTBR_WRITE.0, a.update_vttbr_el2, paper::table4::VTTBR_WRITE.1),
+        (
+            "host user mode -> host hypervisor mode",
+            c.host_user_to_host_hyp,
+            paper::table4::HOST_USER_TO_HYP.0,
+            a.host_user_to_host_hyp,
+            paper::table4::HOST_USER_TO_HYP.1,
+        ),
+        (
+            "guest user mode -> guest kernel mode",
+            c.guest_user_to_guest_kernel,
+            paper::table4::GUEST_USER_TO_KERNEL.0,
+            a.guest_user_to_guest_kernel,
+            paper::table4::GUEST_USER_TO_KERNEL.1,
+        ),
+        (
+            "LightZone kernel mode -> host hypervisor mode",
+            c.lz_to_host_hyp,
+            paper::table4::LZ_TO_HOST_HYP.0,
+            a.lz_to_host_hyp,
+            paper::table4::LZ_TO_HOST_HYP.1,
+        ),
+        (
+            "LightZone kernel mode -> guest kernel mode",
+            c.lz_to_guest_kernel,
+            (paper::table4::LZ_TO_GUEST_KERNEL_LO.0 + paper::table4::LZ_TO_GUEST_KERNEL_HI.0) / 2.0,
+            a.lz_to_guest_kernel,
+            (paper::table4::LZ_TO_GUEST_KERNEL_LO.1 + paper::table4::LZ_TO_GUEST_KERNEL_HI.1) / 2.0,
+        ),
+        (
+            "KVM VHE hypercall",
+            c.kvm_vhe_hypercall,
+            paper::table4::KVM_HYPERCALL.0,
+            a.kvm_vhe_hypercall,
+            paper::table4::KVM_HYPERCALL.1,
+        ),
+        (
+            "update HCR_EL2",
+            c.update_hcr_el2,
+            (paper::table4::HCR_WRITE_LO.0 + paper::table4::HCR_WRITE_HI.0) / 2.0,
+            a.update_hcr_el2,
+            paper::table4::HCR_WRITE_LO.1,
+        ),
+        (
+            "update VTTBR_EL2",
+            c.update_vttbr_el2,
+            paper::table4::VTTBR_WRITE.0,
+            a.update_vttbr_el2,
+            paper::table4::VTTBR_WRITE.1,
+        ),
     ];
     for (name, cm, cp, am, ap) in rows {
         t.row(&[name.into(), cyc(cm), cyc(cp), cyc(am), cyc(ap)]);
@@ -39,8 +81,20 @@ pub fn table5_report(full: bool) -> String {
     let domains: &[usize] = if full { &[2, 3, 32, 64, 128] } else { &[2, 32, 128] };
     let mut t = Table::new(&["cell", "mechanism", "1 (PAN)", "2", "32", "128"]);
     let cells: [(&str, Platform, Deployment, &[f64; 6], &[f64; 3]); 3] = [
-        ("Carmel Host", Platform::Carmel, Deployment::Host, &paper::table5::CARMEL_HOST_LZ, &paper::table5::CARMEL_HOST_WP),
-        ("Carmel Guest", Platform::Carmel, Deployment::Guest, &paper::table5::CARMEL_GUEST_LZ, &paper::table5::CARMEL_GUEST_WP),
+        (
+            "Carmel Host",
+            Platform::Carmel,
+            Deployment::Host,
+            &paper::table5::CARMEL_HOST_LZ,
+            &paper::table5::CARMEL_HOST_WP,
+        ),
+        (
+            "Carmel Guest",
+            Platform::Carmel,
+            Deployment::Guest,
+            &paper::table5::CARMEL_GUEST_LZ,
+            &paper::table5::CARMEL_GUEST_WP,
+        ),
         ("Cortex", Platform::CortexA55, Deployment::Host, &paper::table5::CORTEX_LZ, &paper::table5::CORTEX_WP),
     ];
     for (name, p, d, lz_ref, wp_ref) in cells {

@@ -43,3 +43,19 @@ fn tables_are_byte_identical_cache_on_and_off() {
     assert_eq!(t4_on, t4_off, "table 4 cycles must not depend on the fetch cache");
     assert_eq!(t5_on, t5_off, "table 5 cycles must not depend on the fetch cache");
 }
+
+#[test]
+fn tables_are_byte_identical_metrics_on_and_off() {
+    use lz_machine::metrics::{default_metrics, set_default_metrics};
+    let _guard = CACHE_FLAG.lock().unwrap();
+    let saved = default_metrics();
+    set_default_metrics(true);
+    let t4_on = report::table4_report();
+    let t5_on = report::table5_report(false);
+    set_default_metrics(false);
+    let t4_off = report::table4_report();
+    let t5_off = report::table5_report(false);
+    set_default_metrics(saved);
+    assert_eq!(t4_on, t4_off, "table 4 cycles must not depend on the metrics journal");
+    assert_eq!(t5_on, t5_off, "table 5 cycles must not depend on the metrics journal");
+}

@@ -64,7 +64,10 @@ impl LzProgramBuilder {
         self.asm.blr(17);
         let entry = self.asm.here();
         if let Some((_, prev)) = self.entries.iter().find(|(g, _)| *g == gate) {
-            assert_eq!(*prev, entry, "gate {gate} already bound to a different entry; use a fresh gate id per call site");
+            assert_eq!(
+                *prev, entry,
+                "gate {gate} already bound to a different entry; use a fresh gate id per call site"
+            );
         }
         self.entries.push((gate, entry));
     }

@@ -12,12 +12,22 @@
 use lz_arch::{PAGE_SHIFT, PAGE_SIZE};
 use std::collections::HashMap;
 
+const BLOCK_PAGES: u64 = 512;
+const BLOCK_SIZE: u64 = BLOCK_PAGES << PAGE_SHIFT;
+
 /// One-to-one fake ↔ real page map with sequential fake allocation.
 #[derive(Debug, Default)]
 pub struct FakePhys {
     next_fake: u64,
     to_real: HashMap<u64, u64>,
     to_fake: HashMap<u64, u64>,
+    /// Real base → fake base for regions assigned as whole 2 MiB blocks.
+    /// Page-wise `assign` hits on the base frame must not masquerade as
+    /// block assignments (the fake run would be neither aligned nor
+    /// contiguous), so block-ness is tracked explicitly.
+    blocks: HashMap<u64, u64>,
+    /// Most mappings ever live at once (observability).
+    high_water: usize,
     /// When false (ablation), `assign` returns the real address — the
     /// "intuitive" identity scheme the paper rejects.
     randomize: bool,
@@ -26,12 +36,23 @@ pub struct FakePhys {
 impl FakePhys {
     /// A randomizing map (the paper's design).
     pub fn new() -> Self {
-        FakePhys { next_fake: 1, to_real: HashMap::new(), to_fake: HashMap::new(), randomize: true }
+        FakePhys {
+            next_fake: 1,
+            to_real: HashMap::new(),
+            to_fake: HashMap::new(),
+            blocks: HashMap::new(),
+            high_water: 0,
+            randomize: true,
+        }
     }
 
     /// Identity map (ablation: the "intuitive" translation of §5.1.2).
     pub fn identity() -> Self {
-        FakePhys { next_fake: 1, to_real: HashMap::new(), to_fake: HashMap::new(), randomize: false }
+        FakePhys { randomize: false, ..FakePhys::new() }
+    }
+
+    fn note_high_water(&mut self) {
+        self.high_water = self.high_water.max(self.to_real.len());
     }
 
     /// Assign (or return the existing) fake page for a real frame.
@@ -47,20 +68,33 @@ impl FakePhys {
         self.next_fake += 1;
         self.to_real.insert(fake, real_pa);
         self.to_fake.insert(real_pa, fake);
+        self.note_high_water();
         fake
     }
 
     /// Assign a 2 MiB-aligned run of 512 sequential fake pages to a
     /// contiguous 2 MiB real region (for block mappings). Returns the
-    /// fake base; idempotent for an already-assigned base.
+    /// fake base; idempotent for a base already assigned *as a block*.
+    ///
+    /// A prior page-wise [`FakePhys::assign`] of frames inside the region
+    /// does not count: those lone fake pages are unwound and the whole
+    /// region gets a fresh aligned, contiguous run (a block PTE needs all
+    /// 512 fake pages to translate).
     pub fn assign_block(&mut self, real_base: u64) -> u64 {
-        const BLOCK_PAGES: u64 = 512;
-        debug_assert!(real_base & ((BLOCK_PAGES << PAGE_SHIFT) - 1) == 0, "real base must be 2 MiB aligned");
+        debug_assert!(real_base & (BLOCK_SIZE - 1) == 0, "real base must be 2 MiB aligned");
         if !self.randomize {
             return real_base;
         }
-        if let Some(&f) = self.to_fake.get(&real_base) {
+        if let Some(&f) = self.blocks.get(&real_base) {
             return f;
+        }
+        // Unwind page-wise assignments overlapping the region before
+        // allocating the contiguous run.
+        for i in 0..BLOCK_PAGES {
+            let real = real_base + (i << PAGE_SHIFT);
+            if let Some(fake) = self.to_fake.remove(&real) {
+                self.to_real.remove(&fake);
+            }
         }
         // Align the fake cursor to a block boundary.
         self.next_fake = self.next_fake.div_ceil(BLOCK_PAGES) * BLOCK_PAGES;
@@ -72,6 +106,8 @@ impl FakePhys {
             self.to_fake.insert(real, fake);
         }
         self.next_fake += BLOCK_PAGES;
+        self.blocks.insert(real_base, fake_base);
+        self.note_high_water();
         fake_base
     }
 
@@ -91,16 +127,39 @@ impl FakePhys {
         self.to_fake.get(&(real_pa & !(PAGE_SIZE - 1))).copied()
     }
 
-    /// Drop the mapping for a real frame (page freed).
+    /// Drop the mapping for a real frame (page freed). Releasing any
+    /// frame of a block-assigned region retires the *whole* block: block
+    /// PTEs translate through the full 512-page run, so one stale hole
+    /// would leave the rest of the run dangling.
     pub fn release(&mut self, real_pa: u64) {
-        if let Some(fake) = self.to_fake.remove(&(real_pa & !(PAGE_SIZE - 1))) {
+        let page = real_pa & !(PAGE_SIZE - 1);
+        let block_base = page & !(BLOCK_SIZE - 1);
+        if self.blocks.remove(&block_base).is_some() {
+            for i in 0..BLOCK_PAGES {
+                if let Some(fake) = self.to_fake.remove(&(block_base + (i << PAGE_SHIFT))) {
+                    self.to_real.remove(&fake);
+                }
+            }
+            return;
+        }
+        if let Some(fake) = self.to_fake.remove(&page) {
             self.to_real.remove(&fake);
         }
+    }
+
+    /// Whether `real_base` is currently assigned as a whole block.
+    pub fn is_block(&self, real_base: u64) -> bool {
+        self.blocks.contains_key(&(real_base & !(BLOCK_SIZE - 1)))
     }
 
     /// Number of live mappings.
     pub fn len(&self) -> usize {
         self.to_real.len()
+    }
+
+    /// Most mappings ever live at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// True when no mappings exist.
@@ -176,5 +235,92 @@ mod tests {
         assert_eq!(f.assign(0x4242_0000), 0x4242_0000);
         assert_eq!(f.real_of(0x4242_0000), Some(0x4242_0000));
         assert!(!f.randomizes());
+    }
+
+    #[test]
+    fn block_assignment_is_aligned_and_contiguous() {
+        let mut f = FakePhys::new();
+        f.assign(0x9_9000); // nudge the cursor off a block boundary
+        let base = f.assign_block(0x4000_0000);
+        assert_eq!(base & (BLOCK_SIZE - 1), 0, "fake base block-aligned");
+        for i in 0..BLOCK_PAGES {
+            assert_eq!(f.real_of(base + (i << PAGE_SHIFT)), Some(0x4000_0000 + (i << PAGE_SHIFT)));
+        }
+        assert!(f.is_block(0x4000_0000));
+    }
+
+    #[test]
+    fn assign_block_is_idempotent_for_real_blocks() {
+        let mut f = FakePhys::new();
+        let a = f.assign_block(0x4000_0000);
+        assert_eq!(f.assign_block(0x4000_0000), a);
+        assert_eq!(f.len(), BLOCK_PAGES as usize);
+    }
+
+    #[test]
+    fn pagewise_base_assignment_does_not_fake_a_block() {
+        // The old code treated any `to_fake` hit on the base frame as "the
+        // block exists" and returned a lone, unaligned fake page.
+        let mut f = FakePhys::new();
+        let lone = f.assign(0x4000_0000); // page-wise hit on the block base
+        assert_ne!(lone & (BLOCK_SIZE - 1), 0, "precondition: lone fake is unaligned");
+        let base = f.assign_block(0x4000_0000);
+        assert_ne!(base, lone, "block base must not be the lone page fake");
+        assert_eq!(base & (BLOCK_SIZE - 1), 0);
+        // All 512 pages translate, including the re-assigned base frame.
+        for i in 0..BLOCK_PAGES {
+            assert_eq!(f.real_of(base + (i << PAGE_SHIFT)), Some(0x4000_0000 + (i << PAGE_SHIFT)));
+        }
+        // The unwound lone fake no longer resolves.
+        assert_eq!(f.real_of(lone), None);
+        assert_eq!(f.fake_of(0x4000_0000), Some(base));
+    }
+
+    #[test]
+    fn interior_pagewise_assignments_are_unwound() {
+        let mut f = FakePhys::new();
+        let inner = f.assign(0x4000_0000 + 7 * PAGE_SIZE);
+        let other = f.assign(0x9_0000); // unrelated frame must survive
+        let base = f.assign_block(0x4000_0000);
+        assert_eq!(f.real_of(inner), None, "stale interior fake unwound");
+        assert_eq!(f.fake_of(0x4000_0000 + 7 * PAGE_SIZE), Some(base + 7 * PAGE_SIZE));
+        assert_eq!(f.real_of(other), Some(0x9_0000));
+        assert_eq!(f.len(), BLOCK_PAGES as usize + 1);
+    }
+
+    #[test]
+    fn release_of_block_frame_retires_whole_block() {
+        let mut f = FakePhys::new();
+        let base = f.assign_block(0x4000_0000);
+        f.release(0x4000_0000 + 13 * PAGE_SIZE); // any interior frame
+        assert!(f.is_empty(), "whole block retired");
+        assert!(!f.is_block(0x4000_0000));
+        assert_eq!(f.real_of(base), None);
+        // The region can be re-assigned cleanly afterwards.
+        let again = f.assign_block(0x4000_0000);
+        assert_eq!(again & (BLOCK_SIZE - 1), 0);
+        assert_eq!(f.len(), BLOCK_PAGES as usize);
+    }
+
+    #[test]
+    fn release_pagewise_leaves_other_pages() {
+        let mut f = FakePhys::new();
+        // A page-wise frame that happens to be 2 MiB aligned must release
+        // alone (it is not a block).
+        let a = f.assign(0x4000_0000);
+        let b = f.assign(0x4000_0000 + PAGE_SIZE);
+        f.release(0x4000_0000);
+        assert_eq!(f.real_of(a), None);
+        assert_eq!(f.real_of(b), Some(0x4000_0000 + PAGE_SIZE));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut f = FakePhys::new();
+        f.assign(0x1_0000);
+        f.assign(0x2_0000);
+        f.release(0x1_0000);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.high_water(), 2);
     }
 }

@@ -24,8 +24,8 @@ use lz_arch::{page_align_down, Platform, PAGE_SIZE};
 use lz_kernel::syscall::{custom, CUSTOM_BASE};
 use lz_kernel::{Event, Kernel, KernelMode, Pid, SysOutcome};
 use lz_machine::pte::{S1Perms, S2Perms};
-use lz_machine::walk::{alloc_table, s2_map_block, s2_map_page};
-use lz_machine::{Exit, Machine};
+use lz_machine::walk::{alloc_table, s2_map_block, s2_map_page, s2_unmap};
+use lz_machine::{EventKind, Exit, Machine, Report, Section};
 use std::collections::{BTreeMap, HashMap};
 
 /// Design knobs for ablation studies (all `true`/paper-default normally).
@@ -83,6 +83,14 @@ pub struct LzStats {
     pub sanitized_pages: u64,
     pub violations: u64,
     pub stage2_faults: u64,
+    /// Sanitizer scans that found a sensitive instruction.
+    pub sanitizer_rejects: u64,
+    /// W^X transitions into the writable state (exec rights dropped).
+    pub wx_to_writable: u64,
+    /// W^X transitions into the executable state (after a clean scan).
+    pub wx_to_exec: u64,
+    /// Break-before-make unmaps (a page zapped from every domain).
+    pub bbm_unmaps: u64,
 }
 
 /// Module-side state of one LightZone process.
@@ -180,7 +188,13 @@ impl LzModule {
         k.machine.mem.write_bytes(stub_real + 0x200, &hvc);
         k.machine.mem.write_bytes(stub_real + 0x400, &hvc);
         let stub_fake = fake.assign(stub_real);
-        s2_map_page(&mut k.machine.mem, s2_root, stub_fake, stub_real, S2Perms { read: true, write: false, exec: true });
+        s2_map_page(
+            &mut k.machine.mem,
+            s2_root,
+            stub_fake,
+            stub_real,
+            S2Perms { read: true, write: false, exec: true },
+        );
         ttbr1.map_page(&mut k.machine.mem, &mut fake, s2_root, layout::STUB_VA, stub_fake, gate_code_perms());
 
         // Gate stubs for every registered entry.
@@ -409,10 +423,9 @@ impl LzModule {
         let gate_bytes = proc.gates.gatetab_bytes();
         // Destructure to appease the borrow checker.
         let LzProc { fake, ttbr1, s2_root, ttbrtab_frames, gatetab_frames, .. } = proc;
-        for (base_va, bytes, frames) in [
-            (layout::TTBRTAB_VA, &ttbr_bytes, ttbrtab_frames),
-            (layout::GATETAB_VA, &gate_bytes, gatetab_frames),
-        ] {
+        for (base_va, bytes, frames) in
+            [(layout::TTBRTAB_VA, &ttbr_bytes, ttbrtab_frames), (layout::GATETAB_VA, &gate_bytes, gatetab_frames)]
+        {
             let pages_needed = bytes.len().div_ceil(PAGE_SIZE as usize);
             while frames.len() < pages_needed {
                 let real = k.machine.mem.alloc_frame();
@@ -578,6 +591,18 @@ impl LzModule {
                 _ => u64::MAX,
             }
         } else {
+            // Address-space changes made through the kernel must reach the
+            // LZ-owned translation state too: the kernel frees frames and
+            // rewrites its own tables, but knows nothing about per-domain
+            // stage-1 trees, the W^X tracker, stage-2, or the fake-phys
+            // map. Zap those first (break-before-make), or a stale LZ
+            // mapping would keep translating to a freed or wrongly
+            // permissioned frame.
+            match lz_kernel::Sysno::from_nr(nr) {
+                Some(lz_kernel::Sysno::Munmap) => self.ve_mm_fixup(k, pid, args[0], args[1], true),
+                Some(lz_kernel::Sysno::Mprotect) => self.ve_mm_fixup(k, pid, args[0], args[1], false),
+                _ => {}
+            }
             match k.do_syscall(nr, args) {
                 SysOutcome::Ret(v) => v,
                 SysOutcome::Sigreturn => return self.ve_sigreturn(k, pid),
@@ -779,8 +804,7 @@ impl LzModule {
                 }
             }
         };
-        let pan_page = prot.as_ref().is_some_and(|p| p.pan_all.is_some())
-            || overlay.is_some_and(|o| o.user);
+        let pan_page = prot.as_ref().is_some_and(|p| p.pan_all.is_some()) || overlay.is_some_and(|o| o.user);
 
         // PAN-guarded page + permission fault = access with PAN set: the
         // thread never opened the domain. Kill (pen-test behaviour).
@@ -868,12 +892,20 @@ impl LzModule {
         let decision = proc.wx.on_fault(page, eff_write, eff_exec, is_fetch);
         let (map_write, map_exec) = match decision {
             WxDecision::Map { write, exec } => {
-                if !is_fetch && wnr && proc.wx.state(page) == Some(sanitizer::WxState::Executable) {
-                    // Exec -> writable flip: break-before-make in every
-                    // domain that maps it.
+                // Exec -> writable flip: break-before-make in every domain
+                // that maps it. Any data access that grants write on a
+                // currently-Executable page must BBM — including *read*
+                // faults on W+X VMAs, which also come back as
+                // `Map { write: true, .. }`. (Gating this on `wnr` left a
+                // stale executable alias alive after a read-fault flip;
+                // see `wx_read_fault_flip_contained` in the pen tests.)
+                if !is_fetch && write && proc.wx.state(page) == Some(sanitizer::WxState::Executable) {
                     self.bbm_unmap_all(k, proc, page);
                 }
                 if write {
+                    if proc.wx.state(page) != Some(sanitizer::WxState::Writable) {
+                        proc.stats.wx_to_writable += 1;
+                    }
                     proc.wx.commit_write(page);
                 }
                 (write, exec)
@@ -885,12 +917,15 @@ impl LzModule {
                     Ok(cost) => {
                         k.machine.charge(cost);
                         proc.stats.sanitized_pages += 1;
+                        proc.stats.wx_to_exec += 1;
                         proc.wx.commit_exec(page);
                         (false, true)
                     }
                     Err(_) => {
+                        proc.stats.sanitizer_rejects += 1;
                         proc.stats.violations += 1;
                         proc.stats.last_violation = Some("sensitive instruction in executable page");
+                        k.machine.record_event(EventKind::SanitizerReject { page });
                         return self.violation(k, pid, "sensitive instruction in executable page");
                     }
                 }
@@ -933,6 +968,57 @@ impl LzModule {
         None
     }
 
+    /// Drop LZ-owned state for `[addr, addr+len)` ahead of a kernel-side
+    /// `munmap` (`unmap = true`, which frees the backing frames) or
+    /// `mprotect` (`unmap = false`, which changes VMA rights): zap the
+    /// page from every domain's stage-1 tree, reset its W^X state, and —
+    /// on unmap — retire its fake-phys and stage-2 mappings while the
+    /// frame is still resident to look up.
+    fn ve_mm_fixup(&mut self, k: &mut Kernel, pid: Pid, addr: u64, len: u64, unmap: bool) {
+        if len == 0 || addr.checked_add(len).is_none() {
+            return;
+        }
+        let Some(mut proc) = self.procs.remove(&pid) else { return };
+        let start = page_align_down(addr);
+        let end = lz_arch::page_align_up(addr + len);
+        let mut huge_touched = false;
+        let mut page = start;
+        while page < end {
+            if k.process(pid).mm.is_huge(page) {
+                // Huge regions map as 2 MiB blocks; the leaf zap covers
+                // the whole block.
+                huge_touched = true;
+                let block_va = page & !(lz_kernel::vma::BLOCK_SIZE - 1);
+                self.bbm_unmap_all(k, &mut proc, block_va);
+                if unmap {
+                    proc.protections.remove(&block_va);
+                }
+                page = block_va + lz_kernel::vma::BLOCK_SIZE;
+                continue;
+            }
+            let pa = k.process(pid).mm.page_at(page);
+            self.bbm_unmap_all(k, &mut proc, page);
+            proc.wx.forget(page);
+            if unmap {
+                proc.protections.remove(&page);
+                if let Some(pa) = pa {
+                    if let Some(fake) = proc.fake.fake_of(pa) {
+                        s2_unmap(&mut k.machine.mem, proc.s2_root, fake);
+                        proc.s2_pending.remove(&fake);
+                        proc.fake.release(pa);
+                    }
+                }
+            }
+            page += PAGE_SIZE;
+        }
+        if huge_touched {
+            // Block translations were cached per accessed page, so a
+            // page-scoped TLBI on the block base is not enough.
+            k.machine.tlb.invalidate_vmid(proc.vmid);
+        }
+        self.procs.insert(pid, proc);
+    }
+
     /// Zap a page's PTE in every domain that maps it and invalidate the
     /// TLB (break-before-make).
     fn bbm_unmap_all(&self, k: &mut Kernel, proc: &mut LzProc, page: u64) {
@@ -944,6 +1030,8 @@ impl LzModule {
             }
             k.machine.tlb.invalidate_va(proc.vmid, page);
             k.machine.charge(k.machine.model.dsb + k.machine.model.path_cost(40));
+            proc.stats.bbm_unmaps += 1;
+            k.machine.record_event(EventKind::BbmUnmap { page });
         }
     }
 
@@ -954,6 +1042,7 @@ impl LzModule {
         proc.stats.stage2_faults += 1;
         let hpfar = k.machine.sysreg(SysReg::HPFAR_EL2);
         let fake_page = (hpfar >> 4) << 12;
+        k.machine.record_event(EventKind::Stage2Fault { fake_page });
         let elr2 = k.machine.sysreg(SysReg::ELR_EL2);
         if let Some((pa, perms)) = proc.s2_pending.remove(&fake_page) {
             s2_map_page(&mut k.machine.mem, proc.s2_root, fake_page, pa, perms);
@@ -973,11 +1062,57 @@ impl LzModule {
     }
 
     fn violation(&mut self, k: &mut Kernel, pid: Pid, reason: &'static str) -> Option<Event> {
+        // Callers inside `ve_fault` have temporarily removed the proc from
+        // the map (and bumped the counters themselves); every kill path
+        // funnels through here exactly once, so the journal event is
+        // recorded unconditionally.
+        k.machine.record_event(EventKind::Violation { reason });
         if let Some(p) = self.procs.get_mut(&pid) {
             p.stats.violations += 1;
             p.stats.last_violation = Some(reason);
         }
         Some(k.kill_current(SECURITY_KILL))
+    }
+
+    /// Snapshot the module-owned counters as report sections, aggregated
+    /// across every LightZone process (exited processes keep their module
+    /// state, so post-mortem stats survive the kill).
+    pub fn metrics_sections(&self) -> Vec<Section> {
+        let mut agg = LzStats::default();
+        let (mut fake_live, mut fake_high, mut domains, mut s2_pending) = (0u64, 0u64, 0u64, 0u64);
+        for p in self.procs.values() {
+            agg.ve_traps += p.stats.ve_traps;
+            agg.ve_syscalls += p.stats.ve_syscalls;
+            agg.ve_faults += p.stats.ve_faults;
+            agg.sanitized_pages += p.stats.sanitized_pages;
+            agg.violations += p.stats.violations;
+            agg.stage2_faults += p.stats.stage2_faults;
+            agg.sanitizer_rejects += p.stats.sanitizer_rejects;
+            agg.wx_to_writable += p.stats.wx_to_writable;
+            agg.wx_to_exec += p.stats.wx_to_exec;
+            agg.bbm_unmaps += p.stats.bbm_unmaps;
+            fake_live += p.fake.len() as u64;
+            fake_high += p.fake.high_water() as u64;
+            domains += p.domain_count() as u64;
+            s2_pending += p.s2_pending.len() as u64;
+        }
+        vec![
+            Section::new("lz")
+                .with("processes", self.procs.len() as u64)
+                .with("domains", domains)
+                .with("ve_traps", agg.ve_traps)
+                .with("ve_syscalls", agg.ve_syscalls)
+                .with("ve_faults", agg.ve_faults)
+                .with("violations", agg.violations),
+            Section::new("wx")
+                .with("sanitized_pages", agg.sanitized_pages)
+                .with("sanitizer_rejects", agg.sanitizer_rejects)
+                .with("to_writable", agg.wx_to_writable)
+                .with("to_exec", agg.wx_to_exec)
+                .with("bbm_unmaps", agg.bbm_unmaps),
+            Section::new("stage2").with("faults", agg.stage2_faults).with("pending", s2_pending),
+            Section::new("fakephys").with("live", fake_live).with("high_water", fake_high),
+        ]
     }
 
     // ------------------------------------------------------------------
@@ -1089,10 +1224,7 @@ impl LightZone {
                     }
                 }
                 Event::Raw(exit) => {
-                    let in_lz = self
-                        .kernel
-                        .current()
-                        .is_some_and(|pid| self.kernel.process(pid).in_lightzone);
+                    let in_lz = self.kernel.current().is_some_and(|pid| self.kernel.process(pid).in_lightzone);
                     if in_lz {
                         if let Some(ev) = self.module.handle_ve_exit(&mut self.kernel, exit) {
                             return ev;
@@ -1122,5 +1254,20 @@ impl LightZone {
     /// Convenience accessor.
     pub fn machine(&mut self) -> &mut Machine {
         &mut self.kernel.machine
+    }
+
+    /// The full observability registry: machine sections (TLB, icache,
+    /// walk, gate, traps, cpu) plus module sections (lz, wx, stage2,
+    /// fakephys) plus the kernel section. `repro stats` serialises this.
+    pub fn metrics_report(&self) -> Report {
+        let mut report = Report::default();
+        for s in self.kernel.machine.metrics_sections() {
+            report.push(s);
+        }
+        for s in self.module.metrics_sections() {
+            report.push(s);
+        }
+        report.push(self.kernel.metrics_section());
+        report
     }
 }

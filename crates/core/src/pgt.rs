@@ -205,7 +205,12 @@ pub struct Overlay {
 impl Overlay {
     /// Decode from the syscall's permission bits.
     pub fn from_bits(bits: u64) -> Self {
-        Overlay { read: bits & perm::READ != 0, write: bits & perm::WRITE != 0, exec: bits & perm::EXEC != 0, user: bits & perm::USER != 0 }
+        Overlay {
+            read: bits & perm::READ != 0,
+            write: bits & perm::WRITE != 0,
+            exec: bits & perm::EXEC != 0,
+            user: bits & perm::USER != 0,
+        }
     }
 
     /// Encode to syscall permission bits.

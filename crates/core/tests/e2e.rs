@@ -252,7 +252,7 @@ fn gate_midentry_hijack_killed() {
     b.asm.mov_reg(19, 0);
     b.asm.lz_map_gate_pgt_reg(19, 0);
     b.lz_switch_to_ttbr_gate(0); // legitimate use once, so the gate exists
-    // Attack: forged table base, correct GateTab pointer, lr = here.
+                                 // Attack: forged table base, correct GateTab pointer, lr = here.
     b.asm.mov_imm64(13, 0xdead_b000);
     b.asm.mov_imm64(10, lightzone::gate::layout::GATETAB_VA);
     b.asm.mov_imm64(17, lightzone::gate::layout::gate_va(0) + msr_off);
@@ -327,7 +327,12 @@ fn wx_clean_rewrite_allowed() {
     b.asm.mov_imm64(1, scratch);
     for (i, w) in words.iter().enumerate() {
         b.asm.mov_imm64(2, *w as u64);
-        b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: (i * 4) as u64, size: lz_arch::insn::MemSize::W });
+        b.asm.emit(lz_arch::insn::Insn::StrImm {
+            rt: 2,
+            rn: 1,
+            offset: (i * 4) as u64,
+            size: lz_arch::insn::MemSize::W,
+        });
     }
     b.asm.blr(17);
     b.asm.mov_reg(0, 5);
@@ -359,7 +364,7 @@ fn jit_dual_table_w_and_x_views() {
     b.asm.lz_map_gate_pgt_reg(20, 1);
     b.asm.lz_prot_reg(jit, 4096, 19, RW);
     b.asm.lz_prot_reg(jit, 4096, 20, 1 | 4); // READ | EXEC
-    // Executor domain: run the seed code.
+                                             // Executor domain: run the seed code.
     b.lz_switch_to_ttbr_gate(1);
     b.asm.mov_imm64(17, jit);
     b.asm.blr(17);
@@ -421,11 +426,7 @@ fn guest_ve_costs_more_than_host_ve() {
         b.asm.svc(0);
         b.asm.exit_imm(0);
         let prog = b.build();
-        let mut lz = if guest {
-            LightZone::new_guest(Platform::Carmel)
-        } else {
-            LightZone::new_host(Platform::Carmel)
-        };
+        let mut lz = if guest { LightZone::new_guest(Platform::Carmel) } else { LightZone::new_host(Platform::Carmel) };
         let pid = lz.spawn(&prog);
         lz.enter_process(pid);
         assert_eq!(lz.run_to_exit(), 0);

@@ -90,14 +90,7 @@ impl BenchmarkGroup<'_> {
         let lo = samples_ns[0];
         let mid = samples_ns[samples_ns.len() / 2];
         let hi = samples_ns[samples_ns.len() - 1];
-        println!(
-            "{}/{:<40} time:   [{} {} {}]",
-            self.name,
-            id,
-            fmt_ns(lo),
-            fmt_ns(mid),
-            fmt_ns(hi)
-        );
+        println!("{}/{:<40} time:   [{} {} {}]", self.name, id, fmt_ns(lo), fmt_ns(mid), fmt_ns(hi));
         self
     }
 

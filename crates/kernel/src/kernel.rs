@@ -11,7 +11,7 @@
 use crate::kvm::VmidAllocator;
 use crate::process::{Pid, Process, Program, UserContext};
 use crate::syscall::{self, Sysno, CUSTOM_BASE};
-use crate::vma::{Vma, VmaSource, VmProt};
+use crate::vma::{VmProt, Vma, VmaSource};
 use lz_arch::esr::{self, ExceptionClass};
 use lz_arch::pstate::{ExceptionLevel, PState};
 use lz_arch::sysreg::{hcr, sctlr, ttbr, vttbr, SysReg};
@@ -312,10 +312,7 @@ impl Kernel {
                             return None;
                         }
                         // sched_yield rotates among live threads.
-                        let multi = self
-                            .cur
-                            .map(|pid| self.procs[&pid].live_threads() > 1)
-                            .unwrap_or(false);
+                        let multi = self.cur.map(|pid| self.procs[&pid].live_threads() > 1).unwrap_or(false);
                         if nr == Sysno::Yield.nr() && multi {
                             self.rotate_thread(host, elr, spsr);
                         } else {
@@ -419,8 +416,11 @@ impl Kernel {
     fn rotate_thread(&mut self, host: bool, pc: u64, spsr: u64) {
         let Some(pid) = self.cur else { return };
         let ttbr0 = self.machine.sysreg(SysReg::TTBR0_EL1);
-        let sp =
-            if self.machine.cpu.pstate.el == ExceptionLevel::El0 { self.machine.cpu.sp_el0 } else { self.machine.cpu.sp_el1 };
+        let sp = if self.machine.cpu.pstate.el == ExceptionLevel::El0 {
+            self.machine.cpu.sp_el0
+        } else {
+            self.machine.cpu.sp_el1
+        };
         {
             let p = self.procs.get_mut(&pid).expect("pid exists");
             *p.ctx_mut() = UserContext {
@@ -526,6 +526,16 @@ impl Kernel {
     pub fn kill_current(&mut self, code: i64) -> Event {
         self.finish_process(code);
         Event::Exited(code)
+    }
+
+    /// Snapshot the kernel counters as an observability report section.
+    pub fn metrics_section(&self) -> lz_machine::Section {
+        lz_machine::Section::new("kernel")
+            .with("syscalls", self.stats.syscalls)
+            .with("page_faults", self.stats.page_faults)
+            .with("ctx_switches", self.stats.ctx_switches)
+            .with("written_bytes", self.stats.written_bytes)
+            .with("processes", self.procs.len() as u64)
     }
 
     /// Dispatch a base-kernel syscall on behalf of the current process.
@@ -659,7 +669,8 @@ impl Kernel {
     /// The software side of a page-fault round trip.
     fn charge_fault_path(&mut self, host: bool) {
         let m = &self.machine.model;
-        let mut cost = m.gpregs_roundtrip(31) + m.path_cost(FAULT_PATH_INSNS) + m.trap_cache_pollution + 8 * m.mem_access;
+        let mut cost =
+            m.gpregs_roundtrip(31) + m.path_cost(FAULT_PATH_INSNS) + m.trap_cache_pollution + 8 * m.mem_access;
         if host {
             cost += 3 * m.sysreg_read + 3 * m.sysreg_write;
         } else {

@@ -1,6 +1,6 @@
 //! Processes, programs, and saved user contexts.
 
-use crate::vma::{Mm, Vma, VmaSource, VmProt};
+use crate::vma::{Mm, VmProt, Vma, VmaSource};
 use lz_arch::pstate::PState;
 use lz_machine::PhysMem;
 use std::sync::Arc;

@@ -28,14 +28,7 @@ impl VmProt {
 
     /// Lower to stage-1 PTE permissions for an EL0 user page.
     pub fn to_user_s1(self) -> S1Perms {
-        S1Perms {
-            read: self.read,
-            write: self.write,
-            user_exec: self.exec,
-            priv_exec: false,
-            el0: true,
-            global: false,
-        }
+        S1Perms { read: self.read, write: self.write, user_exec: self.exec, priv_exec: false, el0: true, global: false }
     }
 }
 

@@ -2,7 +2,7 @@
 //! demand paging under arbitrary operation sequences.
 
 use lz_arch::{Platform, PAGE_SIZE};
-use lz_kernel::{Mm, Vma, VmaSource, VmProt};
+use lz_kernel::{Mm, VmProt, Vma, VmaSource};
 use lz_machine::PhysMem;
 use proptest::prelude::*;
 
@@ -174,5 +174,41 @@ proptest! {
         let pid = k.spawn(&prog);
         k.enter_process(pid);
         prop_assert_eq!(k.run(50_000_000), lz_kernel::Event::Exited(nthreads as i64 - 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Observability invariant: with the event journal enabled, every
+    /// syscall the kernel dispatches appears as exactly one `Trap(Svc)`
+    /// event, and the per-class trap counter agrees with both — for any
+    /// number of yields before exit.
+    #[test]
+    fn journal_svc_traps_match_syscall_counter(nyields in 1u16..24) {
+        use lz_arch::asm::Asm;
+        use lz_arch::esr::ExceptionClass;
+        use lz_kernel::{Kernel, Program, Sysno};
+        use lz_machine::EventKind;
+        const CODE: u64 = 0x40_0000;
+        let mut a = Asm::new(CODE);
+        for _ in 0..nyields {
+            a.movz(8, Sysno::Yield.nr() as u16, 0);
+            a.svc(0);
+        }
+        a.movz(0, 0, 0);
+        a.movz(8, Sysno::Exit.nr() as u16, 0);
+        a.svc(0);
+        let prog = Program::from_code(CODE, a.bytes());
+        let mut k = Kernel::new_host(Platform::CortexA55);
+        k.machine.set_metrics(true);
+        let pid = k.spawn(&prog);
+        k.enter_process(pid);
+        k.run(10_000_000);
+        let expect = nyields as u64 + 1; // yields + exit
+        prop_assert_eq!(k.stats.syscalls, expect);
+        let journaled = k.machine.journal.count(|e| matches!(e, EventKind::Trap { class: ExceptionClass::Svc }));
+        prop_assert_eq!(journaled, expect);
+        prop_assert_eq!(k.machine.metrics.trap_count(ExceptionClass::Svc), expect);
     }
 }

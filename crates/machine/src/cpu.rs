@@ -12,7 +12,9 @@
 //! `hvc`) or also exit ([`Machine::set_el1_external`]) when the current
 //! EL1 software is a modelled guest kernel.
 
+use crate::fxhash::FxHashMap;
 use crate::mem::PhysMem;
+use crate::metrics::{EventKind, Journal, MachineMetrics, Section};
 use crate::tlb::Tlb;
 use crate::trace::Trace;
 use crate::walk::{self, Access, AccessCtx, Fault, FaultKind, Stage, WalkConfig};
@@ -22,7 +24,6 @@ use lz_arch::pstate::{ExceptionLevel, Nzcv, PState};
 use lz_arch::sysreg::{hcr, sctlr, SysReg};
 use lz_arch::{CycleModel, Platform};
 use std::cell::Cell;
-use crate::fxhash::FxHashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
@@ -33,10 +34,7 @@ use std::sync::OnceLock;
 fn default_flag() -> &'static AtomicBool {
     static FLAG: OnceLock<AtomicBool> = OnceLock::new();
     FLAG.get_or_init(|| {
-        let on = !matches!(
-            std::env::var("LZ_FETCH_CACHE").as_deref(),
-            Ok("0") | Ok("off") | Ok("false")
-        );
+        let on = !matches!(std::env::var("LZ_FETCH_CACHE").as_deref(), Ok("0") | Ok("off") | Ok("false"));
         AtomicBool::new(on)
     })
 }
@@ -153,6 +151,10 @@ pub struct Machine {
     pub model: CycleModel,
     /// Retired-instruction trace (off by default).
     pub trace: Trace,
+    /// Typed event journal (recording follows the `LZ_METRICS` default).
+    pub journal: Journal,
+    /// Machine-level observability counters (always on, host-side only).
+    pub metrics: MachineMetrics,
     /// When set, exceptions targeting EL1 exit the interpreter instead of
     /// vectoring through `VBAR_EL1` (the EL1 software is a modelled guest
     /// kernel rather than interpreted code).
@@ -177,6 +179,8 @@ impl Machine {
             cpu: Cpu::new(),
             model,
             trace: Trace::new(256),
+            journal: Journal::default(),
+            metrics: MachineMetrics::default(),
             el1_external: false,
             fetch_cache: default_fetch_cache(),
             cfg_gen: 0,
@@ -194,6 +198,74 @@ impl Machine {
     /// Whether the decoded-block fetch cache is enabled.
     pub fn fetch_cache(&self) -> bool {
         self.fetch_cache
+    }
+
+    /// Enable or disable journal recording for this machine, overriding
+    /// the process-wide `LZ_METRICS` default. Counters are unaffected —
+    /// they are always on.
+    pub fn set_metrics(&mut self, on: bool) {
+        self.journal.set_enabled(on);
+    }
+
+    /// Record a journal event stamped with the current cycle counter.
+    pub fn record_event(&mut self, kind: EventKind) {
+        let cycles = self.cpu.cycles;
+        self.journal.record(cycles, kind);
+    }
+
+    /// Snapshot the machine-owned metrics as report sections: TLB,
+    /// decoded-block icache, walk/fault counters, gate switches, traps.
+    pub fn metrics_sections(&self) -> Vec<Section> {
+        let (hits, misses) = self.tlb.stats();
+        let inval = self.tlb.inval_stats();
+        let tlb = Section::new("tlb")
+            .with("hits", hits)
+            .with("misses", misses)
+            .with("l2_hits", self.tlb.l2_hit_count())
+            .with("entries", self.tlb.len() as u64)
+            .with("invalidate_all", inval.all)
+            .with("invalidate_vmid", inval.vmid)
+            .with("invalidate_asid", inval.asid)
+            .with("invalidate_va", inval.va);
+
+        let (ihits, imisses) = self.tlb.icache().stats();
+        let icache = Section::new("icache")
+            .with("hits", ihits)
+            .with("misses", imisses)
+            .with("entries", self.tlb.icache().len() as u64)
+            .with("evictions", self.tlb.icache().eviction_count())
+            .with("invalidations", self.tlb.icache().invalidation_count());
+
+        let w = self.tlb.walk_stats();
+        let walk = Section::new("walk")
+            .with("s1_walks", w.s1_walks)
+            .with("s2_walks", w.s2_walks)
+            .with("s1_translation_faults", w.s1_translation_faults)
+            .with("s1_permission_faults", w.s1_permission_faults)
+            .with("s1_access_flag_faults", w.s1_access_flag_faults)
+            .with("s2_translation_faults", w.s2_translation_faults)
+            .with("s2_permission_faults", w.s2_permission_faults)
+            .with("s2_access_flag_faults", w.s2_access_flag_faults);
+
+        let mut gate = Section::new("gate").with("switches", self.metrics.domain_switches);
+        gate.push("distinct_domains", self.metrics.switches_by_asid.len() as u64);
+        for (asid, n) in &self.metrics.switches_by_asid {
+            gate.push(format!("asid_{asid}"), *n);
+        }
+
+        let mut traps = Section::new("traps");
+        let total: u64 = self.metrics.traps.values().sum();
+        traps.push("total", total);
+        for (class, n) in &self.metrics.traps {
+            traps.push(class.clone(), *n);
+        }
+
+        let cpu = Section::new("cpu")
+            .with("insns", self.cpu.insns)
+            .with("cycles", self.cpu.cycles)
+            .with("journal_events", self.journal.len() as u64);
+
+        vec![tlb, icache, walk, gate, traps, cpu]
     }
 
     /// Route EL1-targeted exceptions out of the interpreter (modelled
@@ -317,10 +389,7 @@ impl Machine {
     /// Execute one instruction. Returns `Some(exit)` when control leaves
     /// the interpreter.
     pub fn step(&mut self) -> Option<Exit> {
-        debug_assert!(
-            self.cpu.pstate.el != ExceptionLevel::El2,
-            "EL2 code is modelled, not interpreted"
-        );
+        debug_assert!(self.cpu.pstate.el != ExceptionLevel::El2, "EL2 code is modelled, not interpreted");
         let pc = self.cpu.pc;
         let cfg = self.walk_config();
         let fetch_ctx = AccessCtx { el: self.cpu.pstate.el, pan: false, unpriv: false };
@@ -433,11 +502,8 @@ impl Machine {
                 self.cpu.pc = next_pc;
             }
             Insn::Csinc { rd, rn, rm, cond } => {
-                let v = if cond.holds(self.cpu.pstate.nzcv) {
-                    self.cpu.reg(rn)
-                } else {
-                    self.cpu.reg(rm).wrapping_add(1)
-                };
+                let v =
+                    if cond.holds(self.cpu.pstate.nzcv) { self.cpu.reg(rn) } else { self.cpu.reg(rm).wrapping_add(1) };
                 self.cpu.set_reg(rd, v);
                 self.cpu.pc = next_pc;
             }
@@ -465,11 +531,8 @@ impl Machine {
                 self.cpu.pc = self.cpu.pc.wrapping_add_signed(offset);
             }
             Insn::BCond { cond, offset } => {
-                self.cpu.pc = if cond.holds(self.cpu.pstate.nzcv) {
-                    self.cpu.pc.wrapping_add_signed(offset)
-                } else {
-                    next_pc
-                };
+                self.cpu.pc =
+                    if cond.holds(self.cpu.pstate.nzcv) { self.cpu.pc.wrapping_add_signed(offset) } else { next_pc };
             }
             Insn::Cbz { rt, offset, nonzero } => {
                 let taken = (self.cpu.reg(rt) == 0) != nonzero;
@@ -615,11 +678,19 @@ impl Machine {
         None
     }
 
-    fn msr_mrs(&mut self, enc: lz_arch::sysreg::SysRegEnc, rt: u8, is_read: bool, word: u32, next_pc: u64) -> Option<Exit> {
+    fn msr_mrs(
+        &mut self,
+        enc: lz_arch::sysreg::SysRegEnc,
+        rt: u8,
+        is_read: bool,
+        word: u32,
+        next_pc: u64,
+    ) -> Option<Exit> {
         let Some(reg) = SysReg::from_encoding(enc) else {
             return self.undefined(word, next_pc);
         };
-        let el0_ok = matches!(reg, SysReg::NZCV | SysReg::FPCR | SysReg::FPSR | SysReg::TPIDR_EL0 | SysReg::CNTV_CTL_EL0);
+        let el0_ok =
+            matches!(reg, SysReg::NZCV | SysReg::FPCR | SysReg::FPSR | SysReg::TPIDR_EL0 | SysReg::CNTV_CTL_EL0);
         if self.cpu.pstate.el == ExceptionLevel::El0 && !el0_ok {
             return self.undefined(word, next_pc);
         }
@@ -665,14 +736,7 @@ impl Machine {
             let trapped = if is_read { hcr_el2 & hcr::TRVM != 0 } else { hcr_el2 & hcr::TVM != 0 };
             if trapped {
                 let esr = esr::esr_trapped_sysreg(word);
-                return self.take_exception(
-                    ExceptionLevel::El2,
-                    ExceptionClass::TrappedSysreg,
-                    esr,
-                    0,
-                    0,
-                    self.cpu.pc,
-                );
+                return self.take_exception(ExceptionLevel::El2, ExceptionClass::TrappedSysreg, esr, 0, 0, self.cpu.pc);
             }
         }
 
@@ -690,6 +754,16 @@ impl Machine {
                 SysReg::NZCV => self.cpu.pstate.nzcv = Nzcv::from_bits(v),
                 _ => self.set_sysreg(reg, v),
             }
+            // An interpreted EL1 `MSR TTBR0_EL1` is a call-gate domain
+            // switch (paper §4.1.2) — the event the observability layer
+            // exists to count. Host-side `set_sysreg` calls (modelled
+            // kernel work) intentionally do not land here.
+            if reg == SysReg::TTBR0_EL1 && self.cpu.pstate.el == ExceptionLevel::El1 {
+                use lz_arch::sysreg::ttbr;
+                let asid = ttbr::asid(v);
+                self.metrics.domain_switch(asid);
+                self.record_event(EventKind::DomainSwitch { asid, root: ttbr::baddr(v) });
+            }
         }
         self.cpu.pc = next_pc;
         None
@@ -703,14 +777,7 @@ impl Machine {
             // TLB maintenance: trapped by HCR_EL2.TTLB, else executed.
             if self.sysreg(SysReg::HCR_EL2) & hcr::TTLB != 0 {
                 let esr = esr::esr_trapped_sysreg(word);
-                return self.take_exception(
-                    ExceptionLevel::El2,
-                    ExceptionClass::TrappedSysreg,
-                    esr,
-                    0,
-                    0,
-                    self.cpu.pc,
-                );
+                return self.take_exception(ExceptionLevel::El2, ExceptionClass::TrappedSysreg, esr, 0, 0, self.cpu.pc);
             }
             self.charge(self.model.dsb);
             let cfg = self.walk_config();
@@ -722,7 +789,15 @@ impl Machine {
         None
     }
 
-    fn data_access(&mut self, va: u64, size: MemSize, rt: u8, is_write: bool, unpriv: bool, next_pc: u64) -> Option<Exit> {
+    fn data_access(
+        &mut self,
+        va: u64,
+        size: MemSize,
+        rt: u8,
+        is_write: bool,
+        unpriv: bool,
+        next_pc: u64,
+    ) -> Option<Exit> {
         // Watchpoint match (EL0 accesses while enabled).
         if self.cpu.watchpoints_enabled && self.cpu.pstate.el == ExceptionLevel::El0 {
             for wp in self.cpu.watchpoints.iter().flatten() {
@@ -791,7 +866,8 @@ impl Machine {
     }
 
     fn bus_error(&mut self, va: u64) -> Option<Exit> {
-        let f = Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 0, va, ipa: 0, wnr: false, s1ptw: false };
+        let f =
+            Fault { kind: FaultKind::Translation, stage: Stage::S1, level: 0, va, ipa: 0, wnr: false, s1ptw: false };
         self.fault_exception(f, false)
     }
 
@@ -837,6 +913,8 @@ impl Machine {
         hpfar: u64,
         preferred_return: u64,
     ) -> Option<Exit> {
+        self.metrics.trap(class);
+        self.record_event(EventKind::Trap { class });
         self.charge(match target {
             ExceptionLevel::El2 => self.model.exception_entry_el2,
             _ => self.model.exception_entry_el1,

@@ -35,11 +35,11 @@
 //! the active regime) and performs the same TLB state transitions the slow
 //! path would, so paper tables are bit-identical with the cache on or off.
 
+use crate::fxhash::FxHashMap;
 use crate::tlb::TlbEntry;
 use crate::PhysMem;
 use lz_arch::insn::Insn;
 use lz_arch::pstate::ExceptionLevel;
-use crate::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
 const WORDS_PER_PAGE: usize = 1024;
@@ -109,6 +109,10 @@ pub struct ICache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// Entries dropped for capacity (FIFO) or staleness (content/regime).
+    evictions: u64,
+    /// Entries dropped by TLBI-scope maintenance (`clear`/`invalidate_*`).
+    invalidations: u64,
 }
 
 impl Default for ICache {
@@ -126,6 +130,8 @@ impl ICache {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            evictions: 0,
+            invalidations: 0,
         }
     }
 
@@ -155,9 +161,7 @@ impl ICache {
                 return None;
             }
         };
-        let idx = entries.iter().position(|e| {
-            (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el
-        });
+        let idx = entries.iter().position(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el);
         let Some(idx) = idx else {
             self.misses += 1;
             return None;
@@ -183,6 +187,7 @@ impl ICache {
             }
         };
         if stale_flags || stale_content {
+            self.evictions += 1;
             entries.remove(idx);
             if entries.is_empty() {
                 self.pages.remove(&key);
@@ -226,6 +231,7 @@ impl ICache {
                     e.slots[slot] = Some((word, insn));
                 } else {
                     // Regime or content moved on: restart the entry.
+                    self.evictions += 1;
                     e.info = info;
                     e.frame_version = frame_version;
                     e.checked_gen = checked_gen;
@@ -239,7 +245,9 @@ impl ICache {
 
         while self.order.len() >= self.capacity {
             if let Some(old) = self.order.pop_front() {
-                self.pages.remove(&old);
+                if let Some(dropped) = self.pages.remove(&old) {
+                    self.evictions += dropped.len() as u64;
+                }
             }
         }
         let entries = self.pages.entry(key).or_default();
@@ -273,14 +281,8 @@ impl ICache {
     ) -> Option<(u64, u32, Insn)> {
         let key = PageKey { vmid, vpn: va >> 12 };
         let entries = self.pages.get_mut(&key)?;
-        let e = entries
-            .iter_mut()
-            .find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
-        if e.fast_gen != tlb_gen
-            || e.fast_asid != asid
-            || e.info.s1_enabled != s1_enabled
-            || e.info.wxn != wxn
-        {
+        let e = entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
+        if e.fast_gen != tlb_gen || e.fast_asid != asid || e.info.s1_enabled != s1_enabled || e.info.wxn != wxn {
             return None;
         }
         if e.checked_gen != mem.write_gen() {
@@ -300,9 +302,8 @@ impl ICache {
     pub(crate) fn arm_fast(&mut self, vmid: u16, asid: u16, el: ExceptionLevel, va: u64, tlb_gen: u64) {
         let key = PageKey { vmid, vpn: va >> 12 };
         if let Some(entries) = self.pages.get_mut(&key) {
-            if let Some(e) = entries
-                .iter_mut()
-                .find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)
+            if let Some(e) =
+                entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)
             {
                 e.fast_gen = tlb_gen;
                 e.fast_asid = asid;
@@ -312,18 +313,22 @@ impl ICache {
 
     /// `TLBI ALLE1` scope: drop everything.
     pub fn clear(&mut self) {
+        self.invalidations += self.len() as u64;
         self.pages.clear();
         self.order.clear();
     }
 
     /// `TLBI VMALLS12E1` scope: drop one VMID.
     pub fn invalidate_vmid(&mut self, vmid: u16) {
+        let before = self.len();
         self.pages.retain(|k, _| k.vmid != vmid);
         self.order.retain(|k| k.vmid != vmid);
+        self.invalidations += (before - self.len()) as u64;
     }
 
     /// `TLBI ASIDE1` scope: drop one `(vmid, asid)`; global entries survive.
     pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        let before = self.len();
         for (k, v) in self.pages.iter_mut() {
             if k.vmid == vmid {
                 v.retain(|e| e.info.asid != Some(asid));
@@ -332,12 +337,15 @@ impl ICache {
         let pages = &mut self.pages;
         self.order.retain(|k| pages.get(k).is_some_and(|v| !v.is_empty()));
         pages.retain(|_, v| !v.is_empty());
+        self.invalidations += (before - self.len()) as u64;
     }
 
     /// `TLBI VAAE1` scope: drop one page in a VMID, any ASID.
     pub fn invalidate_va(&mut self, vmid: u16, va: u64) {
         let key = PageKey { vmid, vpn: va >> 12 };
-        self.pages.remove(&key);
+        if let Some(dropped) = self.pages.remove(&key) {
+            self.invalidations += dropped.len() as u64;
+        }
         self.order.retain(|k| *k != key);
     }
 
@@ -360,6 +368,16 @@ impl ICache {
     /// `(hits, misses)` counters for probes since creation.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries dropped for capacity or staleness since creation.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries dropped by TLBI-scope maintenance since creation.
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
     }
 
     /// Insert a minimal entry directly (test/diagnostic helper): tags a
@@ -427,9 +445,7 @@ mod tests {
         let mut mem = PhysMem::new();
         let pa = mem.alloc_frame();
         let mut ic = seeded(&mem, &[(0, Some(1), 0x1000, pa)]);
-        assert!(ic
-            .probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None)
-            .is_some());
+        assert!(ic.probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None).is_some());
         mem.write(pa, 0xD503_201F, 4);
         assert!(
             ic.probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None).is_none(),
@@ -445,9 +461,7 @@ mod tests {
         let other = mem.alloc_frame();
         let mut ic = seeded(&mem, &[(0, Some(1), 0x1000, pa)]);
         mem.write(other, 0x1234_5678, 4);
-        assert!(ic
-            .probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None)
-            .is_some());
+        assert!(ic.probe(&mem, 0, 1, ExceptionLevel::El0, 0x1000, true, false, 0, None).is_some());
     }
 
     #[test]
@@ -456,9 +470,7 @@ mod tests {
         let pa = mem.alloc_frame();
         let mut ic = seeded(&mem, &[(0, None, 0x1000, pa)]);
         for asid in [1u16, 7, 999] {
-            assert!(ic
-                .probe(&mem, 0, asid, ExceptionLevel::El0, 0x1000, true, false, 0, None)
-                .is_some());
+            assert!(ic.probe(&mem, 0, asid, ExceptionLevel::El0, 0x1000, true, false, 0, None).is_some());
         }
     }
 

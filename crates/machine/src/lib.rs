@@ -13,7 +13,10 @@
 //!   path without changing modelled cycles ([`icache`]),
 //! * a CPU interpreter over the `lz-arch` instruction subset with
 //!   exception levels, vectored exception entry, `HCR_EL2` trap controls,
-//!   hardware watchpoints, and cycle accounting ([`cpu`]).
+//!   hardware watchpoints, and cycle accounting ([`cpu`]),
+//! * an observability layer — per-subsystem counters, a bounded
+//!   cycle-stamped event journal, and a JSON/text report assembler — that
+//!   never feeds back into the modelled domain ([`metrics`]).
 //!
 //! Code that an in-process attacker can influence (application code, the
 //! secure call gate, attack payloads) executes here as real instructions;
@@ -25,6 +28,7 @@ pub mod cpu;
 pub mod fxhash;
 pub mod icache;
 pub mod mem;
+pub mod metrics;
 pub mod pte;
 pub mod tlb;
 pub mod trace;
@@ -33,5 +37,6 @@ pub mod walk;
 pub use cpu::{Exit, Machine};
 pub use icache::ICache;
 pub use mem::PhysMem;
+pub use metrics::{Event, EventKind, Journal, Report, Section};
 pub use tlb::Tlb;
 pub use walk::{Access, Fault, FaultKind, Stage};

@@ -40,12 +40,7 @@ impl PhysMem {
     /// at 1 MiB so that physical address 0 never aliases a real frame
     /// (null-PA bugs fault loudly).
     pub fn new() -> Self {
-        PhysMem {
-            frames: FxHashMap::default(),
-            next_frame: (1 << 20) >> PAGE_SHIFT,
-            free: Vec::new(),
-            write_gen: 1,
-        }
+        PhysMem { frames: FxHashMap::default(), next_frame: (1 << 20) >> PAGE_SHIFT, free: Vec::new(), write_gen: 1 }
     }
 
     fn fresh_frame(&mut self) -> Frame {

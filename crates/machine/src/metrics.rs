@@ -1,0 +1,468 @@
+//! Unified observability layer: per-subsystem counters, a bounded typed
+//! event journal, and a JSON/text report assembler.
+//!
+//! The paper's security mechanisms (gate checks, sanitizer scans,
+//! break-before-make, stage-2 faults) were previously observable only
+//! through ad-hoc fields scattered across subsystems. This module gives
+//! them one home:
+//!
+//! * **Counters** — plain `u64` fields embedded in the subsystem that owns
+//!   them ([`WalkStats`] and [`InvalStats`] in the TLB, eviction and
+//!   invalidation counts in the decoded-block cache, switch and trap maps
+//!   in [`MachineMetrics`]). Counters are always on: they are host-side
+//!   bookkeeping and never feed back into the modelled domain.
+//! * **Journal** — a bounded ring of cycle-stamped [`Event`]s
+//!   (generalizing `trace::Trace`). Recording is gated by the
+//!   `LZ_METRICS` default (or [`Journal::set_enabled`]) because events
+//!   carry more payload than counters.
+//! * **Report** — a [`Section`]/[`Report`] pair that snapshots every
+//!   counter into an ordered, JSON-serialisable registry (`repro stats`).
+//!
+//! # Zero modelled cost
+//!
+//! Nothing here charges cycles, touches the TLB, or perturbs any
+//! modelled state. All paper tables and the differential/determinism
+//! suites are byte-identical with metrics enabled or disabled; the
+//! toggle only controls host-side journal recording.
+
+use crate::walk::{Fault, FaultKind, Stage};
+use lz_arch::esr::ExceptionClass;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide default for journal recording, initialised from the
+/// `LZ_METRICS` environment variable (`0`/`off` disables). Mirrors the
+/// `LZ_FETCH_CACHE` pattern in `cpu.rs`.
+fn default_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = !matches!(std::env::var("LZ_METRICS").as_deref(), Ok("0") | Ok("off") | Ok("false"));
+        AtomicBool::new(on)
+    })
+}
+
+/// The default journal-recording setting for new [`Journal`]s.
+pub fn default_metrics() -> bool {
+    default_flag().load(Ordering::Relaxed)
+}
+
+/// Override the default journal-recording setting for new [`Journal`]s
+/// (tests and benchmarks; existing journals are unaffected).
+pub fn set_default_metrics(on: bool) {
+    default_flag().store(on, Ordering::Relaxed)
+}
+
+/// TLB invalidation counters, one per architectural TLBI scope.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InvalStats {
+    /// `TLBI ALLE1`-scope invalidations.
+    pub all: u64,
+    /// `TLBI VMALLS12E1`-scope invalidations.
+    pub vmid: u64,
+    /// `TLBI ASIDE1`-scope invalidations.
+    pub asid: u64,
+    /// `TLBI VAAE1`-scope invalidations.
+    pub va: u64,
+}
+
+impl InvalStats {
+    /// Total invalidation operations across all scopes.
+    pub fn total(&self) -> u64 {
+        self.all + self.vmid + self.asid + self.va
+    }
+}
+
+/// Walk counters: how many stage-1/stage-2 table walks ran and which
+/// fault kinds they produced.
+///
+/// Walk counts are *modelled* walks: the decoded-block fetch cache
+/// replays the walk it skips, so the counts are identical with the cache
+/// on or off. Stage-2 walks performed internally by a nested stage-1 walk
+/// (`s1ptw`) are folded into the stage-1 walk that triggered them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStats {
+    pub s1_walks: u64,
+    pub s2_walks: u64,
+    pub s1_translation_faults: u64,
+    pub s1_permission_faults: u64,
+    pub s1_access_flag_faults: u64,
+    pub s2_translation_faults: u64,
+    pub s2_permission_faults: u64,
+    pub s2_access_flag_faults: u64,
+}
+
+impl WalkStats {
+    /// Count one translation failure by stage and kind.
+    pub fn count_fault(&mut self, f: &Fault) {
+        let slot = match (f.stage, f.kind) {
+            (Stage::S1, FaultKind::Translation) => &mut self.s1_translation_faults,
+            (Stage::S1, FaultKind::Permission) => &mut self.s1_permission_faults,
+            (Stage::S1, FaultKind::AccessFlag) => &mut self.s1_access_flag_faults,
+            (Stage::S2, FaultKind::Translation) => &mut self.s2_translation_faults,
+            (Stage::S2, FaultKind::Permission) => &mut self.s2_permission_faults,
+            (Stage::S2, FaultKind::AccessFlag) => &mut self.s2_access_flag_faults,
+        };
+        *slot += 1;
+    }
+
+    /// Total faults across both stages.
+    pub fn total_faults(&self) -> u64 {
+        self.s1_translation_faults
+            + self.s1_permission_faults
+            + self.s1_access_flag_faults
+            + self.s2_translation_faults
+            + self.s2_permission_faults
+            + self.s2_access_flag_faults
+    }
+}
+
+/// Machine-level counters that belong to no single translation structure:
+/// interpreted gate switches (EL1 `MSR TTBR0_EL1` writes) and trap kinds.
+#[derive(Debug, Default)]
+pub struct MachineMetrics {
+    /// Total interpreted `TTBR0_EL1` writes at EL1 (gate switches).
+    pub domain_switches: u64,
+    /// Gate switches broken down by target ASID (one ASID per domain
+    /// page table in the LightZone design).
+    pub switches_by_asid: BTreeMap<u16, u64>,
+    /// Exceptions taken by the interpreter, by exception class.
+    pub traps: BTreeMap<String, u64>,
+}
+
+impl MachineMetrics {
+    /// Count one gate switch to `asid`.
+    pub fn domain_switch(&mut self, asid: u16) {
+        self.domain_switches += 1;
+        *self.switches_by_asid.entry(asid).or_insert(0) += 1;
+    }
+
+    /// Count one exception of the given class.
+    pub fn trap(&mut self, class: ExceptionClass) {
+        *self.traps.entry(format!("{class:?}")).or_insert(0) += 1;
+    }
+
+    /// Traps of one class counted so far.
+    pub fn trap_count(&self, class: ExceptionClass) -> u64 {
+        self.traps.get(&format!("{class:?}")).copied().unwrap_or(0)
+    }
+}
+
+/// A typed journal event. Variants mirror the security-relevant
+/// transitions in the model; payloads are page-granular addresses so the
+/// journal never leaks more than a fault report would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Interpreted EL1 `MSR TTBR0_EL1` — a call-gate domain switch.
+    DomainSwitch { asid: u16, root: u64 },
+    /// Stage-2 fault forwarded to the Lowvisor.
+    Stage2Fault { fake_page: u64 },
+    /// Sanitizer scan rejected a page (sensitive instruction found).
+    SanitizerReject { page: u64 },
+    /// Break-before-make unmap of a page from every domain.
+    BbmUnmap { page: u64 },
+    /// Security violation — the process is about to be killed.
+    Violation { reason: &'static str },
+    /// Exception taken by the interpreter.
+    Trap { class: ExceptionClass },
+}
+
+impl EventKind {
+    /// Short type tag used by the text and JSON dumps.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::DomainSwitch { .. } => "DomainSwitch",
+            EventKind::Stage2Fault { .. } => "Stage2Fault",
+            EventKind::SanitizerReject { .. } => "SanitizerReject",
+            EventKind::BbmUnmap { .. } => "BbmUnmap",
+            EventKind::Violation { .. } => "Violation",
+            EventKind::Trap { .. } => "Trap",
+        }
+    }
+
+    fn json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            EventKind::DomainSwitch { asid, root } => {
+                let _ = write!(out, ",\"asid\":{asid},\"root\":{root}");
+            }
+            EventKind::Stage2Fault { fake_page } => {
+                let _ = write!(out, ",\"fake_page\":{fake_page}");
+            }
+            EventKind::SanitizerReject { page } | EventKind::BbmUnmap { page } => {
+                let _ = write!(out, ",\"page\":{page}");
+            }
+            EventKind::Violation { reason } => {
+                let _ = write!(out, ",\"reason\":\"{}\"", escape_json(reason));
+            }
+            EventKind::Trap { class } => {
+                let _ = write!(out, ",\"class\":\"{class:?}\"");
+            }
+        }
+    }
+}
+
+/// One journal entry: an event plus the cycle counter when it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub cycles: u64,
+    pub kind: EventKind,
+}
+
+/// A bounded ring of typed events (compare `trace::Trace`, which records
+/// every retired instruction; the journal records only the rare
+/// security-relevant transitions, so its default capacity is generous).
+#[derive(Debug)]
+pub struct Journal {
+    events: VecDeque<Event>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl Journal {
+    /// Create a journal holding at most `capacity` events; recording
+    /// starts out following the process-wide [`default_metrics`] flag.
+    pub fn new(capacity: usize) -> Self {
+        Journal { events: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: default_metrics() }
+    }
+
+    /// Turn recording on or off. Events already recorded are kept.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether [`Journal::record`] currently stores events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event at the given cycle stamp. No-op while disabled;
+    /// the oldest event is dropped once the ring is full.
+    pub fn record(&mut self, cycles: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(Event { cycles, kind });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Count recorded events matching a predicate on the kind.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> u64 {
+        self.events.iter().filter(|e| pred(&e.kind)).count() as u64
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Human-readable dump, one event per line, oldest first.
+    pub fn dump_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "[{:>12}] {:?}", e.cycles, e.kind);
+        }
+        out
+    }
+
+    /// JSON array of `{"cycles":…,"event":"…",…}` objects, oldest first.
+    pub fn dump_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"cycles\":{},\"event\":\"{}\"", e.cycles, e.kind.tag());
+            e.kind.json_fields(&mut out);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(1024)
+    }
+}
+
+/// One named group of counters in a [`Report`] (a subsystem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    pub name: &'static str,
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Section {
+    pub fn new(name: &'static str) -> Self {
+        Section { name, counters: Vec::new() }
+    }
+
+    /// Append a counter (insertion order is preserved in the dumps).
+    pub fn push(&mut self, key: impl Into<String>, value: u64) {
+        self.counters.push((key.into(), value));
+    }
+
+    /// Builder-style [`Section::push`].
+    pub fn with(mut self, key: impl Into<String>, value: u64) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Look up a counter by key.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// An ordered collection of [`Section`]s — the full metrics registry at
+/// one point in time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Look up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// `{"tlb":{"hits":…},…}` — sections as objects keyed by name.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{{", escape_json(s.name));
+            for (j, (k, v)) in s.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape_json(k), v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Aligned human-readable dump.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.sections {
+            let _ = writeln!(out, "{}:", s.name);
+            for (k, v) in &s.counters {
+                let _ = writeln!(out, "  {k:<28} {v}");
+            }
+        }
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_is_bounded_and_ordered() {
+        let mut j = Journal::new(3);
+        j.set_enabled(true);
+        for i in 0..5 {
+            j.record(i, EventKind::BbmUnmap { page: i << 12 });
+        }
+        assert_eq!(j.len(), 3);
+        let stamps: Vec<u64> = j.events().map(|e| e.cycles).collect();
+        assert_eq!(stamps, vec![2, 3, 4], "oldest events dropped first");
+    }
+
+    #[test]
+    fn journal_disabled_records_nothing() {
+        let mut j = Journal::new(8);
+        j.set_enabled(false);
+        j.record(1, EventKind::Violation { reason: "x" });
+        assert!(j.is_empty());
+        j.set_enabled(true);
+        j.record(2, EventKind::Violation { reason: "y" });
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn journal_json_is_parseable_shape() {
+        let mut j = Journal::new(8);
+        j.set_enabled(true);
+        j.record(7, EventKind::DomainSwitch { asid: 3, root: 0x1000 });
+        j.record(9, EventKind::Violation { reason: "PAN \"violation\"" });
+        let json = j.dump_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"event\":\"DomainSwitch\""));
+        assert!(json.contains("\"asid\":3"));
+        assert!(json.contains("\\\"violation\\\""), "quotes escaped: {json}");
+    }
+
+    #[test]
+    fn report_json_and_lookup() {
+        let mut r = Report::default();
+        r.push(Section::new("tlb").with("hits", 3).with("misses", 1));
+        r.push(Section::new("gate").with("switches", 2));
+        assert_eq!(r.section("tlb").unwrap().get("misses"), Some(1));
+        assert_eq!(r.to_json(), "{\"tlb\":{\"hits\":3,\"misses\":1},\"gate\":{\"switches\":2}}");
+        assert!(r.to_text().contains("gate:"));
+    }
+
+    #[test]
+    fn walk_stats_fault_routing() {
+        let mut w = WalkStats::default();
+        let f = Fault {
+            kind: FaultKind::Permission,
+            stage: Stage::S2,
+            level: 3,
+            va: 0x1000,
+            ipa: 0x2000,
+            wnr: true,
+            s1ptw: false,
+        };
+        w.count_fault(&f);
+        assert_eq!(w.s2_permission_faults, 1);
+        assert_eq!(w.total_faults(), 1);
+    }
+}

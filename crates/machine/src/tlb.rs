@@ -12,6 +12,7 @@
 
 use crate::fxhash::FxHashMap;
 use crate::icache::ICache;
+use crate::metrics::{InvalStats, WalkStats};
 use crate::pte::{S1Perms, S2Perms};
 use std::collections::VecDeque;
 
@@ -104,6 +105,11 @@ pub struct Tlb {
     /// maintenance operation (the architectural coherence points) reaches
     /// it without new call sites; see the `icache` module docs.
     icache: ICache,
+    /// Invalidation counters by TLBI scope (observability only).
+    inval: InvalStats,
+    /// Walk/fault counters, owned here because every walk flows through
+    /// `walk::translate`/`walk::fetch` with `&mut Tlb` in hand.
+    pub(crate) walk: WalkStats,
 }
 
 impl Tlb {
@@ -122,6 +128,8 @@ impl Tlb {
             l2_hits: 0,
             gen: 1,
             icache: ICache::default(),
+            inval: InvalStats::default(),
+            walk: WalkStats::default(),
         }
     }
 
@@ -173,6 +181,7 @@ impl Tlb {
 
     /// `TLBI ALLE1` equivalent — drop everything, decoded blocks included.
     pub fn invalidate_all(&mut self) {
+        self.inval.all += 1;
         self.gen += 1;
         self.l1.clear();
         self.l2.clear();
@@ -181,6 +190,7 @@ impl Tlb {
 
     /// Drop every entry belonging to one VMID (`TLBI VMALLS12E1`).
     pub fn invalidate_vmid(&mut self, vmid: u16) {
+        self.inval.vmid += 1;
         self.gen += 1;
         for level in [&mut self.l1, &mut self.l2] {
             level.entries.retain(|k, _| k.vmid != vmid);
@@ -192,6 +202,7 @@ impl Tlb {
     /// Drop entries for one `(vmid, asid)` (`TLBI ASIDE1`); global entries
     /// survive — in the decoded-block cache too.
     pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        self.inval.asid += 1;
         self.gen += 1;
         for level in [&mut self.l1, &mut self.l2] {
             for (k, v) in level.entries.iter_mut() {
@@ -209,6 +220,7 @@ impl Tlb {
 
     /// Drop all entries for one page in a VMID, any ASID (`TLBI VAAE1`).
     pub fn invalidate_va(&mut self, vmid: u16, va: u64) {
+        self.inval.va += 1;
         self.gen += 1;
         let key = TlbKey { vmid, vpn: va >> 12 };
         for level in [&mut self.l1, &mut self.l2] {
@@ -260,6 +272,28 @@ impl Tlb {
     /// Main-TLB hits that missed the micro-TLB.
     pub fn l2_hit_count(&self) -> u64 {
         self.l2_hits
+    }
+
+    /// Invalidation counters by TLBI scope.
+    pub fn inval_stats(&self) -> InvalStats {
+        self.inval
+    }
+
+    /// Walk and walk-fault counters.
+    pub fn walk_stats(&self) -> WalkStats {
+        self.walk
+    }
+
+    /// Count the walks a decoded-block replay skipped host-side but
+    /// modelled (see `walk::fetch`): the counters must be identical with
+    /// the fetch cache on or off.
+    pub(crate) fn count_replayed_walk(&mut self, s1: bool, s2: bool) {
+        if s1 {
+            self.walk.s1_walks += 1;
+        }
+        if s2 {
+            self.walk.s2_walks += 1;
+        }
     }
 
     /// Zero the hit/miss counters.

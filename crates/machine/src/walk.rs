@@ -137,12 +137,12 @@ pub fn translate(
     access: Access,
     actx: &AccessCtx,
 ) -> Result<Translation, Fault> {
-    let pre = if cfg.s1_enabled || cfg.vttbr.is_some() {
-        tlb.lookup_leveled(cfg.vmid(), cfg.asid(), va)
-    } else {
-        None
-    };
-    translate_after_lookup(mem, tlb, model, cfg, va, access, actx, pre)
+    let pre = if cfg.s1_enabled || cfg.vttbr.is_some() { tlb.lookup_leveled(cfg.vmid(), cfg.asid(), va) } else { None };
+    let r = translate_after_lookup(mem, tlb, model, cfg, va, access, actx, pre);
+    if let Err(f) = &r {
+        tlb.walk.count_fault(f);
+    }
+    r
 }
 
 /// The body of [`translate`] after the TLB has already been consulted.
@@ -166,8 +166,15 @@ fn translate_after_lookup(
     let asid = cfg.asid();
 
     if let Some((entry, level)) = pre {
-        check_s1(&entry.s1, access, actx, cfg.wxn, cfg.s1_enabled)
-            .map_err(|kind| Fault { kind, stage: Stage::S1, level: 3, va, ipa: 0, wnr, s1ptw: false })?;
+        check_s1(&entry.s1, access, actx, cfg.wxn, cfg.s1_enabled).map_err(|kind| Fault {
+            kind,
+            stage: Stage::S1,
+            level: 3,
+            va,
+            ipa: 0,
+            wnr,
+            s1ptw: false,
+        })?;
         if let Some(s2p) = entry.s2 {
             check_s2(&s2p, access).map_err(|kind| Fault {
                 kind,
@@ -188,6 +195,7 @@ fn translate_after_lookup(
 
     // Full walk.
     let (ipa_page, s1_perms, mut cost) = if cfg.s1_enabled {
+        tlb.walk.s1_walks += 1;
         walk_stage1(mem, model, cfg, va, access, actx)?
     } else {
         // Stage-1 off: identity, full permissions, global.
@@ -198,13 +206,20 @@ fn translate_after_lookup(
         )
     };
 
-    check_s1(&s1_perms, access, actx, cfg.wxn, cfg.s1_enabled)
-        .map_err(|kind| Fault { kind, stage: Stage::S1, level: 3, va, ipa: 0, wnr, s1ptw: false })?;
+    check_s1(&s1_perms, access, actx, cfg.wxn, cfg.s1_enabled).map_err(|kind| Fault {
+        kind,
+        stage: Stage::S1,
+        level: 3,
+        va,
+        ipa: 0,
+        wnr,
+        s1ptw: false,
+    })?;
 
     let (pa_page, s2_perms) = match cfg.vttbr {
         Some(vt) => {
-            let (pa, perms, c) =
-                walk_stage2(mem, model, vttbr::baddr(vt), ipa_page, va, access, wnr, false)?;
+            tlb.walk.s2_walks += 1;
+            let (pa, perms, c) = walk_stage2(mem, model, vttbr::baddr(vt), ipa_page, va, access, wnr, false)?;
             cost += c;
             check_s2(&perms, access).map_err(|kind| Fault {
                 kind,
@@ -292,8 +307,7 @@ pub fn fetch(
     use_cache: bool,
 ) -> Result<Fetched, (Fault, u64)> {
     if !use_cache {
-        let t = translate(mem, tlb, model, cfg, va, Access::Fetch, actx)
-            .map_err(|f| (f, model.stage1_walk()))?;
+        let t = translate(mem, tlb, model, cfg, va, Access::Fetch, actx).map_err(|f| (f, model.stage1_walk()))?;
         let word = mem.read_u32(t.pa).ok_or((fetch_bus_fault(va), t.cost))?;
         return Ok(Fetched { pa: t.pa, cost: t.cost, word, insn: Insn::decode(word) });
     }
@@ -306,9 +320,7 @@ pub fn fetch(
     // block was last proven equivalent to a free L1 hit, skip the lookup
     // entirely and just replay its statistics (cost 0, one hit).
     if has_tlb && !actx.unpriv {
-        if let Some((pa, word, insn)) =
-            tlb.fetch_fast(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn)
-        {
+        if let Some((pa, word, insn)) = tlb.fetch_fast(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn) {
             return Ok(Fetched { pa, cost: 0, word, insn });
         }
     }
@@ -328,9 +340,7 @@ pub fn fetch(
     let pre = if has_tlb { tlb.lookup_leveled(vmid, asid, va) } else { None };
 
     if let Some(root) = root {
-        let hit = tlb
-            .icache_mut()
-            .probe(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn, root, vttbr_base);
+        let hit = tlb.icache_mut().probe(mem, vmid, asid, actx.el, va, cfg.s1_enabled, cfg.wxn, root, vttbr_base);
         if let Some(hit) = hit {
             match (pre, hit.snapshot) {
                 // The main TLB hit and the block was decoded from that very
@@ -352,6 +362,7 @@ pub fn fetch(
                 // regime: replay the walk's outcome — re-insert the
                 // snapshot entry and charge the deterministic walk cost.
                 (None, Some(snap)) if has_tlb && hit.roots_match => {
+                    tlb.count_replayed_walk(cfg.s1_enabled, cfg.vttbr.is_some());
                     tlb.insert(vmid, va, snap);
                     return Ok(Fetched {
                         pa: hit.pa,
@@ -370,8 +381,10 @@ pub fn fetch(
     }
 
     // Slow path. The TLB lookup above already counted, so continue from it.
-    let t = translate_after_lookup(mem, tlb, model, cfg, va, Access::Fetch, actx, pre)
-        .map_err(|f| (f, model.stage1_walk()))?;
+    let t = translate_after_lookup(mem, tlb, model, cfg, va, Access::Fetch, actx, pre).map_err(|f| {
+        tlb.walk.count_fault(&f);
+        (f, model.stage1_walk())
+    })?;
     let word = mem.read_u32(t.pa).ok_or((fetch_bus_fault(va), t.cost))?;
     let insn = Insn::decode(word);
     if let Some(root) = root {
@@ -798,8 +811,13 @@ mod tests {
         let frame = mem.alloc_frame();
         let va = 0xffff_0000_dead_0000u64;
         s1_map_page(&mut mem, root1, va, frame, user_rw());
-        let cfg =
-            WalkConfig { ttbr0: ttbr::pack(1, root0), ttbr1: ttbr::pack(0, root1), s1_enabled: true, wxn: false, vttbr: None };
+        let cfg = WalkConfig {
+            ttbr0: ttbr::pack(1, root0),
+            ttbr1: ttbr::pack(0, root1),
+            s1_enabled: true,
+            wxn: false,
+            vttbr: None,
+        };
         let t = translate(&mem, &mut tlb, &model, &cfg, va + 8, Access::Read, &user_ctx()).unwrap();
         assert_eq!(t.pa, frame + 8);
     }

@@ -5,20 +5,15 @@ use lz_arch::sysreg::ttbr;
 use lz_arch::Platform;
 use lz_machine::pte::S1Perms;
 use lz_machine::tlb::TlbEntry;
-use lz_machine::walk::{alloc_table, s1_lookup, s1_map_page, s1_unmap, translate, Access, AccessCtx, FaultKind, WalkConfig};
+use lz_machine::walk::{
+    alloc_table, s1_lookup, s1_map_page, s1_unmap, translate, Access, AccessCtx, FaultKind, WalkConfig,
+};
 use lz_machine::{PhysMem, Tlb};
 use proptest::prelude::*;
 
 fn any_perms() -> impl Strategy<Value = S1Perms> {
     (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(write, user_exec, priv_exec, el0, global)| S1Perms {
-            read: true,
-            write,
-            user_exec,
-            priv_exec,
-            el0,
-            global,
-        },
+        |(write, user_exec, priv_exec, el0, global)| S1Perms { read: true, write, user_exec, priv_exec, el0, global },
     )
 }
 
@@ -245,5 +240,78 @@ proptest! {
         prop_assert!(translate(&mem, &mut tlb, &model, &cfg_a, va, Access::Read, &actx).is_ok());
         // Domain B must fault even though A's entry is in the TLB.
         prop_assert!(translate(&mem, &mut tlb, &model, &cfg_b, va, Access::Read, &actx).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Metrics invariant: every `translate()` call resolves to exactly one
+    /// TLB hit or one TLB miss — `hits + misses` equals the number of
+    /// translated accesses, for arbitrary probe sequences over mapped and
+    /// unmapped pages with invalidations interleaved.
+    #[test]
+    fn tlb_hits_plus_misses_equals_translated_accesses(
+        vas in proptest::collection::vec(any_page_va(), 1..12),
+        probes in proptest::collection::vec((0usize..24, any::<bool>()), 1..64),
+    ) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let model = Platform::CortexA55.model();
+        let root = alloc_table(&mut mem);
+        let perms = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        for &va in &vas {
+            let pa = mem.alloc_frame();
+            s1_map_page(&mut mem, root, va, pa, perms);
+        }
+        let cfg = WalkConfig { ttbr0: ttbr::pack(1, root), ttbr1: 0, s1_enabled: true, wxn: false, vttbr: None };
+        let actx = AccessCtx { el: ExceptionLevel::El0, pan: false, unpriv: false };
+        let mut calls = 0u64;
+        let mut invals = 0u64;
+        for &(idx, flush) in &probes {
+            // Mix of mapped VAs, unmapped VAs, and full invalidations.
+            let va = vas[idx % vas.len()] ^ (((idx >= vas.len()) as u64) << 40);
+            let _ = translate(&mem, &mut tlb, &model, &cfg, va, Access::Read, &actx);
+            calls += 1;
+            if flush {
+                tlb.invalidate_asid(0, 1);
+                invals += 1;
+            }
+        }
+        let (hits, misses) = tlb.stats();
+        prop_assert_eq!(hits + misses, calls);
+        prop_assert_eq!(tlb.inval_stats().asid, invals);
+        prop_assert_eq!(tlb.inval_stats().total(), invals);
+    }
+
+    /// Metrics invariant: TLBI scope counters record exactly one tick per
+    /// maintenance operation, and every decoded block dropped from the
+    /// icache by an invalidation shows up in `invalidation_count()`.
+    #[test]
+    fn icache_invalidations_track_tlbi(
+        vas in proptest::collection::vec(any_page_va(), 1..16),
+        by_vmid in any::<bool>(),
+    ) {
+        let mut mem = PhysMem::new();
+        let mut tlb = Tlb::new(64);
+        let mut seeded = std::collections::HashSet::new();
+        for &va in &vas {
+            let pa = mem.alloc_frame();
+            tlb.icache_mut().seed_entry(&mem, 3, Some(1), va, pa);
+            seeded.insert(va);
+        }
+        let live = tlb.icache_mut().len() as u64;
+        prop_assert_eq!(live, seeded.len() as u64);
+        prop_assert_eq!(tlb.icache_mut().invalidation_count(), 0);
+        if by_vmid {
+            tlb.icache_mut().invalidate_vmid(3);
+        } else {
+            tlb.icache_mut().invalidate_asid(3, 1);
+        }
+        prop_assert_eq!(tlb.icache_mut().len(), 0);
+        prop_assert_eq!(tlb.icache_mut().invalidation_count(), live);
+        // A second pass over an already-empty cache must not overcount.
+        tlb.icache_mut().invalidate_vmid(3);
+        prop_assert_eq!(tlb.icache_mut().invalidation_count(), live);
     }
 }

@@ -68,10 +68,7 @@ pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
-        proptest,
-    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest};
 }
 
 /// Defines `#[test]` functions that run their body over many generated cases.
@@ -193,9 +190,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
         }
     };
 }

@@ -94,9 +94,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn reports_failures() {
-        run_cases("fails", &Config::with_cases(10), |_rng| {
-            Err(TestCaseError::fail("boom"))
-        });
+        run_cases("fails", &Config::with_cases(10), |_rng| Err(TestCaseError::fail("boom")));
     }
 
     #[test]

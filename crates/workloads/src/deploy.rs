@@ -49,8 +49,7 @@ impl Mechanism {
         [Mechanism::Vanilla, Mechanism::LzPan, Mechanism::LzTtbr, Mechanism::Watchpoint, Mechanism::Lwc];
 
     /// The protected mechanisms (everything but vanilla).
-    pub const PROTECTED: [Mechanism; 4] =
-        [Mechanism::LzPan, Mechanism::LzTtbr, Mechanism::Watchpoint, Mechanism::Lwc];
+    pub const PROTECTED: [Mechanism; 4] = [Mechanism::LzPan, Mechanism::LzTtbr, Mechanism::Watchpoint, Mechanism::Lwc];
 
     pub const fn name(self) -> &'static str {
         match self {

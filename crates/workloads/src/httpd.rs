@@ -75,9 +75,7 @@ pub fn request_cycles(cfg: &HttpdConfig, prims: &Primitives, mechanism: Mechanis
         Mechanism::Watchpoint => {
             cfg.base_work + cfg.syscalls_per_request * prims.vanilla_syscall + k * 2.0 * prims.wp_switch
         }
-        Mechanism::Lwc => {
-            cfg.base_work + cfg.syscalls_per_request * prims.vanilla_syscall + k * 2.0 * prims.lwc_switch
-        }
+        Mechanism::Lwc => cfg.base_work + cfg.syscalls_per_request * prims.vanilla_syscall + k * 2.0 * prims.lwc_switch,
     }
 }
 
@@ -105,11 +103,7 @@ pub fn saturated_loss(cfg: &HttpdConfig, prims: &Primitives, mechanism: Mechanis
 /// One Figure 3 panel: throughput for every mechanism over a concurrency
 /// sweep. The key count (= concurrent connections with in-flight keys)
 /// tracks the client count, capped at 16 for the watchpoint prototype.
-pub fn figure3(
-    platform: Platform,
-    deploy: Deployment,
-    clients_sweep: &[u64],
-) -> Vec<(Mechanism, Vec<(u64, f64)>)> {
+pub fn figure3(platform: Platform, deploy: Deployment, clients_sweep: &[u64]) -> Vec<(Mechanism, Vec<(u64, f64)>)> {
     let cfg = HttpdConfig::paper(platform);
     let max_keys = clients_sweep.iter().copied().max().unwrap_or(1).clamp(1, 128) as usize;
     let prims = Primitives::measure(platform, deploy, max_keys);

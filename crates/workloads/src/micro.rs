@@ -7,13 +7,13 @@
 
 use crate::deploy::Deployment;
 use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_PAN, SAN_TTBR};
+use lightzone::LightZone;
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
 use lz_baselines::Baselines;
 use lz_kernel::syscall::custom;
 use lz_kernel::{Program, Sysno};
 use lz_machine::Machine;
-use lightzone::LightZone;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -322,51 +322,52 @@ pub fn wp_switch_cycles(platform: Platform, deploy: Deployment, domains: usize) 
 pub fn lwc_switch_cycles(platform: Platform, deploy: Deployment, domains: usize) -> f64 {
     const N_MAX: usize = 4_000;
     let (seq, _) = switch_sequence(domains, N_MAX, |d| d as u64);
-    let run = |n: usize| {
-        assert!(n <= N_MAX);
-        let seq = seq.clone();
-        let mut a = Asm::new(CODE);
-        for _ in 0..domains {
-            a.mov_imm64(8, custom::LWC_CREATE);
+    let run =
+        |n: usize| {
+            assert!(n <= N_MAX);
+            let seq = seq.clone();
+            let mut a = Asm::new(CODE);
+            for _ in 0..domains {
+                a.mov_imm64(8, custom::LWC_CREATE);
+                a.svc(0);
+            }
+            let seq_pages = (N_MAX * 16).div_ceil(PAGE_SIZE as usize) as u64;
+            a.mov_imm64(21, SEQ_BASE);
+            a.mov_imm64(23, seq_pages);
+            let warm = a.label();
+            a.bind(warm);
+            a.ldr(1, 21, 0);
+            a.add_imm(21, 21, 4095);
+            a.add_imm(21, 21, 1);
+            a.subs_imm(23, 23, 1);
+            a.b_ne(warm);
+            a.mov_imm64(21, SEQ_BASE);
+            a.mov_imm64(23, n as u64);
+            let top = a.label();
+            a.bind(top);
+            a.ldr(0, 21, 0);
+            a.ldr(19, 21, 8);
+            a.add_imm(21, 21, 16);
+            a.mov_imm64(8, custom::LWC_SWITCH);
             a.svc(0);
-        }
-        let seq_pages = (N_MAX * 16).div_ceil(PAGE_SIZE as usize) as u64;
-        a.mov_imm64(21, SEQ_BASE);
-        a.mov_imm64(23, seq_pages);
-        let warm = a.label();
-        a.bind(warm);
-        a.ldr(1, 21, 0);
-        a.add_imm(21, 21, 4095);
-        a.add_imm(21, 21, 1);
-        a.subs_imm(23, 23, 1);
-        a.b_ne(warm);
-        a.mov_imm64(21, SEQ_BASE);
-        a.mov_imm64(23, n as u64);
-        let top = a.label();
-        a.bind(top);
-        a.ldr(0, 21, 0);
-        a.ldr(19, 21, 8);
-        a.add_imm(21, 21, 16);
-        a.mov_imm64(8, custom::LWC_SWITCH);
-        a.svc(0);
-        a.ldr(1, 19, 0);
-        a.subs_imm(23, 23, 1);
-        a.b_ne(top);
-        a.mov_imm64(0, 0);
-        a.mov_imm64(8, Sysno::Exit.nr());
-        a.svc(0);
-        let prog = Program::from_code(CODE, a.bytes())
-            .with_segment(SEQ_BASE, seq, lz_kernel::VmProt::R)
-            .with_segment(DOM_BASE, vec![0u8; (domains as u64 * PAGE_SIZE) as usize], lz_kernel::VmProt::RW);
-        let mut bl = match deploy {
-            Deployment::Host => Baselines::new_host(platform),
-            Deployment::Guest => Baselines::new_guest(platform),
+            a.ldr(1, 19, 0);
+            a.subs_imm(23, 23, 1);
+            a.b_ne(top);
+            a.mov_imm64(0, 0);
+            a.mov_imm64(8, Sysno::Exit.nr());
+            a.svc(0);
+            let prog = Program::from_code(CODE, a.bytes())
+                .with_segment(SEQ_BASE, seq, lz_kernel::VmProt::R)
+                .with_segment(DOM_BASE, vec![0u8; (domains as u64 * PAGE_SIZE) as usize], lz_kernel::VmProt::RW);
+            let mut bl = match deploy {
+                Deployment::Host => Baselines::new_host(platform),
+                Deployment::Guest => Baselines::new_guest(platform),
+            };
+            let pid = bl.spawn(&prog);
+            bl.enter_process(pid);
+            assert_eq!(bl.run(RUN_LIMIT), lz_kernel::Event::Exited(0));
+            bl.kernel.machine.cpu.cycles
         };
-        let pid = bl.spawn(&prog);
-        bl.enter_process(pid);
-        assert_eq!(bl.run(RUN_LIMIT), lz_kernel::Event::Exited(0));
-        bl.kernel.machine.cpu.cycles
-    };
     slope(run(2_000), run(4_000), 2_000)
 }
 

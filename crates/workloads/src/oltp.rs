@@ -124,11 +124,7 @@ pub fn loss(cfg: &OltpConfig, prims: &Primitives, mechanism: Mechanism, threads:
 
 /// One Figure 4 panel: throughput for every mechanism over a thread
 /// sweep.
-pub fn figure4(
-    platform: Platform,
-    deploy: Deployment,
-    threads_sweep: &[u64],
-) -> Vec<(Mechanism, Vec<(u64, f64)>)> {
+pub fn figure4(platform: Platform, deploy: Deployment, threads_sweep: &[u64]) -> Vec<(Mechanism, Vec<(u64, f64)>)> {
     let cfg = OltpConfig::paper(platform);
     let max_threads = threads_sweep.iter().copied().max().unwrap_or(1).clamp(1, 64) as usize;
     let prims = Primitives::measure(platform, deploy, max_threads.max(2));

@@ -28,8 +28,8 @@ fn main() {
     b.asm.lz_enter(true, SAN_TTBR);
     b.asm.lz_alloc(); // pgt 1: writer view
     b.asm.lz_alloc(); // pgt 2: executor view
-    // One gate per call site (§6.2), even when several switch to the
-    // same table: gates 1 and 3 both enter the executor domain.
+                      // One gate per call site (§6.2), even when several switch to the
+                      // same table: gates 1 and 3 both enter the executor domain.
     b.asm.lz_map_gate_pgt_imm(1, 0); // gate 0 -> writer
     b.asm.lz_map_gate_pgt_imm(2, 1); // gate 1 -> executor (first entry)
     b.asm.lz_map_gate_pgt_imm(0, 2); // gate 2 -> default table

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # CI for the LightZone reproduction.
 #
-# Runs the tier-1 verify (ROADMAP.md), the full workspace suite with the
-# decoded-block fetch cache both enabled and disabled (both interpreter
-# paths must stay green), the cache differential suite, a `repro all`
-# smoke pass, and emits the simulator-throughput benchmark as
+# Runs the format gate, the tier-1 verify (ROADMAP.md), the full
+# workspace suite with the decoded-block fetch cache both enabled and
+# disabled and with the metrics journal both enabled and disabled (all
+# observation layers must be zero-cost in the modelled domain), the
+# cache differential suite, a `repro all` smoke pass, a `repro stats`
+# JSON validation, and emits the simulator-throughput benchmark as
 # BENCH_sim_throughput.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== build (workspace, all targets) =="
 cargo build --release --workspace --all-targets
@@ -21,11 +26,31 @@ cargo test -q --release --workspace
 echo "== workspace tests, fetch cache OFF =="
 LZ_FETCH_CACHE=0 cargo test -q --release --workspace
 
+echo "== workspace tests, metrics journal ON =="
+LZ_METRICS=1 cargo test -q --release --workspace
+
+echo "== workspace tests, metrics journal OFF (explicit) =="
+LZ_METRICS=0 cargo test -q --release --workspace
+
 echo "== differential suite (cache on vs off, explicit) =="
 cargo test -q --release --test differential
 
 echo "== repro all (smoke mode, non---full) =="
 ./target/release/repro all > /dev/null
+
+echo "== repro stats --stats-json: validate the metrics registry =="
+./target/release/repro stats --stats-json | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+required = ["tlb", "icache", "walk", "gate", "traps", "lz", "wx", "stage2", "kernel"]
+missing = [s for s in required if s not in report]
+assert not missing, f"missing sections: {missing}"
+assert report["gate"]["switches"] > 0, "no gate switches recorded"
+assert report["wx"]["sanitized_pages"] > 0, "no sanitizer scans recorded"
+assert report["stage2"]["faults"] > 0, "no stage-2 faults recorded"
+assert all(isinstance(v, int) for s in report.values() for v in s.values())
+print(f"stats JSON ok: {len(report)} sections")
+'
 
 echo "== sim_throughput -> BENCH_sim_throughput.json =="
 ./target/release/sim_throughput > BENCH_sim_throughput.json

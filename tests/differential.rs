@@ -49,9 +49,15 @@ fn build_machine(code: &[u8], patch: &[u8], cache_on: bool) -> Machine {
     for page in 0..4u64 {
         let pa = m.mem.alloc_frame();
         s1_map_page(&mut m.mem, root, CODE + page * 0x1000, pa, user_rwx());
-        let src = if page == 3 { patch } else {
+        let src = if page == 3 {
+            patch
+        } else {
             let lo = (page * 0x1000) as usize;
-            if lo >= code.len() { &[] } else { &code[lo..code.len().min(lo + 0x1000)] }
+            if lo >= code.len() {
+                &[]
+            } else {
+                &code[lo..code.len().min(lo + 0x1000)]
+            }
         };
         m.mem.write_bytes(pa, src);
     }
@@ -183,8 +189,7 @@ fn random_program(seed: u64, len: usize, slots: usize) -> (Vec<u8>, Vec<u8>) {
         match rng.random_range(0u32..100) {
             0..=39 => {
                 // ALU on x0..x7.
-                let (rd, rn, rm) =
-                    (rng.random_range(0u8..8), rng.random_range(0u8..8), rng.random_range(0u8..8));
+                let (rd, rn, rm) = (rng.random_range(0u8..8), rng.random_range(0u8..8), rng.random_range(0u8..8));
                 match rng.random_range(0u32..8) {
                     0 => a.add_reg(rd, rn, rm),
                     1 => a.sub_reg(rd, rn, rm),
@@ -373,8 +378,7 @@ fn ttbr_domain_switch_agrees() {
         a.svc(0);
         a.bytes()
     };
-    let global_rw =
-        S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: true };
+    let global_rw = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: true };
     let build = |cache_on: bool| {
         let mut m = Machine::new(Platform::CortexA55);
         m.set_fetch_cache(cache_on);
@@ -411,11 +415,13 @@ fn ttbr_domain_switch_agrees() {
     let e_off = drive(&mut off, roots_off);
     // 7 rounds alternating: 4 × tag 1, 3 × tag 1000.
     let expect = 4 * 1 + 3 * 1000;
-    assert_eq!(on.mem.read_u32(
-        {
-            let (pa, _, _) = lz_machine::walk::s1_lookup(&on.mem, roots_on[0], DATA).unwrap();
-            pa
-        }).unwrap() as u64,
+    assert_eq!(
+        on.mem
+            .read_u32({
+                let (pa, _, _) = lz_machine::walk::s1_lookup(&on.mem, roots_on[0], DATA).unwrap();
+                pa
+            })
+            .unwrap() as u64,
         expect,
         "shared counter must accumulate across domains"
     );
@@ -447,4 +453,72 @@ fn lightzone_syscall_loop_agrees() {
         (lz.kernel.machine.cpu.cycles, lz.kernel.machine.cpu.insns)
     };
     assert_eq!(run(true), run(false), "LightZone syscall loop diverged");
+}
+
+/// Metrics must be observation-only: a machine with the event journal
+/// enabled and one with it disabled run byte-identically — same exit,
+/// registers, cycle/instruction counts, TLB statistics, and trace.
+/// (Raw counters are always on; `set_metrics` gates the journal.)
+#[test]
+fn metrics_on_off_agree() {
+    for seed in 0..8u64 {
+        let (code, patch) = random_program(seed, 400, 64);
+        let mut on = build_machine(&code, &patch, true);
+        on.set_metrics(true);
+        let mut off = build_machine(&code, &patch, true);
+        off.set_metrics(false);
+        let (e_on, r_on) = run_to_completion(&mut on);
+        let (e_off, r_off) = run_to_completion(&mut off);
+        assert_identical(
+            snapshot(&on, e_on, r_on),
+            snapshot(&off, e_off, r_off),
+            &format!("metrics on/off, seed {seed}"),
+        );
+        // The journal must actually have observed the run on one side and
+        // stayed silent on the other, or the comparison proves nothing.
+        assert!(!on.journal.is_empty(), "seed {seed}: journal recorded nothing");
+        assert!(off.journal.is_empty(), "seed {seed}: disabled journal recorded events");
+    }
+}
+
+/// Same property through the full LightZone stack: enabling the journal
+/// must not change a single modelled cycle, and the `Violation` events it
+/// records must agree exactly with the module's violation counter.
+#[test]
+fn lightzone_metrics_on_off_agree_and_violations_match() {
+    use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_PAN, USER};
+    use lightzone::pgt::PGT_ALL;
+    const ARENA: u64 = 0x5000_0000;
+    let build = || {
+        let mut b = LzProgramBuilder::new(CODE);
+        b.with_anon_segment(ARENA, 0x1000, lz_kernel::VmProt::RW);
+        b.asm.lz_enter(false, SAN_PAN);
+        b.asm.lz_prot_imm(ARENA, 0x1000, PGT_ALL, RW | USER);
+        // A few legal rounds, then an illegal PAN-protected access.
+        b.asm.set_pan(0);
+        b.asm.mov_imm64(1, ARENA);
+        b.asm.ldr(2, 1, 0);
+        b.asm.set_pan(1);
+        b.asm.ldr(2, 1, 0); // PAN set: violation
+        b.asm.exit_imm(0);
+        b.build()
+    };
+    let run = |metrics_on: bool| {
+        let prog = build();
+        let mut lz = lightzone::LightZone::new_host(Platform::CortexA55);
+        lz.kernel.machine.set_metrics(metrics_on);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        assert_eq!(lz.run_to_exit(), lightzone::SECURITY_KILL);
+        let report = lz.metrics_report();
+        let violations = report.section("lz").unwrap().get("violations").unwrap();
+        let journaled = lz.kernel.machine.journal.count(|e| matches!(e, lz_machine::EventKind::Violation { .. }));
+        (lz.kernel.machine.cpu.cycles, lz.kernel.machine.cpu.insns, violations, journaled)
+    };
+    let (cy_on, in_on, viol_on, j_on) = run(true);
+    let (cy_off, in_off, viol_off, j_off) = run(false);
+    assert_eq!((cy_on, in_on), (cy_off, in_off), "journal changed modelled state");
+    assert_eq!(viol_on, viol_off, "violation counter must not depend on the journal");
+    assert_eq!(j_on, viol_on, "journaled Violation events must match the counter");
+    assert_eq!(j_off, 0, "disabled journal recorded events");
 }

@@ -301,15 +301,90 @@ fn guest_and_host_same_security_different_cost() {
     let prog = tenant(4, 8);
     let mut costs = vec![];
     for guest in [false, true] {
-        let mut lz = if guest {
-            LightZone::new_guest(Platform::Carmel)
-        } else {
-            LightZone::new_host(Platform::Carmel)
-        };
+        let mut lz = if guest { LightZone::new_guest(Platform::Carmel) } else { LightZone::new_host(Platform::Carmel) };
         let pid = lz.spawn(&prog);
         lz.enter_process(pid);
         assert_eq!(lz.run_to_exit(), 32);
         costs.push(lz.kernel.machine.cpu.cycles);
     }
     assert!(costs[1] > costs[0], "guest costs more: {costs:?}");
+}
+
+/// Regression: `munmap` from inside a VE must tear down the stage-1
+/// mapping, the W^X tracking, and the fake-phys/stage-2 state for the
+/// dropped range — not just the kernel-side VMA. Before the fix, the
+/// module never saw Munmap (it was forwarded straight to the kernel),
+/// so the VE kept a live translation for freed memory and the second
+/// access read a stale (potentially reused) frame instead of faulting.
+#[test]
+fn ve_munmap_revokes_stale_mapping() {
+    const DATA2: u64 = 0x58_0000;
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_anon_segment(DATA, PAGE_SIZE, VmProt::RW);
+    b.asm.lz_enter(true, SAN_TTBR);
+    // Fault the page in (maps it in the current domain's table).
+    b.asm.mov_imm64(1, DATA);
+    b.asm.mov_imm64(2, 0x77);
+    b.asm.str(2, 1, 0);
+    // munmap(DATA, PAGE_SIZE)
+    b.asm.mov_imm64(0, DATA);
+    b.asm.mov_imm64(1, PAGE_SIZE);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Munmap.nr());
+    b.asm.svc(0);
+    // mmap a fresh page and store a secret: the frame allocator reuses
+    // the frame just freed by munmap (LIFO free list).
+    b.asm.mov_imm64(0, DATA2);
+    b.asm.mov_imm64(1, PAGE_SIZE);
+    b.asm.mov_imm64(2, 3); // PROT_READ | PROT_WRITE
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Mmap.nr());
+    b.asm.svc(0);
+    b.asm.mov_imm64(1, DATA2);
+    b.asm.mov_imm64(2, 66);
+    b.asm.str(2, 1, 0);
+    // Read through the unmapped VA. A stale stage-1 mapping would hit
+    // the reused frame and leak the secret as the exit code; the fixed
+    // module tore the leaf down at munmap, so this faults fatally.
+    b.asm.mov_imm64(1, DATA);
+    b.asm.ldr(0, 1, 0);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    let exit = lz.run_to_exit();
+    assert_ne!(exit, 66, "stale mapping leaked the reused frame");
+    assert_eq!(exit, -11, "access after munmap must be fatal");
+}
+
+/// Regression: `mprotect` from inside a VE must also be seen by the
+/// module, for the same reason as munmap — revoking write on a mapped
+/// page has to invalidate the old writable stage-1 leaf so the next
+/// store refaults against the new, tighter VMA permissions.
+#[test]
+fn ve_mprotect_revokes_stale_write_permission() {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_anon_segment(DATA, PAGE_SIZE, VmProt::RW);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.mov_imm64(1, DATA);
+    b.asm.mov_imm64(2, 0x77);
+    b.asm.str(2, 1, 0);
+    // mprotect(DATA, PAGE_SIZE, READ)
+    b.asm.mov_imm64(0, DATA);
+    b.asm.mov_imm64(1, PAGE_SIZE);
+    b.asm.mov_imm64(2, 1);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Mprotect.nr());
+    b.asm.svc(0);
+    // Reads must still work through the refaulted read-only mapping…
+    b.asm.mov_imm64(1, DATA);
+    b.asm.ldr(2, 1, 0);
+    // …but the store must now be fatal instead of hitting the stale
+    // writable leaf.
+    b.asm.str(2, 1, 0);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    let mut lz = LightZone::new_host(Platform::CortexA55);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    assert!(lz.run_to_exit() != 0, "store after mprotect(READ) must be fatal");
 }

@@ -112,7 +112,7 @@ fn hijack_gate_with_forged_lr_killed() {
     let mut b = LzProgramBuilder::new(CODE);
     ttbr_128_base(&mut b);
     b.lz_switch_to_ttbr_gate(5); // legal use, registers gate 5
-    // Attack: call gate 5 again from a *different* site (lr mismatch).
+                                 // Attack: call gate 5 again from a *different* site (lr mismatch).
     b.asm.mov_imm64(17, lightzone::gate::layout::gate_va(5));
     b.asm.blr(17);
     b.asm.exit_imm(0);
@@ -199,17 +199,71 @@ fn wx_alias_attack_contained() {
     b.asm.lz_map_gate_pgt_imm(0, 2);
     b.asm.lz_prot_imm(jit, 4096, 1, RW);
     b.asm.lz_prot_imm(jit, 4096, 2, 1 | 4); // READ | EXEC
-    // Execute once (scanned clean).
+                                            // Execute once (scanned clean).
     b.lz_switch_to_ttbr_gate(1);
     b.asm.mov_imm64(17, jit);
     b.asm.blr(17);
     b.lz_switch_to_ttbr_gate(2); // back to default
-    // Write an ERET through the writer view.
+                                 // Write an ERET through the writer view.
     b.lz_switch_to_ttbr_gate(0);
     b.asm.mov_imm64(1, jit);
     b.asm.mov_imm64(2, lz_arch::insn::Insn::Eret.encode() as u64);
     b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
     // Execute through the executor view: rescan must catch the ERET.
+    b.lz_switch_to_ttbr_gate(3);
+    b.asm.mov_imm64(17, jit);
+    b.asm.blr(17);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    for platform in Platform::ALL {
+        assert_eq!(run(&prog, platform, false), SECURITY_KILL, "{platform:?}");
+    }
+}
+
+#[test]
+fn wx_read_fault_flip_contained() {
+    // Regression for the read-fault W^X flip: a *read* fault on a W+X
+    // VMA also comes back as `Map { write: true, .. }`, so the writer
+    // view becomes writable without the faulting access being a write.
+    // The module used to break-before-make only for write faults (`wnr`),
+    // leaving the executor view's X mapping and TLB entry alive on the
+    // now-writable page: the payload store then hits silently and the
+    // stale alias executes it without a rescan. The read-fault flip must
+    // revoke exec everywhere just like the write-fault flip does.
+    let jit = 0x61_0000u64;
+    let mut b = LzProgramBuilder::new(CODE);
+    let mut seed = Asm::new(jit);
+    seed.nop();
+    seed.ret();
+    b.with_segment(jit, seed.bytes(), VmProt::RWX);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc(); // 1: writer view
+    b.asm.lz_alloc(); // 2: executor view
+    b.asm.lz_map_gate_pgt_imm(1, 0);
+    b.asm.lz_map_gate_pgt_imm(2, 1);
+    b.asm.lz_map_gate_pgt_imm(2, 3);
+    b.asm.lz_map_gate_pgt_imm(0, 2);
+    b.asm.lz_prot_imm(jit, 4096, 1, RW);
+    b.asm.lz_prot_imm(jit, 4096, 2, 1 | 4); // READ | EXEC
+                                            // Execute once (scanned clean) through the executor view.
+    b.lz_switch_to_ttbr_gate(1);
+    b.asm.mov_imm64(17, jit);
+    b.asm.blr(17);
+    b.lz_switch_to_ttbr_gate(2); // back to default
+                                 // Read-fault the page in the writer view: the W+X VMA grants write
+                                 // on a read fault, flipping the page out of the Executable state.
+    b.lz_switch_to_ttbr_gate(0);
+    b.asm.mov_imm64(1, jit);
+    b.asm.ldr(2, 1, 0);
+    // The mapping is already writable — this store raises no fault. The
+    // payload (`dc civac`) is forbidden by the sanitizer but semantically
+    // inert when it actually executes, so a successful attack runs to a
+    // clean exit instead of being caught downstream.
+    let dc_civac = lz_arch::insn::Insn::Sys { l: false, op1: 3, crn: 7, crm: 14, op2: 1, rt: 2 };
+    b.asm.mov_imm64(2, dc_civac.encode() as u64);
+    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
+    // Execute through the executor view: only break-before-make on the
+    // read-fault flip forces the refetch + rescan that catches the ERET.
     b.lz_switch_to_ttbr_gate(3);
     b.asm.mov_imm64(17, jit);
     b.asm.blr(17);

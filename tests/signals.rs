@@ -195,7 +195,7 @@ fn lz_signal_restores_ttbr_domain() {
     b.lz_switch_to_ttbr_gate(0); // enter domain 1
     b.asm.mov_imm64(1, DATA);
     b.asm.ldrb(20, 1, 0); // warm access
-    // Signal while inside the domain.
+                          // Signal while inside the domain.
     b.asm.mov_imm64(0, 0);
     b.asm.mov_imm64(1, SIGUSR1);
     b.asm.mov_imm64(8, Sysno::Kill.nr());

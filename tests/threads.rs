@@ -55,9 +55,11 @@ fn kernel_threads_interleave() {
     a.mov_imm64(8, Sysno::Exit.nr());
     a.svc(0);
 
-    let prog = Program::from_code(CODE, a.bytes())
-        .with_anon_segment(SHARED, PAGE_SIZE, VmProt::RW)
-        .with_anon_segment(STACKS, 0x8000, VmProt::RW);
+    let prog = Program::from_code(CODE, a.bytes()).with_anon_segment(SHARED, PAGE_SIZE, VmProt::RW).with_anon_segment(
+        STACKS,
+        0x8000,
+        VmProt::RW,
+    );
     let mut k = Kernel::new_host(Platform::CortexA55);
     let pid = k.spawn(&prog);
     k.enter_process(pid);
@@ -74,13 +76,13 @@ fn gettid_distinguishes_threads() {
     a.mov_imm64(8, Sysno::Clone.nr());
     a.svc(0);
     a.mov_reg(20, 0); // new tid (2)
-    // Let the worker run to completion first: the process exit code is
-    // the *last* thread's code, which must be main's.
+                      // Let the worker run to completion first: the process exit code is
+                      // the *last* thread's code, which must be main's.
     a.mov_imm64(8, Sysno::Yield.nr());
     a.svc(0);
     a.mov_imm64(8, Sysno::Gettid.nr());
     a.svc(0); // own tid (1)
-    // exit(new_tid * 16 + own_tid)
+              // exit(new_tid * 16 + own_tid)
     a.lsl_imm(20, 20, 4);
     a.add_reg(0, 20, 0);
     a.mov_imm64(8, Sysno::Exit.nr());

@@ -49,6 +49,7 @@ pub mod insn;
 pub mod pstate;
 pub mod sensitive;
 pub mod sysreg;
+pub mod tlbi;
 
 pub use cycles::{CycleModel, Platform};
 pub use insn::Insn;

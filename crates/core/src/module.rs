@@ -47,6 +47,12 @@ pub struct AblationConfig {
     /// §5.2.2 (from NEVE): redirect guest sysreg accesses to a shared
     /// per-core page instead of trapping each one.
     pub deferred_sysreg_page: bool,
+    /// **Deliberately broken** when `true`: skip the cross-core IPI
+    /// shootdown on break-before-make and detach paths, invalidating
+    /// only the issuing core's TLB. Models a kernel that forgets remote
+    /// TLB invalidation; the cross-core W^X penetration test asserts
+    /// this leaves a stale executable alias on another core.
+    pub skip_remote_shootdown: bool,
 }
 
 impl Default for AblationConfig {
@@ -58,6 +64,7 @@ impl Default for AblationConfig {
             randomize_phys: true,
             shared_pt_regs: true,
             deferred_sysreg_page: true,
+            skip_remote_shootdown: false,
         }
     }
 }
@@ -327,6 +334,7 @@ impl LzModule {
     }
 
     fn lz_free(&mut self, k: &mut Kernel, pid: Pid, pgt: u64) -> u64 {
+        let skip_remote = self.ablation.skip_remote_shootdown;
         let proc = self.procs.get_mut(&pid).expect("LZ state exists");
         let idx = pgt as usize;
         if idx == 0 || idx >= proc.tables.len() || proc.tables[idx].is_none() {
@@ -351,7 +359,13 @@ impl LzModule {
         Self::flush_tabs(k, proc);
         // The freed tree's ASID entries go; any leftover block entries
         // from this view are covered by the VMID-wide shoot-down below.
-        k.machine.tlb.invalidate_vmid(proc.vmid);
+        // Other cores may have cached translations through the freed
+        // tree, so this must reach every online core.
+        if skip_remote {
+            k.machine.tlb.invalidate_vmid(proc.vmid);
+        } else {
+            k.machine.shootdown_vmid(proc.vmid);
+        }
         let m = &k.machine.model;
         let cost = m.dsb + m.path_cost(200 + 30 * freed_frames);
         k.machine.charge(cost);
@@ -377,6 +391,7 @@ impl LzModule {
         if addr & (PAGE_SIZE - 1) != 0 || len == 0 {
             return u64::MAX;
         }
+        let skip_remote = self.ablation.skip_remote_shootdown;
         let proc = self.procs.get_mut(&pid).expect("LZ state exists");
         let overlay = Overlay::from_bits(perm);
         let pan_all = pgt == PGT_ALL;
@@ -404,9 +419,15 @@ impl LzModule {
                     }
                 }
                 if k.process(pid).mm.is_huge(page) {
-                    k.machine.tlb.invalidate_vmid(proc.vmid);
-                } else {
+                    if skip_remote {
+                        k.machine.tlb.invalidate_vmid(proc.vmid);
+                    } else {
+                        k.machine.shootdown_vmid(proc.vmid);
+                    }
+                } else if skip_remote {
                     k.machine.tlb.invalidate_va(proc.vmid, page);
+                } else {
+                    k.machine.shootdown_va(proc.vmid, page);
                 }
             }
             page += PAGE_SIZE;
@@ -612,6 +633,14 @@ impl LzModule {
                         return Some(k.kill_current(code));
                     }
                     self.ve_switch_thread(k, pid);
+                    return None;
+                }
+                SysOutcome::Park => {
+                    // Futex wait: bookkeeping is done; deliver 0 in x0
+                    // on eventual wakeup and run another thread (the
+                    // park precondition guarantees one is runnable).
+                    k.machine.cpu.set_reg(0, 0);
+                    self.ve_rotate_thread(k, pid, elr1);
                     return None;
                 }
             }
@@ -1014,13 +1043,20 @@ impl LzModule {
         if huge_touched {
             // Block translations were cached per accessed page, so a
             // page-scoped TLBI on the block base is not enough.
-            k.machine.tlb.invalidate_vmid(proc.vmid);
+            if self.ablation.skip_remote_shootdown {
+                k.machine.tlb.invalidate_vmid(proc.vmid);
+            } else {
+                k.machine.shootdown_vmid(proc.vmid);
+            }
         }
         self.procs.insert(pid, proc);
     }
 
     /// Zap a page's PTE in every domain that maps it and invalidate the
-    /// TLB (break-before-make).
+    /// TLB on every online core (break-before-make). Skipping the
+    /// remote half (the `skip_remote_shootdown` ablation) leaves stale
+    /// executable aliases on other cores — the exact bug the cross-core
+    /// W^X penetration test exploits.
     fn bbm_unmap_all(&self, k: &mut Kernel, proc: &mut LzProc, page: u64) {
         if let Some(mapped) = proc.residence.remove(&page) {
             for t in mapped {
@@ -1028,7 +1064,11 @@ impl LzModule {
                     table.unmap_page(&mut k.machine.mem, &proc.fake, page);
                 }
             }
-            k.machine.tlb.invalidate_va(proc.vmid, page);
+            if self.ablation.skip_remote_shootdown {
+                k.machine.tlb.invalidate_va(proc.vmid, page);
+            } else {
+                k.machine.shootdown_va(proc.vmid, page);
+            }
             k.machine.charge(k.machine.model.dsb + k.machine.model.path_cost(40));
             proc.stats.bbm_unmaps += 1;
             k.machine.record_event(EventKind::BbmUnmap { page });

@@ -65,12 +65,20 @@ pub enum Event {
 pub struct Kernel {
     pub machine: Machine,
     pub mode: KernelMode,
-    procs: BTreeMap<Pid, Process>,
+    pub(crate) procs: BTreeMap<Pid, Process>,
     next_pid: Pid,
     next_asid: u16,
-    cur: Option<Pid>,
+    pub(crate) cur: Option<Pid>,
     pub vmids: VmidAllocator,
     pub stats: Stats,
+    /// Set while [`Kernel::run_smp`] drives the machine: in-kernel
+    /// thread rotation is suppressed (the SMP scheduler owns placement)
+    /// and descheduling is signalled via [`Kernel::descheduled`].
+    pub(crate) smp_mode: bool,
+    /// Set by the trap path when the current thread left the CPU
+    /// (futex park, thread exit) under [`Kernel::run_smp`]; the
+    /// scheduler consumes and clears it.
+    pub(crate) descheduled: bool,
 }
 
 impl Kernel {
@@ -87,6 +95,8 @@ impl Kernel {
             cur: None,
             vmids: VmidAllocator::new(),
             stats: Stats::default(),
+            smp_mode: false,
+            descheduled: false,
         }
     }
 
@@ -117,6 +127,8 @@ impl Kernel {
             cur: None,
             vmids,
             stats: Stats::default(),
+            smp_mode: false,
+            descheduled: false,
         }
     }
 
@@ -311,12 +323,31 @@ impl Kernel {
                         if self.deliver_signal(host, elr, spsr) {
                             return None;
                         }
-                        // sched_yield rotates among live threads.
+                        // sched_yield rotates among live threads — but
+                        // not under the SMP scheduler, which owns
+                        // thread placement (yield then just returns and
+                        // the core runs out its quantum).
                         let multi = self.cur.map(|pid| self.procs[&pid].live_threads() > 1).unwrap_or(false);
-                        if nr == Sysno::Yield.nr() && multi {
+                        if nr == Sysno::Yield.nr() && multi && !self.smp_mode {
                             self.rotate_thread(host, elr, spsr);
                         } else {
                             self.user_return(host, elr, spsr);
+                        }
+                        None
+                    }
+                    SysOutcome::Park => {
+                        // Futex wait: the thread is already marked
+                        // parked and enqueued; it observes 0 in x0 when
+                        // it eventually resumes.
+                        self.machine.cpu.set_reg(0, 0);
+                        if self.smp_mode {
+                            self.save_thread_at(elr, spsr);
+                            self.descheduled = true;
+                        } else {
+                            // Cooperative mode: another runnable thread
+                            // exists (the park precondition), switch to
+                            // it.
+                            self.rotate_thread(host, elr, spsr);
                         }
                         None
                     }
@@ -337,6 +368,9 @@ impl Kernel {
                         if last {
                             self.finish_process(code);
                             Some(Event::Exited(code))
+                        } else if self.smp_mode {
+                            self.descheduled = true;
+                            None
                         } else {
                             self.switch_to_next_thread(host);
                             None
@@ -411,9 +445,8 @@ impl Kernel {
         self.user_return(host, pc, PState::user().to_spsr());
     }
 
-    /// Save the current thread at `(pc, spsr)` and run the next runnable
-    /// thread of the same process.
-    fn rotate_thread(&mut self, host: bool, pc: u64, spsr: u64) {
+    /// Save the current thread's context as interrupted at `(pc, spsr)`.
+    fn save_thread_at(&mut self, pc: u64, spsr: u64) {
         let Some(pid) = self.cur else { return };
         let ttbr0 = self.machine.sysreg(SysReg::TTBR0_EL1);
         let sp = if self.machine.cpu.pstate.el == ExceptionLevel::El0 {
@@ -421,16 +454,23 @@ impl Kernel {
         } else {
             self.machine.cpu.sp_el1
         };
-        {
-            let p = self.procs.get_mut(&pid).expect("pid exists");
-            *p.ctx_mut() = UserContext {
-                x: self.machine.cpu.x,
-                sp,
-                pc,
-                pstate: PState::from_spsr(spsr).unwrap_or(PState::user()),
-                ttbr0,
-            };
+        let p = self.procs.get_mut(&pid).expect("pid exists");
+        *p.ctx_mut() = UserContext {
+            x: self.machine.cpu.x,
+            sp,
+            pc,
+            pstate: PState::from_spsr(spsr).unwrap_or(PState::user()),
+            ttbr0,
+        };
+    }
+
+    /// Save the current thread at `(pc, spsr)` and run the next runnable
+    /// thread of the same process.
+    fn rotate_thread(&mut self, host: bool, pc: u64, spsr: u64) {
+        if self.cur.is_none() {
+            return;
         }
+        self.save_thread_at(pc, spsr);
         self.switch_to_next_thread(host);
     }
 
@@ -574,6 +614,7 @@ impl Kernel {
                 let tid = self.procs.get_mut(&pid).expect("pid exists").spawn_thread(entry, stack, arg);
                 SysOutcome::Ret(tid as u64)
             }
+            Sysno::Futex => self.do_futex(args),
             Sysno::Kill => {
                 let (target, sig) = (args[0] as Pid, args[1]);
                 let me = self.cur.unwrap_or(0);
@@ -620,8 +661,10 @@ impl Kernel {
                 let vmid = self.machine.walk_config().vmid();
                 let p = self.procs.get_mut(&pid).expect("pid exists");
                 let freed = p.mm.unmap(&mut self.machine.mem, addr, len);
+                // Cross-core shootdown: a stale entry on a remote core
+                // would keep the freed frame reachable.
                 for va in &freed {
-                    self.machine.tlb.invalidate_va(vmid, *va);
+                    self.machine.shootdown_va(vmid, *va);
                 }
                 let c = self.machine.model.dsb + freed.len() as u64 * self.machine.model.insn_base * 2;
                 self.machine.charge(c);
@@ -638,14 +681,89 @@ impl Kernel {
                 let vmid = self.machine.walk_config().vmid();
                 let p = self.procs.get_mut(&pid).expect("pid exists");
                 let touched = p.mm.protect(&mut self.machine.mem, addr, len, prot);
+                // Cross-core shootdown: permissions must tighten on
+                // every core, not just the calling one.
                 for va in &touched {
-                    self.machine.tlb.invalidate_va(vmid, *va);
+                    self.machine.shootdown_va(vmid, *va);
                 }
                 let c = self.machine.model.dsb + touched.len() as u64 * self.machine.model.insn_base * 2;
                 self.machine.charge(c);
                 SysOutcome::Ret(0)
             }
         }
+    }
+
+    /// `futex(uaddr, op, val)`.
+    ///
+    /// `WAIT` atomically re-checks `*uaddr` against `val` (atomicity is
+    /// trivial: the interleaver never splits a syscall) and parks the
+    /// calling thread on a mismatch-free check. Because the modelled
+    /// kernel has no timer interrupt, a thread may only park while
+    /// another runnable thread exists in the process; otherwise the
+    /// call returns 0 immediately — a legal spurious wakeup under the
+    /// futex contract, and callers loop anyway.
+    fn do_futex(&mut self, args: [u64; 6]) -> SysOutcome {
+        const EAGAIN: u64 = -11i64 as u64;
+        let (uaddr, op, val) = (args[0], args[1], args[2] as u32);
+        let Some(pid) = self.cur else { return SysOutcome::Ret(u64::MAX) };
+        // The kernel reads the futex word through the kernel-managed
+        // tables (get_user).
+        self.machine.charge(2 * self.machine.model.mem_access);
+        match op {
+            syscall::futex::WAIT => {
+                let Some(cur_val) = self.read_user_u32(pid, uaddr) else {
+                    return SysOutcome::Ret(u64::MAX); // -EFAULT-ish
+                };
+                if cur_val != val {
+                    return SysOutcome::Ret(EAGAIN);
+                }
+                let p = self.procs.get_mut(&pid).expect("pid exists");
+                if p.runnable_threads() <= 1 {
+                    return SysOutcome::Ret(0); // spurious wakeup, see above
+                }
+                let i = p.cur_thread;
+                let tid = p.threads[i].tid;
+                p.threads[i].parked = true;
+                p.futex_waiters.entry(uaddr).or_default().push_back(tid);
+                SysOutcome::Park
+            }
+            syscall::futex::WAKE => {
+                // Wake-path cost: walk the hash bucket, mark wakeups.
+                self.machine.charge(self.machine.model.path_cost(80));
+                let p = self.procs.get_mut(&pid).expect("pid exists");
+                let mut woken = 0u64;
+                while woken < val as u64 {
+                    let Some(tid) = p.futex_waiters.get_mut(&uaddr).and_then(|q| q.pop_front()) else {
+                        break;
+                    };
+                    if let Some(t) = p.threads.iter_mut().find(|t| t.tid == tid) {
+                        if t.parked && !t.exited {
+                            t.parked = false;
+                            woken += 1;
+                        }
+                    }
+                }
+                if let Some(q) = p.futex_waiters.get(&uaddr) {
+                    if q.is_empty() {
+                        p.futex_waiters.remove(&uaddr);
+                    }
+                }
+                SysOutcome::Ret(woken)
+            }
+            _ => SysOutcome::Ret(u64::MAX), // -ENOSYS-ish: unmodelled op
+        }
+    }
+
+    /// Read a `u32` from the process's address space through the
+    /// kernel-managed tables, faulting the page in if needed.
+    fn read_user_u32(&mut self, pid: Pid, va: u64) -> Option<u32> {
+        let p = self.procs.get_mut(&pid)?;
+        let page = lz_arch::page_align_down(va);
+        let pa_page = match lz_machine::walk::s1_lookup(&self.machine.mem, p.mm.root, page) {
+            Some((pa, _, _)) => pa,
+            None => lz_arch::page_align_down(p.mm.fault_in(&mut self.machine.mem, va, false, false)?),
+        };
+        self.machine.mem.read_u32(pa_page + (va & lz_arch::PAGE_MASK))
     }
 
     /// Table 4 rows 1–2: the software side of a syscall round trip
@@ -689,6 +807,10 @@ pub enum SysOutcome {
     Exit(i64),
     /// `rt_sigreturn`: the caller must restore the signal frame.
     Sigreturn,
+    /// `futex(WAIT)` parked the calling thread: it is marked parked and
+    /// enqueued; the caller must switch it off the CPU and deliver 0 in
+    /// x0 when it is eventually woken.
+    Park,
 }
 
 #[cfg(test)]

@@ -19,10 +19,12 @@
 pub mod kernel;
 pub mod kvm;
 pub mod process;
+pub mod sched;
 pub mod syscall;
 pub mod vma;
 
 pub use kernel::{Event, Kernel, KernelMode, SysOutcome};
 pub use process::{Pid, Process, Program, Segment, UserContext};
+pub use sched::{SmpConfig, SmpRun};
 pub use syscall::Sysno;
 pub use vma::{Mm, VmProt, Vma, VmaSource};

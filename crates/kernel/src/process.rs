@@ -93,6 +93,8 @@ pub struct Thread {
     pub tid: u32,
     pub ctx: UserContext,
     pub exited: bool,
+    /// Parked on a futex: live but not runnable until woken.
+    pub parked: bool,
 }
 
 /// A kernel-visible process.
@@ -114,6 +116,9 @@ pub struct Process {
     pub sig_handlers: std::collections::HashMap<u64, u64>,
     /// Signals raised but not yet delivered.
     pub sig_pending: std::collections::VecDeque<u64>,
+    /// Futex wait queues: user address → tids parked on it, in arrival
+    /// order (FIFO wake).
+    pub futex_waiters: std::collections::BTreeMap<u64, std::collections::VecDeque<u32>>,
     /// The interrupted context while a handler runs. The saved
     /// [`UserContext`] carries TTBR0 and (via PSTATE) PAN — the
     /// LightZone-extended signal context of §6 ("PAN and TTBR0 are added
@@ -158,13 +163,14 @@ impl Process {
         Process {
             pid,
             mm,
-            threads: vec![Thread { tid: 1, ctx, exited: false }],
+            threads: vec![Thread { tid: 1, ctx, exited: false, parked: false }],
             cur_thread: 0,
             next_tid: 2,
             exit_code: None,
             in_lightzone: false,
             sig_handlers: std::collections::HashMap::new(),
             sig_pending: std::collections::VecDeque::new(),
+            futex_waiters: std::collections::BTreeMap::new(),
             sig_frame: None,
         }
     }
@@ -193,7 +199,7 @@ impl Process {
         self.next_tid += 1;
         let mut ctx = UserContext::user_at(entry, sp);
         ctx.x[0] = arg;
-        self.threads.push(Thread { tid, ctx, exited: false });
+        self.threads.push(Thread { tid, ctx, exited: false, parked: false });
         tid
     }
 
@@ -206,15 +212,21 @@ impl Process {
     }
 
     /// Index of the next runnable thread after the current one
-    /// (round-robin), if any.
+    /// (round-robin), if any. Parked (futex-waiting) threads are
+    /// skipped — they are live but not runnable.
     pub fn next_runnable(&self) -> Option<usize> {
         let n = self.threads.len();
-        (1..=n).map(|d| (self.cur_thread + d) % n).find(|&i| !self.threads[i].exited)
+        (1..=n).map(|d| (self.cur_thread + d) % n).find(|&i| !self.threads[i].exited && !self.threads[i].parked)
     }
 
     /// Number of live threads.
     pub fn live_threads(&self) -> usize {
         self.threads.iter().filter(|t| !t.exited).count()
+    }
+
+    /// Number of runnable (live and not futex-parked) threads.
+    pub fn runnable_threads(&self) -> usize {
+        self.threads.iter().filter(|t| !t.exited && !t.parked).count()
     }
 }
 

@@ -38,6 +38,10 @@ pub enum Sysno {
     /// `clone(entry, stack_top, arg)` — simplified thread creation: the
     /// new thread starts at `entry` with `arg` in x0 on the given stack.
     Clone,
+    /// `futex(uaddr, op, val)` — [`futex::WAIT`] parks the calling
+    /// thread while `*uaddr == val`; [`futex::WAKE`] wakes up to `val`
+    /// waiters on `uaddr`.
+    Futex,
 }
 
 impl Sysno {
@@ -57,6 +61,7 @@ impl Sysno {
             Sysno::Sigaction => 134,
             Sysno::Sigreturn => 139,
             Sysno::Clone => 220,
+            Sysno::Futex => 98,
         }
     }
 
@@ -76,9 +81,18 @@ impl Sysno {
             134 => Sysno::Sigaction,
             139 => Sysno::Sigreturn,
             220 => Sysno::Clone,
+            98 => Sysno::Futex,
             _ => return None,
         })
     }
+}
+
+/// `futex` operation codes (Linux values, no flag bits modelled).
+pub mod futex {
+    /// Park while `*uaddr == val`.
+    pub const WAIT: u64 = 0;
+    /// Wake up to `val` waiters.
+    pub const WAKE: u64 = 1;
 }
 
 /// `mmap`/`mprotect` prot bits (Linux values).
@@ -129,6 +143,7 @@ mod tests {
             Sysno::Sigaction,
             Sysno::Sigreturn,
             Sysno::Clone,
+            Sysno::Futex,
         ] {
             assert_eq!(Sysno::from_nr(s.nr()), Some(s));
         }

@@ -97,7 +97,7 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Cpu {
             x: [0; 31],
             sp_el0: 0,
@@ -110,6 +110,14 @@ impl Cpu {
             watchpoints: [None; 4],
             watchpoints_enabled: false,
         }
+    }
+
+    /// A fresh secondary-core CPU booted with this core's system
+    /// registers (the modelled firmware programs every core alike).
+    pub(crate) fn fork_boot_state(&self) -> Cpu {
+        let mut cpu = Cpu::new();
+        cpu.sysregs = self.sysregs.clone();
+        cpu
     }
 
     /// Read register `i` as an operand (31 = xzr = 0).
@@ -166,6 +174,9 @@ pub struct Machine {
     /// [`Machine::set_sysreg`] so [`Machine::walk_config`] can memoise.
     cfg_gen: u64,
     cfg_memo: Cell<Option<(u64, WalkConfig)>>,
+    /// SMP state: parked cores and cross-core traffic counters. A
+    /// default machine is single-core; see [`crate::smp`].
+    pub(crate) smp: crate::smp::SmpState,
 }
 
 impl Machine {
@@ -185,7 +196,15 @@ impl Machine {
             fetch_cache: default_fetch_cache(),
             cfg_gen: 0,
             cfg_memo: Cell::new(None),
+            smp: crate::smp::SmpState::default(),
         }
+    }
+
+    /// Invalidate the translation-regime memo (a different core's
+    /// system registers just became live).
+    pub(crate) fn regime_changed(&mut self) {
+        self.cfg_gen += 1;
+        self.cfg_memo.set(None);
     }
 
     /// Enable or disable the decoded-block fetch cache (tests run both
@@ -265,7 +284,16 @@ impl Machine {
             .with("cycles", self.cpu.cycles)
             .with("journal_events", self.journal.len() as u64);
 
-        vec![tlb, icache, walk, gate, traps, cpu]
+        let smp = Section::new("smp")
+            .with("cores", self.num_cores() as u64)
+            .with("shootdowns_sent", self.smp.shootdowns_sent)
+            .with("shootdowns_acked", self.smp.shootdowns_acked)
+            .with("ipis_sent", self.smp.ipis_sent)
+            .with("tlbi_broadcasts", self.smp.tlbi_broadcasts);
+
+        let mut sections = vec![tlb, icache, walk, gate, traps, cpu, smp];
+        sections.extend(self.per_core_sections());
+        sections
     }
 
     /// Route EL1-targeted exceptions out of the interpreter (modelled
@@ -618,8 +646,8 @@ impl Machine {
             Insn::MrsReg { enc, rt } => {
                 return self.msr_mrs(enc, rt, true, word, next_pc);
             }
-            Insn::Sys { crn, .. } => {
-                return self.sys_op(crn, word, next_pc);
+            Insn::Sys { op1, crn, crm, op2, rt, .. } => {
+                return self.sys_op(op1, crn, crm, op2, rt, word, next_pc);
             }
             Insn::Unallocated { .. } => {
                 return self.undefined(word, next_pc);
@@ -769,7 +797,7 @@ impl Machine {
         None
     }
 
-    fn sys_op(&mut self, crn: u8, word: u32, next_pc: u64) -> Option<Exit> {
+    fn sys_op(&mut self, op1: u8, crn: u8, crm: u8, op2: u8, rt: u8, word: u32, next_pc: u64) -> Option<Exit> {
         if self.cpu.pstate.el == ExceptionLevel::El0 {
             return self.undefined(word, next_pc);
         }
@@ -781,7 +809,22 @@ impl Machine {
             }
             self.charge(self.model.dsb);
             let cfg = self.walk_config();
-            self.tlb.invalidate_vmid(cfg.vmid());
+            let vmid = cfg.vmid();
+            match lz_arch::tlbi::TlbiOp::decode(op1, crm, op2) {
+                Some(op) => {
+                    // Local forms flush only the issuing core; the
+                    // Inner Shareable forms DVM-broadcast to every
+                    // remote core (see `smp` module docs).
+                    let xt = self.cpu.reg(rt);
+                    crate::smp::apply_tlbi(&mut self.tlb, op, vmid, xt);
+                    if op.broadcast {
+                        self.dvm_broadcast(op, vmid, xt);
+                    }
+                }
+                // Unmodelled TLBI encodings keep the conservative
+                // pre-SMP behaviour: flush the issuing core's VMID.
+                None => self.tlb.invalidate_vmid(vmid),
+            }
         }
         // Cache maintenance (CRn=7) and others: architecturally effectful,
         // semantically inert in this model.

@@ -30,6 +30,7 @@ pub mod icache;
 pub mod mem;
 pub mod metrics;
 pub mod pte;
+pub mod smp;
 pub mod tlb;
 pub mod trace;
 pub mod walk;
@@ -38,5 +39,6 @@ pub use cpu::{Exit, Machine};
 pub use icache::ICache;
 pub use mem::PhysMem;
 pub use metrics::{Event, EventKind, Journal, Report, Section};
+pub use smp::{CoreCtx, SmpState, MAX_CORES};
 pub use tlb::Tlb;
 pub use walk::{Access, Fault, FaultKind, Stage};

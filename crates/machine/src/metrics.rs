@@ -165,6 +165,11 @@ pub enum EventKind {
     Violation { reason: &'static str },
     /// Exception taken by the interpreter.
     Trap { class: ExceptionClass },
+    /// Software IPI from one core to another (TLB-shootdown doorbell).
+    Ipi { from: u8, to: u8 },
+    /// Cross-core TLB shootdown completed: `targets` remote cores
+    /// invalidated (`page` is 0 for VMID/ASID-scoped shootdowns).
+    Shootdown { vmid: u16, page: u64, targets: u8 },
 }
 
 impl EventKind {
@@ -177,6 +182,8 @@ impl EventKind {
             EventKind::BbmUnmap { .. } => "BbmUnmap",
             EventKind::Violation { .. } => "Violation",
             EventKind::Trap { .. } => "Trap",
+            EventKind::Ipi { .. } => "Ipi",
+            EventKind::Shootdown { .. } => "Shootdown",
         }
     }
 
@@ -194,6 +201,12 @@ impl EventKind {
             }
             EventKind::Violation { reason } => {
                 let _ = write!(out, ",\"reason\":\"{}\"", escape_json(reason));
+            }
+            EventKind::Ipi { from, to } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+            }
+            EventKind::Shootdown { vmid, page, targets } => {
+                let _ = write!(out, ",\"vmid\":{vmid},\"page\":{page},\"targets\":{targets}");
             }
             EventKind::Trap { class } => {
                 let _ = write!(out, ",\"class\":\"{class:?}\"");

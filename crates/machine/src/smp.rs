@@ -1,0 +1,371 @@
+//! SMP: an N-core machine with TLBI broadcast and IPI shootdown.
+//!
+//! Each core owns its architectural CPU state ([`Cpu`]) and its private
+//! translation caches ([`Tlb`], which embeds the decoded-block icache);
+//! all cores share one [`PhysMem`](crate::PhysMem). Execution is
+//! *interleaved*, never truly concurrent: exactly one core — the
+//! **active** core, whose state lives directly in
+//! [`Machine::cpu`]/[`Machine::tlb`] — executes at any moment, and
+//! [`Machine::switch_core`] swaps which one that is. This keeps every
+//! existing single-core call site working unchanged and makes N-core
+//! runs byte-reproducible: for a fixed schedule the interleaving is a
+//! pure function of the initial state.
+//!
+//! # Coherence model
+//!
+//! Three propagation mechanisms are modelled (see DESIGN.md §9):
+//!
+//! * **DVM broadcast** — an interpreted Inner Shareable TLBI
+//!   (`TLBI VAE1IS`, …) invalidates the matching entries in *every*
+//!   core's TLB, as the interconnect's distributed-virtual-memory
+//!   messages would. Local forms (`TLBI VAE1`) touch only the issuing
+//!   core. No extra cycles are charged: DVM completion is absorbed in
+//!   the `DSB` the issuer already pays.
+//! * **IPI shootdown** — modelled kernel software uses
+//!   [`Machine::shootdown_va`] (and the vmid/asid variants) for
+//!   break-before-make, `munmap`, and `mprotect`. Each remote core
+//!   charges the issuer one `dsb`-equivalent round trip (doorbell +
+//!   wait-for-ack) and bumps the `shootdowns_sent`/`shootdowns_acked`
+//!   counters; journal events `Ipi` and `Shootdown` record the traffic.
+//!   On a single-core machine there are no remote cores, so these calls
+//!   degenerate to exactly the pre-SMP local invalidate — cycle counts
+//!   of existing single-core workloads are unchanged.
+//! * **Physical-write icache invalidation** — the decoded-block icache
+//!   validates entries against the shared `PhysMem` write generation
+//!   and per-frame versions on every probe, so a store on core A
+//!   invalidates (by content check) stale decoded blocks on core B
+//!   without any explicit message. This holds by construction; see
+//!   `icache::PageEntry` and the `smp` integration tests.
+//!
+//! What is *not* modelled: weak-memory reordering. Interleaved
+//! execution is sequentially consistent at instruction granularity.
+
+use crate::cpu::{Cpu, Exit, Machine};
+use crate::metrics::{EventKind, Section};
+use crate::tlb::Tlb;
+use lz_arch::tlbi::{self, TlbiOp, TlbiScope};
+
+/// Hard cap on the number of cores (per-core metric section names are
+/// static strings).
+pub const MAX_CORES: usize = 8;
+
+/// Static names for the per-core metric sections.
+pub(crate) const CORE_NAMES: [&str; MAX_CORES] =
+    ["core0", "core1", "core2", "core3", "core4", "core5", "core6", "core7"];
+
+/// A parked core: the architectural state and private translation
+/// caches of a core that is not currently executing.
+#[derive(Debug)]
+pub struct CoreCtx {
+    pub cpu: Cpu,
+    pub tlb: Tlb,
+}
+
+/// SMP bookkeeping embedded in [`Machine`]: the parked cores plus the
+/// cross-core traffic counters.
+#[derive(Debug)]
+pub struct SmpState {
+    /// One slot per core; the active core's slot is `None` (its state
+    /// lives directly in `Machine::{cpu,tlb}`).
+    pub(crate) cores: Vec<Option<CoreCtx>>,
+    pub(crate) active: usize,
+    /// IPI shootdown requests sent to remote cores.
+    pub shootdowns_sent: u64,
+    /// IPI shootdown acknowledgements received (the model acks
+    /// synchronously, so this always equals `shootdowns_sent`).
+    pub shootdowns_acked: u64,
+    /// Total inter-processor interrupts sent.
+    pub ipis_sent: u64,
+    /// Remote-core invalidations performed by Inner Shareable TLBIs
+    /// (hardware DVM, no IPI involved).
+    pub tlbi_broadcasts: u64,
+}
+
+impl Default for SmpState {
+    fn default() -> Self {
+        SmpState {
+            cores: vec![None],
+            active: 0,
+            shootdowns_sent: 0,
+            shootdowns_acked: 0,
+            ipis_sent: 0,
+            tlbi_broadcasts: 0,
+        }
+    }
+}
+
+/// Apply one decoded TLBI operation to a single core's TLB.
+pub(crate) fn apply_tlbi(tlb: &mut Tlb, op: TlbiOp, vmid: u16, xt: u64) {
+    match op.scope {
+        // Stage-2 and all-of-EL1 scopes collapse to a VMID flush: the
+        // TLB is tagged (vmid, asid, va) without separate IPA entries.
+        TlbiScope::AllE1 | TlbiScope::AllS12 | TlbiScope::Ipa => tlb.invalidate_vmid(vmid),
+        TlbiScope::Va | TlbiScope::VaAllAsid => tlb.invalidate_va(vmid, tlbi::xt_va(xt)),
+        TlbiScope::Asid => tlb.invalidate_asid(vmid, tlbi::xt_asid(xt)),
+    }
+}
+
+impl Machine {
+    /// Bring `n` cores online. The currently-active architectural state
+    /// becomes core 0; secondary cores boot with a copy of core 0's
+    /// system registers (the modelled firmware programs every core
+    /// identically) and cold private caches. Resets the SMP counters.
+    pub fn configure_smp(&mut self, n: usize) {
+        assert!((1..=MAX_CORES).contains(&n), "1..={MAX_CORES} cores supported");
+        let mut cores: Vec<Option<CoreCtx>> = Vec::with_capacity(n);
+        cores.push(None); // this core is core 0 and stays active
+        for _ in 1..n {
+            cores.push(Some(CoreCtx {
+                cpu: self.cpu.fork_boot_state(),
+                tlb: Tlb::with_l1(self.model.tlb_l1_entries, self.model.tlb_entries),
+            }));
+        }
+        self.smp = SmpState { cores, ..SmpState::default() };
+    }
+
+    /// Number of cores online (1 unless [`Machine::configure_smp`] ran).
+    pub fn num_cores(&self) -> usize {
+        self.smp.cores.len()
+    }
+
+    /// Index of the core whose state is live in `Machine::{cpu,tlb}`.
+    pub fn active_core(&self) -> usize {
+        self.smp.active
+    }
+
+    /// The SMP counters.
+    pub fn smp(&self) -> &SmpState {
+        &self.smp
+    }
+
+    /// Make core `i` the active core, parking the current one. The
+    /// translation-regime memo is invalidated: each core has its own
+    /// system registers.
+    pub fn switch_core(&mut self, i: usize) {
+        assert!(i < self.smp.cores.len(), "core {i} not configured");
+        if i == self.smp.active {
+            return;
+        }
+        let target = self.smp.cores[i].take().expect("inactive core is parked");
+        let cpu = std::mem::replace(&mut self.cpu, target.cpu);
+        let tlb = std::mem::replace(&mut self.tlb, target.tlb);
+        let prev = self.smp.active;
+        self.smp.cores[prev] = Some(CoreCtx { cpu, tlb });
+        self.smp.active = i;
+        self.regime_changed();
+    }
+
+    /// A core's architectural state (active or parked).
+    pub fn core_cpu(&self, i: usize) -> &Cpu {
+        if i == self.smp.active {
+            &self.cpu
+        } else {
+            &self.smp.cores[i].as_ref().expect("inactive core is parked").cpu
+        }
+    }
+
+    /// A core's TLB (active or parked).
+    pub fn core_tlb(&self, i: usize) -> &Tlb {
+        if i == self.smp.active {
+            &self.tlb
+        } else {
+            &self.smp.cores[i].as_ref().expect("inactive core is parked").tlb
+        }
+    }
+
+    /// DVM propagation of an interpreted Inner Shareable TLBI: apply
+    /// the same invalidation to every remote core's TLB.
+    pub(crate) fn dvm_broadcast(&mut self, op: TlbiOp, vmid: u16, xt: u64) {
+        let active = self.smp.active;
+        let mut n = 0;
+        for (i, slot) in self.smp.cores.iter_mut().enumerate() {
+            if i == active {
+                continue;
+            }
+            let core = slot.as_mut().expect("inactive core is parked");
+            apply_tlbi(&mut core.tlb, op, vmid, xt);
+            n += 1;
+        }
+        self.smp.tlbi_broadcasts += n;
+    }
+
+    /// Cross-core TLB shootdown of one page: local invalidate plus an
+    /// IPI round trip to every remote core. See the module docs for the
+    /// cost and counter model.
+    pub fn shootdown_va(&mut self, vmid: u16, va: u64) {
+        self.tlb.invalidate_va(vmid, va);
+        self.shootdown_remote(vmid, va, |tlb| tlb.invalidate_va(vmid, va));
+    }
+
+    /// Cross-core shootdown of a whole VMID.
+    pub fn shootdown_vmid(&mut self, vmid: u16) {
+        self.tlb.invalidate_vmid(vmid);
+        self.shootdown_remote(vmid, 0, |tlb| tlb.invalidate_vmid(vmid));
+    }
+
+    /// Cross-core shootdown of one ASID.
+    pub fn shootdown_asid(&mut self, vmid: u16, asid: u16) {
+        self.tlb.invalidate_asid(vmid, asid);
+        self.shootdown_remote(vmid, 0, |tlb| tlb.invalidate_asid(vmid, asid));
+    }
+
+    fn shootdown_remote(&mut self, vmid: u16, page: u64, f: impl Fn(&mut Tlb)) {
+        let active = self.smp.active;
+        let remotes: Vec<usize> = (0..self.smp.cores.len()).filter(|&i| i != active).collect();
+        if remotes.is_empty() {
+            return; // single core: exactly the pre-SMP local invalidate
+        }
+        for &i in &remotes {
+            let core = self.smp.cores[i].as_mut().expect("inactive core is parked");
+            f(&mut core.tlb);
+        }
+        let n = remotes.len() as u64;
+        self.smp.ipis_sent += n;
+        self.smp.shootdowns_sent += n;
+        self.smp.shootdowns_acked += n;
+        // One doorbell + wait-for-ack round trip per remote core,
+        // charged to the issuing core.
+        self.charge(n * self.model.dsb);
+        for &i in &remotes {
+            self.record_event(EventKind::Ipi { from: active as u8, to: i as u8 });
+        }
+        self.record_event(EventKind::Shootdown { vmid, page, targets: n as u8 });
+    }
+
+    /// Step all cores with a deterministic round-robin interleaver:
+    /// each round visits every still-running core for up to `quantum`
+    /// instructions, with the round's starting core rotated by a
+    /// seedable LCG schedule. Returns each core's exit (in core order);
+    /// `None` means the core was still running when the total `limit`
+    /// of retired instructions (summed across cores) was reached.
+    pub fn run_interleaved(&mut self, quantum: u64, seed: u64, limit: u64) -> Vec<Option<Exit>> {
+        assert!(quantum > 0);
+        let n = self.num_cores();
+        let mut exits: Vec<Option<Exit>> = vec![None; n];
+        let mut lcg = seed;
+        let mut executed = 0u64;
+        'rounds: while exits.iter().any(|e| e.is_none()) {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let start = ((lcg >> 33) as usize) % n;
+            for k in 0..n {
+                let c = (start + k) % n;
+                if exits[c].is_some() {
+                    continue;
+                }
+                if executed >= limit {
+                    break 'rounds;
+                }
+                self.switch_core(c);
+                let before = self.cpu.insns;
+                let exit = self.run(quantum.min(limit - executed));
+                executed += self.cpu.insns - before;
+                if exit != Exit::Limit {
+                    exits[c] = Some(exit);
+                }
+            }
+        }
+        exits
+    }
+
+    /// Per-core metric sections (only emitted with more than one core):
+    /// steps, cycles, TLB and icache hit/miss counts.
+    pub(crate) fn per_core_sections(&self) -> Vec<Section> {
+        let n = self.num_cores();
+        if n <= 1 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let cpu = self.core_cpu(i);
+                let tlb = self.core_tlb(i);
+                let (hits, misses) = tlb.stats();
+                let (ihits, imisses) = tlb.icache().stats();
+                Section::new(CORE_NAMES[i])
+                    .with("steps", cpu.insns)
+                    .with("cycles", cpu.cycles)
+                    .with("tlb_hits", hits)
+                    .with("tlb_misses", misses)
+                    .with("icache_hits", ihits)
+                    .with("icache_misses", imisses)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_arch::Platform;
+
+    #[test]
+    fn default_machine_is_single_core() {
+        let m = Machine::new(Platform::CortexA55);
+        assert_eq!(m.num_cores(), 1);
+        assert_eq!(m.active_core(), 0);
+    }
+
+    #[test]
+    fn switch_core_swaps_architectural_state() {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.configure_smp(2);
+        m.cpu.x[0] = 111;
+        m.cpu.pc = 0x1000;
+        m.switch_core(1);
+        assert_eq!(m.active_core(), 1);
+        assert_eq!(m.cpu.x[0], 0, "secondary core boots with fresh registers");
+        m.cpu.x[0] = 222;
+        m.switch_core(0);
+        assert_eq!(m.cpu.x[0], 111);
+        assert_eq!(m.cpu.pc, 0x1000);
+        assert_eq!(m.core_cpu(1).x[0], 222);
+    }
+
+    #[test]
+    fn secondary_cores_inherit_boot_sysregs() {
+        use lz_arch::sysreg::SysReg;
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_sysreg(SysReg::HCR_EL2, 0xabcd);
+        m.configure_smp(3);
+        m.switch_core(2);
+        assert_eq!(m.sysreg(SysReg::HCR_EL2), 0xabcd);
+    }
+
+    #[test]
+    fn shootdown_va_reaches_remote_tlbs() {
+        use crate::pte::S1Perms;
+        use crate::tlb::TlbEntry;
+        let mut m = Machine::new(Platform::CortexA55);
+        m.configure_smp(2);
+        let entry = TlbEntry {
+            asid: Some(7),
+            pa_page: 0x10_0000,
+            s1: S1Perms { read: true, write: false, user_exec: true, priv_exec: true, el0: true, global: false },
+            s2: None,
+        };
+        m.tlb.insert(0, 0x40_0000, entry);
+        m.switch_core(1);
+        m.tlb.insert(0, 0x40_0000, entry);
+        // A local invalidate on core 1 must not touch core 0.
+        m.tlb.invalidate_va(0, 0x40_0000);
+        assert!(m.core_tlb(0).peek(0, 7, 0x40_0000).is_some());
+        // Re-insert and shoot down from core 1: both cores flushed.
+        m.tlb.insert(0, 0x40_0000, entry);
+        m.shootdown_va(0, 0x40_0000);
+        assert!(m.core_tlb(0).peek(0, 7, 0x40_0000).is_none());
+        assert!(m.core_tlb(1).peek(0, 7, 0x40_0000).is_none());
+        assert_eq!(m.smp().shootdowns_sent, 1);
+        assert_eq!(m.smp().shootdowns_acked, 1);
+        assert_eq!(m.smp().ipis_sent, 1);
+    }
+
+    #[test]
+    fn single_core_shootdown_is_free() {
+        let mut m = Machine::new(Platform::CortexA55);
+        let before = m.cpu.cycles;
+        m.shootdown_va(0, 0x40_0000);
+        m.shootdown_vmid(0);
+        m.shootdown_asid(0, 1);
+        assert_eq!(m.cpu.cycles, before, "no remote cores, no IPI cost");
+        assert_eq!(m.smp().shootdowns_sent, 0);
+    }
+}

@@ -6,8 +6,9 @@
 # disabled and with the metrics journal both enabled and disabled (all
 # observation layers must be zero-cost in the modelled domain), the
 # cache differential suite, a `repro all` smoke pass, a `repro stats`
-# JSON validation, and emits the simulator-throughput benchmark as
-# BENCH_sim_throughput.json.
+# JSON validation, the SMP scaling leg (schema check + byte-for-byte
+# determinism re-run, emitted as BENCH_smp_scaling.json), and emits the
+# simulator-throughput benchmark as BENCH_sim_throughput.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +43,7 @@ echo "== repro stats --stats-json: validate the metrics registry =="
 ./target/release/repro stats --stats-json | python3 -c '
 import json, sys
 report = json.load(sys.stdin)
-required = ["tlb", "icache", "walk", "gate", "traps", "lz", "wx", "stage2", "kernel"]
+required = ["tlb", "icache", "walk", "gate", "traps", "lz", "wx", "stage2", "kernel", "smp"]
 missing = [s for s in required if s not in report]
 assert not missing, f"missing sections: {missing}"
 assert report["gate"]["switches"] > 0, "no gate switches recorded"
@@ -51,6 +52,34 @@ assert report["stage2"]["faults"] > 0, "no stage-2 faults recorded"
 assert all(isinstance(v, int) for s in report.values() for v in s.values())
 print(f"stats JSON ok: {len(report)} sections")
 '
+
+echo "== repro smp -> BENCH_smp_scaling.json (schema + determinism) =="
+./target/release/repro smp --json > BENCH_smp_scaling.json
+./target/release/repro smp --json > /tmp/smp_rerun.json
+cmp BENCH_smp_scaling.json /tmp/smp_rerun.json || {
+    echo "SMP run is not byte-reproducible" >&2
+    exit 1
+}
+python3 -c '
+import json
+report = json.load(open("BENCH_smp_scaling.json"))
+assert report["benchmark"] == "smp_scaling"
+cores = [r["cores"] for r in report["runs"]]
+assert cores == [1, 2, 4], f"unexpected core sweep: {cores}"
+for r in report["runs"]:
+    assert len(r["per_core"]) == r["cores"]
+    assert r["makespan_cycles"] == max(c["cycles"] for c in r["per_core"])
+    for key in ("steps", "shootdowns_sent", "ipis_sent", "ctx_switches"):
+        assert isinstance(r[key], int), key
+single = report["runs"][0]
+quad = report["runs"][-1]
+assert single["shootdowns_sent"] == 0, "no remote cores, no shootdowns"
+assert quad["shootdowns_sent"] > 0, "munmap on 4 cores must shoot down"
+assert quad["makespan_cycles"] < single["makespan_cycles"], "no scaling"
+speedup = single["makespan_cycles"] / quad["makespan_cycles"]
+print(f"smp scaling JSON ok: {cores} cores, {speedup:.2f}x at 4 cores")
+'
+cat BENCH_smp_scaling.json
 
 echo "== sim_throughput -> BENCH_sim_throughput.json =="
 ./target/release/sim_throughput > BENCH_sim_throughput.json

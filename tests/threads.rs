@@ -7,6 +7,7 @@ use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_TTBR};
 use lightzone::{LightZone, SECURITY_KILL};
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
+use lz_kernel::syscall::futex;
 use lz_kernel::{Event, Kernel, Program, Sysno, VmProt};
 
 const CODE: u64 = 0x40_0000;
@@ -33,17 +34,25 @@ fn kernel_threads_interleave() {
     a.ldr(3, 9, 0);
     a.add_imm(3, 3, 10);
     a.str(3, 9, 0);
-    // wait until worker sets flag at SHARED+8
+    // Sleep until the worker sets the flag at SHARED+8: re-check the
+    // flag, futex-wait on it while it is still 0, repeat (the kernel may
+    // wake us spuriously when nothing else is runnable).
     let wait = a.label();
+    let done = a.label();
     a.bind(wait);
-    a.mov_imm64(8, Sysno::Yield.nr());
-    a.svc(0);
     a.ldr(4, 9, 8);
-    a.cbz(4, wait);
+    a.cbnz(4, done);
+    a.mov_imm64(0, SHARED + 8);
+    a.mov_imm64(1, futex::WAIT);
+    a.movz(2, 0, 0); // expected value: flag still clear
+    a.mov_imm64(8, Sysno::Futex.nr());
+    a.svc(0);
+    a.b(wait);
+    a.bind(done);
     a.ldr(0, 9, 0);
     a.mov_imm64(8, Sysno::Exit.nr());
     a.svc(0);
-    // worker(arg in x0): shared += arg; flag = 1; exit(0).
+    // worker(arg in x0): shared += arg; flag = 1; futex_wake; exit(0).
     a.bind(worker);
     a.mov_imm64(9, SHARED);
     a.ldr(3, 9, 0);
@@ -51,6 +60,11 @@ fn kernel_threads_interleave() {
     a.str(3, 9, 0);
     a.movz(4, 1, 0);
     a.str(4, 9, 8);
+    a.mov_imm64(0, SHARED + 8);
+    a.mov_imm64(1, futex::WAKE);
+    a.movz(2, 1, 0); // wake one waiter
+    a.mov_imm64(8, Sysno::Futex.nr());
+    a.svc(0);
     a.movz(0, 0, 0);
     a.mov_imm64(8, Sysno::Exit.nr());
     a.svc(0);
@@ -139,14 +153,21 @@ fn lz_thread_prog(evil: bool) -> lightzone::LzProgram {
         a.svc(0);
         // Back in main's thread: its domain must still be active.
         a.ldr(4, 9, 0);
-        // wait for worker done flag
+        // Futex-wait for the worker's done flag (re-check on every
+        // return: wakeups may be spurious).
         a.mov_imm64(10, SHARED);
         let wait = a.label();
+        let done = a.label();
         a.bind(wait);
-        a.mov_imm64(8, Sysno::Yield.nr());
-        a.svc(0);
         a.ldr(5, 10, 0);
-        a.cbz(5, wait);
+        a.cbnz(5, done);
+        a.mov_imm64(0, SHARED);
+        a.mov_imm64(1, futex::WAIT);
+        a.movz(2, 0, 0);
+        a.mov_imm64(8, Sysno::Futex.nr());
+        a.svc(0);
+        a.b(wait);
+        a.bind(done);
         a.mov_reg(0, 4); // 0x11 if per-thread domain survived
         a.mov_imm64(8, Sysno::Exit.nr());
         a.svc(0);
@@ -167,6 +188,11 @@ fn lz_thread_prog(evil: bool) -> lightzone::LzProgram {
         a.mov_imm64(10, SHARED);
         a.movz(5, 1, 0);
         a.str(5, 10, 0);
+        a.mov_imm64(0, SHARED);
+        a.mov_imm64(1, futex::WAKE);
+        a.movz(2, 1, 0);
+        a.mov_imm64(8, Sysno::Futex.nr());
+        a.svc(0);
         a.movz(0, 0, 0);
         a.mov_imm64(8, Sysno::Exit.nr());
         a.svc(0);

@@ -1,5 +1,6 @@
-//! `sim_throughput` — host-side simulator speed on a straight-line hot
-//! loop, decoded-block fetch cache on vs off.
+//! `sim_throughput` — host-side simulator speed on a straight-line ALU
+//! hot loop and a mixed load/store loop, with the acceleration layer
+//! (decoded-block fetch cache + data-side fast path) on vs off.
 //!
 //! Prints one line of JSON to stdout (CI captures it as
 //! `BENCH_sim_throughput.json`); a human-readable summary goes to stderr.
@@ -13,10 +14,13 @@ fn main() {
         std::env::args().nth(1).map(|s| s.parse().expect("INSNS must be an integer")).unwrap_or(20_000_000);
     let r = lz_bench::throughput::run(insns);
     eprintln!(
-        "sim_throughput: {:.2} MIPS cache-on vs {:.2} MIPS cache-off ({:.2}x), cycles match: {}",
-        r.mips_on(),
-        r.mips_off(),
-        r.speedup(),
+        "sim_throughput: alu {:.2} vs {:.2} MIPS ({:.2}x), mem {:.2} vs {:.2} MIPS ({:.2}x), cycles match: {}",
+        r.alu.mips_on(),
+        r.alu.mips_off(),
+        r.alu.speedup(),
+        r.mem.mips_on(),
+        r.mem.mips_off(),
+        r.mem.speedup(),
         r.cycles_match(),
     );
     println!("{}", r.json());

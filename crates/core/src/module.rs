@@ -47,6 +47,11 @@ pub struct AblationConfig {
     /// §5.2.2 (from NEVE): redirect guest sysreg accesses to a shared
     /// per-core page instead of trapping each one.
     pub deferred_sysreg_page: bool,
+    /// Host-side data/fetch fast path (micro-DTLB, superblock
+    /// execution, stage-1/stage-2 walk cache). Cycle-invariant by
+    /// construction; exposed as a knob so the differential harness can
+    /// prove it (see `tests/differential.rs`).
+    pub fastpath: bool,
     /// **Deliberately broken** when `true`: skip the cross-core IPI
     /// shootdown on break-before-make and detach paths, invalidating
     /// only the issuing core's TLB. Models a kernel that forgets remote
@@ -64,6 +69,7 @@ impl Default for AblationConfig {
             randomize_phys: true,
             shared_pt_regs: true,
             deferred_sysreg_page: true,
+            fastpath: lz_machine::default_fastpath(),
             skip_remote_shootdown: false,
         }
     }
@@ -1215,7 +1221,8 @@ impl LightZone {
 
     /// Same, with ablation knobs.
     pub fn with_ablation(platform: Platform, guest: bool, ablation: AblationConfig) -> Self {
-        let kernel = if guest { Kernel::new_guest(platform) } else { Kernel::new_host(platform) };
+        let mut kernel = if guest { Kernel::new_guest(platform) } else { Kernel::new_host(platform) };
+        kernel.machine.set_fastpath(ablation.fastpath);
         let mut module = LzModule::new();
         module.ablation = ablation;
         LightZone { kernel, module }

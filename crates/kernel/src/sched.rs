@@ -174,12 +174,18 @@ impl Kernel {
             } else {
                 // Work stealing: victim is the longest queue (lowest
                 // index on ties); steal from the back (coldest work).
-                // A queue of one is never a victim — its own core runs
-                // that entry this same round, so stealing it would only
-                // migrate the thread onto a cold TLB for nothing (and a
-                // lone thread on an N-core machine would ping-pong).
+                // A queue of one is stealable only while at least two
+                // entries are queued system-wide: with several runnable
+                // threads an idle core must not starve just because each
+                // victim queue holds exactly one (the `repro smp`
+                // imbalance where core 0 retired almost nothing), but a
+                // lone thread on an N-core machine stays put — stealing
+                // it would ping-pong the thread across cold TLBs and
+                // change single-thread cycle counts.
+                let total_queued: usize = queues.iter().map(VecDeque::len).sum();
+                let min_victim = if total_queued >= 2 { 1 } else { 2 };
                 let victim = (0..queues.len())
-                    .filter(|&i| i != c && queues[i].len() >= 2)
+                    .filter(|&i| i != c && queues[i].len() >= min_victim)
                     .max_by_key(|&i| (queues[i].len(), std::cmp::Reverse(i)))?;
                 queues[victim].pop_back()
             };

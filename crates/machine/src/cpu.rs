@@ -50,6 +50,34 @@ pub fn set_default_fetch_cache(on: bool) {
     default_flag().store(on, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`Machine::set_fastpath`], initialised from
+/// the `LZ_FASTPATH` environment variable (`0`/`off` disables). Governs
+/// the data-side acceleration layer: micro-DTLB, stage-1/stage-2 walk
+/// cache, and superblock execution.
+fn fastpath_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = !matches!(std::env::var("LZ_FASTPATH").as_deref(), Ok("0") | Ok("off") | Ok("false"));
+        AtomicBool::new(on)
+    })
+}
+
+/// The default data-side fast path setting for new [`Machine`]s.
+pub fn default_fastpath() -> bool {
+    fastpath_flag().load(Ordering::Relaxed)
+}
+
+/// Override the default data-side fast path setting for new [`Machine`]s
+/// (tests and benchmarks; existing machines are unaffected).
+pub fn set_default_fastpath(on: bool) {
+    fastpath_flag().store(on, Ordering::Relaxed);
+}
+
+/// Upper bound on instructions per superblock. Bounds the per-block
+/// scratch buffer; the effective bound is `min(SUPERBLOCK_MAX, budget)`
+/// so scheduler quanta are never overrun.
+const SUPERBLOCK_MAX: u64 = 64;
+
 /// Why the interpreter stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exit {
@@ -174,6 +202,9 @@ pub struct Machine {
     /// [`Machine::set_sysreg`] so [`Machine::walk_config`] can memoise.
     cfg_gen: u64,
     cfg_memo: Cell<Option<(u64, WalkConfig)>>,
+    /// Reusable scratch buffer for superblock extraction (avoids a heap
+    /// allocation per block).
+    sb_buf: Vec<(u32, Insn)>,
     /// SMP state: parked cores and cross-core traffic counters. A
     /// default machine is single-core; see [`crate::smp`].
     pub(crate) smp: crate::smp::SmpState,
@@ -183,7 +214,8 @@ impl Machine {
     /// Create a machine for the given platform.
     pub fn new(platform: Platform) -> Self {
         let model = platform.model();
-        let tlb = Tlb::with_l1(model.tlb_l1_entries, model.tlb_entries);
+        let mut tlb = Tlb::with_l1(model.tlb_l1_entries, model.tlb_entries);
+        tlb.set_fastpath(default_fastpath());
         Machine {
             mem: PhysMem::new(),
             tlb,
@@ -196,6 +228,7 @@ impl Machine {
             fetch_cache: default_fetch_cache(),
             cfg_gen: 0,
             cfg_memo: Cell::new(None),
+            sb_buf: Vec::with_capacity(SUPERBLOCK_MAX as usize),
             smp: crate::smp::SmpState::default(),
         }
     }
@@ -217,6 +250,22 @@ impl Machine {
     /// Whether the decoded-block fetch cache is enabled.
     pub fn fetch_cache(&self) -> bool {
         self.fetch_cache
+    }
+
+    /// Enable or disable the data-side fast path (micro-DTLB, walk
+    /// cache, superblock execution) on every core. Host-side only: the
+    /// differential suite proves cycles, exits, and journals identical
+    /// with it on or off.
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.tlb.set_fastpath(on);
+        for core in self.smp.cores.iter_mut().flatten() {
+            core.tlb.set_fastpath(on);
+        }
+    }
+
+    /// Whether the data-side fast path is enabled (active core).
+    pub fn fastpath(&self) -> bool {
+        self.tlb.fastpath()
     }
 
     /// Enable or disable journal recording for this machine, overriding
@@ -256,6 +305,7 @@ impl Machine {
             .with("invalidations", self.tlb.icache().invalidation_count());
 
         let w = self.tlb.walk_stats();
+        let fast = self.tlb.fast_stats();
         let walk = Section::new("walk")
             .with("s1_walks", w.s1_walks)
             .with("s2_walks", w.s2_walks)
@@ -264,7 +314,10 @@ impl Machine {
             .with("s1_access_flag_faults", w.s1_access_flag_faults)
             .with("s2_translation_faults", w.s2_translation_faults)
             .with("s2_permission_faults", w.s2_permission_faults)
-            .with("s2_access_flag_faults", w.s2_access_flag_faults);
+            .with("s2_access_flag_faults", w.s2_access_flag_faults)
+            .with("dtlb_hits", fast.dtlb_hits)
+            .with("superblock_exits", fast.superblock_exits)
+            .with("walkcache_hits", fast.walkcache_hits);
 
         let mut gate = Section::new("gate").with("switches", self.metrics.domain_switches);
         gate.push("distinct_domains", self.metrics.switches_by_asid.len() as u64);
@@ -370,15 +423,15 @@ impl Machine {
     }
 
     /// Current translation regime configuration from the live registers.
-    /// Memoised against [`Machine::set_sysreg`]'s regime generation when
-    /// the fetch cache is on (the cache-off path keeps the seed behaviour
-    /// exactly, host-side included).
+    /// Memoised against [`Machine::set_sysreg`]'s regime generation: any
+    /// write to a regime register (host-side, interpreted `MSR`, or a
+    /// core switch) bumps `cfg_gen` and forces a rebuild, so a stale memo
+    /// is impossible — see `walk_config_memo_never_stale` in
+    /// `tests/differential.rs`.
     pub fn walk_config(&self) -> WalkConfig {
-        if self.fetch_cache {
-            if let Some((gen, cfg)) = self.cfg_memo.get() {
-                if gen == self.cfg_gen {
-                    return cfg;
-                }
+        if let Some((gen, cfg)) = self.cfg_memo.get() {
+            if gen == self.cfg_gen {
+                return cfg;
             }
         }
         let sctlr_el1 = self.sysreg(SysReg::SCTLR_EL1);
@@ -390,9 +443,7 @@ impl Machine {
             wxn: sctlr_el1 & sctlr::WXN != 0,
             vttbr: if hcr_el2 & hcr::VM != 0 { Some(self.sysreg(SysReg::VTTBR_EL2)) } else { None },
         };
-        if self.fetch_cache {
-            self.cfg_memo.set(Some((self.cfg_gen, cfg)));
-        }
+        self.cfg_memo.set(Some((self.cfg_gen, cfg)));
         cfg
     }
 
@@ -405,7 +456,25 @@ impl Machine {
 
     /// Run the interpreter until an exit condition, retiring at most
     /// `limit` instructions.
+    ///
+    /// With both the fetch cache and the data-side fast path on,
+    /// execution proceeds in superblocks: straight-line decoded runs
+    /// execute without a per-instruction probe, but every instruction
+    /// boundary the budget-driven loop below would observe (quantum
+    /// expiry, exits, faults) is observed identically — a block never
+    /// executes past the remaining budget.
     pub fn run(&mut self, limit: u64) -> Exit {
+        if self.fetch_cache && self.tlb.fastpath() {
+            let mut remaining = limit;
+            while remaining > 0 {
+                let (used, exit) = self.step_block(remaining);
+                if let Some(exit) = exit {
+                    return exit;
+                }
+                remaining = remaining.saturating_sub(used.max(1));
+            }
+            return Exit::Limit;
+        }
         for _ in 0..limit {
             if let Some(exit) = self.step() {
                 return exit;
@@ -436,6 +505,81 @@ impl Machine {
                 self.fault_exception(fault, true)
             }
         }
+    }
+
+    /// Execute up to `budget` instructions as one superblock: a
+    /// straight-line decoded run served by the armed fetch-cache entry
+    /// for the current PC, executed without per-instruction probes.
+    ///
+    /// Returns `(attempts, exit)` where `attempts` counts run-loop
+    /// iterations consumed — one per retired instruction, or one for a
+    /// faulting fetch attempt on the fallback path — exactly matching
+    /// what `budget` iterations of `step()` would consume.
+    ///
+    /// Equivalence to stepping is maintained by revalidating, between
+    /// instructions, everything the per-step fast probe checks:
+    ///
+    /// * the TLB generation (a load/store may have inserted or promoted
+    ///   an entry, an interpreted TLBI may have invalidated — any change
+    ///   ends the block);
+    /// * the code frame's content version via the `write_gen` shortcut
+    ///   (self-modifying stores end the block before the next fetch);
+    /// * the PC (a data fault vectored to interpreted EL1, or any control
+    ///   transfer by the block's final instruction, ends the block).
+    ///
+    /// Only "chainable" instructions (see `icache`) may appear mid-block,
+    /// so EL, PSTATE.PAN and the regime registers cannot change under a
+    /// running block.
+    fn step_block(&mut self, budget: u64) -> (u64, Option<Exit>) {
+        debug_assert!(self.cpu.pstate.el != ExceptionLevel::El2, "EL2 code is modelled, not interpreted");
+        let pc = self.cpu.pc;
+        let cfg = self.walk_config();
+        if !(cfg.s1_enabled || cfg.vttbr.is_some()) {
+            return (1, self.step());
+        }
+        let el = self.cpu.pstate.el;
+        let max = budget.min(SUPERBLOCK_MAX) as usize;
+        let mut buf = std::mem::take(&mut self.sb_buf);
+        let got =
+            self.tlb.superblock(&self.mem, cfg.vmid(), cfg.asid(), el, pc, cfg.s1_enabled, cfg.wxn, max, &mut buf);
+        let Some((pa_page, frame_version)) = got else {
+            self.sb_buf = buf;
+            return (1, self.step());
+        };
+        let gen0 = self.tlb.generation();
+        let mut checked_wg = self.mem.write_gen();
+        let mut used = 0u64;
+        let mut exit = None;
+        for (k, &(word, insn)) in buf.iter().enumerate() {
+            let pc_k = pc + 4 * k as u64;
+            if k > 0 {
+                if self.tlb.generation() != gen0 {
+                    break;
+                }
+                let wg = self.mem.write_gen();
+                if wg != checked_wg {
+                    if self.mem.frame_version(pa_page) != Some(frame_version) {
+                        break;
+                    }
+                    checked_wg = wg;
+                }
+            }
+            self.tlb.count_superblock_insn();
+            used += 1;
+            self.cpu.insns += 1;
+            self.charge(self.model.insn_base);
+            self.trace.record(pc_k, word, el);
+            exit = self.execute(insn, word);
+            if exit.is_some() {
+                break;
+            }
+            if self.cpu.pc != pc_k + 4 {
+                break;
+            }
+        }
+        self.tlb.count_superblock_exit();
+        self.sb_buf = buf;
+        (used, exit)
     }
 
     fn execute(&mut self, insn: Insn, word: u32) -> Option<Exit> {

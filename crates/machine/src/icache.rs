@@ -297,6 +297,74 @@ impl ICache {
         Some((e.info.pa_page | (va & 0xfff), word, insn))
     }
 
+    /// Extract a straight-line decoded run for superblock execution.
+    ///
+    /// Validation is exactly [`Self::fast_probe`]'s (armed at `tlb_gen`
+    /// for `asid`, regime flags unchanged, code frame content-fresh) but
+    /// no hit/miss counters are touched here: the superblock executor
+    /// replays one hit per instruction *as it executes*, so a partially
+    /// executed block leaves the same statistics as stepping would.
+    ///
+    /// The run starts at `va`'s slot and extends while each instruction
+    /// is decoded, [`chainable`], and within the page, up to `max`
+    /// instructions; one trailing non-chainable instruction may be
+    /// included because nothing executes after it inside the block.
+    /// Returns the backing `(pa_page, frame_version)` for per-instruction
+    /// content revalidation, or `None` to fall back to single-stepping.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn superblock(
+        &mut self,
+        mem: &PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+        tlb_gen: u64,
+        max: usize,
+        out: &mut Vec<(u32, Insn)>,
+    ) -> Option<(u64, u64)> {
+        out.clear();
+        if max == 0 {
+            return None;
+        }
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let entries = self.pages.get_mut(&key)?;
+        let e = entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
+        if e.fast_gen != tlb_gen || e.fast_asid != asid || e.info.s1_enabled != s1_enabled || e.info.wxn != wxn {
+            return None;
+        }
+        if e.checked_gen != mem.write_gen() {
+            if mem.frame_version(e.info.pa_page) != Some(e.frame_version) {
+                return None;
+            }
+            e.checked_gen = mem.write_gen();
+        }
+        let first = (va >> 2) as usize & (WORDS_PER_PAGE - 1);
+        for slot in first..WORDS_PER_PAGE {
+            if out.len() >= max {
+                break;
+            }
+            let Some((word, insn)) = e.slots[slot] else { break };
+            out.push((word, insn));
+            if !chainable(&insn) {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return None;
+        }
+        Some((e.info.pa_page, e.frame_version))
+    }
+
+    /// Replay one decoded-block hit (superblock per-instruction
+    /// bookkeeping).
+    #[inline]
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Record that, at TLB generation `tlb_gen`, serving this page's block
     /// for `asid` is equivalent to a free L1 TLB hit.
     pub(crate) fn arm_fast(&mut self, vmid: u16, asid: u16, el: ExceptionLevel, va: u64, tlb_gen: u64) {
@@ -396,6 +464,44 @@ impl ICache {
         const NOP: u32 = 0xD503_201F;
         self.fill(mem, vmid, va, info, NOP, Insn::decode(NOP));
     }
+}
+
+/// Can a superblock continue past this instruction?
+///
+/// Chainable instructions fall through to `pc + 4` when they do not fault
+/// and cannot by themselves change the exception level, PSTATE, a system
+/// register, or TLB *structure beyond ordinary inserts* — loads and
+/// stores may still fault or self-modify code, which the superblock
+/// executor catches by revalidating the TLB generation, the code frame
+/// version, and the PC after every instruction. Branches, exception
+/// generators, barriers, and system-register traffic all end the block
+/// (they may be its final instruction, since nothing executes after
+/// them inside the block).
+fn chainable(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Movz { .. }
+            | Insn::Movk { .. }
+            | Insn::Movn { .. }
+            | Insn::AddImm { .. }
+            | Insn::AddReg { .. }
+            | Insn::LogicReg { .. }
+            | Insn::LsrImm { .. }
+            | Insn::LslImm { .. }
+            | Insn::Adr { .. }
+            | Insn::Adrp { .. }
+            | Insn::Ldp { .. }
+            | Insn::Stp { .. }
+            | Insn::Madd { .. }
+            | Insn::Udiv { .. }
+            | Insn::Csel { .. }
+            | Insn::Csinc { .. }
+            | Insn::LdrImm { .. }
+            | Insn::StrImm { .. }
+            | Insn::Ldtr { .. }
+            | Insn::Sttr { .. }
+            | Insn::Nop
+    )
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub mod tlb;
 pub mod trace;
 pub mod walk;
 
-pub use cpu::{Exit, Machine};
+pub use cpu::{default_fastpath, default_fetch_cache, set_default_fastpath, set_default_fetch_cache, Exit, Machine};
 pub use icache::ICache;
 pub use mem::PhysMem;
 pub use metrics::{Event, EventKind, Journal, Report, Section};

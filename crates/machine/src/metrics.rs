@@ -117,6 +117,27 @@ impl WalkStats {
     }
 }
 
+/// Host-side fast-path counters: how often the data-side acceleration
+/// layer (micro-DTLB, superblock execution, stage-1/stage-2 walk cache)
+/// short-circuited host work.
+///
+/// Unlike [`WalkStats`], these counters describe *host-side* savings
+/// only: they are zero with the fast path off and positive with it on,
+/// while every modelled quantity (cycles, TLB hit/miss counts, walk
+/// counts, fault ordering) stays byte-identical. They live in the `walk`
+/// report section because that is the work they elide.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FastStats {
+    /// Data accesses served by the micro-DTLB (replayed as free L1 hits).
+    pub dtlb_hits: u64,
+    /// Superblocks completed (each exit covers one straight-line run of
+    /// decoded instructions executed without per-instruction probes).
+    pub superblock_exits: u64,
+    /// Stage-1(+stage-2) walks replayed from the walk cache instead of
+    /// touching up to 7 table descriptors.
+    pub walkcache_hits: u64,
+}
+
 /// Machine-level counters that belong to no single translation structure:
 /// interpreted gate switches (EL1 `MSR TTBR0_EL1` writes) and trap kinds.
 #[derive(Debug, Default)]

@@ -115,10 +115,9 @@ impl Machine {
         let mut cores: Vec<Option<CoreCtx>> = Vec::with_capacity(n);
         cores.push(None); // this core is core 0 and stays active
         for _ in 1..n {
-            cores.push(Some(CoreCtx {
-                cpu: self.cpu.fork_boot_state(),
-                tlb: Tlb::with_l1(self.model.tlb_l1_entries, self.model.tlb_entries),
-            }));
+            let mut tlb = Tlb::with_l1(self.model.tlb_l1_entries, self.model.tlb_entries);
+            tlb.set_fastpath(self.tlb.fastpath());
+            cores.push(Some(CoreCtx { cpu: self.cpu.fork_boot_state(), tlb }));
         }
         self.smp = SmpState { cores, ..SmpState::default() };
     }
@@ -280,6 +279,7 @@ impl Machine {
                 let tlb = self.core_tlb(i);
                 let (hits, misses) = tlb.stats();
                 let (ihits, imisses) = tlb.icache().stats();
+                let fast = tlb.fast_stats();
                 Section::new(CORE_NAMES[i])
                     .with("steps", cpu.insns)
                     .with("cycles", cpu.cycles)
@@ -287,6 +287,8 @@ impl Machine {
                     .with("tlb_misses", misses)
                     .with("icache_hits", ihits)
                     .with("icache_misses", imisses)
+                    .with("dtlb_hits", fast.dtlb_hits)
+                    .with("walkcache_hits", fast.walkcache_hits)
             })
             .collect()
     }

@@ -12,8 +12,9 @@
 
 use crate::fxhash::FxHashMap;
 use crate::icache::ICache;
-use crate::metrics::{InvalStats, WalkStats};
+use crate::metrics::{FastStats, InvalStats, WalkStats};
 use crate::pte::{S1Perms, S2Perms};
+use lz_arch::pstate::ExceptionLevel;
 use std::collections::VecDeque;
 
 /// One cached translation (a 4 KB page of the final mapping).
@@ -85,6 +86,81 @@ impl TlbLevel {
     }
 }
 
+/// Number of micro-DTLB slots (direct-mapped by VPN).
+const DTLB_SLOTS: usize = 64;
+
+/// One armed micro-DTLB slot: a host-side memo that a data translation
+/// for exactly these tags was proven (by the full slow path) to be a free
+/// L1 hit at generation `gen`. `gen == 0` marks an empty slot (the real
+/// generation counter starts at 1). The entry caches no permissions: the
+/// `read`/`write` bits record which access kinds were *proven*, and
+/// everything that could change the outcome of the permission checks —
+/// EL, PSTATE.PAN, the unprivileged-access flag, whether stage 1 is on —
+/// is part of the tag, so a hit replays a result the slow path is
+/// guaranteed to reproduce.
+#[derive(Debug, Clone, Copy)]
+struct DtlbSlot {
+    gen: u64,
+    vpn: u64,
+    pa_page: u64,
+    vmid: u16,
+    asid: u16,
+    el: ExceptionLevel,
+    pan: bool,
+    unpriv: bool,
+    s1_enabled: bool,
+    read: bool,
+    write: bool,
+}
+
+const EMPTY_DTLB_SLOT: DtlbSlot = DtlbSlot {
+    gen: 0,
+    vpn: 0,
+    pa_page: 0,
+    vmid: 0,
+    asid: 0,
+    el: ExceptionLevel::El0,
+    pan: false,
+    unpriv: false,
+    s1_enabled: false,
+    read: false,
+    write: false,
+};
+
+/// Max table frames one cached walk may pin (a nested stage-1 walk reads
+/// up to 4 stage-1 descriptors, each behind a 3-level stage-2 walk, plus
+/// the final stage-2 walk: 4 * (3 + 1) + 3 = 19; 24 leaves headroom).
+pub(crate) const WALK_FRAMES_MAX: usize = 24;
+
+/// Walk-cache capacity (FIFO replacement, like the TLB levels).
+const WCACHE_CAP: usize = 128;
+
+/// One memoised full walk: the leaf result plus the identity (base
+/// address, version) of every physical table frame the walk read. The
+/// entry is valid only while every pinned frame still holds the bytes it
+/// held at fill time — `PhysMem::write_gen` gives an O(1) "nothing in RAM
+/// changed" shortcut, and per-frame versions catch writes elsewhere.
+#[derive(Debug, Clone, Copy)]
+struct WalkCacheEntry {
+    ipa_page: u64,
+    pa_page: u64,
+    s1: S1Perms,
+    s2: Option<S2Perms>,
+    frames: [(u64, u64); WALK_FRAMES_MAX],
+    nframes: u8,
+    checked_gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WalkCacheKey {
+    /// Stage-1 root table base (physical or IPA, as programmed).
+    root: u64,
+    /// Stage-2 root base `| 1`, or 0 when stage 2 is off — the low bit
+    /// keeps a zero base address distinct from "no stage 2".
+    vttbr_key: u64,
+    vpn: u64,
+}
+
 /// A two-level TLB: a small micro-TLB in front of the main TLB, the
 /// usual ARM arrangement. Hitting only the main TLB costs a few cycles —
 /// which is what makes Table 5's switch cost creep upward with the
@@ -110,6 +186,17 @@ pub struct Tlb {
     /// Walk/fault counters, owned here because every walk flows through
     /// `walk::translate`/`walk::fetch` with `&mut Tlb` in hand.
     pub(crate) walk: WalkStats,
+    /// Data-side fast path master switch (micro-DTLB, walk cache, and —
+    /// via `Machine::run` — superblock execution). Host-side only; every
+    /// modelled quantity is identical with it on or off.
+    fastpath: bool,
+    /// Micro-DTLB: direct-mapped by VPN, guarded by `gen`.
+    dtlb: [DtlbSlot; DTLB_SLOTS],
+    /// Stage-1/stage-2 walk cache, FIFO-replaced at `WCACHE_CAP`.
+    wcache: FxHashMap<WalkCacheKey, WalkCacheEntry>,
+    wcache_order: VecDeque<WalkCacheKey>,
+    /// Host-side fast-path savings counters.
+    pub(crate) fast: FastStats,
 }
 
 impl Tlb {
@@ -130,7 +217,34 @@ impl Tlb {
             icache: ICache::default(),
             inval: InvalStats::default(),
             walk: WalkStats::default(),
+            fastpath: false,
+            dtlb: [EMPTY_DTLB_SLOT; DTLB_SLOTS],
+            wcache: FxHashMap::default(),
+            wcache_order: VecDeque::new(),
+            fast: FastStats::default(),
         }
+    }
+
+    /// Enable or disable the data-side fast path. Disabling drops every
+    /// armed micro-DTLB slot and cached walk so a later re-enable cannot
+    /// resurrect state from a different configuration epoch.
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.fastpath = on;
+        if !on {
+            self.dtlb = [EMPTY_DTLB_SLOT; DTLB_SLOTS];
+            self.wcache.clear();
+            self.wcache_order.clear();
+        }
+    }
+
+    /// Whether the data-side fast path is enabled.
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Host-side fast-path savings counters.
+    pub fn fast_stats(&self) -> FastStats {
+        self.fast
     }
 
     /// The decoded-block cache riding along with this TLB.
@@ -262,6 +376,220 @@ impl Tlb {
     pub fn arm_fast(&mut self, vmid: u16, asid: u16, el: lz_arch::pstate::ExceptionLevel, va: u64) {
         let gen = self.gen;
         self.icache.arm_fast(vmid, asid, el, va, gen);
+    }
+
+    /// Micro-DTLB probe for a data access. A hit means the slow path
+    /// (hash-map lookup + permission checks) was already proven to return
+    /// exactly this physical address as a free L1 hit for these tags, and
+    /// nothing that could change that outcome has happened since:
+    ///
+    /// * `gen` guards every structural TLB mutation (insert, promotion,
+    ///   every `invalidate_*`, DVM shootdowns) — while it is unchanged,
+    ///   L1 content is frozen;
+    /// * the tag pins VMID, ASID, EL, PSTATE.PAN, the unprivileged flag
+    ///   (LDTR/STTR) and whether stage 1 is on, so `set_sysreg`, ERET,
+    ///   PAN flips and domain switches all fall back to the slow path;
+    /// * `read`/`write` are armed separately, so an entry proven only
+    ///   for loads never short-circuits the write-permission check.
+    ///
+    /// On a hit the replay is byte-identical to the slow path: one TLB
+    /// hit, zero modelled cycles.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn dtlb_lookup(
+        &mut self,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        pan: bool,
+        unpriv: bool,
+        s1_enabled: bool,
+        va: u64,
+        write: bool,
+    ) -> Option<u64> {
+        if !self.fastpath {
+            return None;
+        }
+        let vpn = va >> 12;
+        let slot = &self.dtlb[(vpn as usize) & (DTLB_SLOTS - 1)];
+        let armed = if write { slot.write } else { slot.read };
+        if slot.gen == self.gen
+            && armed
+            && slot.vpn == vpn
+            && slot.vmid == vmid
+            && slot.asid == asid
+            && slot.el == el
+            && slot.pan == pan
+            && slot.unpriv == unpriv
+            && slot.s1_enabled == s1_enabled
+        {
+            self.hits += 1; // replay the free L1 hit
+            self.fast.dtlb_hits += 1;
+            return Some(slot.pa_page | (va & 0xfff));
+        }
+        None
+    }
+
+    /// Arm the micro-DTLB after a successful slow-path data translation:
+    /// the caller proved `(tags, access kind) -> pa_page` at the current
+    /// generation. Re-arming the same mapping ORs in the new access kind;
+    /// anything else overwrites the direct-mapped slot.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn dtlb_arm(
+        &mut self,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        pan: bool,
+        unpriv: bool,
+        s1_enabled: bool,
+        va: u64,
+        write: bool,
+        pa_page: u64,
+    ) {
+        if !self.fastpath {
+            return;
+        }
+        let vpn = va >> 12;
+        let gen = self.gen;
+        let slot = &mut self.dtlb[(vpn as usize) & (DTLB_SLOTS - 1)];
+        if slot.gen == gen
+            && slot.vpn == vpn
+            && slot.vmid == vmid
+            && slot.asid == asid
+            && slot.el == el
+            && slot.pan == pan
+            && slot.unpriv == unpriv
+            && slot.s1_enabled == s1_enabled
+            && slot.pa_page == pa_page
+        {
+            if write {
+                slot.write = true;
+            } else {
+                slot.read = true;
+            }
+            return;
+        }
+        *slot = DtlbSlot { gen, vpn, pa_page, vmid, asid, el, pan, unpriv, s1_enabled, read: !write, write };
+    }
+
+    /// Walk-cache probe: return the memoised leaf result of a full
+    /// stage-1(+stage-2) walk for `(root, vttbr, page)`, valid only if
+    /// every table frame the original walk read is byte-identical to
+    /// fill time (checked via `PhysMem::write_gen` / per-frame versions —
+    /// map/unmap/break-before-make all write descriptors and therefore
+    /// miss). Permission checks are *not* cached: the caller replays
+    /// `check_s1`/`check_s2` against the live access context, so a hit is
+    /// exactly "skip re-reading descriptors that cannot have changed".
+    pub(crate) fn wcache_lookup(
+        &mut self,
+        mem: &crate::PhysMem,
+        root: u64,
+        vttbr_key: u64,
+        va: u64,
+    ) -> Option<(u64, u64, S1Perms, Option<S2Perms>)> {
+        if !self.fastpath {
+            return None;
+        }
+        let key = WalkCacheKey { root, vttbr_key, vpn: va >> 12 };
+        let wg = mem.write_gen();
+        let valid = {
+            let e = self.wcache.get(&key)?;
+            e.checked_gen == wg
+                || e.frames[..e.nframes as usize].iter().all(|&(pa, ver)| mem.frame_version(pa) == Some(ver))
+        };
+        if !valid {
+            self.wcache.remove(&key);
+            self.wcache_order.retain(|k| *k != key);
+            return None;
+        }
+        let e = self.wcache.get_mut(&key).expect("validated walk-cache entry present");
+        e.checked_gen = wg;
+        self.fast.walkcache_hits += 1;
+        Some((e.ipa_page, e.pa_page, e.s1, e.s2))
+    }
+
+    /// Memoise a completed full walk together with the identity of every
+    /// table frame it read. Overflowing `WALK_FRAMES_MAX` (impossible for
+    /// well-formed 4-level + 3-level walks) simply skips the fill.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn wcache_fill(
+        &mut self,
+        mem: &crate::PhysMem,
+        root: u64,
+        vttbr_key: u64,
+        va: u64,
+        ipa_page: u64,
+        pa_page: u64,
+        s1: S1Perms,
+        s2: Option<S2Perms>,
+        frames: &[(u64, u64)],
+    ) {
+        if !self.fastpath || frames.len() > WALK_FRAMES_MAX {
+            return;
+        }
+        let key = WalkCacheKey { root, vttbr_key, vpn: va >> 12 };
+        let mut arr = [(0u64, 0u64); WALK_FRAMES_MAX];
+        arr[..frames.len()].copy_from_slice(frames);
+        let entry = WalkCacheEntry {
+            ipa_page,
+            pa_page,
+            s1,
+            s2,
+            frames: arr,
+            nframes: frames.len() as u8,
+            checked_gen: mem.write_gen(),
+        };
+        if self.wcache.insert(key, entry).is_none() {
+            self.wcache_order.push_back(key);
+            while self.wcache_order.len() > WCACHE_CAP {
+                if let Some(old) = self.wcache_order.pop_front() {
+                    self.wcache.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Extract a straight-line decoded run starting at `va` into `out`
+    /// (superblock execution). Returns the backing `(pa_page,
+    /// frame_version)` the caller must revalidate between instructions.
+    /// Validation is identical to `fast_probe` — armed at the current
+    /// generation, same flags, fresh content — just without serving a
+    /// single instruction, so the caller replays hits per instruction.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn superblock(
+        &mut self,
+        mem: &crate::PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+        max: usize,
+        out: &mut Vec<(u32, lz_arch::insn::Insn)>,
+    ) -> Option<(u64, u64)> {
+        if !self.fastpath {
+            return None;
+        }
+        let gen = self.gen;
+        self.icache.superblock(mem, vmid, asid, el, va, s1_enabled, wxn, gen, max, out)
+    }
+
+    /// Replay the per-instruction bookkeeping a superblock instruction
+    /// would have generated on the step path: one free L1 TLB hit and one
+    /// decoded-block cache hit.
+    #[inline]
+    pub(crate) fn count_superblock_insn(&mut self) {
+        self.hits += 1;
+        self.icache.count_hit();
+    }
+
+    /// Count one completed superblock (host-side observability only).
+    #[inline]
+    pub(crate) fn count_superblock_exit(&mut self) {
+        self.fast.superblock_exits += 1;
     }
 
     /// `(hits, misses)` counters since creation or [`Self::reset_stats`].

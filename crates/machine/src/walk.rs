@@ -13,7 +13,7 @@
 use crate::icache::FillInfo;
 use crate::mem::PhysMem;
 use crate::pte::{self, S1Perms, S2Perms};
-use crate::tlb::{Tlb, TlbEntry, TlbHit};
+use crate::tlb::{Tlb, TlbEntry, TlbHit, WALK_FRAMES_MAX};
 use lz_arch::insn::Insn;
 use lz_arch::pstate::ExceptionLevel;
 use lz_arch::sysreg::{ttbr, vttbr};
@@ -114,6 +114,61 @@ pub struct Translation {
 const LOW_HALF: u64 = 0;
 const HIGH_HALF: u64 = 0xffff;
 
+/// Records the physical table frames a walk reads (base + version at
+/// read time), so a successful walk can be memoised in the walk cache.
+/// Inactive recorders cost one branch per descriptor.
+struct FrameRec {
+    active: bool,
+    overflow: bool,
+    n: usize,
+    frames: [(u64, u64); WALK_FRAMES_MAX],
+}
+
+impl FrameRec {
+    fn new(active: bool) -> Self {
+        FrameRec { active, overflow: false, n: 0, frames: [(0, 0); WALK_FRAMES_MAX] }
+    }
+
+    #[inline]
+    fn record(&mut self, mem: &PhysMem, desc_pa: u64) {
+        if !self.active || self.overflow {
+            return;
+        }
+        let frame = desc_pa & !0xfff;
+        if self.frames[..self.n].iter().any(|&(pa, _)| pa == frame) {
+            return;
+        }
+        if self.n == WALK_FRAMES_MAX {
+            self.overflow = true;
+            return;
+        }
+        match mem.frame_version(frame) {
+            Some(ver) => {
+                self.frames[self.n] = (frame, ver);
+                self.n += 1;
+            }
+            // Unbacked frame: the read will fault and nothing is cached,
+            // but never let such a walk fill the cache.
+            None => self.overflow = true,
+        }
+    }
+
+    /// The recorded frames, or `None` when the walk must not be cached.
+    fn frames(&self) -> Option<&[(u64, u64)]> {
+        if self.active && !self.overflow {
+            Some(&self.frames[..self.n])
+        } else {
+            None
+        }
+    }
+}
+
+/// Walk-cache key component for the stage-2 root: base `| 1`, or 0 when
+/// stage 2 is off (the low bit keeps a zero base distinct from "none").
+fn wcache_vttbr_key(cfg: &WalkConfig) -> u64 {
+    cfg.vttbr.map(|vt| vttbr::baddr(vt) | 1).unwrap_or(0)
+}
+
 fn s1_idx(va: u64, level: u8) -> u64 {
     (va >> (39 - 9 * level as u64)) & 0x1ff
 }
@@ -137,10 +192,49 @@ pub fn translate(
     access: Access,
     actx: &AccessCtx,
 ) -> Result<Translation, Fault> {
-    let pre = if cfg.s1_enabled || cfg.vttbr.is_some() { tlb.lookup_leveled(cfg.vmid(), cfg.asid(), va) } else { None };
+    let has_tlb = cfg.s1_enabled || cfg.vttbr.is_some();
+
+    // Micro-DTLB: replay a data translation already proven to be a free
+    // L1 hit for exactly these tags at the current TLB generation. Gated
+    // on `has_tlb` because the bare identity regime bypasses the TLB
+    // entirely on the slow path too.
+    if has_tlb && access != Access::Fetch {
+        if let Some(pa) = tlb.dtlb_lookup(
+            cfg.vmid(),
+            cfg.asid(),
+            actx.el,
+            actx.pan,
+            actx.unpriv,
+            cfg.s1_enabled,
+            va,
+            access == Access::Write,
+        ) {
+            return Ok(Translation { pa, cost: 0, tlb_hit: true });
+        }
+    }
+
+    let pre = if has_tlb { tlb.lookup_leveled(cfg.vmid(), cfg.asid(), va) } else { None };
     let r = translate_after_lookup(mem, tlb, model, cfg, va, access, actx, pre);
-    if let Err(f) = &r {
-        tlb.walk.count_fault(f);
+    match &r {
+        Ok(t) => {
+            // The slow path just proved this (tags, access kind) pair
+            // translates to `t.pa` — and left the entry in L1, so until
+            // the next generation bump a repeat is a free L1 hit.
+            if has_tlb && access != Access::Fetch {
+                tlb.dtlb_arm(
+                    cfg.vmid(),
+                    cfg.asid(),
+                    actx.el,
+                    actx.pan,
+                    actx.unpriv,
+                    cfg.s1_enabled,
+                    va,
+                    access == Access::Write,
+                    t.pa & !0xfff,
+                );
+            }
+        }
+        Err(f) => tlb.walk.count_fault(f),
     }
     r
 }
@@ -193,10 +287,51 @@ fn translate_after_lookup(
         return Ok(Translation { pa: entry.pa_page | (va & 0xfff), cost, tlb_hit: true });
     }
 
-    // Full walk.
+    // Full walk. The walk cache may replay a memoised walk whose table
+    // frames are provably untouched since fill time; everything modelled
+    // (counters, checks, fault values, the TLB insert, the cost) is
+    // identical to the descriptor-reading path below.
+    let vttbr_key = wcache_vttbr_key(cfg);
+    let wroot = if cfg.s1_enabled { s1_root_for(cfg, va) } else { None };
+    if let Some(root) = wroot {
+        if let Some((ipa_page, pa_page, s1, s2)) = tlb.wcache_lookup(mem, root, vttbr_key, va) {
+            tlb.walk.s1_walks += 1;
+            check_s1(&s1, access, actx, cfg.wxn, cfg.s1_enabled).map_err(|kind| Fault {
+                kind,
+                stage: Stage::S1,
+                level: 3,
+                va,
+                ipa: 0,
+                wnr,
+                s1ptw: false,
+            })?;
+            let s2_perms = match cfg.vttbr {
+                Some(_) => {
+                    tlb.walk.s2_walks += 1;
+                    let perms = s2.expect("nested walk-cache entry carries stage-2 perms");
+                    check_s2(&perms, access).map_err(|kind| Fault {
+                        kind,
+                        stage: Stage::S2,
+                        level: 3,
+                        va,
+                        ipa: ipa_page | (va & 0xfff),
+                        wnr,
+                        s1ptw: false,
+                    })?;
+                    Some(perms)
+                }
+                None => None,
+            };
+            let entry_asid = if !s1.global { Some(asid) } else { None };
+            tlb.insert(vmid, va, TlbEntry { asid: entry_asid, pa_page, s1, s2: s2_perms });
+            return Ok(Translation { pa: pa_page | (va & 0xfff), cost: fetch_walk_cost(model, cfg), tlb_hit: false });
+        }
+    }
+
+    let mut rec = FrameRec::new(tlb.fastpath() && cfg.s1_enabled);
     let (ipa_page, s1_perms, mut cost) = if cfg.s1_enabled {
         tlb.walk.s1_walks += 1;
-        walk_stage1(mem, model, cfg, va, access, actx)?
+        walk_stage1(mem, model, cfg, va, access, actx, &mut rec)?
     } else {
         // Stage-1 off: identity, full permissions, global.
         (
@@ -219,7 +354,7 @@ fn translate_after_lookup(
     let (pa_page, s2_perms) = match cfg.vttbr {
         Some(vt) => {
             tlb.walk.s2_walks += 1;
-            let (pa, perms, c) = walk_stage2(mem, model, vttbr::baddr(vt), ipa_page, va, access, wnr, false)?;
+            let (pa, perms, c) = walk_stage2(mem, model, vttbr::baddr(vt), ipa_page, va, access, wnr, false, &mut rec)?;
             cost += c;
             check_s2(&perms, access).map_err(|kind| Fault {
                 kind,
@@ -238,6 +373,9 @@ fn translate_after_lookup(
     if cfg.s1_enabled || cfg.vttbr.is_some() {
         let entry_asid = if cfg.s1_enabled && !s1_perms.global { Some(asid) } else { None };
         tlb.insert(vmid, va, TlbEntry { asid: entry_asid, pa_page, s1: s1_perms, s2: s2_perms });
+        if let (Some(root), Some(frames)) = (wroot, rec.frames()) {
+            tlb.wcache_fill(mem, root, vttbr_key, va, ipa_page, pa_page, s1_perms, s2_perms, frames);
+        }
     }
 
     Ok(Translation { pa: pa_page | (va & 0xfff), cost, tlb_hit: false })
@@ -408,7 +546,9 @@ pub fn fetch(
 }
 
 /// Walk the stage-1 tree. Returns the IPA *page* of `va`, the leaf
-/// permissions, and the walk cost.
+/// permissions, and the walk cost. Every table frame read is reported to
+/// `rec` for walk-cache fills.
+#[allow(clippy::too_many_arguments)]
 fn walk_stage1(
     mem: &PhysMem,
     model: &CycleModel,
@@ -416,6 +556,7 @@ fn walk_stage1(
     va: u64,
     access: Access,
     _actx: &AccessCtx,
+    rec: &mut FrameRec,
 ) -> Result<(u64, S1Perms, u64), Fault> {
     let wnr = access == Access::Write;
     let top = va >> 48;
@@ -436,7 +577,7 @@ fn walk_stage1(
         let desc_pa = match cfg.vttbr {
             Some(vt) => {
                 let (pa, perms, _) =
-                    walk_stage2(mem, model, vttbr::baddr(vt), desc_ipa & !0xfff, va, Access::Read, wnr, true)?;
+                    walk_stage2(mem, model, vttbr::baddr(vt), desc_ipa & !0xfff, va, Access::Read, wnr, true, rec)?;
                 check_s2(&perms, Access::Read).map_err(|kind| Fault {
                     kind,
                     stage: Stage::S2,
@@ -450,6 +591,7 @@ fn walk_stage1(
             }
             None => desc_ipa,
         };
+        rec.record(mem, desc_pa);
         let desc = mem.read_u64(desc_pa).ok_or(Fault {
             kind: FaultKind::Translation,
             stage: Stage::S1,
@@ -496,11 +638,13 @@ fn walk_stage2(
     _access: Access,
     wnr: bool,
     s1ptw: bool,
+    rec: &mut FrameRec,
 ) -> Result<(u64, S2Perms, u64), Fault> {
     let mut table = root;
     let cost = if s1ptw { 0 } else { model.stage2_walk() };
     for level in 1..=3u8 {
         let desc_pa = table + s2_idx(ipa_page, level) * 8;
+        rec.record(mem, desc_pa);
         let desc = mem.read_u64(desc_pa).ok_or(Fault {
             kind: FaultKind::Translation,
             stage: Stage::S2,

@@ -3,12 +3,14 @@
 #
 # Runs the format gate, the tier-1 verify (ROADMAP.md), the full
 # workspace suite with the decoded-block fetch cache both enabled and
-# disabled and with the metrics journal both enabled and disabled (all
-# observation layers must be zero-cost in the modelled domain), the
-# cache differential suite, a `repro all` smoke pass, a `repro stats`
-# JSON validation, the SMP scaling leg (schema check + byte-for-byte
-# determinism re-run, emitted as BENCH_smp_scaling.json), and emits the
-# simulator-throughput benchmark as BENCH_sim_throughput.json.
+# disabled, with the data-side fast path disabled, and with the metrics
+# journal both enabled and disabled (all acceleration and observation
+# layers must be zero-cost in the modelled domain), the differential
+# suite, a `repro all` smoke pass, a `repro stats` JSON validation, the
+# SMP scaling leg (schema check + byte-for-byte determinism re-run,
+# emitted as BENCH_smp_scaling.json), and the simulator-throughput
+# benchmark as BENCH_sim_throughput.json (unified schema check + a MIPS
+# floor so fast-path regressions fail loudly).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,9 @@ cargo test -q --release --workspace
 
 echo "== workspace tests, fetch cache OFF =="
 LZ_FETCH_CACHE=0 cargo test -q --release --workspace
+
+echo "== workspace tests, data-side fast path OFF =="
+LZ_FASTPATH=0 cargo test -q --release --workspace
 
 echo "== workspace tests, metrics journal ON =="
 LZ_METRICS=1 cargo test -q --release --workspace
@@ -81,8 +86,25 @@ print(f"smp scaling JSON ok: {cores} cores, {speedup:.2f}x at 4 cores")
 '
 cat BENCH_smp_scaling.json
 
-echo "== sim_throughput -> BENCH_sim_throughput.json =="
+echo "== sim_throughput -> BENCH_sim_throughput.json (schema + MIPS floor) =="
 ./target/release/sim_throughput > BENCH_sim_throughput.json
+python3 -c '
+import json
+report = json.load(open("BENCH_sim_throughput.json"))
+# Unified bench schema: every BENCH_*.json names its benchmark and seed.
+for key in ("benchmark", "seed"):
+    for path in ("BENCH_sim_throughput.json", "BENCH_smp_scaling.json"):
+        assert key in json.load(open(path)), f"{path} missing {key!r}"
+assert report["benchmark"] == "sim_throughput"
+assert report["cycles_match"] is True, "acceleration layer changed modelled cycles"
+assert report["cycles_cache_on"] == report["cycles_cache_off"]
+assert report["cycles_mem_on"] == report["cycles_mem_off"]
+# Throughput floor: the fast path must keep the ALU hot loop above
+# 35 MIPS on this class of host; a regression below it fails CI.
+mips = report["mips_cache_on"]
+assert mips >= 35.0, f"fast-path throughput regressed: {mips} MIPS < 35"
+print(f"sim_throughput JSON ok: {mips:.2f} MIPS on, floor 35")
+'
 cat BENCH_sim_throughput.json
 
 echo "CI OK"

@@ -13,6 +13,12 @@
 //! patch area), plus deterministic scenarios for break-before-make code
 //! remapping, physical code patching without TLBI, and TTBR/ASID domain
 //! switching over global and non-global pages.
+//!
+//! The same harness also differentials the *data-side fast path*
+//! (micro-DTLB + superblock execution + stage-1/stage-2 walk cache,
+//! DESIGN.md §10): every scenario runs fastpath-on vs fastpath-off with
+//! the fetch cache held on, asserting byte-identical cycles, exits,
+//! snapshots, and metric journals.
 
 use lz_arch::asm::Asm;
 use lz_arch::esr::{self, ExceptionClass};
@@ -273,6 +279,212 @@ fn random_programs_agree() {
     }
 }
 
+/// Build the fastpath-on/fastpath-off machine pair for one program:
+/// fetch cache held ON on both sides (superblocks need it; the cache
+/// itself has its own differential above), metrics journal enabled so
+/// journal equality is part of the assertion.
+fn build_fastpath_pair(code: &[u8], patch: &[u8]) -> (Machine, Machine) {
+    let mut on = build_machine(code, patch, true);
+    on.set_fastpath(true);
+    on.set_metrics(true);
+    let mut off = build_machine(code, patch, true);
+    off.set_fastpath(false);
+    off.set_metrics(true);
+    (on, off)
+}
+
+fn assert_journals_identical(on: &Machine, off: &Machine, ctx: &str) {
+    assert_eq!(on.journal.dump_json(), off.journal.dump_json(), "metric journals diverged ({ctx})");
+}
+
+/// Fastpath differential over the same randomized, self-modifying,
+/// trap-and-resume program generator the fetch-cache suite uses.
+#[test]
+fn fastpath_random_programs_agree() {
+    let mut dtlb_hits = 0u64;
+    let mut superblock_exits = 0u64;
+    for seed in 0..16u64 {
+        let (code, patch) = random_program(seed, 400, 64);
+        let (mut on, mut off) = build_fastpath_pair(&code, &patch);
+        let (e_on, r_on) = run_to_completion(&mut on);
+        let (e_off, r_off) = run_to_completion(&mut off);
+        assert_identical(
+            snapshot(&on, e_on, r_on),
+            snapshot(&off, e_off, r_off),
+            &format!("fastpath random program, seed {seed}"),
+        );
+        assert_journals_identical(&on, &off, &format!("fastpath random program, seed {seed}"));
+        let fast = on.tlb.fast_stats();
+        dtlb_hits += fast.dtlb_hits;
+        superblock_exits += fast.superblock_exits;
+        let fast_off = off.tlb.fast_stats();
+        assert_eq!(fast_off, Default::default(), "seed {seed}: disabled fast path recorded activity");
+    }
+    // The comparison proves nothing unless the fast path actually ran.
+    assert!(dtlb_hits > 0, "micro-DTLB never hit across any seed");
+    assert!(superblock_exits > 0, "superblock execution never engaged across any seed");
+}
+
+/// Fastpath differential over TTBR/ASID domain switching: two address
+/// spaces, different code at the same VA, a shared global data page.
+/// The micro-DTLB's vmid/asid/el/pan tags must keep armed entries from
+/// leaking across domains.
+#[test]
+fn fastpath_domain_switch_agrees() {
+    let body = |tag: u64| {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, tag);
+        a.mov_imm64(19, DATA);
+        // Several reads and writes to the same page: the first access
+        // arms the micro-DTLB entry, the rest should hit it (while the
+        // domain is live — switching must tag it out).
+        a.ldr(1, 19, 0);
+        a.ldr(2, 19, 8);
+        a.ldr(3, 19, 16);
+        a.add_reg(1, 1, 0);
+        a.str(1, 19, 0);
+        a.str(2, 19, 8);
+        a.svc(0);
+        a.bytes()
+    };
+    let global_rw = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: true };
+    let run = |fastpath: bool| {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_fetch_cache(true);
+        m.set_fastpath(fastpath);
+        m.trace.set_enabled(true);
+        let shared = m.mem.alloc_frame();
+        let mut roots = [0u64; 2];
+        for (i, tag) in [1u64, 1000].iter().enumerate() {
+            let root = alloc_table(&mut m.mem);
+            let code_pa = m.mem.alloc_frame();
+            m.mem.write_bytes(code_pa, &body(*tag));
+            s1_map_page(&mut m.mem, root, CODE, code_pa, user_rwx());
+            s1_map_page(&mut m.mem, root, DATA, shared, global_rw);
+            roots[i] = root;
+        }
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+        let mut last = Exit::Limit;
+        for round in 0..9u64 {
+            let domain = (round % 2) as usize;
+            m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(domain as u16 + 1, roots[domain]));
+            m.enter(PState::user(), CODE);
+            let (exit, _) = run_to_completion(&mut m);
+            assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+            last = exit;
+        }
+        let counter = {
+            let (pa, _, _) = lz_machine::walk::s1_lookup(&m.mem, roots[0], DATA).unwrap();
+            m.mem.read_u32(pa).unwrap() as u64
+        };
+        (snapshot(&m, last, 0), counter, m.tlb.fast_stats())
+    };
+    let (snap_on, counter_on, fast) = run(true);
+    let (snap_off, counter_off, _) = run(false);
+    assert_identical(snap_on, snap_off, "fastpath domain switch");
+    // 9 rounds alternating: 5 × tag 1, 4 × tag 1000.
+    assert_eq!(counter_on, 5 * 1 + 4 * 1000, "shared counter must accumulate across domains");
+    assert_eq!(counter_on, counter_off);
+    assert!(fast.dtlb_hits > 0, "domain-switch loads never hit the micro-DTLB");
+}
+
+/// Spurious TLBI (no page-table change) differential: the walk cache may
+/// keep serving descriptors after a TLBI because a fresh walk would read
+/// the very same (version-pinned) table bytes — DESIGN.md §10.3.
+#[test]
+fn fastpath_walk_cache_survives_spurious_tlbi() {
+    let mut a = Asm::new(CODE);
+    a.mov_imm64(19, DATA);
+    a.ldr(1, 19, 0);
+    a.add_imm(1, 1, 1);
+    a.str(1, 19, 0);
+    a.svc(0);
+    let code = a.bytes();
+    let patch = patch_area(4);
+    let drive = |m: &mut Machine| {
+        let mut last = Exit::Limit;
+        for _ in 0..6 {
+            m.enter(PState::user(), CODE);
+            let (exit, _) = run_to_completion(m);
+            assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+            // TLBI with no page-table write: the next data access misses
+            // the TLB but the walk frames are unchanged.
+            m.tlb.invalidate_va(0, DATA);
+            m.tlb.invalidate_va(0, CODE);
+            last = exit;
+        }
+        last
+    };
+    let (mut on, mut off) = build_fastpath_pair(&code, &patch);
+    let e_on = drive(&mut on);
+    let e_off = drive(&mut off);
+    assert_identical(snapshot(&on, e_on, 0), snapshot(&off, e_off, 0), "spurious TLBI");
+    assert!(on.tlb.fast_stats().walkcache_hits > 0, "walk cache never served a spurious-TLBI refill");
+}
+
+/// Single-core penetration test (mirrors the cross-core one in
+/// `tests/smp.rs`): a JIT page covered by a *hot superblock* and an
+/// *armed micro-DTLB entry* is remapped via break-before-make. Neither
+/// the stale decoded block nor the stale data translation may survive —
+/// re-entry must execute and load the fresh frame's bytes, identically
+/// with the fast path on or off.
+#[test]
+fn fastpath_bbm_with_hot_superblock_and_dtlb_agrees() {
+    // The JIT stub at PATCH both executes and is read as data: it arms
+    // an instruction-side superblock and a data-side DTLB entry for the
+    // same page. x21 = PATCH (set by build_machine's caller below).
+    let stub = |marker: u16| {
+        let mut a = Asm::new(PATCH);
+        a.movz(17, marker, 0);
+        a.ldr(18, 21, 0); // first stub word, through the data side
+        a.ret();
+        a.bytes()
+    };
+    let first_dword = |bytes: &[u8]| u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    let mut warm = Asm::new(CODE);
+    warm.mov_imm64(21, PATCH);
+    warm.mov_imm64(10, PATCH);
+    warm.mov_imm64(11, 8);
+    let top = warm.label();
+    warm.bind(top);
+    warm.blr(10);
+    warm.subs_imm(11, 11, 1);
+    warm.b_ne(top);
+    warm.svc(0);
+    let run = |m: &mut Machine| {
+        // Phase 1: heat the superblock + DTLB entry over the stub page.
+        let (exit, _) = run_to_completion(m);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(17), 0x1111);
+        // Phase 2: break-before-make remap of the stub page.
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        s1_unmap(&mut m.mem, root, PATCH);
+        m.tlb.invalidate_va(0, PATCH);
+        let fresh = m.mem.alloc_frame();
+        m.mem.write_bytes(fresh, &stub(0x2222));
+        s1_map_page(&mut m.mem, root, PATCH, fresh, user_rwx());
+        // Phase 3: straight into the stub; `ret` to 0 ends the run.
+        m.cpu.x[30] = 0;
+        m.enter(PState::user(), PATCH);
+        let _ = m.run(8);
+        (m.cpu.reg(17), m.cpu.reg(18))
+    };
+    let code = warm.bytes();
+    let (mut on, mut off) = build_fastpath_pair(&code, &stub(0x1111));
+    let (x17_on, x18_on) = run(&mut on);
+    let (x17_off, x18_off) = run(&mut off);
+    let fresh_word = first_dword(&stub(0x2222));
+    assert_eq!(x17_on, 0x2222, "stale superblock executed old code (fastpath on)");
+    assert_eq!(x18_on, fresh_word, "stale micro-DTLB entry served old data (fastpath on)");
+    assert_eq!((x17_on, x18_on), (x17_off, x18_off), "fastpath changed BBM outcome");
+    assert_eq!(
+        (on.cpu.cycles, on.cpu.insns, on.tlb.stats()),
+        (off.cpu.cycles, off.cpu.insns, off.tlb.stats()),
+        "fastpath changed BBM accounting"
+    );
+}
+
 #[test]
 fn hot_loop_agrees_and_hits() {
     // Straight-line loop: the cache's bread and butter.
@@ -453,6 +665,116 @@ fn lightzone_syscall_loop_agrees() {
         (lz.kernel.machine.cpu.cycles, lz.kernel.machine.cpu.insns)
     };
     assert_eq!(run(true), run(false), "LightZone syscall loop diverged");
+}
+
+/// The full LightZone stack with the data-side fast path on vs off:
+/// identical cycles, instructions, and metric journals.
+#[test]
+fn lightzone_fastpath_on_off_agrees() {
+    use lightzone::api::{LzAsm, LzProgramBuilder, SAN_TTBR};
+    let run = |fastpath: bool| {
+        let mut b = LzProgramBuilder::new(CODE);
+        b.asm.lz_enter(true, SAN_TTBR);
+        b.asm.mov_imm64(23, 200);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Yield.nr());
+        let top = b.asm.label();
+        b.asm.bind(top);
+        b.asm.svc(0);
+        b.asm.subs_imm(23, 23, 1);
+        b.asm.b_ne(top);
+        b.asm.exit_imm(0);
+        let prog = b.build();
+        let mut lz = lightzone::LightZone::new_host(Platform::CortexA55);
+        lz.kernel.machine.set_fetch_cache(true);
+        lz.kernel.machine.set_fastpath(fastpath);
+        lz.kernel.machine.set_metrics(true);
+        let pid = lz.spawn(&prog);
+        lz.enter_process(pid);
+        assert_eq!(lz.run(400_000_000), lz_kernel::Event::Exited(0));
+        (lz.kernel.machine.cpu.cycles, lz.kernel.machine.cpu.insns, lz.kernel.machine.journal.dump_json())
+    };
+    assert_eq!(run(true), run(false), "LightZone run diverged under the data-side fast path");
+}
+
+/// Regression test for the unconditional [`Machine::walk_config`] memo:
+/// every way the translation regime can change — a host-side
+/// `set_sysreg`, an interpreted EL1 `MSR TTBR0_EL1`, an `ERET`, and a
+/// `switch_core` — must invalidate the memo, so a stale configuration
+/// can never serve a translation. Runs with the fetch cache *and* the
+/// fast path off: the memo is the only cache in play.
+#[test]
+fn walk_config_memo_never_stale() {
+    // Read-only: EL0-*writable* pages are never privileged-executable
+    // (check_s1), and the EL1 probe must fetch from this page.
+    let exec_rw = S1Perms { read: true, write: false, user_exec: true, priv_exec: true, el0: true, global: false };
+    let data_rw = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+    let mut m = Machine::new(Platform::CortexA55);
+    m.set_fetch_cache(false);
+    m.set_fastpath(false);
+
+    // EL0 probe at CODE: load the data page, exit. EL1 probe at
+    // CODE+0x100: interpreted MSR domain switch, load, ERET to EL0.
+    let mut a = Asm::new(CODE);
+    a.ldr(1, 19, 0);
+    a.svc(0);
+    let el0_probe = a.bytes();
+    let mut a = Asm::new(CODE + 0x100);
+    a.msr(SysReg::TTBR0_EL1, 20);
+    a.ldr(2, 19, 0);
+    a.eret();
+    let el1_probe = a.bytes();
+
+    let code_pa = m.mem.alloc_frame();
+    m.mem.write_bytes(code_pa, &el0_probe);
+    m.mem.write_bytes(code_pa + 0x100, &el1_probe);
+    let mut ttbrs = [0u64; 2];
+    for (i, value) in [0xAAAAu64, 0xBBBB].iter().enumerate() {
+        let root = alloc_table(&mut m.mem);
+        let data_pa = m.mem.alloc_frame();
+        m.mem.write(data_pa, *value, 8);
+        s1_map_page(&mut m.mem, root, CODE, code_pa, exec_rw);
+        s1_map_page(&mut m.mem, root, DATA, data_pa, data_rw);
+        ttbrs[i] = ttbr::pack(i as u16 + 1, root);
+    }
+    m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+    m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+    let probe_el0 = |m: &mut Machine| {
+        m.cpu.x[19] = DATA;
+        m.enter(PState::user(), CODE);
+        assert_eq!(m.run(4), Exit::El2(ExceptionClass::Svc));
+        m.cpu.reg(1)
+    };
+
+    // 1. Host-side set_sysreg: warm the memo on domain A, switch to B.
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbrs[0]);
+    assert_eq!(probe_el0(&mut m), 0xAAAA);
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbrs[1]);
+    assert_eq!(m.walk_config().ttbr0, ttbrs[1], "host set_sysreg left the memo stale");
+    assert_eq!(probe_el0(&mut m), 0xBBBB);
+
+    // 2. Interpreted MSR + ERET: EL1 switches back to domain A and loads
+    // through the *new* regime, then ERETs to the EL0 probe.
+    m.cpu.x[19] = DATA;
+    m.cpu.x[20] = ttbrs[0];
+    m.set_sysreg(SysReg::SPSR_EL1, PState::user().to_spsr());
+    m.set_sysreg(SysReg::ELR_EL1, CODE);
+    m.enter(PState::reset(), CODE + 0x100);
+    assert_eq!(m.run(8), Exit::El2(ExceptionClass::Svc));
+    assert_eq!(m.cpu.reg(2), 0xAAAA, "interpreted MSR TTBR0_EL1 left the memo stale");
+    assert_eq!(m.cpu.reg(1), 0xAAAA, "post-ERET EL0 load used a stale regime");
+    assert_eq!(m.walk_config().ttbr0, ttbrs[0]);
+
+    // 3. switch_core: the secondary core's (fresh) registers must become
+    // the live regime immediately, and core 0's must return intact.
+    m.configure_smp(2);
+    m.switch_core(1);
+    m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+    m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbrs[1]);
+    assert_eq!(probe_el0(&mut m), 0xBBBB, "switch_core(1) left core 0's memo live");
+    m.switch_core(0);
+    assert_eq!(m.walk_config().ttbr0, ttbrs[0], "switch_core(0) left core 1's memo live");
+    assert_eq!(probe_el0(&mut m), 0xAAAA);
 }
 
 /// Metrics must be observation-only: a machine with the event journal

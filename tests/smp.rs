@@ -109,7 +109,16 @@ fn probe_jit_on_core1(m: &mut Machine, executor_ttbr0: u64) -> u64 {
 /// `(warm, after, shootdowns_sent)`: x17 from core 1's pre-flip warm-up
 /// execution and from its post-flip probe, plus the IPI counter.
 fn run_cross_core_attack(cores: usize, skip_remote_shootdown: bool) -> (u64, u64, u64) {
-    let ablation = AblationConfig { skip_remote_shootdown, ..AblationConfig::default() };
+    run_cross_core_attack_fp(cores, skip_remote_shootdown, lz_machine::default_fastpath())
+}
+
+/// Same attack with the data-side fast path pinned on or off: core 1's
+/// warm-up leaves a hot superblock (and its TLB/walk-cache state) over
+/// the JIT page, which must behave exactly like the slow path's TLB
+/// under the flip — in both ablation polarities. (The single-core
+/// armed-DTLB variant lives in `tests/differential.rs`.)
+fn run_cross_core_attack_fp(cores: usize, skip_remote_shootdown: bool, fastpath: bool) -> (u64, u64, u64) {
+    let ablation = AblationConfig { skip_remote_shootdown, fastpath, ..AblationConfig::default() };
     let mut lz = LightZone::with_ablation(Platform::CortexA55, false, ablation);
     let payload = movz_x17(0xbeef);
     let pid = lz.spawn(&wx_flip_prog(payload));
@@ -172,6 +181,29 @@ fn bbm_flip_shoots_down_every_remote_core() {
     assert_eq!(warm, 0x1111);
     assert_eq!(after, 0);
     assert_eq!(sent, 3, "exactly one IPI per remote core for the single flip");
+}
+
+#[test]
+fn cross_core_wx_flip_shot_down_in_both_fastpath_polarities() {
+    // The fix and the fast path must be independent: with the shootdown
+    // in place the stale translation dies whether or not core 1's hot
+    // superblock / micro-TLB state exists, with identical observables.
+    let on = run_cross_core_attack_fp(2, false, true);
+    let off = run_cross_core_attack_fp(2, false, false);
+    assert_eq!(on, off, "fast path changed the shootdown outcome");
+    assert_eq!(on, (0x1111, 0, 1));
+}
+
+#[test]
+fn cross_core_wx_flip_leak_is_fastpath_invariant() {
+    // Equivalence, not freshness: the deliberately-broken kernel leaks
+    // the stale executable alias *identically* with the fast path on or
+    // off — the fast path may only reproduce the slow path's staleness,
+    // never add to it or hide it.
+    let on = run_cross_core_attack_fp(2, true, true);
+    let off = run_cross_core_attack_fp(2, true, false);
+    assert_eq!(on, off, "fast path changed the broken kernel's leak");
+    assert_eq!(on, (0x1111, 0xbeef, 0), "broken kernel: core 1 ran attacker-written bytes");
 }
 
 #[test]
@@ -326,6 +358,92 @@ fn run_smp_seeds_vary_schedule_not_results() {
     assert_eq!(a.exited, b.exited, "exit codes are schedule-independent");
 }
 
+/// A main thread that clones `workers` compute workers (each pounds its
+/// own arena page then posts a futex slot) and joins them all — the
+/// shape of the `repro smp` workload, where initial placement plus
+/// lone-entry queues used to leave core 0 nearly idle.
+fn multi_worker_prog(workers: u64, iters: u16) -> Program {
+    const ARENA: u64 = 0x5100_0000;
+    let mut a = Asm::new(CODE);
+    let worker = a.label();
+    for i in 0..workers {
+        a.adr(0, worker);
+        a.mov_imm64(1, STACKS + (i + 1) * 0x4000);
+        a.mov_imm64(2, i);
+        a.mov_imm64(8, Sysno::Clone.nr());
+        a.svc(0);
+    }
+    for i in 0..workers {
+        a.mov_imm64(11, SHARED + i * 8);
+        let wait = a.label();
+        let done = a.label();
+        a.bind(wait);
+        a.ldr(4, 11, 0);
+        a.cbnz(4, done);
+        a.mov_reg(0, 11);
+        a.mov_imm64(1, futex::WAIT);
+        a.movz(2, 0, 0);
+        a.mov_imm64(8, Sysno::Futex.nr());
+        a.svc(0);
+        a.b(wait);
+        a.bind(done);
+    }
+    a.movz(3, 0, 0);
+    for i in 0..workers {
+        a.mov_imm64(11, SHARED + i * 8);
+        a.ldr(4, 11, 0);
+        a.add_reg(3, 3, 4);
+    }
+    a.mov_reg(0, 3);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+    a.bind(worker);
+    a.mov_reg(19, 0);
+    a.mov_imm64(9, ARENA);
+    a.lsl_imm(10, 19, 12);
+    a.add_reg(9, 9, 10);
+    a.movz(1, iters, 0);
+    let top = a.label();
+    a.bind(top);
+    a.ldr(2, 9, 0);
+    a.add_imm(2, 2, 1);
+    a.str(2, 9, 0);
+    a.sub_imm(1, 1, 1);
+    a.cbnz(1, top);
+    a.mov_imm64(12, SHARED);
+    a.lsl_imm(11, 19, 3);
+    a.add_reg(11, 12, 11);
+    a.movz(13, 1, 0);
+    a.str(13, 11, 0);
+    a.mov_reg(0, 11);
+    a.mov_imm64(1, futex::WAKE);
+    a.movz(2, 1, 0);
+    a.mov_imm64(8, Sysno::Futex.nr());
+    a.svc(0);
+    a.movz(0, 0, 0);
+    a.mov_imm64(8, Sysno::Exit.nr());
+    a.svc(0);
+    Program::from_code(CODE, a.bytes())
+        .with_anon_segment(SHARED, lz_arch::PAGE_SIZE, VmProt::RW)
+        .with_anon_segment(ARENA, workers * 0x1000, VmProt::RW)
+        .with_anon_segment(STACKS, (workers + 1) * 0x4000, VmProt::RW)
+}
+
+#[test]
+fn four_core_load_is_roughly_balanced() {
+    // Regression for the `repro smp` imbalance where core 0 retired 63
+    // of ~9000 instructions at 4 cores: work stealing must be willing
+    // to take a queued thread from a queue of one while several threads
+    // are runnable system-wide, so no core sits idle through the run.
+    let snap = run_smp_snapshot(&[multi_worker_prog(3, 600)], SmpConfig { cores: 4, quantum: 64, seed: 0x5eed }, true);
+    assert!(!snap.stalled);
+    assert_eq!(snap.exited, vec![(1, 3)], "all workers joined");
+    let insns: Vec<u64> = snap.per_core.iter().map(|&(i, _)| i).collect();
+    let mean = insns.iter().sum::<u64>() / insns.len() as u64;
+    let min = *insns.iter().min().unwrap();
+    assert!(min * 3 >= mean, "per-core load is badly imbalanced: {insns:?} (min {min}, mean {mean})");
+}
+
 #[test]
 fn work_stealing_drains_imbalanced_queues() {
     // Three single-thread processes on two cores: initial placement is
@@ -349,6 +467,44 @@ fn smp_run_fetch_cache_on_off_identical() {
     let on = run_smp_snapshot(&progs(), cfg, true);
     let off = run_smp_snapshot(&progs(), cfg, false);
     assert_eq!(on, off, "decoded-block cache must not change SMP-observable state");
+}
+
+/// `run_smp_snapshot` with the data-side fast path pinned (fetch cache
+/// held on): `configure_smp` inside `run_smp` must propagate the flag
+/// to every secondary core.
+fn run_smp_snapshot_fast(progs: &[Program], cfg: SmpConfig, fastpath: bool) -> SmpSnapshot {
+    let mut k = Kernel::new_host(Platform::CortexA55);
+    k.machine.set_fetch_cache(true);
+    k.machine.set_fastpath(fastpath);
+    for p in progs {
+        k.spawn(p);
+    }
+    let run = k.run_smp(cfg, 10_000_000);
+    let m = &k.machine;
+    SmpSnapshot {
+        exited: run.exited,
+        steps: run.steps,
+        stalled: run.stalled,
+        per_core: (0..m.num_cores()).map(|i| (m.core_cpu(i).insns, m.core_cpu(i).cycles)).collect(),
+        shootdowns: (m.smp().shootdowns_sent, m.smp().shootdowns_acked, m.smp().ipis_sent),
+        ctx_switches: k.stats.ctx_switches,
+    }
+}
+
+#[test]
+fn smp_run_fastpath_on_off_identical() {
+    // The full SMP differential: quantum interleaving, cross-core
+    // shootdowns, futex traffic — the fast path's per-block step budget
+    // must observe the exact same instruction boundaries the stepper
+    // does, or slices (and thus the whole schedule) shift.
+    for cores in [2usize, 4] {
+        let cfg = SmpConfig { cores, quantum: 48, seed: 0x5eed };
+        let progs = || vec![multi_worker_prog(3, 200), compute_prog(200)];
+        let on = run_smp_snapshot_fast(&progs(), cfg, true);
+        let off = run_smp_snapshot_fast(&progs(), cfg, false);
+        assert_eq!(on, off, "data-side fast path changed SMP-observable state at {cores} cores");
+        assert!(!on.stalled);
+    }
 }
 
 #[test]

@@ -1,0 +1,180 @@
+//! Post-run fail-closed invariant checks.
+//!
+//! Fault handling is written to the fail-closed rule (an injected fault
+//! may cost cycles or kill its VE, never widen access); these checks
+//! verify the rule against the machine state instead of trusting it.
+//! They are pure observers: every probe walks through scratch TLBs, so
+//! checking never perturbs the machine being checked.
+
+use lightzone::LightZone;
+use lz_arch::pstate::ExceptionLevel;
+use lz_kernel::Pid;
+use lz_machine::walk::{translate, AccessCtx};
+use lz_machine::{Access, Machine, Tlb};
+
+/// The invariant suite. All checks return human-readable violation
+/// descriptions; an empty vector means the state is clean.
+pub struct ChaosInvariants;
+
+impl ChaosInvariants {
+    /// Machine-level invariants: the bounded journal and the TLB
+    /// coherence oracle.
+    ///
+    /// The oracle re-derives every resident TLB entry that is walkable
+    /// under the *current* translation regime (same VMID, and same ASID
+    /// unless the entry is global) from the page tables: each capability
+    /// the entry claims (read / write / fetch) must be grantable by a
+    /// fresh walk, and must resolve to the same physical page. A cached
+    /// entry a fresh walk would deny is exactly "access a non-faulted
+    /// run would deny" — the thing chaos must never produce.
+    pub fn check_machine(m: &Machine) -> Vec<String> {
+        let mut out = Vec::new();
+        if m.journal.len() > m.journal.capacity() {
+            out.push(format!(
+                "journal exceeded its bound: {} events in a {}-slot ring",
+                m.journal.len(),
+                m.journal.capacity()
+            ));
+        }
+        let cfg = m.walk_config();
+        if !cfg.s1_enabled {
+            return out;
+        }
+        for (vmid, va, entry) in m.tlb.resident_entries() {
+            if vmid != cfg.vmid() {
+                continue;
+            }
+            if let Some(asid) = entry.asid {
+                if asid != cfg.asid() {
+                    continue;
+                }
+            }
+            let el = if entry.s1.el0 { ExceptionLevel::El0 } else { ExceptionLevel::El1 };
+            let mut probes = Vec::new();
+            if entry.s1.read {
+                probes.push((Access::Read, el));
+            }
+            if entry.s1.write {
+                probes.push((Access::Write, el));
+            }
+            if entry.s1.user_exec && entry.s1.el0 {
+                probes.push((Access::Fetch, ExceptionLevel::El0));
+            }
+            if entry.s1.priv_exec && !entry.s1.el0 {
+                probes.push((Access::Fetch, ExceptionLevel::El1));
+            }
+            for (access, el) in probes {
+                // Scratch TLB: the probe must not touch the real one.
+                let mut scratch = Tlb::new(8);
+                let actx = AccessCtx { el, pan: false, unpriv: false };
+                match translate(&m.mem, &mut scratch, &m.model, &cfg, va, access, &actx) {
+                    Ok(t) => {
+                        if t.pa >> 12 != entry.pa_page >> 12 {
+                            out.push(format!(
+                                "TLB entry for {va:#x} (vmid {vmid}) resolves to {:#x} but a \
+                                 fresh walk yields {:#x}",
+                                entry.pa_page,
+                                t.pa & !0xfff
+                            ));
+                        }
+                    }
+                    Err(fault) => {
+                        // A *global* entry (nG=0) legitimately outlives
+                        // the address space that installed it: other
+                        // live tables in the same VMID may map the page
+                        // while the current one has not faulted it in
+                        // yet, so an unmapped-here result proves
+                        // nothing. A permission denial or a diverging
+                        // physical page would still be flagged.
+                        if entry.asid.is_none() && fault.kind == lz_machine::FaultKind::Translation {
+                            continue;
+                        }
+                        out.push(format!(
+                            "TLB entry for {va:#x} (vmid {vmid}) grants {access:?} at {el:?} \
+                             but a fresh walk denies it: {fault:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// LightZone-level invariants on top of the machine checks:
+    ///
+    /// * **fake-phys bijectivity** — the fake→real and real→fake maps
+    ///   are exact inverses, so no two fake addresses alias one frame;
+    /// * **W^X in the TLB** — no cached stage-1 translation for the
+    ///   process's VMID is simultaneously writable and executable
+    ///   (stage-2 is per-VMA and may legitimately stay W+X; stage 1 is
+    ///   where the sanitizer's guarantee lives);
+    /// * **stage-2 containment** — every cached translation for an
+    ///   isolated VMID carries a stage-2 leaf, i.e. nothing inside a VE
+    ///   ever translated around the backstop.
+    ///
+    /// A process the module no longer tracks (killed and torn down) has
+    /// nothing left to check beyond the machine-level suite.
+    pub fn check_lightzone(lz: &LightZone, pid: Pid) -> Vec<String> {
+        let mut out = Self::check_machine(&lz.kernel.machine);
+        let Some(proc) = lz.module.proc(pid) else {
+            return out;
+        };
+        if !proc.fake.is_bijective() {
+            out.push(format!("fake-phys map for pid {pid} is not a bijection"));
+        }
+        for (vmid, va, entry) in lz.kernel.machine.tlb.resident_entries() {
+            if vmid != proc.vmid {
+                continue;
+            }
+            if entry.s1.write && (entry.s1.user_exec || entry.s1.priv_exec) {
+                out.push(format!("W^X violated in the TLB: {va:#x} (vmid {vmid}) cached writable+executable"));
+            }
+            if entry.s2.is_none() {
+                out.push(format!(
+                    "stage-2 containment violated: {va:#x} (vmid {vmid}) cached without a \
+                     stage-2 leaf"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_arch::Platform;
+    use lz_machine::pte::S1Perms;
+    use lz_machine::tlb::TlbEntry;
+
+    #[test]
+    fn fresh_machine_is_clean() {
+        let m = Machine::new(Platform::CortexA55);
+        assert!(ChaosInvariants::check_machine(&m).is_empty());
+    }
+
+    #[test]
+    fn oracle_flags_stale_entry() {
+        use lz_arch::sysreg::{sctlr, ttbr, SysReg};
+        use lz_machine::walk::{alloc_table, s1_map_page};
+        let mut m = Machine::new(Platform::CortexA55);
+        let root = alloc_table(&mut m.mem);
+        let pa = m.mem.alloc_frame();
+        let rw = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false };
+        s1_map_page(&mut m.mem, root, 0x40_0000, pa, rw);
+        m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        assert!(ChaosInvariants::check_machine(&m).is_empty());
+        // Plant a TLB entry for an unmapped VA: the oracle must object.
+        let entry = TlbEntry { asid: Some(1), pa_page: pa, s1: rw, s2: None };
+        m.tlb.insert(0, 0x41_0000, entry);
+        let problems = ChaosInvariants::check_machine(&m);
+        assert!(!problems.is_empty(), "stale TLB entry not flagged");
+        // And one whose target frame moved: also flagged.
+        m.tlb.invalidate_all();
+        let moved = TlbEntry { asid: Some(1), pa_page: pa + 0x1000, s1: rw, s2: None };
+        m.tlb.insert(0, 0x40_0000, moved);
+        let problems = ChaosInvariants::check_machine(&m);
+        assert!(problems.iter().any(|p| p.contains("fresh walk yields")), "moved frame not flagged: {problems:?}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The chaos soak driver: clean-vs-chaos containment differentials,
+//! fault accumulation to a target count, and schedule shrinking.
+//!
+//! The containment argument is a differential, not an absolute: for one
+//! `(scenario, seed)` pair, the clean run defines what the program is
+//! *allowed* to observe, and a chaos run under any plan must either
+//! reproduce that digest exactly (the fault was absorbed — retried,
+//! rescanned, re-sent) or end in a precise guest-side kill. Anything
+//! else — a different exit value, different registers, a silently
+//! altered data page — means an injected fault leaked architecturally,
+//! which is exactly the fail-open outcome the stack promises never to
+//! produce. Invariant violations from [`crate::ChaosInvariants`] are
+//! folded into the same problem list.
+
+use crate::programs::{run_scenario, Scenario, ScenarioRun, ALL_SCENARIOS};
+use lz_machine::FaultPlan;
+use std::collections::BTreeSet;
+
+/// splitmix64 — local copy for deriving per-round seeds (the engine's
+/// own mixer is private to `lz_machine::chaos`).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One scenario, one seed, one plan: everything the report aggregates.
+#[derive(Debug, Clone)]
+pub struct PlanVerdict {
+    pub scenario: Scenario,
+    pub seed: u64,
+    pub run: ScenarioRun,
+    /// Containment/invariant problems. Empty = fail-closed held.
+    pub problems: Vec<String>,
+}
+
+/// Run `scenario(seed)` clean and under `plan`, and check the
+/// fail-closed contract between the two runs.
+pub fn verify_plan(scenario: Scenario, seed: u64, plan: &FaultPlan) -> PlanVerdict {
+    let clean = run_scenario(scenario, seed, None);
+    let chaos = run_scenario(scenario, seed, Some(plan));
+    let mut problems = Vec::new();
+    for v in &clean.violations {
+        problems.push(format!("clean run invariant violation: {v}"));
+    }
+    if clean.killed {
+        problems.push(format!("clean run was killed (digest {})", clean.digest));
+    }
+    if clean.injected != 0 {
+        problems.push("clean run injected faults with no plan installed".to_string());
+    }
+    for v in &chaos.violations {
+        problems.push(format!("chaos run invariant violation: {v}"));
+    }
+    if chaos.digest != clean.digest && !chaos.killed {
+        problems.push(format!(
+            "containment breach: chaos digest `{}` != clean digest `{}` without a guest kill",
+            chaos.digest, clean.digest
+        ));
+    }
+    PlanVerdict { scenario, seed, run: chaos, problems }
+}
+
+/// Aggregate outcome of a soak.
+#[derive(Debug, Clone, Default)]
+pub struct SoakReport {
+    /// Scenario runs performed (clean + chaos pairs).
+    pub runs: u64,
+    /// Chaos runs that ended in a guest-side kill (allowed).
+    pub kills: u64,
+    pub faults_injected: u64,
+    pub faults_contained: u64,
+    pub ve_kills: u64,
+    pub journal_dropped: u64,
+    /// Every problem found, prefixed with its scenario and seed.
+    pub problems: Vec<String>,
+    /// The first failing `(scenario, seed, plan)` triple, kept for
+    /// shrinking.
+    pub first_failure: Option<(Scenario, u64, FaultPlan)>,
+}
+
+impl SoakReport {
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Single-line JSON for the CI determinism leg (two invocations
+    /// with the same arguments must emit identical bytes).
+    pub fn to_json(&self, base_seed: u64, rate: u64) -> String {
+        format!(
+            r#"{{"benchmark":"chaos_soak","seed":{},"rate":{},"runs":{},"kills":{},"faults_injected":{},"faults_contained":{},"ve_kills":{},"journal_dropped":{},"invariant_violations":{}}}"#,
+            base_seed,
+            rate,
+            self.runs,
+            self.kills,
+            self.faults_injected,
+            self.faults_contained,
+            self.ve_kills,
+            self.journal_dropped,
+            self.problems.len(),
+        )
+    }
+}
+
+/// Soak until at least `target_faults` faults have been injected (or
+/// `max_rounds` rounds, whichever comes first), cycling all four
+/// scenarios with per-round seeds derived from `base_seed`.
+pub fn run_soak(base_seed: u64, rate: u64, target_faults: u64, max_rounds: u64) -> SoakReport {
+    let mut report = SoakReport::default();
+    for round in 0..max_rounds {
+        if report.faults_injected >= target_faults {
+            break;
+        }
+        for (i, &scenario) in ALL_SCENARIOS.iter().enumerate() {
+            let seed = mix(base_seed ^ mix(round << 8 | i as u64));
+            let plan = FaultPlan::new(mix(seed)).with_rate(rate);
+            let v = verify_plan(scenario, seed, &plan);
+            report.runs += 1;
+            report.kills += v.run.killed as u64;
+            report.faults_injected += v.run.injected;
+            report.faults_contained += v.run.contained;
+            report.ve_kills += v.run.ve_kills;
+            report.journal_dropped += v.run.journal_dropped;
+            if !v.problems.is_empty() {
+                for p in &v.problems {
+                    report.problems.push(format!("[{} seed={seed:#x}] {p}", scenario.name()));
+                }
+                report.first_failure.get_or_insert((scenario, seed, plan));
+            }
+        }
+    }
+    report
+}
+
+/// Shrink a failing plan to a (locally) minimal replayed fault schedule.
+///
+/// Greedy ddmin over the recorded `(seq, site)` schedule: re-run under
+/// [`FaultPlan::replay`] with one fault removed at a time, keep the
+/// removal whenever the failure (any problem) still reproduces, and
+/// iterate until no single removal does. Removing a fault does not
+/// renumber the survivors — replay matches on the consultation sequence
+/// numbers of the *original* run, which depend only on the seed and
+/// site filter — so the subset schedule is exact, not approximate.
+///
+/// Returns the shrunk schedule and the problems it still produces, or
+/// `None` if the plan does not actually fail (nothing to shrink).
+pub fn shrink_plan(scenario: Scenario, seed: u64, plan: &FaultPlan) -> Option<(BTreeSet<u64>, Vec<String>)> {
+    let fails = |schedule: &BTreeSet<u64>| -> Option<Vec<String>> {
+        let replay = plan.clone().replay(schedule.clone());
+        let v = verify_plan(scenario, seed, &replay);
+        if v.problems.is_empty() {
+            None
+        } else {
+            Some(v.problems)
+        }
+    };
+    let full = verify_plan(scenario, seed, plan);
+    if full.problems.is_empty() {
+        return None;
+    }
+    let mut schedule: BTreeSet<u64> = full.run.fired.iter().map(|&(seq, _)| seq).collect();
+    let mut problems = fails(&schedule)?; // replay of the full schedule must still fail
+    loop {
+        let mut shrunk = false;
+        for seq in schedule.clone() {
+            let mut candidate = schedule.clone();
+            candidate.remove(&seq);
+            if let Some(p) = fails(&candidate) {
+                schedule = candidate;
+                problems = p;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    Some((schedule, problems))
+}
+
+/// Human-readable description of a shrunk schedule: which sites fired
+/// at which consultation numbers (resolved by re-running the replay).
+pub fn describe_schedule(scenario: Scenario, seed: u64, plan: &FaultPlan, schedule: &BTreeSet<u64>) -> String {
+    let replay = plan.clone().replay(schedule.clone());
+    let run = run_scenario(scenario, seed, Some(&replay));
+    let steps: Vec<String> = run.fired.iter().map(|&(seq, site)| format!("seq {seq}: {}", site.name())).collect();
+    format!("{} seed={seed:#x} [{}]", scenario.name(), steps.join(", "))
+}
+
+#[allow(dead_code)]
+fn site_names() -> Vec<&'static str> {
+    lz_machine::ALL_SITES.iter().map(|s| s.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lz_machine::FaultSite;
+
+    #[test]
+    fn seed_mixing_separates_rounds() {
+        let a = mix(1 ^ mix(0));
+        let b = mix(1 ^ mix(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clean_randomized_scenario_verifies() {
+        // A plan with an impossible rate injects nothing; the verdict
+        // must be clean and digest-identical by construction.
+        let plan = FaultPlan::new(7).with_max_faults(0);
+        let v = verify_plan(Scenario::Randomized, 3, &plan);
+        assert!(v.problems.is_empty(), "{:?}", v.problems);
+        assert_eq!(v.run.injected, 0);
+    }
+
+    #[test]
+    fn soak_injects_and_reports() {
+        let report = run_soak(0xA5, 6, 1, 1);
+        assert!(report.runs >= 4, "one round covers all scenarios");
+        assert!(report.ok(), "soak found problems: {:?}", report.problems);
+    }
+
+    #[test]
+    fn report_json_is_single_line() {
+        let report = SoakReport::default();
+        let json = report.to_json(1, 16);
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains(r#""benchmark":"chaos_soak""#));
+    }
+
+    #[test]
+    fn sched_preempt_faults_are_absorbed() {
+        // Scheduler preemption alone must never change the SMP outcome.
+        let plan = FaultPlan::new(11).with_sites(&[FaultSite::SchedPreempt]).with_rate(2);
+        let v = verify_plan(Scenario::Smp, 5, &plan);
+        assert!(v.problems.is_empty(), "{:?}", v.problems);
+        assert!(v.run.injected > 0, "preemption site never consulted");
+    }
+}

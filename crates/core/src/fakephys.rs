@@ -157,6 +157,16 @@ impl FakePhys {
         self.to_real.len()
     }
 
+    /// Host-side invariant check (chaos soak): the fake→real and
+    /// real→fake maps are exact inverses — every fake page resolves to
+    /// a real page that maps back to it and vice versa, so no two live
+    /// fake addresses can ever name the same real frame.
+    pub fn is_bijective(&self) -> bool {
+        self.to_real.len() == self.to_fake.len()
+            && self.to_real.iter().all(|(f, r)| self.to_fake.get(r) == Some(f))
+            && self.to_fake.iter().all(|(r, f)| self.to_real.get(f) == Some(r))
+    }
+
     /// Most mappings ever live at once.
     pub fn high_water(&self) -> usize {
         self.high_water

@@ -154,8 +154,20 @@ impl GateTables {
 
     /// Update the TTBR value of an existing table (e.g. after `lz_free` +
     /// reuse).
-    pub fn set_table(&mut self, pgtid: u64, ttbr0: u64) {
-        self.ttbrtab[pgtid as usize] = ttbr0;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownGateOrTable`] if `pgtid` was never pushed — the
+    /// identifier comes from guest syscall arguments, so an out-of-range
+    /// value must be rejected, not indexed.
+    pub fn set_table(&mut self, pgtid: u64, ttbr0: u64) -> Result<(), UnknownGateOrTable> {
+        match self.ttbrtab.get_mut(pgtid as usize) {
+            Some(slot) => {
+                *slot = ttbr0;
+                Ok(())
+            }
+            None => Err(UnknownGateOrTable),
+        }
     }
 
     /// Register the statically-designated ENTRY for a gate.

@@ -239,8 +239,8 @@ impl LzModule {
             stats: LzStats::default(),
         };
 
-        // Default table (pgt 0).
-        let pgt0 = self.alloc_table_in(k, &mut proc);
+        // Default table (pgt 0): a fresh proc has the whole ASID space.
+        let pgt0 = self.alloc_table_in(k, &mut proc).expect("fresh ASID space");
         debug_assert_eq!(pgt0, 0);
 
         // Enter the VE: one-way (paper §4.1.1). The process resumes at
@@ -313,9 +313,12 @@ impl LzModule {
     // lz_alloc / lz_free / lz_map_gate_pgt / lz_prot (§6.1, Table 2).
     // ------------------------------------------------------------------
 
-    fn alloc_table_in(&mut self, k: &mut Kernel, proc: &mut LzProc) -> usize {
+    /// Returns `None` when the per-process ASID space is exhausted — a
+    /// guest can reach that by looping on `lz_alloc`, so it must be a
+    /// denied allocation, not a host panic.
+    fn alloc_table_in(&mut self, k: &mut Kernel, proc: &mut LzProc) -> Option<usize> {
         let asid = proc.next_asid;
-        proc.next_asid = proc.next_asid.checked_add(1).expect("ASID space exhausted");
+        proc.next_asid = proc.next_asid.checked_add(1)?;
         let t = LzTable::new(&mut k.machine.mem, &mut proc.fake, proc.s2_root, asid);
         let ttbr0 = t.ttbr0();
         let pgt = proc.tables.len();
@@ -324,33 +327,40 @@ impl LzModule {
         let pgtid = proc.gates.push_table(ttbr0);
         debug_assert_eq!(pgtid as usize, pgt);
         Self::flush_tabs(k, proc);
-        pgt
+        Some(pgt)
     }
 
     fn lz_alloc(&mut self, k: &mut Kernel, pid: Pid) -> u64 {
-        let mut proc = self.procs.remove(&pid).expect("LZ state exists");
+        let Some(mut proc) = self.procs.remove(&pid) else { return u64::MAX };
         if !proc.scalable {
             self.procs.insert(pid, proc);
             return u64::MAX;
         }
-        let pgt = self.alloc_table_in(k, &mut proc);
+        let ret = match self.alloc_table_in(k, &mut proc) {
+            Some(pgt) => pgt as u64,
+            None => u64::MAX,
+        };
         k.machine.charge(k.machine.model.path_cost(300));
         self.procs.insert(pid, proc);
-        pgt as u64
+        ret
     }
 
     fn lz_free(&mut self, k: &mut Kernel, pid: Pid, pgt: u64) -> u64 {
         let skip_remote = self.ablation.skip_remote_shootdown;
-        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        let Some(proc) = self.procs.get_mut(&pid) else { return u64::MAX };
         let idx = pgt as usize;
         if idx == 0 || idx >= proc.tables.len() || proc.tables[idx].is_none() {
             return u64::MAX;
         }
-        let t = proc.tables[idx].take().expect("checked above");
+        // Clear the TTBRTab slot first (while nothing is freed yet): an
+        // unknown pgt id is a denied call, never a partial teardown.
+        if proc.gates.set_table(pgt, 0).is_err() {
+            return u64::MAX;
+        }
+        let Some(t) = proc.tables[idx].take() else { return u64::MAX };
         proc.by_root.remove(&t.root_fake);
         let freed_frames = t.table_frames;
         t.free_tree(&mut k.machine.mem, &mut proc.fake, proc.s2_root);
-        proc.gates.set_table(pgt, 0);
         // Invalidate every gate that targeted the freed table: its next
         // use must fail the gate's own validation, not silently load a
         // null table root.
@@ -379,7 +389,7 @@ impl LzModule {
     }
 
     fn lz_map_gate_pgt(&mut self, k: &mut Kernel, pid: Pid, pgt: u64, gate_id: u64) -> u64 {
-        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        let Some(proc) = self.procs.get_mut(&pid) else { return u64::MAX };
         if gate_id > u16::MAX as u64 {
             return u64::MAX;
         }
@@ -398,7 +408,7 @@ impl LzModule {
             return u64::MAX;
         }
         let skip_remote = self.ablation.skip_remote_shootdown;
-        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        let Some(proc) = self.procs.get_mut(&pid) else { return u64::MAX };
         let overlay = Overlay::from_bits(perm);
         let pan_all = pgt == PGT_ALL;
         if !pan_all && (pgt as usize >= proc.tables.len() || proc.tables[pgt as usize].is_none()) {
@@ -515,11 +525,20 @@ impl LzModule {
     /// Handle a machine exit belonging to a LightZone process. Returns
     /// `None` when the trap was serviced and the process resumed.
     pub fn handle_ve_exit(&mut self, k: &mut Kernel, exit: Exit) -> Option<Event> {
-        let pid = k.current().expect("a process is current");
+        let Some(pid) = k.current() else { return Some(Event::Raw(exit)) };
+        // Chaos injection: corrupt a root-level descriptor of the current
+        // domain's stage-1 tree at this trap boundary (a modelled event,
+        // so both fast-path legs see the identical schedule).
+        if let Some(draw) = k.machine.chaos_fire(lz_machine::FaultSite::PtwBitFlip) {
+            self.inject_ptw_bit_flip(k, pid, draw);
+        }
         match exit {
             Exit::El2(ExceptionClass::Hvc) => {
                 self.charge_forward(k);
-                self.procs.get_mut(&pid).expect("LZ state exists").stats.ve_traps += 1;
+                match self.procs.get_mut(&pid) {
+                    Some(p) => p.stats.ve_traps += 1,
+                    None => return self.violation(k, pid, "VE trap without LightZone state"),
+                }
                 let esr1 = k.machine.sysreg(SysReg::ESR_EL1);
                 match esr::ExceptionClass::from_esr(esr1) {
                     Some(ExceptionClass::Svc) => self.ve_syscall(k, pid),
@@ -560,6 +579,32 @@ impl LzModule {
         }
     }
 
+    /// Chaos injection ([`lz_machine::FaultSite::PtwBitFlip`]): clear the
+    /// VALID bit of one root-level descriptor in the faulting thread's
+    /// current stage-1 tree. Clearing VALID is the fail-closed corruption:
+    /// the affected range can only *stop* translating (a translation fault
+    /// the module transparently re-maps, or the fault-loop guard kills the
+    /// VE) — it can never redirect a translation or widen permissions. The
+    /// TLB is shot down for the VMID at the injection point so cached
+    /// entries cannot disagree with the corrupted tree (the corruption is
+    /// architecturally "cache coherent"), keeping the fresh-walk oracle
+    /// sound.
+    fn inject_ptw_bit_flip(&mut self, k: &mut Kernel, pid: Pid, draw: u64) {
+        let Some(proc) = self.procs.get(&pid) else { return };
+        let ttbr0 = k.machine.sysreg(SysReg::TTBR0_EL1);
+        let root_fake = lz_arch::sysreg::ttbr::baddr(ttbr0);
+        let Some(&pgt) = proc.by_root.get(&root_fake) else { return };
+        let Some(table) = proc.tables[pgt].as_ref() else { return };
+        let desc_pa = table.root_real + (draw % 512) * 8;
+        if let Some(desc) = k.machine.mem.read_u64(desc_pa) {
+            if desc & 1 != 0 {
+                k.machine.mem.write_u64(desc_pa, desc & !1);
+                k.machine.tlb.invalidate_vmid(proc.vmid);
+            }
+        }
+        k.machine.chaos.contained();
+    }
+
     /// Table 4 row 3: the module's forwarding path. Cheaper in system-
     /// register traffic than the host syscall path (it retains `HCR_EL2`
     /// and `VTTBR_EL2`), at the price of a longer instruction path and the
@@ -597,7 +642,10 @@ impl LzModule {
     }
 
     fn ve_syscall(&mut self, k: &mut Kernel, pid: Pid) -> Option<Event> {
-        self.procs.get_mut(&pid).expect("LZ state exists").stats.ve_syscalls += 1;
+        match self.procs.get_mut(&pid) {
+            Some(p) => p.stats.ve_syscalls += 1,
+            None => return self.violation(k, pid, "VE syscall without LightZone state"),
+        }
         let elr1 = k.machine.sysreg(SysReg::ELR_EL1);
         let nr = k.machine.cpu.reg(8);
         let args = [
@@ -683,9 +731,18 @@ impl LzModule {
 
     /// Load the next runnable VE thread onto the CPU.
     fn ve_switch_thread(&mut self, k: &mut Kernel, pid: Pid) {
-        let proc = self.procs.get(&pid).expect("LZ state exists");
+        let Some(proc) = self.procs.get(&pid) else {
+            let _ = k.kill_current(SECURITY_KILL);
+            return;
+        };
         let default_ttbr0 = proc.tables[0].as_ref().expect("pgt0").ttbr0();
-        let next = k.process(pid).next_runnable().expect("a runnable thread exists");
+        // No runnable thread left (every survivor parked): a guest-made
+        // deadlock. Fail closed by finishing the process instead of
+        // panicking the host.
+        let Some(next) = k.process(pid).next_runnable() else {
+            let _ = k.kill_current(-11);
+            return;
+        };
         let ctx = {
             let p = k.process_mut(pid);
             p.cur_thread = next;
@@ -782,7 +839,9 @@ impl LzModule {
     /// Stage-1 fault inside the VE (§5.1.2 memory virtualization +
     /// §6.1 overlays + §6.3 sanitizer).
     fn ve_fault(&mut self, k: &mut Kernel, pid: Pid, is_fetch: bool) -> Option<Event> {
-        let mut proc = self.procs.remove(&pid).expect("LZ state exists");
+        let Some(mut proc) = self.procs.remove(&pid) else {
+            return self.violation(k, pid, "VE fault without LightZone state");
+        };
         let result = self.ve_fault_inner(k, pid, &mut proc, is_fetch);
         self.procs.insert(pid, proc);
         result
@@ -821,6 +880,14 @@ impl LzModule {
         let Some(&cur_pgt) = proc.by_root.get(&root_fake) else {
             return self.violation(k, pid, "TTBR0 points outside TTBRTab");
         };
+        // Chaos injection: a transient failure in the gate's TTBRTab
+        // validation. Fail closed — the thread is killed exactly as a
+        // genuinely failed validation would be; a transient fault never
+        // falls back to "assume valid".
+        if k.machine.chaos_fire(lz_machine::FaultSite::GateTransient).is_some() {
+            k.machine.chaos.contained();
+            return self.violation(k, pid, "chaos: transient gate validation failure");
+        }
 
         // Protection policy for this page.
         let prot = proc.protections.get(&page).cloned();
@@ -901,8 +968,15 @@ impl LzModule {
                 el0: pan_page,
                 global: !is_protected || pan_page,
             };
-            let table = proc.tables[cur_pgt].as_mut().expect("current table exists");
-            table.map_block(&mut k.machine.mem, &mut proc.fake, proc.s2_root, block_va, fake_block, perms);
+            let Some(table) = proc.tables[cur_pgt].as_mut() else {
+                return self.violation(k, pid, "fault in a freed domain");
+            };
+            if table
+                .try_map_block(&mut k.machine.mem, &mut proc.fake, proc.s2_root, block_va, fake_block, perms)
+                .is_err()
+            {
+                return self.violation(k, pid, "unmappable block in VE fault");
+            }
             proc.residence.entry(block_va).or_default().retain(|&t| t != cur_pgt);
             proc.residence.entry(block_va).or_default().push(cur_pgt);
             let m = &k.machine.model;
@@ -948,6 +1022,16 @@ impl LzModule {
             WxDecision::ScanThenExec => {
                 // Break-before-make *first*, then scan, then map X.
                 self.bbm_unmap_all(k, proc, page);
+                // Chaos injection: the scan is interrupted partway. Fail
+                // closed — the page stays unmapped (BBM already ran) and
+                // the scan restarts from scratch; it never resumes from a
+                // partial result, so no word escapes classification. Only
+                // the wasted half-scan's cycles are charged.
+                if k.machine.chaos_fire(lz_machine::FaultSite::SanitizerInterrupt).is_some() {
+                    let wasted = sanitizer::scan_cost(&k.machine.model) / 2;
+                    k.machine.charge(wasted);
+                    k.machine.chaos.contained();
+                }
                 match sanitizer::sanitize_page(&k.machine.mem, pa, proc.san, &k.machine.model) {
                     Ok(cost) => {
                         k.machine.charge(cost);
@@ -989,8 +1073,12 @@ impl LzModule {
             proc.s2_pending.insert(leaf_fake, (pa, s2p));
         }
 
-        let table = proc.tables[cur_pgt].as_mut().expect("current table exists");
-        table.map_page(&mut k.machine.mem, &mut proc.fake, proc.s2_root, page, leaf_fake, perms);
+        let Some(table) = proc.tables[cur_pgt].as_mut() else {
+            return self.violation(k, pid, "fault in a freed domain");
+        };
+        if table.try_map_page(&mut k.machine.mem, &mut proc.fake, proc.s2_root, page, leaf_fake, perms).is_err() {
+            return self.violation(k, pid, "unmappable page in VE fault");
+        }
         proc.residence.entry(page).or_default().retain(|&t| t != cur_pgt);
         proc.residence.entry(page).or_default().push(cur_pgt);
 
@@ -1084,7 +1172,17 @@ impl LzModule {
     /// Stage-2 fault (only with `eager_stage2` off, or a real escape
     /// attempt).
     fn stage2_fault(&mut self, k: &mut Kernel, pid: Pid) -> Option<Event> {
-        let proc = self.procs.get_mut(&pid).expect("LZ state exists");
+        // Chaos injection: the stage-2 walk aborts mid-handling. Fail
+        // closed — an abort that cannot be attributed to a pending lazy
+        // mapping is indistinguishable from an escape attempt, so the VE
+        // is killed rather than retried with partial walk state.
+        if k.machine.chaos_fire(lz_machine::FaultSite::S2WalkAbort).is_some() {
+            k.machine.chaos.contained();
+            return self.violation(k, pid, "chaos: stage-2 walk abort");
+        }
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return self.violation(k, pid, "stage-2 fault without LightZone state");
+        };
         proc.stats.stage2_faults += 1;
         let hpfar = k.machine.sysreg(SysReg::HPFAR_EL2);
         let fake_page = (hpfar >> 4) << 12;
@@ -1113,6 +1211,7 @@ impl LzModule {
         // funnels through here exactly once, so the journal event is
         // recorded unconditionally.
         k.machine.record_event(EventKind::Violation { reason });
+        k.machine.chaos.ve_kills += 1;
         if let Some(p) = self.procs.get_mut(&pid) {
             p.stats.violations += 1;
             p.stats.last_violation = Some(reason);

@@ -10,7 +10,7 @@ use crate::fakephys::FakePhys;
 use lz_arch::PAGE_SIZE;
 use lz_machine::pte::{self, S1Perms, S2Perms};
 use lz_machine::walk::s2_map_page;
-use lz_machine::PhysMem;
+use lz_machine::{LzFault, PhysMem};
 
 /// One stage-1 tree of a LightZone process (one isolation domain view).
 #[derive(Debug)]
@@ -43,11 +43,70 @@ impl LzTable {
         lz_arch::sysreg::ttbr::pack(self.asid, self.root_fake)
     }
 
+    /// Walk or grow the tree down to the table at `last_level`,
+    /// returning its real frame. Errors instead of panicking on a
+    /// malformed tree: these trees describe guest-corruptible state
+    /// (the VE can point `TTBR0_EL1` anywhere and chaos can corrupt
+    /// descriptors), so a bad shape must fault the VE, not the host.
+    fn descend(
+        &mut self,
+        mem: &mut PhysMem,
+        fake: &mut FakePhys,
+        s2_root: u64,
+        va: u64,
+        last_level: u8,
+    ) -> Result<u64, LzFault> {
+        let mut table_real = self.root_real;
+        for level in 0..last_level {
+            let idx = s1_idx(va, level);
+            let desc_pa = table_real + idx * 8;
+            let desc = mem.read_u64(desc_pa).ok_or(LzFault::UnbackedFrame { pa: desc_pa })?;
+            if pte::is_valid(desc) {
+                if desc & pte::TABLE_OR_PAGE == 0 {
+                    return Err(LzFault::BadDescriptor { pa: desc_pa, desc });
+                }
+                let next_fake = pte::desc_oa(desc);
+                table_real = fake.real_of(next_fake).ok_or(LzFault::UnresolvedFake { fake: next_fake })?;
+            } else {
+                let next_real = mem.alloc_frame();
+                let next_fake = fake.assign(next_real);
+                s2_map_page(mem, s2_root, next_fake, next_real, S2Perms::ro());
+                mem.write_u64(desc_pa, pte::table_desc(next_fake));
+                self.table_frames += 1;
+                table_real = next_real;
+            }
+        }
+        Ok(table_real)
+    }
+
+    /// Fallible [`LzTable::map_page`], for guest-reachable callers.
+    pub fn try_map_page(
+        &mut self,
+        mem: &mut PhysMem,
+        fake: &mut FakePhys,
+        s2_root: u64,
+        va: u64,
+        leaf_fake: u64,
+        perms: S1Perms,
+    ) -> Result<(), LzFault> {
+        let table_real = self.descend(mem, fake, s2_root, va, 3)?;
+        let leaf_pa = table_real + s1_idx(va, 3) * 8;
+        if !mem.write_u64(leaf_pa, pte::s1_page_desc(leaf_fake, perms)) {
+            return Err(LzFault::UnbackedFrame { pa: leaf_pa });
+        }
+        Ok(())
+    }
+
     /// Map one 4 KB page at `va` to `leaf_fake` (a fake address that
     /// stage-2 must separately resolve), creating intermediate tables.
     ///
     /// Intermediate tables get fake addresses and read-only stage-2
     /// mappings as they are created.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed tree — host setup paths only; guest-
+    /// reachable callers use [`LzTable::try_map_page`].
     pub fn map_page(
         &mut self,
         mem: &mut PhysMem,
@@ -57,25 +116,28 @@ impl LzTable {
         leaf_fake: u64,
         perms: S1Perms,
     ) {
-        let mut table_real = self.root_real;
-        for level in 0..3u8 {
-            let idx = s1_idx(va, level);
-            let desc_pa = table_real + idx * 8;
-            let desc = mem.read_u64(desc_pa).expect("table frame backed");
-            if pte::is_valid(desc) {
-                assert!(desc & pte::TABLE_OR_PAGE != 0, "block in LZ tree");
-                table_real = fake.real_of(pte::desc_oa(desc)).expect("table fake address resolves");
-            } else {
-                let next_real = mem.alloc_frame();
-                let next_fake = fake.assign(next_real);
-                s2_map_page(mem, s2_root, next_fake, next_real, S2Perms::ro());
-                mem.write_u64(desc_pa, pte::table_desc(next_fake));
-                self.table_frames += 1;
-                table_real = next_real;
-            }
+        self.try_map_page(mem, fake, s2_root, va, leaf_fake, perms).unwrap_or_else(|e| panic!("LZ map_page: {e}"))
+    }
+
+    /// Fallible [`LzTable::map_block`], for guest-reachable callers.
+    pub fn try_map_block(
+        &mut self,
+        mem: &mut PhysMem,
+        fake: &mut FakePhys,
+        s2_root: u64,
+        va: u64,
+        leaf_fake: u64,
+        perms: S1Perms,
+    ) -> Result<(), LzFault> {
+        if va & 0x1f_ffff != 0 || leaf_fake & 0x1f_ffff != 0 {
+            return Err(LzFault::Misaligned { addr: va | leaf_fake });
         }
-        let leaf_pa = table_real + s1_idx(va, 3) * 8;
-        mem.write_u64(leaf_pa, pte::s1_page_desc(leaf_fake, perms));
+        let table_real = self.descend(mem, fake, s2_root, va, 2)?;
+        let leaf_pa = table_real + s1_idx(va, 2) * 8;
+        if !mem.write_u64(leaf_pa, pte::s1_block_desc(leaf_fake, perms)) {
+            return Err(LzFault::UnbackedFrame { pa: leaf_pa });
+        }
+        Ok(())
     }
 
     /// Map one 2 MiB block at level 2 ("we use huge pages to map the
@@ -84,7 +146,9 @@ impl LzTable {
     ///
     /// # Panics
     ///
-    /// Panics unless `va` and `leaf_fake` are 2 MiB aligned.
+    /// Panics unless `va` and `leaf_fake` are 2 MiB aligned and the tree
+    /// is well formed; guest-reachable callers use
+    /// [`LzTable::try_map_block`].
     pub fn map_block(
         &mut self,
         mem: &mut PhysMem,
@@ -94,26 +158,7 @@ impl LzTable {
         leaf_fake: u64,
         perms: S1Perms,
     ) {
-        assert!(va & 0x1f_ffff == 0 && leaf_fake & 0x1f_ffff == 0, "block mappings must be 2 MiB aligned");
-        let mut table_real = self.root_real;
-        for level in 0..2u8 {
-            let idx = s1_idx(va, level);
-            let desc_pa = table_real + idx * 8;
-            let desc = mem.read_u64(desc_pa).expect("table frame backed");
-            if pte::is_valid(desc) {
-                assert!(desc & pte::TABLE_OR_PAGE != 0, "block in LZ tree path");
-                table_real = fake.real_of(pte::desc_oa(desc)).expect("table fake address resolves");
-            } else {
-                let next_real = mem.alloc_frame();
-                let next_fake = fake.assign(next_real);
-                s2_map_page(mem, s2_root, next_fake, next_real, S2Perms::ro());
-                mem.write_u64(desc_pa, pte::table_desc(next_fake));
-                self.table_frames += 1;
-                table_real = next_real;
-            }
-        }
-        let leaf_pa = table_real + s1_idx(va, 2) * 8;
-        mem.write_u64(leaf_pa, pte::s1_block_desc(leaf_fake, perms));
+        self.try_map_block(mem, fake, s2_root, va, leaf_fake, perms).unwrap_or_else(|e| panic!("LZ map_block: {e}"))
     }
 
     /// Clear the leaf descriptor for `va` (page or block). Returns the
@@ -165,11 +210,18 @@ impl LzTable {
     /// address, and clear its stage-2 mapping. Leaf *data* frames belong
     /// to the process and are not touched (`lz_free` destroys the view,
     /// not the memory).
+    /// Teardown is deliberately tolerant: a VE (or an injected fault)
+    /// may have corrupted the tree, and the worst a bad descriptor can
+    /// cost here is a leaked frame — never a host panic and never a
+    /// free of a frame the tree does not own (only frames reached via
+    /// the process's own fake-address space are visited).
     pub fn free_tree(self, mem: &mut PhysMem, fake: &mut FakePhys, s2_root: u64) {
         fn walk(mem: &mut PhysMem, fake: &mut FakePhys, s2_root: u64, table_real: u64, level: u8) {
             if level < 3 {
                 for idx in 0..512u64 {
-                    let desc = mem.read_u64(table_real + idx * 8).expect("table frame backed");
+                    // An unbacked table frame reads as "no descriptor":
+                    // skip the subtree instead of panicking.
+                    let desc = mem.read_u64(table_real + idx * 8).unwrap_or(0);
                     if pte::is_valid(desc) && pte::is_table(desc, level) {
                         if let Some(next_real) = fake.real_of(pte::desc_oa(desc)) {
                             walk(mem, fake, s2_root, next_real, level + 1);
@@ -181,7 +233,7 @@ impl LzTable {
                 lz_machine::walk::s2_unmap(mem, s2_root, fake_pa);
                 fake.release(table_real);
             }
-            mem.free_frame(table_real);
+            mem.try_free_frame(table_real);
         }
         walk(mem, fake, s2_root, self.root_real, 0);
     }

@@ -13,7 +13,7 @@
 //!   executable-not-writable — closing the TOCTTOU window where an
 //!   attacker could inject sensitive instructions after the scan.
 
-use lz_arch::sensitive::{scan_code, InsnClass, SanitizeMode};
+use lz_arch::sensitive::{scan_code, InsnClass, SanitizeMode, Sensitivity};
 use lz_arch::{CycleModel, PAGE_SIZE};
 use lz_machine::PhysMem;
 use std::collections::HashMap;
@@ -98,7 +98,12 @@ pub fn sanitize_page(
     mode: SanitizeMode,
     model: &CycleModel,
 ) -> Result<u64, (usize, InsnClass)> {
-    let bytes = mem.read_bytes(pa, PAGE_SIZE as usize).expect("scanned page is backed");
+    // Fail closed: a page that cannot be read cannot be proven clean,
+    // so it is rejected outright (it will never become executable)
+    // rather than panicking the host on a guest-reachable path.
+    let Some(bytes) = mem.read_bytes(pa, PAGE_SIZE as usize) else {
+        return Err((0, InsnClass::Forbidden(Sensitivity::PrivilegedSysreg)));
+    };
     scan_code(&bytes, mode)?;
     Ok(scan_cost(model))
 }

@@ -478,7 +478,14 @@ impl Kernel {
     /// CPU. Charges the in-process thread-switch path.
     fn switch_to_next_thread(&mut self, host: bool) {
         let Some(pid) = self.cur else { return };
-        let next = self.procs[&pid].next_runnable().expect("a runnable thread exists");
+        let Some(next) = self.procs[&pid].next_runnable() else {
+            // Every surviving thread is parked or exited — a
+            // guest-driven deadlock the park precondition should rule
+            // out. Fail closed: end the process (the run loop then
+            // winds down) rather than panicking the host.
+            self.finish_process(-11);
+            return;
+        };
         let ctx = {
             let p = self.procs.get_mut(&pid).expect("pid exists");
             p.cur_thread = next;
@@ -618,12 +625,15 @@ impl Kernel {
             Sysno::Kill => {
                 let (target, sig) = (args[0] as Pid, args[1]);
                 let me = self.cur.unwrap_or(0);
-                // Self-signalling only (enough for the evaluation).
-                if target == me || target == 0 {
-                    self.procs.get_mut(&me).expect("pid exists").sig_pending.push_back(sig);
-                    SysOutcome::Ret(0)
-                } else {
-                    SysOutcome::Ret(u64::MAX)
+                // Self-signalling only (enough for the evaluation). The
+                // pid-0 fallback never names a real process, so resolve
+                // gracefully instead of indexing.
+                match self.procs.get_mut(&me) {
+                    Some(p) if target == me || target == 0 => {
+                        p.sig_pending.push_back(sig);
+                        SysOutcome::Ret(0)
+                    }
+                    _ => SysOutcome::Ret(u64::MAX),
                 }
             }
             Sysno::Sigaction => {

@@ -233,6 +233,18 @@ impl Kernel {
     /// Run the active core for one quantum, handling base-kernel traps
     /// in place.
     fn run_slice(&mut self, quantum: u64, total: &mut u64) -> SliceEnd {
+        // Injected preemption: the slice ends at an adversarially
+        // chosen instruction boundary instead of the full quantum. Fail
+        // closed by construction — the thread stays runnable and is
+        // re-queued exactly as on a normal quantum expiry, so the fault
+        // only perturbs the interleaving.
+        let quantum = match self.machine.chaos_fire(lz_machine::FaultSite::SchedPreempt) {
+            Some(draw) => {
+                self.machine.chaos.contained();
+                1 + draw % quantum
+            }
+            None => quantum,
+        };
         let start = self.machine.cpu.insns;
         let end = loop {
             let used = self.machine.cpu.insns - start;

@@ -208,6 +208,9 @@ pub struct Machine {
     /// SMP state: parked cores and cross-core traffic counters. A
     /// default machine is single-core; see [`crate::smp`].
     pub(crate) smp: crate::smp::SmpState,
+    /// Deterministic fault-injection engine (inert unless a
+    /// [`crate::chaos::FaultPlan`] is installed; see [`crate::chaos`]).
+    pub chaos: crate::chaos::ChaosState,
 }
 
 impl Machine {
@@ -230,6 +233,7 @@ impl Machine {
             cfg_memo: Cell::new(None),
             sb_buf: Vec::with_capacity(SUPERBLOCK_MAX as usize),
             smp: crate::smp::SmpState::default(),
+            chaos: crate::chaos::ChaosState::default(),
         }
     }
 
@@ -279,6 +283,16 @@ impl Machine {
     pub fn record_event(&mut self, kind: EventKind) {
         let cycles = self.cpu.cycles;
         self.journal.record(cycles, kind);
+    }
+
+    /// Consult the fault-injection engine at `site` and journal a
+    /// `Fault` event when it fires. Returns the deterministic payload
+    /// draw on fire, `None` otherwise (always `None` without a plan).
+    pub fn chaos_fire(&mut self, site: crate::chaos::FaultSite) -> Option<u64> {
+        let draw = self.chaos.fire(site)?;
+        let seq = self.chaos.seq;
+        self.record_event(EventKind::Fault { site: site.name(), seq });
+        Some(draw)
     }
 
     /// Snapshot the machine-owned metrics as report sections: TLB,
@@ -335,7 +349,13 @@ impl Machine {
         let cpu = Section::new("cpu")
             .with("insns", self.cpu.insns)
             .with("cycles", self.cpu.cycles)
-            .with("journal_events", self.journal.len() as u64);
+            .with("journal_events", self.journal.len() as u64)
+            .with("journal_dropped", self.journal.dropped());
+
+        let chaos = Section::new("chaos")
+            .with("faults_injected", self.chaos.faults_injected)
+            .with("faults_contained", self.chaos.faults_contained)
+            .with("ve_kills", self.chaos.ve_kills);
 
         let smp = Section::new("smp")
             .with("cores", self.num_cores() as u64)
@@ -344,7 +364,7 @@ impl Machine {
             .with("ipis_sent", self.smp.ipis_sent)
             .with("tlbi_broadcasts", self.smp.tlbi_broadcasts);
 
-        let mut sections = vec![tlb, icache, walk, gate, traps, cpu, smp];
+        let mut sections = vec![tlb, icache, walk, gate, traps, cpu, chaos, smp];
         sections.extend(self.per_core_sections());
         sections
     }
@@ -952,6 +972,17 @@ impl Machine {
                 return self.take_exception(ExceptionLevel::El2, ExceptionClass::TrappedSysreg, esr, 0, 0, self.cpu.pc);
             }
             self.charge(self.model.dsb);
+            // Injected TLBI faults, both fail-closed by construction:
+            // a *lost* operation is detected as a stall at the
+            // completing barrier and re-issued (one extra barrier, then
+            // the invalidation below runs as normal), and a *spurious*
+            // one drops extra cached translations, which can only cost
+            // walks — a TLB entry the tables would not reproduce is
+            // never created by invalidation.
+            if self.chaos_fire(crate::chaos::FaultSite::TlbiLost).is_some() {
+                self.charge(self.model.dsb);
+                self.chaos.contained();
+            }
             let cfg = self.walk_config();
             let vmid = cfg.vmid();
             match lz_arch::tlbi::TlbiOp::decode(op1, crm, op2) {
@@ -968,6 +999,10 @@ impl Machine {
                 // Unmodelled TLBI encodings keep the conservative
                 // pre-SMP behaviour: flush the issuing core's VMID.
                 None => self.tlb.invalidate_vmid(vmid),
+            }
+            if self.chaos_fire(crate::chaos::FaultSite::TlbiSpurious).is_some() {
+                self.tlb.invalidate_all();
+                self.chaos.contained();
             }
         }
         // Cache maintenance (CRn=7) and others: architecturally effectful,

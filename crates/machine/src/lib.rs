@@ -24,6 +24,7 @@
 //! and `lightzone` crates, which mutate machine state directly and charge
 //! the corresponding cycle costs.
 
+pub mod chaos;
 pub mod cpu;
 pub mod fxhash;
 pub mod icache;
@@ -35,6 +36,7 @@ pub mod tlb;
 pub mod trace;
 pub mod walk;
 
+pub use chaos::{ChaosState, FaultPlan, FaultSite, LzFault, ALL_SITES};
 pub use cpu::{default_fastpath, default_fetch_cache, set_default_fastpath, set_default_fetch_cache, Exit, Machine};
 pub use icache::ICache;
 pub use mem::PhysMem;

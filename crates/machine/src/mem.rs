@@ -78,11 +78,24 @@ impl PhysMem {
     /// # Panics
     ///
     /// Panics if the frame is not currently allocated (double free).
+    /// Guest-driven teardown paths use [`Self::try_free_frame`] instead.
     pub fn free_frame(&mut self, pa: u64) {
         let frame = pa >> PAGE_SHIFT;
-        assert!(self.frames.remove(&frame).is_some(), "double free of frame {frame:#x}");
+        assert!(self.try_free_frame(pa), "double free of frame {frame:#x}");
+    }
+
+    /// Fallible [`Self::free_frame`]: `false` if the frame is not
+    /// currently allocated. Teardown of guest-corruptible structures
+    /// (page-table trees a VE may have damaged) uses this so a double
+    /// free degrades to a leak instead of killing the host.
+    pub fn try_free_frame(&mut self, pa: u64) -> bool {
+        let frame = pa >> PAGE_SHIFT;
+        if self.frames.remove(&frame).is_none() {
+            return false;
+        }
         self.write_gen += 1;
         self.free.push(frame);
+        true
     }
 
     /// Global mutation counter. Strictly increases on every write, alloc,
@@ -246,6 +259,15 @@ mod tests {
         let a = m.alloc_frame();
         m.free_frame(a);
         m.free_frame(a);
+    }
+
+    #[test]
+    fn try_free_reports_instead_of_panicking() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        assert!(m.try_free_frame(a));
+        assert!(!m.try_free_frame(a), "second free reports false");
+        assert!(!m.try_free_frame(0x10_0000_0000), "never-allocated frame");
     }
 
     #[test]

@@ -191,6 +191,9 @@ pub enum EventKind {
     /// Cross-core TLB shootdown completed: `targets` remote cores
     /// invalidated (`page` is 0 for VMID/ASID-scoped shootdowns).
     Shootdown { vmid: u16, page: u64, targets: u8 },
+    /// Injected fault fired (`seq` is the chaos-engine consultation
+    /// sequence number, for replaying a recorded schedule).
+    Fault { site: &'static str, seq: u64 },
 }
 
 impl EventKind {
@@ -205,6 +208,7 @@ impl EventKind {
             EventKind::Trap { .. } => "Trap",
             EventKind::Ipi { .. } => "Ipi",
             EventKind::Shootdown { .. } => "Shootdown",
+            EventKind::Fault { .. } => "Fault",
         }
     }
 
@@ -232,6 +236,9 @@ impl EventKind {
             EventKind::Trap { class } => {
                 let _ = write!(out, ",\"class\":\"{class:?}\"");
             }
+            EventKind::Fault { site, seq } => {
+                let _ = write!(out, ",\"site\":\"{}\",\"seq\":{seq}", escape_json(site));
+            }
         }
     }
 }
@@ -251,13 +258,19 @@ pub struct Journal {
     events: VecDeque<Event>,
     capacity: usize,
     enabled: bool,
+    dropped: u64,
 }
 
 impl Journal {
     /// Create a journal holding at most `capacity` events; recording
     /// starts out following the process-wide [`default_metrics`] flag.
     pub fn new(capacity: usize) -> Self {
-        Journal { events: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: default_metrics() }
+        Journal {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: default_metrics(),
+            dropped: 0,
+        }
     }
 
     /// Turn recording on or off. Events already recorded are kept.
@@ -271,15 +284,29 @@ impl Journal {
     }
 
     /// Record an event at the given cycle stamp. No-op while disabled;
-    /// the oldest event is dropped once the ring is full.
+    /// the oldest event is dropped (and counted) once the ring is full,
+    /// so the newest events are always retained and the loss is visible
+    /// in [`Journal::dropped`].
     pub fn record(&mut self, cycles: u64, kind: EventKind) {
         if !self.enabled {
             return;
         }
         if self.events.len() == self.capacity {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(Event { cycles, kind });
+    }
+
+    /// How many events were evicted from the ring to stay within the
+    /// capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The capacity bound (the ring never holds more events than this).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The recorded events, oldest first.
@@ -447,6 +474,8 @@ mod tests {
         assert_eq!(j.len(), 3);
         let stamps: Vec<u64> = j.events().map(|e| e.cycles).collect();
         assert_eq!(stamps, vec![2, 3, 4], "oldest events dropped first");
+        assert_eq!(j.dropped(), 2, "evictions are counted, not silent");
+        assert!(j.len() <= j.capacity());
     }
 
     #[test]

@@ -209,22 +209,49 @@ impl Machine {
     }
 
     fn shootdown_remote(&mut self, vmid: u16, page: u64, f: impl Fn(&mut Tlb)) {
+        use crate::chaos::FaultSite;
         let active = self.smp.active;
         let remotes: Vec<usize> = (0..self.smp.cores.len()).filter(|&i| i != active).collect();
         if remotes.is_empty() {
             return; // single core: exactly the pre-SMP local invalidate
         }
+        let mut extra_cycles = 0u64;
+        let mut extra_ipis = 0u64;
         for &i in &remotes {
+            // Injected doorbell faults. All three fail closed because
+            // the shootdown protocol is synchronous: the issuing core
+            // waits for every ack, so a *dropped* doorbell is detected
+            // by the ack timeout and re-sent (the invalidation below
+            // still runs before we return), a *duplicated* one re-runs
+            // an idempotent invalidation, and a *delayed* ack only
+            // stretches the wait. None of them can leave a remote TLB
+            // holding a translation this shootdown was meant to kill.
+            if self.chaos_fire(FaultSite::ShootdownDrop).is_some() {
+                extra_cycles += self.model.dsb;
+                extra_ipis += 1;
+                self.record_event(EventKind::Ipi { from: active as u8, to: i as u8 });
+                self.chaos.contained();
+            }
+            let dup = self.chaos_fire(FaultSite::ShootdownDup).is_some();
+            if self.chaos_fire(FaultSite::ShootdownDelay).is_some() {
+                extra_cycles += self.model.dsb;
+                self.chaos.contained();
+            }
             let core = self.smp.cores[i].as_mut().expect("inactive core is parked");
             f(&mut core.tlb);
+            if dup {
+                f(&mut core.tlb);
+                self.chaos.contained();
+            }
         }
         let n = remotes.len() as u64;
-        self.smp.ipis_sent += n;
+        self.smp.ipis_sent += n + extra_ipis;
         self.smp.shootdowns_sent += n;
         self.smp.shootdowns_acked += n;
         // One doorbell + wait-for-ack round trip per remote core,
-        // charged to the issuing core.
-        self.charge(n * self.model.dsb);
+        // charged to the issuing core (plus any injected retries and
+        // delays).
+        self.charge(n * self.model.dsb + extra_cycles);
         for &i in &remotes {
             self.record_event(EventKind::Ipi { from: active as u8, to: i as u8 });
         }

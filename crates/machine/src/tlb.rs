@@ -286,6 +286,19 @@ impl Tlb {
         self.l1.lookup(vmid, asid, va).or_else(|| self.l2.lookup(vmid, asid, va))
     }
 
+    /// Side-effect-free snapshot of every main-TLB resident translation
+    /// as `(vmid, va_page, entry)`, sorted for deterministic iteration.
+    /// Host-side invariant checkers use this to compare every cached
+    /// translation against a fresh table walk; it must never be called
+    /// from modelled paths (it would not charge anything, but resident
+    /// state is not architecturally enumerable).
+    pub fn resident_entries(&self) -> Vec<(u16, u64, TlbEntry)> {
+        let mut out: Vec<(u16, u64, TlbEntry)> =
+            self.l2.entries.iter().flat_map(|(k, es)| es.iter().map(|e| (k.vmid, k.vpn << 12, *e))).collect();
+        out.sort_by_key(|&(vmid, va, e)| (vmid, va, e.asid));
+        out
+    }
+
     /// Insert a translation for `(vmid, va)` into both levels.
     pub fn insert(&mut self, vmid: u16, va: u64, entry: TlbEntry) {
         self.gen += 1;

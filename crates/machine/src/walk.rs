@@ -10,6 +10,7 @@
 //! * stage-2 tables bound everything a virtual environment can reach,
 //!   regardless of what it writes into its stage-1 tables.
 
+use crate::chaos::LzFault;
 use crate::icache::FillInfo;
 use crate::mem::PhysMem;
 use crate::pte::{self, S1Perms, S2Perms};
@@ -747,47 +748,70 @@ pub fn alloc_table(mem: &mut PhysMem) -> u64 {
     mem.alloc_frame()
 }
 
-fn ensure_table(mem: &mut PhysMem, table: u64, idx: u64) -> u64 {
+fn ensure_table(mem: &mut PhysMem, table: u64, idx: u64) -> Result<u64, LzFault> {
     let desc_pa = table + idx * 8;
-    let desc = mem.read_u64(desc_pa).expect("table frame must be backed");
+    let desc = mem.read_u64(desc_pa).ok_or(LzFault::UnbackedFrame { pa: desc_pa })?;
     if pte::is_valid(desc) {
-        assert!(desc & pte::TABLE_OR_PAGE != 0, "remapping over a block mapping");
-        pte::desc_oa(desc)
+        if desc & pte::TABLE_OR_PAGE == 0 {
+            // Remapping over a block mapping: the tree shape disagrees
+            // with the caller's request.
+            return Err(LzFault::BadDescriptor { pa: desc_pa, desc });
+        }
+        Ok(pte::desc_oa(desc))
     } else {
         let next = mem.alloc_frame();
         mem.write_u64(desc_pa, pte::table_desc(next));
-        next
+        Ok(next)
     }
+}
+
+fn write_leaf(mem: &mut PhysMem, desc_pa: u64, desc: u64) -> Result<u64, LzFault> {
+    let old = mem.read_u64(desc_pa).ok_or(LzFault::UnbackedFrame { pa: desc_pa })?;
+    mem.write_u64(desc_pa, desc);
+    Ok(old)
+}
+
+/// Fallible [`s1_map_page`]: errors instead of panicking when the tree
+/// is malformed (guest-corruptible trees must not kill the host).
+pub fn try_s1_map_page(mem: &mut PhysMem, root: u64, va: u64, pa: u64, perms: S1Perms) -> Result<u64, LzFault> {
+    let mut table = root;
+    for level in 0..3u8 {
+        table = ensure_table(mem, table, s1_idx(va, level))?;
+    }
+    write_leaf(mem, table + s1_idx(va, 3) * 8, pte::s1_page_desc(pa, perms))
 }
 
 /// Map one 4 KB page in a stage-1 tree, creating intermediate tables.
 /// Returns the previous leaf descriptor (0 if none).
+///
+/// # Panics
+///
+/// Panics on a malformed tree — host setup paths only; guest-reachable
+/// callers use [`try_s1_map_page`].
 pub fn s1_map_page(mem: &mut PhysMem, root: u64, va: u64, pa: u64, perms: S1Perms) -> u64 {
-    let mut table = root;
-    for level in 0..3u8 {
-        table = ensure_table(mem, table, s1_idx(va, level));
+    try_s1_map_page(mem, root, va, pa, perms).unwrap_or_else(|e| panic!("s1_map_page: {e}"))
+}
+
+/// Fallible [`s1_map_block`].
+pub fn try_s1_map_block(mem: &mut PhysMem, root: u64, va: u64, pa: u64, perms: S1Perms) -> Result<u64, LzFault> {
+    if va & 0x1f_ffff != 0 || pa & 0x1f_ffff != 0 {
+        return Err(LzFault::Misaligned { addr: va | pa });
     }
-    let desc_pa = table + s1_idx(va, 3) * 8;
-    let old = mem.read_u64(desc_pa).expect("leaf table frame must be backed");
-    mem.write_u64(desc_pa, pte::s1_page_desc(pa, perms));
-    old
+    let mut table = root;
+    for level in 0..2u8 {
+        table = ensure_table(mem, table, s1_idx(va, level))?;
+    }
+    write_leaf(mem, table + s1_idx(va, 2) * 8, pte::s1_block_desc(pa, perms))
 }
 
 /// Map one 2 MiB block at level 2 in a stage-1 tree.
 ///
 /// # Panics
 ///
-/// Panics unless `va` and `pa` are 2 MiB-aligned.
+/// Panics unless `va` and `pa` are 2 MiB-aligned and the tree is well
+/// formed; guest-reachable callers use [`try_s1_map_block`].
 pub fn s1_map_block(mem: &mut PhysMem, root: u64, va: u64, pa: u64, perms: S1Perms) -> u64 {
-    assert!(va & 0x1f_ffff == 0 && pa & 0x1f_ffff == 0, "block mappings must be 2 MiB aligned");
-    let mut table = root;
-    for level in 0..2u8 {
-        table = ensure_table(mem, table, s1_idx(va, level));
-    }
-    let desc_pa = table + s1_idx(va, 2) * 8;
-    let old = mem.read_u64(desc_pa).expect("table frame must be backed");
-    mem.write_u64(desc_pa, pte::s1_block_desc(pa, perms));
-    old
+    try_s1_map_block(mem, root, va, pa, perms).unwrap_or_else(|e| panic!("s1_map_block: {e}"))
 }
 
 /// Clear the leaf descriptor for `va` in a stage-1 tree (page or block).
@@ -829,26 +853,37 @@ pub fn s1_lookup(mem: &PhysMem, root: u64, va: u64) -> Option<(u64, S1Perms, u8)
     None
 }
 
-/// Map one 4 KB page in a stage-2 tree (3 levels, root at level 1).
-pub fn s2_map_page(mem: &mut PhysMem, root: u64, ipa: u64, pa: u64, perms: S2Perms) -> u64 {
+/// Fallible [`s2_map_page`].
+pub fn try_s2_map_page(mem: &mut PhysMem, root: u64, ipa: u64, pa: u64, perms: S2Perms) -> Result<u64, LzFault> {
     let mut table = root;
     for level in 1..3u8 {
-        table = ensure_table(mem, table, s2_idx(ipa, level));
+        table = ensure_table(mem, table, s2_idx(ipa, level))?;
     }
-    let desc_pa = table + s2_idx(ipa, 3) * 8;
-    let old = mem.read_u64(desc_pa).expect("leaf table frame must be backed");
-    mem.write_u64(desc_pa, pte::s2_page_desc(pa, perms));
-    old
+    write_leaf(mem, table + s2_idx(ipa, 3) * 8, pte::s2_page_desc(pa, perms))
+}
+
+/// Map one 4 KB page in a stage-2 tree (3 levels, root at level 1).
+///
+/// # Panics
+///
+/// Panics on a malformed tree — host setup paths only; guest-reachable
+/// callers use [`try_s2_map_page`].
+pub fn s2_map_page(mem: &mut PhysMem, root: u64, ipa: u64, pa: u64, perms: S2Perms) -> u64 {
+    try_s2_map_page(mem, root, ipa, pa, perms).unwrap_or_else(|e| panic!("s2_map_page: {e}"))
+}
+
+/// Fallible [`s2_map_block`].
+pub fn try_s2_map_block(mem: &mut PhysMem, root: u64, ipa: u64, pa: u64, perms: S2Perms) -> Result<u64, LzFault> {
+    if ipa & 0x1f_ffff != 0 || pa & 0x1f_ffff != 0 {
+        return Err(LzFault::Misaligned { addr: ipa | pa });
+    }
+    let table = ensure_table(mem, root, s2_idx(ipa, 1))?;
+    write_leaf(mem, table + s2_idx(ipa, 2) * 8, pte::s2_block_desc(pa, perms))
 }
 
 /// Map one 2 MiB block at level 2 in a stage-2 tree.
 pub fn s2_map_block(mem: &mut PhysMem, root: u64, ipa: u64, pa: u64, perms: S2Perms) -> u64 {
-    assert!(ipa & 0x1f_ffff == 0 && pa & 0x1f_ffff == 0, "block mappings must be 2 MiB aligned");
-    let table = ensure_table(mem, root, s2_idx(ipa, 1));
-    let desc_pa = table + s2_idx(ipa, 2) * 8;
-    let old = mem.read_u64(desc_pa).expect("table frame must be backed");
-    mem.write_u64(desc_pa, pte::s2_block_desc(pa, perms));
-    old
+    try_s2_map_block(mem, root, ipa, pa, perms).unwrap_or_else(|e| panic!("s2_map_block: {e}"))
 }
 
 /// Clear the stage-2 leaf for `ipa`. Returns the removed descriptor.

@@ -21,238 +21,24 @@
 //! snapshots, and metric journals.
 
 use lz_arch::asm::Asm;
-use lz_arch::esr::{self, ExceptionClass};
+use lz_arch::esr::ExceptionClass;
 use lz_arch::insn::Insn;
-use lz_arch::pstate::{ExceptionLevel, PState};
+use lz_arch::pstate::PState;
 use lz_arch::sysreg::{hcr, sctlr, ttbr, SysReg};
 use lz_arch::Platform;
 use lz_machine::pte::S1Perms;
 use lz_machine::walk::{alloc_table, s1_map_page, s1_unmap};
 use lz_machine::{Exit, Machine};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
-const CODE: u64 = 0x40_0000;
-const PATCH: u64 = CODE + 0x3000;
-const DATA: u64 = 0x50_0000;
-const NOP: u32 = 0xD503_201F;
-
-fn user_rwx() -> S1Perms {
-    // Writable + executable so self-modifying stores are legal (WXN off).
-    S1Perms { read: true, write: true, user_exec: true, priv_exec: false, el0: true, global: false }
-}
-
-fn user_rw() -> S1Perms {
-    S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: false }
-}
-
-/// Build one machine: 4 code pages at `CODE` (the last is the patch
-/// area), 2 data pages at `DATA`, stage-1 only, TGE host semantics.
-fn build_machine(code: &[u8], patch: &[u8], cache_on: bool) -> Machine {
-    let mut m = Machine::new(Platform::CortexA55);
-    m.set_fetch_cache(cache_on);
-    let root = alloc_table(&mut m.mem);
-    for page in 0..4u64 {
-        let pa = m.mem.alloc_frame();
-        s1_map_page(&mut m.mem, root, CODE + page * 0x1000, pa, user_rwx());
-        let src = if page == 3 {
-            patch
-        } else {
-            let lo = (page * 0x1000) as usize;
-            if lo >= code.len() {
-                &[]
-            } else {
-                &code[lo..code.len().min(lo + 0x1000)]
-            }
-        };
-        m.mem.write_bytes(pa, src);
-    }
-    for page in 0..2u64 {
-        let pa = m.mem.alloc_frame();
-        s1_map_page(&mut m.mem, root, DATA + page * 0x1000, pa, user_rw());
-    }
-    m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
-    m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
-    m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
-    m.trace.set_enabled(true);
-    m.cpu.pstate = PState::user();
-    m.cpu.pc = CODE;
-    m
-}
-
-/// Everything a program can observe about one run.
-#[derive(Debug, PartialEq)]
-struct Snapshot {
-    exit: Exit,
-    resumes: u32,
-    pc: u64,
-    regs: Vec<u64>,
-    cycles: u64,
-    insns: u64,
-    tlb_stats: (u64, u64),
-    l2_hits: u64,
-    trace: Vec<(u64, u32, ExceptionLevel)>,
-}
-
-fn snapshot(m: &Machine, exit: Exit, resumes: u32) -> Snapshot {
-    Snapshot {
-        exit,
-        resumes,
-        pc: m.cpu.pc,
-        regs: (0..31).map(|i| m.cpu.reg(i)).collect(),
-        cycles: m.cpu.cycles,
-        insns: m.cpu.insns,
-        tlb_stats: m.tlb.stats(),
-        l2_hits: m.tlb.l2_hit_count(),
-        trace: m.trace.entries().map(|e| (e.pc, e.word, e.el)).collect(),
-    }
-}
-
-/// Run until `svc #0` (program exit) or a non-SVC exception; `svc #k`
-/// with `k != 0` is treated as a trap the host resumes from (identically
-/// on both machines).
-fn run_to_completion(m: &mut Machine) -> (Exit, u32) {
-    let mut resumes = 0u32;
-    loop {
-        let exit = m.run(200_000);
-        match exit {
-            Exit::El2(ExceptionClass::Svc) => {
-                if esr::esr_imm(m.sysreg(SysReg::ESR_EL2)) == 0 {
-                    return (exit, resumes);
-                }
-                resumes += 1;
-                let elr = m.sysreg(SysReg::ELR_EL2);
-                m.enter(PState::user(), elr);
-            }
-            other => return (other, resumes),
-        }
-    }
-}
+// The generators and the bare-machine harness are shared with the
+// chaos soak (`lz-chaos`): the differential suite and the
+// fault-injection suite must drive the *same* programs.
+use lz_chaos::programs::{
+    build_machine, patch_area, random_program, run_to_completion, snapshot, user_rwx, Snapshot, CODE, DATA, PATCH,
+};
 
 fn assert_identical(on: Snapshot, off: Snapshot, ctx: &str) {
     assert_eq!(on, off, "cache-on and cache-off runs diverged ({ctx})");
-}
-
-/// A patch area of `slots` NOP words followed by `ret`, at `PATCH`.
-fn patch_area(slots: usize) -> Vec<u8> {
-    let mut a = Asm::new(PATCH);
-    for _ in 0..slots {
-        a.nop();
-    }
-    a.ret();
-    a.bytes()
-}
-
-/// Candidate instruction words a self-modifying store may plant in a
-/// patch slot. All are safe at EL0 and side-effect-bounded.
-fn plantable(rng: &mut StdRng) -> u32 {
-    match rng.random_range(0u32..4) {
-        0 => NOP,
-        1 => Insn::AddImm {
-            rd: 0,
-            rn: 0,
-            imm12: rng.random_range(0u16..64),
-            shift12: false,
-            sub: false,
-            set_flags: false,
-        }
-        .encode(),
-        2 => Insn::Movz { rd: rng.random_range(2u8..8), imm16: rng.random_range(0u16..1000), hw: 0 }.encode(),
-        _ => Insn::AddImm { rd: 1, rn: 1, imm12: 1, shift12: false, sub: true, set_flags: false }.encode(),
-    }
-}
-
-/// Emit one seeded random program. Structure:
-///
-/// * prologue: base registers x19/x20 (data pages), x21 (patch area),
-///   seed immediates in x0..x7;
-/// * `blr` into the patch area (populates the decoded-block cache);
-/// * `len` random body instructions: ALU, loads/stores, compares,
-///   forward conditional branches, resumable traps, and stores of
-///   instruction words into patch slots;
-/// * `blr` into the patch area again (patched words must now execute);
-/// * `svc #0`.
-fn random_program(seed: u64, len: usize, slots: usize) -> (Vec<u8>, Vec<u8>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut a = Asm::new(CODE);
-    a.mov_imm64(19, DATA);
-    a.mov_imm64(20, DATA + 0x1000);
-    a.mov_imm64(21, PATCH);
-    for r in 0..8u8 {
-        a.mov_imm64(r, rng.raw_u64() & 0xffff_ffff);
-    }
-    a.mov_imm64(10, PATCH);
-    a.blr(10);
-    // A short counted loop so even store-heavy programs re-fetch some
-    // code and give the decoded-block cache something to hit.
-    a.mov_imm64(11, 64);
-    let warm = a.label();
-    a.bind(warm);
-    a.add_imm(12, 12, 1);
-    a.subs_imm(11, 11, 1);
-    a.b_ne(warm);
-    for _ in 0..len {
-        match rng.random_range(0u32..100) {
-            0..=39 => {
-                // ALU on x0..x7.
-                let (rd, rn, rm) = (rng.random_range(0u8..8), rng.random_range(0u8..8), rng.random_range(0u8..8));
-                match rng.random_range(0u32..8) {
-                    0 => a.add_reg(rd, rn, rm),
-                    1 => a.sub_reg(rd, rn, rm),
-                    2 => a.and_reg(rd, rn, rm),
-                    3 => a.orr_reg(rd, rn, rm),
-                    4 => a.eor_reg(rd, rn, rm),
-                    5 => a.mul(rd, rn, rm),
-                    6 => a.add_imm(rd, rn, rng.random_range(0u16..4096)),
-                    _ => a.lsr_imm(rd, rn, rng.random_range(1u8..32)),
-                };
-            }
-            40..=64 => {
-                // Load/store within the mapped data pages.
-                let base = if rng.random_bool() { 19 } else { 20 };
-                let off = rng.random_range(0u64..512) * 8;
-                let rt = rng.random_range(0u8..8);
-                if rng.random_bool() {
-                    a.str(rt, base, off);
-                } else {
-                    a.ldr(rt, base, off);
-                }
-            }
-            65..=79 => {
-                // Compare + short forward conditional skip.
-                let (rn, imm) = (rng.random_range(0u8..8), rng.random_range(0u16..100));
-                a.cmp_imm(rn, imm);
-                let skip = a.label();
-                if rng.random_bool() {
-                    a.b_eq(skip);
-                } else {
-                    a.b_ne(skip);
-                }
-                for _ in 0..rng.random_range(1u32..4) {
-                    let rd = rng.random_range(0u8..8);
-                    a.add_imm(rd, rd, 1);
-                }
-                a.bind(skip);
-            }
-            80..=89 => {
-                // Self-modifying store: plant (insn, NOP) into a patch slot.
-                let slot = rng.random_range(0u64..(slots as u64 / 2)) * 2;
-                let pair = (NOP as u64) << 32 | plantable(&mut rng) as u64;
-                a.mov_imm64(9, pair);
-                a.str(9, 21, slot * 4);
-            }
-            _ => {
-                // Resumable trap.
-                a.svc(rng.random_range(1u16..100));
-            }
-        }
-    }
-    a.mov_imm64(10, PATCH);
-    a.blr(10);
-    a.svc(0);
-    let bytes = a.bytes();
-    assert!(bytes.len() <= 3 * 0x1000, "random body overflowed the code pages");
-    (bytes, patch_area(slots))
 }
 
 fn differential_run(seed: u64) {

@@ -1,0 +1,371 @@
+//! Shared attack-primitive library: the §7.2 penetration-test bodies and
+//! the composable exploit building blocks the attack synthesizer
+//! ([`crate::synth`]) assembles into candidate programs.
+//!
+//! `tests/penetration.rs` and the synthesizer are built on the *same*
+//! primitives, so a hand-written pen test and a synthesized attack
+//! exercise one source of truth: if a primitive rots, both suites fail.
+//!
+//! Primitive taxonomy (DESIGN.md §12):
+//!
+//! * **direct access** — loads/stores into a PAN- or TTBR-protected
+//!   victim domain from outside it;
+//! * **gate abuse** — forged-`lr` gate calls, jumps into the *middle* of
+//!   a gate stub (onto the phase-① `msr` with attacker-chosen x13, or
+//!   straight into check phase ②), unregistered-gate calls;
+//! * **sensitive-instruction injection** — Table 3 encodings planted in
+//!   executable pages, including W^X double-view (PANIC-style) aliases
+//!   that write the payload after the clean scan;
+//! * **kernel-context abuse** — Garmr-class writes/executes against the
+//!   TTBR1-mapped stub, gate-table and TTBR-table pages;
+//! * **layout probes** — reads of `TTBRTab` entries trying to recover
+//!   *real* physical frame addresses (defeated by fake-phys
+//!   randomization).
+
+use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_PAN, SAN_TTBR, USER};
+use lightzone::gate::{check_phase_offset, layout, switch_msr_offset};
+use lightzone::pgt::{perm, PGT_ALL};
+use lightzone::{AblationConfig, LightZone, LzProgram};
+use lz_arch::asm::Asm;
+use lz_arch::{Platform, PAGE_SIZE};
+use lz_kernel::VmProt;
+
+/// Program text base (shared with the chaos program generators).
+pub const CODE: u64 = 0x40_0000;
+/// Protected-domain arena base (§7.2: 128 protected memory domains).
+pub const ARENA: u64 = 0x5000_0000;
+/// JIT page used by the W^X double-view attacks.
+pub const JIT: u64 = 0x61_0000;
+/// Domain count of the §7.2 penetration configuration.
+pub const DOMAINS: u64 = 128;
+/// READ | EXEC — the executor view's permissions.
+pub const READ_EXEC: u64 = perm::READ | perm::EXEC;
+
+/// Spawn `prog` under the paper-default config and run it to exit.
+pub fn run(prog: &LzProgram, platform: Platform, guest: bool) -> i64 {
+    let mut lz = if guest { LightZone::new_guest(platform) } else { LightZone::new_host(platform) };
+    let pid = lz.spawn(prog);
+    lz.enter_process(pid);
+    lz.run_to_exit()
+}
+
+/// Spawn `prog` under an explicit ablation config and run it to exit.
+pub fn run_with(prog: &LzProgram, platform: Platform, guest: bool, ablation: AblationConfig) -> i64 {
+    let mut lz = LightZone::with_ablation(platform, guest, ablation);
+    let pid = lz.spawn(prog);
+    lz.enter_process(pid);
+    lz.run_to_exit()
+}
+
+// ---------------------------------------------------------------------
+// Base environments (the §7.2 "128 protected memory domains" setups)
+// ---------------------------------------------------------------------
+
+/// Build a process with `domains` PAN-protected domains.
+pub fn pan_base(b: &mut LzProgramBuilder, domains: u64) {
+    b.with_anon_segment(ARENA, domains * PAGE_SIZE, VmProt::RW);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(ARENA, domains * PAGE_SIZE, PGT_ALL, RW | USER);
+}
+
+/// [`pan_base`] with a per-domain secret planted in each arena page
+/// *before* protection: the synthesizer's escape oracle for
+/// direct-access attacks is "the program exited with a victim secret",
+/// which only an actual isolation break can produce. Clobbers x5/x6.
+pub fn pan_base_with_secrets(b: &mut LzProgramBuilder, domains: u64, secret: impl Fn(u64) -> u64) {
+    b.with_anon_segment(ARENA, domains * PAGE_SIZE, VmProt::RW);
+    for d in 0..domains {
+        b.asm.mov_imm64(5, ARENA + d * PAGE_SIZE);
+        b.asm.mov_imm64(6, secret(d));
+        b.asm.str(6, 5, 0);
+    }
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.lz_prot_imm(ARENA, domains * PAGE_SIZE, PGT_ALL, RW | USER);
+}
+
+/// Build a process with 128 PAN-protected domains (first test of §7.2).
+pub fn pan_128_base(b: &mut LzProgramBuilder) {
+    pan_base(b, DOMAINS);
+}
+
+/// Build a process with `domains` TTBR domains: one stage-1 table and
+/// one call gate (gate `d` → pgt `d + 1`) per domain, each owning one
+/// arena page.
+pub fn ttbr_base(b: &mut LzProgramBuilder, domains: u64) {
+    b.with_anon_segment(ARENA, domains * PAGE_SIZE, VmProt::RW);
+    b.asm.lz_enter(true, SAN_TTBR);
+    for d in 0..domains {
+        b.asm.lz_alloc();
+        b.asm.lz_map_gate_pgt_imm(d + 1, d);
+        b.asm.lz_prot_imm(ARENA + d * PAGE_SIZE, PAGE_SIZE, d + 1, RW);
+    }
+}
+
+/// Build a process with 128 TTBR domains (second test of §7.2).
+pub fn ttbr_128_base(b: &mut LzProgramBuilder) {
+    ttbr_base(b, DOMAINS);
+}
+
+/// [`ttbr_base`] with a per-domain secret planted in each arena page
+/// before the page is moved into its domain table — the escape oracle
+/// for gate-abuse attacks. Clobbers x5/x6.
+pub fn ttbr_base_with_secrets(b: &mut LzProgramBuilder, domains: u64, secret: impl Fn(u64) -> u64) {
+    b.with_anon_segment(ARENA, domains * PAGE_SIZE, VmProt::RW);
+    for d in 0..domains {
+        b.asm.mov_imm64(5, ARENA + d * PAGE_SIZE);
+        b.asm.mov_imm64(6, secret(d));
+        b.asm.str(6, 5, 0);
+    }
+    b.asm.lz_enter(true, SAN_TTBR);
+    for d in 0..domains {
+        b.asm.lz_alloc();
+        b.asm.lz_map_gate_pgt_imm(d + 1, d);
+        b.asm.lz_prot_imm(ARENA + d * PAGE_SIZE, PAGE_SIZE, d + 1, RW);
+    }
+}
+
+/// Encode `movz xRD, #imm` — attacker payloads and JIT seed bodies.
+pub fn movz_word(rd: u8, imm: u16) -> u32 {
+    let mut a = Asm::new(0);
+    a.movz(rd, imm, 0);
+    let bytes = a.bytes();
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+// ---------------------------------------------------------------------
+// Sensitive-instruction payloads (Table 3)
+// ---------------------------------------------------------------------
+
+/// All the sensitive encodings of Table 3 that a malicious binary might
+/// inject, each of which the sanitizer must reject before execution.
+pub fn injected_words() -> Vec<(&'static str, u32)> {
+    use lz_arch::insn::Insn;
+    use lz_arch::sysreg::SysReg;
+    vec![
+        ("eret", Insn::Eret.encode()),
+        ("msr ttbr1_el1", Insn::MsrReg { enc: SysReg::TTBR1_EL1.encoding(), rt: 0 }.encode()),
+        ("msr vbar_el1", Insn::MsrReg { enc: SysReg::VBAR_EL1.encoding(), rt: 0 }.encode()),
+        ("msr elr_el1", Insn::MsrReg { enc: SysReg::ELR_EL1.encoding(), rt: 0 }.encode()),
+        ("msr spsel", Insn::MsrImm { op1: 0b000, crm: 1, op2: 0b101 }.encode()),
+        ("dc civac", 0xD50B_7E20),
+    ]
+}
+
+/// `dc civac`-class payload: forbidden by the sanitizer yet semantically
+/// inert if it ever executes — a successful injection therefore runs to
+/// a *clean exit* instead of being caught downstream, which is exactly
+/// what the read-fault-flip regression needs to observe.
+pub fn inert_sensitive_payload() -> u32 {
+    lz_arch::insn::Insn::Sys { l: false, op1: 3, crn: 7, crm: 14, op2: 1, rt: 2 }.encode()
+}
+
+// ---------------------------------------------------------------------
+// Gate-abuse primitives
+// ---------------------------------------------------------------------
+
+/// Call gate `gate` from an unregistered site: `lr` is the instruction
+/// after the `blr`, not the gate's designated ENTRY, so check phase ②
+/// must kill. Without the check phase the switch goes through and the
+/// gate returns to attacker-chosen code *inside the target domain*.
+/// Clobbers x16.
+pub fn forged_gate_call(a: &mut Asm, gate: u16) {
+    a.mov_imm64(16, layout::gate_va(gate));
+    a.blr(16);
+}
+
+/// Garmr-class mid-gate jump: land directly on the phase-① `msr
+/// TTBR0_EL1, x13` with an attacker-chosen x13 — here the *legitimate*
+/// `TTBRTab[victim_pgt]` value read straight out of the TTBR1-mapped
+/// read-only table — skipping the GateTab lookup that decides which
+/// table the gate may install. Check phase ② still compares `lr`
+/// against the designated ENTRY and kills; without it the attacker
+/// lands in the victim's domain. x10 (the gate's GateTab pointer, which
+/// the skipped phase ① would have loaded) is zeroed so the check
+/// phase's re-query faults deterministically rather than chasing
+/// whatever the register last held. Clobbers x10, x13 and x16.
+pub fn mid_gate_jump(a: &mut Asm, gate: u16, victim_pgt: u64) {
+    load_ttbrtab_entry(a, 13, victim_pgt);
+    a.mov_imm64(10, 0);
+    a.mov_imm64(16, layout::gate_va(gate) + switch_msr_offset());
+    a.blr(16);
+}
+
+/// Jump straight *into* check phase ② without performing the switch:
+/// the live TTBR0 cannot match the gate's designated table, so the
+/// check kills — in both flavors this never grants access (without the
+/// check phase the offset holds the `ret`, a no-op call). Clobbers x16.
+pub fn check_phase_jump(a: &mut Asm, gate: u16) {
+    a.mov_imm64(16, layout::gate_va(gate) + check_phase_offset());
+    a.blr(16);
+}
+
+// ---------------------------------------------------------------------
+// Kernel-context and layout-probe primitives
+// ---------------------------------------------------------------------
+
+/// Read `TTBRTab[pgt]` into `rd` — an architecturally *legal* load (the
+/// table is mapped read-only for the gate code), used by layout probes:
+/// the entry holds the table root's **fake** physical address, which
+/// equals the real one only when `randomize_phys` is ablated.
+pub fn load_ttbrtab_entry(a: &mut Asm, rd: u8, pgt: u64) {
+    a.mov_imm64(rd, layout::TTBRTAB_VA + pgt * 8);
+    a.ldr(rd, rd, 0);
+}
+
+/// Store `val` to a TTBR1-mapped kernel-context page (stub, GateTab,
+/// TTBRTab, or a gate stub itself). The region is mapped read-only (or
+/// read-execute) through a table the process cannot retarget, so the
+/// write must fault — and faults in the gate region are always
+/// violations. Clobbers x15 and x16.
+pub fn kernel_page_store(a: &mut Asm, va: u64, val: u64) {
+    a.mov_imm64(15, va);
+    a.mov_imm64(16, val);
+    a.str(16, 15, 0);
+}
+
+/// Branch to a TTBR1-mapped *data* page (TTBRTab/GateTab): mapped
+/// non-executable, so the fetch faults in the gate region — a
+/// violation. Clobbers x16.
+pub fn kernel_page_exec(a: &mut Asm, va: u64) {
+    a.mov_imm64(16, va);
+    a.blr(16);
+}
+
+// ---------------------------------------------------------------------
+// W^X double-view (PANIC §3.2 / JIT) attack programs
+// ---------------------------------------------------------------------
+
+/// Gate ids of the double-view programs (gate → table):
+/// writer gate 0 → pgt 1 (RW view), exec gate 1 → pgt 2 (R+X view),
+/// home gate 2 → pgt 0, re-exec gate 3 → pgt 2 again.
+pub const WX_GATE_WRITER: u16 = 0;
+pub const WX_GATE_EXEC: u16 = 1;
+pub const WX_GATE_HOME: u16 = 2;
+pub const WX_GATE_REEXEC: u16 = 3;
+
+/// Shared prelude of the double-view attacks: seed the JIT page with
+/// `seed_body`, enter TTBR-sanitized LightZone, allocate the writer
+/// (pgt 1) and executor (pgt 2) views, wire the four gates, and map the
+/// JIT page RW in the writer view and R+X in the executor view.
+pub fn wx_views(b: &mut LzProgramBuilder, seed_body: &[u8]) {
+    b.with_segment(JIT, seed_body.to_vec(), VmProt::RWX);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.lz_alloc(); // 1: writer view
+    b.asm.lz_alloc(); // 2: executor view
+    b.asm.lz_map_gate_pgt_imm(1, WX_GATE_WRITER as u64);
+    b.asm.lz_map_gate_pgt_imm(2, WX_GATE_EXEC as u64);
+    b.asm.lz_map_gate_pgt_imm(2, WX_GATE_REEXEC as u64);
+    b.asm.lz_map_gate_pgt_imm(0, WX_GATE_HOME as u64);
+    b.asm.lz_prot_imm(JIT, PAGE_SIZE, 1, RW);
+    b.asm.lz_prot_imm(JIT, PAGE_SIZE, 2, READ_EXEC);
+}
+
+/// Execute the JIT page once through the executor view (scanned clean)
+/// and switch back to the default table.
+pub fn wx_exec_clean(b: &mut LzProgramBuilder) {
+    b.lz_switch_to_ttbr_gate(WX_GATE_EXEC);
+    b.asm.mov_imm64(17, JIT);
+    b.asm.blr(17);
+    b.lz_switch_to_ttbr_gate(WX_GATE_HOME);
+}
+
+/// Store `payload` through the writer view (leaves the process in the
+/// writer domain; the store's write fault flips the page out of the
+/// Executable state — break-before-make).
+pub fn wx_store_payload(b: &mut LzProgramBuilder, payload: u32) {
+    b.lz_switch_to_ttbr_gate(WX_GATE_WRITER);
+    b.asm.mov_imm64(1, JIT);
+    b.asm.mov_imm64(2, payload as u64);
+    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
+}
+
+/// Switch into the writer view and *read*-fault the JIT page (the W+X
+/// VMA grants write on a read fault too — the read-fault-flip
+/// regression), then store `payload` with no further fault.
+pub fn wx_read_fault_then_store(b: &mut LzProgramBuilder, payload: u32) {
+    b.lz_switch_to_ttbr_gate(WX_GATE_WRITER);
+    b.asm.mov_imm64(1, JIT);
+    b.asm.ldr(2, 1, 0);
+    b.asm.mov_imm64(2, payload as u64);
+    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
+}
+
+/// Re-execute the JIT page through the second executor gate: only a
+/// rescan (which must find the payload) stands between the written
+/// bytes and execution.
+pub fn wx_reexec(b: &mut LzProgramBuilder) {
+    b.lz_switch_to_ttbr_gate(WX_GATE_REEXEC);
+    b.asm.mov_imm64(17, JIT);
+    b.asm.blr(17);
+}
+
+/// The full PANIC-style W+X aliasing attack (§3.2): write an ERET
+/// through the writer view after a clean scan, then execute the alias.
+pub fn wx_alias_attack_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    let mut seed = Asm::new(JIT);
+    seed.ret();
+    wx_views(&mut b, &seed.bytes());
+    wx_exec_clean(&mut b);
+    wx_store_payload(&mut b, lz_arch::insn::Insn::Eret.encode());
+    wx_reexec(&mut b);
+    b.asm.exit_imm(0);
+    b.build()
+}
+
+/// The read-fault W^X flip regression: a read fault flips the page
+/// writable, the payload store hits silently, and only break-before-
+/// make on the *read*-fault path forces the rescan that catches it.
+pub fn wx_read_fault_flip_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    let mut seed = Asm::new(JIT);
+    seed.nop();
+    seed.ret();
+    wx_views(&mut b, &seed.bytes());
+    wx_exec_clean(&mut b);
+    wx_read_fault_then_store(&mut b, inert_sensitive_payload());
+    wx_reexec(&mut b);
+    b.asm.exit_imm(0);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightzone::SECURITY_KILL;
+
+    #[test]
+    fn shared_wx_attack_bodies_still_die() {
+        // The extracted bodies must behave exactly like the pen tests
+        // they came from.
+        assert_eq!(run(&wx_alias_attack_prog(), Platform::CortexA55, false), SECURITY_KILL);
+        assert_eq!(run(&wx_read_fault_flip_prog(), Platform::CortexA55, false), SECURITY_KILL);
+    }
+
+    #[test]
+    fn ttbr_base_legal_access_survives() {
+        let mut b = LzProgramBuilder::new(CODE);
+        ttbr_base(&mut b, 8);
+        b.lz_switch_to_ttbr_gate(3);
+        b.asm.mov_imm64(1, ARENA + 3 * PAGE_SIZE);
+        b.asm.mov_imm64(2, 0x5a);
+        b.asm.str(2, 1, 0);
+        b.asm.ldr(0, 1, 0);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+        b.asm.svc(0);
+        assert_eq!(run(&b.build(), Platform::CortexA55, false), 0x5a);
+    }
+
+    #[test]
+    fn ttbrtab_read_is_legal_and_fake() {
+        // The layout-probe primitive itself is a legal load; under the
+        // paper default it observes only fake physical addresses.
+        let mut b = LzProgramBuilder::new(CODE);
+        ttbr_base(&mut b, 4);
+        load_ttbrtab_entry(&mut b.asm, 0, 1);
+        b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+        b.asm.svc(0);
+        let leaked = run(&b.build(), Platform::CortexA55, false);
+        assert!(leaked > 0, "TTBRTab read must succeed, got {leaked}");
+    }
+}

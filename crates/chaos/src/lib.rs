@@ -22,13 +22,24 @@
 //!   VMIDs, fake-physical bijectivity, journal boundedness).
 //! * [`soak`] — the clean-vs-chaos containment differential, the soak
 //!   driver that accumulates a target number of injected faults with
-//!   zero invariant violations, and the greedy schedule shrinker that
-//!   reduces a failing plan to a minimal replayed fault schedule.
+//!   zero invariant violations, and the ddmin schedule shrinker that
+//!   reduces a failing plan to a 1-minimal replayed fault schedule.
+//! * [`attacks`] — the shared attack-primitive library: the §7.2
+//!   penetration-test bodies (domain setups, W^X double views,
+//!   sensitive-instruction payloads) plus composable gate-abuse,
+//!   kernel-context and layout-probe primitives.
+//! * [`synth`] — the seeded attack synthesizer: composes primitives
+//!   into candidate exploits, sweeps them over every defense ablation
+//!   polarity on 1- and 4-core machines, asserts the defeat/escape
+//!   oracle, and ddmin-shrinks every escape to a minimal exploit.
 
+pub mod attacks;
 pub mod invariants;
 pub mod programs;
 pub mod soak;
+pub mod synth;
 
 pub use invariants::ChaosInvariants;
 pub use programs::{run_scenario, Scenario, ScenarioRun, ALL_SCENARIOS};
-pub use soak::{run_soak, shrink_plan, verify_plan, SoakReport};
+pub use soak::{ddmin_set, run_soak, shrink_plan, verify_plan, SoakReport};
+pub use synth::{run_synthesis, AttackCorpusReport, SynthConfig};

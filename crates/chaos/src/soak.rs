@@ -133,15 +133,93 @@ pub fn run_soak(base_seed: u64, rate: u64, target_faults: u64, max_rounds: u64) 
     report
 }
 
-/// Shrink a failing plan to a (locally) minimal replayed fault schedule.
+/// Classic ddmin (Zeller/Hildebrandt delta debugging) over a set, with
+/// a guaranteed-1-minimal result.
 ///
-/// Greedy ddmin over the recorded `(seq, site)` schedule: re-run under
-/// [`FaultPlan::replay`] with one fault removed at a time, keep the
-/// removal whenever the failure (any problem) still reproduces, and
-/// iterate until no single removal does. Removing a fault does not
-/// renumber the survivors — replay matches on the consultation sequence
-/// numbers of the *original* run, which depend only on the seed and
-/// site filter — so the subset schedule is exact, not approximate.
+/// `fails(subset)` returns `Some(evidence)` when the failure still
+/// reproduces on `subset` and `None` when it passes. Starting from
+/// `full` (which must fail — otherwise this returns `None`), the chunked
+/// phase partitions the current set into `n` chunks and tries reducing
+/// to each chunk, then to each chunk's complement, doubling granularity
+/// when neither helps. A final singleton-removal fixpoint pass then
+/// drops any element whose individual removal still fails, so the
+/// returned set is **1-minimal**: removing any single element makes the
+/// predicate pass.
+///
+/// The chunked phase is what lets the result escape the local minima a
+/// greedy single-removal loop gets stuck in: a predicate failing only on
+/// `{a, b, c}` and `{a}` passes on every 2-element subset, so removing
+/// one element at a time can never reach `{a}` — reducing *to a chunk*
+/// can.
+pub fn ddmin_set<T: Clone + Ord, E>(
+    full: &BTreeSet<T>,
+    mut fails: impl FnMut(&BTreeSet<T>) -> Option<E>,
+) -> Option<(BTreeSet<T>, E)> {
+    let mut set = full.clone();
+    let mut evidence = fails(&set)?;
+    let mut n = 2usize;
+    'outer: while set.len() >= 2 {
+        n = n.min(set.len());
+        let items: Vec<T> = set.iter().cloned().collect();
+        let chunk_len = items.len().div_ceil(n);
+        let chunks: Vec<BTreeSet<T>> = items.chunks(chunk_len).map(|c| c.iter().cloned().collect()).collect();
+        // Reduce to a failing chunk: the big jump toward minimality.
+        for c in &chunks {
+            if c.len() < set.len() {
+                if let Some(e) = fails(c) {
+                    set = c.clone();
+                    evidence = e;
+                    n = 2;
+                    continue 'outer;
+                }
+            }
+        }
+        // Reduce to a failing complement (set minus one chunk).
+        for c in &chunks {
+            let complement: BTreeSet<T> = set.difference(c).cloned().collect();
+            if complement.len() < set.len() && !complement.is_empty() {
+                if let Some(e) = fails(&complement) {
+                    set = complement;
+                    evidence = e;
+                    n = (n - 1).max(2);
+                    continue 'outer;
+                }
+            }
+        }
+        if n >= set.len() {
+            break; // already at singleton granularity, nothing helped
+        }
+        n = (n * 2).min(set.len());
+    }
+    // Singleton-removal fixpoint: guarantees 1-minimality (and reaches
+    // the empty set if even a lone survivor turns out to be redundant).
+    loop {
+        let mut shrunk = false;
+        for x in set.clone() {
+            let mut candidate = set.clone();
+            candidate.remove(&x);
+            if let Some(e) = fails(&candidate) {
+                set = candidate;
+                evidence = e;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    Some((set, evidence))
+}
+
+/// Shrink a failing plan to a 1-minimal replayed fault schedule.
+///
+/// [`ddmin_set`] over the recorded `(seq, site)` schedule: re-run under
+/// [`FaultPlan::replay`] with a subset of faults and keep any subset on
+/// which the failure (any problem) still reproduces. Removing a fault
+/// does not renumber the survivors — replay matches on the consultation
+/// sequence numbers of the *original* run, which depend only on the
+/// seed and site filter — so the subset schedule is exact, not
+/// approximate.
 ///
 /// Returns the shrunk schedule and the problems it still produces, or
 /// `None` if the plan does not actually fail (nothing to shrink).
@@ -159,24 +237,8 @@ pub fn shrink_plan(scenario: Scenario, seed: u64, plan: &FaultPlan) -> Option<(B
     if full.problems.is_empty() {
         return None;
     }
-    let mut schedule: BTreeSet<u64> = full.run.fired.iter().map(|&(seq, _)| seq).collect();
-    let mut problems = fails(&schedule)?; // replay of the full schedule must still fail
-    loop {
-        let mut shrunk = false;
-        for seq in schedule.clone() {
-            let mut candidate = schedule.clone();
-            candidate.remove(&seq);
-            if let Some(p) = fails(&candidate) {
-                schedule = candidate;
-                problems = p;
-                shrunk = true;
-            }
-        }
-        if !shrunk {
-            break;
-        }
-    }
-    Some((schedule, problems))
+    let schedule: BTreeSet<u64> = full.run.fired.iter().map(|&(seq, _)| seq).collect();
+    ddmin_set(&schedule, fails) // replay of the full schedule must still fail
 }
 
 /// Human-readable description of a shrunk schedule: which sites fired
@@ -228,6 +290,74 @@ mod tests {
         let json = report.to_json(1, 16);
         assert_eq!(json.lines().count(), 1);
         assert!(json.contains(r#""benchmark":"chaos_soak""#));
+    }
+
+    /// The shipped shrinker before the ddmin rewrite: remove one element
+    /// at a time, keep the removal if the failure reproduces, iterate to
+    /// fixpoint. Kept here verbatim as the regression baseline.
+    fn greedy_shrink(full: &BTreeSet<u64>, fails: impl Fn(&BTreeSet<u64>) -> bool) -> BTreeSet<u64> {
+        let mut set = full.clone();
+        loop {
+            let mut shrunk = false;
+            for x in set.clone() {
+                let mut candidate = set.clone();
+                candidate.remove(&x);
+                if fails(&candidate) {
+                    set = candidate;
+                    shrunk = true;
+                }
+            }
+            if !shrunk {
+                break;
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn ddmin_escapes_greedy_local_minimum() {
+        // A failure that reproduces only on {1,2,3} and {1}: every
+        // 2-element subset passes, so single-element removal can never
+        // leave {1,2,3} — the old greedy loop returns the full set.
+        let full: BTreeSet<u64> = [1, 2, 3].into();
+        let one: BTreeSet<u64> = [1].into();
+        let fails_on = |s: &BTreeSet<u64>| *s == full || *s == one;
+
+        let greedy = greedy_shrink(&full, fails_on);
+        assert_eq!(greedy, full, "greedy baseline unexpectedly escaped the local minimum");
+
+        let (shrunk, ()) = ddmin_set(&full, |s| if fails_on(s) { Some(()) } else { None }).expect("full set fails");
+        assert_eq!(shrunk, one, "ddmin must reduce to the 1-minimal failing subset");
+    }
+
+    #[test]
+    fn ddmin_output_is_one_minimal() {
+        // Failure = subset contains {2, 5, 9}. ddmin must find exactly
+        // that core from a 12-element haystack, and removing any single
+        // element of the result must make the predicate pass.
+        let full: BTreeSet<u64> = (0..12).collect();
+        let core: BTreeSet<u64> = [2, 5, 9].into();
+        let fails_on = |s: &BTreeSet<u64>| core.is_subset(s);
+        let (shrunk, ()) = ddmin_set(&full, |s| if fails_on(s) { Some(()) } else { None }).expect("full set fails");
+        assert_eq!(shrunk, core);
+        for x in &shrunk {
+            let mut cand = shrunk.clone();
+            cand.remove(x);
+            assert!(!fails_on(&cand), "result not 1-minimal: still fails without {x}");
+        }
+    }
+
+    #[test]
+    fn ddmin_reaches_empty_when_failure_is_unconditional() {
+        let full: BTreeSet<u64> = (0..5).collect();
+        let (shrunk, ()) = ddmin_set(&full, |_| Some(())).expect("always fails");
+        assert!(shrunk.is_empty(), "unconditional failure must shrink to the empty schedule");
+    }
+
+    #[test]
+    fn ddmin_rejects_passing_input() {
+        let full: BTreeSet<u64> = (0..5).collect();
+        assert!(ddmin_set::<u64, ()>(&full, |_| None).is_none());
     }
 
     #[test]

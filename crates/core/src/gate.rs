@@ -132,6 +132,35 @@ pub fn emit_gate(gate: u16, flavor: GateFlavor) -> Vec<u32> {
     words
 }
 
+/// Byte offset, within any gate stub, of the phase-① `msr TTBR0_EL1`
+/// write.
+///
+/// Phase ① is emitted identically for every flavor (the check phase and
+/// the TLBI ablation only *append* code after the `msr`/`isb` pair), so
+/// the offset is flavor-independent. The attack-synthesis harness uses
+/// it to model Garmr-class mid-gate jumps: landing on the `msr` with an
+/// attacker-chosen x13 skips the GateTab/TTBRTab lookups of phase ①.
+pub fn switch_msr_offset() -> u64 {
+    let words = emit_gate(0, GateFlavor { check_phase: false, tlbi_after_switch: false });
+    // Phase ① always writes TTBR0 exactly once (asserted by the emission
+    // tests), so the fallback never triggers.
+    let idx = words
+        .iter()
+        .position(|&w| matches!(Insn::decode(w), Insn::MsrReg { enc, .. } if enc == SysReg::TTBR0_EL1.encoding()))
+        .unwrap_or(0);
+    idx as u64 * 4
+}
+
+/// Byte offset, within a default-flavor gate stub, of the first check
+/// phase ② instruction (right past the `msr`/`isb` pair).
+///
+/// Only meaningful when `tlbi_after_switch` is off (the TLBI ablation
+/// inserts code between `isb` and the check phase); the synthesis
+/// harness never sweeps that flavor.
+pub fn check_phase_offset() -> u64 {
+    switch_msr_offset() + 8
+}
+
 /// Read-only table images the module writes into the TTBR1-mapped pages.
 #[derive(Debug, Default)]
 pub struct GateTables {
@@ -279,6 +308,29 @@ mod tests {
     fn tlbi_flavor_contains_tlbi() {
         let words = emit_gate(0, GateFlavor { check_phase: true, tlbi_after_switch: true });
         assert!(words.contains(&TLBI_VMALLE1));
+    }
+
+    #[test]
+    fn switch_msr_offset_is_flavor_independent() {
+        let expected = switch_msr_offset();
+        for check_phase in [false, true] {
+            for tlbi_after_switch in [false, true] {
+                let words = emit_gate(9, GateFlavor { check_phase, tlbi_after_switch });
+                let idx = words
+                    .iter()
+                    .position(
+                        |&w| matches!(Insn::decode(w), Insn::MsrReg { enc, .. } if enc == SysReg::TTBR0_EL1.encoding()),
+                    )
+                    .unwrap();
+                assert_eq!(idx as u64 * 4, expected, "check={check_phase} tlbi={tlbi_after_switch}");
+            }
+        }
+        // The word right after the msr is the isb; the check phase (when
+        // emitted without the TLBI ablation) starts right after it.
+        let words = emit_gate(0, GateFlavor::default());
+        let isb_idx = (expected / 4 + 1) as usize;
+        assert_eq!(Insn::decode(words[isb_idx]), Insn::Barrier(lz_arch::insn::Barrier::Isb));
+        assert_eq!(check_phase_offset(), expected + 8);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod pgt;
 pub mod sanitizer;
 
 pub use api::{LzProgram, LzProgramBuilder};
-pub use module::{AblationConfig, LightZone, LzModule};
+pub use module::{AblationConfig, Defense, LightZone, LzModule, ALL_DEFENSES};
 
 /// Exit code used when LightZone terminates a process for an isolation
 /// violation ("we detect unauthorized access to protected memory domains

@@ -29,7 +29,7 @@ use lz_machine::{EventKind, Exit, Machine, Report, Section};
 use std::collections::{BTreeMap, HashMap};
 
 /// Design knobs for ablation studies (all `true`/paper-default normally).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct AblationConfig {
     /// §5.2: eagerly map stage-2 while handling a stage-1 fault, avoiding
     /// a second back-to-back trap on the same address.
@@ -72,6 +72,79 @@ impl Default for AblationConfig {
             fastpath: lz_machine::default_fastpath(),
             skip_remote_shootdown: false,
         }
+    }
+}
+
+/// One named defense mechanism of the stack, as flipped by the ablation
+/// sweeps (the attack-synthesis harness runs every candidate exploit
+/// under each polarity of each defense).
+///
+/// `gate_flavor.tlbi_after_switch` is deliberately absent: ASID-vs-TLBI
+/// is a performance ablation of §4.1.2, not a defense — both polarities
+/// must defeat every attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Defense {
+    /// §5.2 eager stage-2 mapping (perf defense: avoids double traps).
+    EagerStage2,
+    /// §5.2.1 HCR/VTTBR retention across traps (perf defense).
+    RetainHcrVttbr,
+    /// §6.2 gate check phase ② (lr/TTBR validation after the switch).
+    GateCheckPhase,
+    /// §5.1.2 fake-physical randomization (hides the real frame layout).
+    RandomizePhys,
+    /// §5.2.2 shared `pt_regs` page in the Lowvisor path (perf defense).
+    SharedPtRegs,
+    /// §5.2.2 deferred sysreg page in the Lowvisor path (perf defense).
+    DeferredSysregPage,
+    /// Cross-core IPI TLB shootdown on break-before-make and detach.
+    RemoteShootdown,
+}
+
+/// Every defense, in the fixed order the polarity sweeps iterate.
+pub const ALL_DEFENSES: [Defense; 7] = [
+    Defense::EagerStage2,
+    Defense::RetainHcrVttbr,
+    Defense::GateCheckPhase,
+    Defense::RandomizePhys,
+    Defense::SharedPtRegs,
+    Defense::DeferredSysregPage,
+    Defense::RemoteShootdown,
+];
+
+impl Defense {
+    /// Stable snake_case name (used in reports and `BENCH_*.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Defense::EagerStage2 => "eager_stage2",
+            Defense::RetainHcrVttbr => "retain_hcr_vttbr",
+            Defense::GateCheckPhase => "gate_check_phase",
+            Defense::RandomizePhys => "randomize_phys",
+            Defense::SharedPtRegs => "shared_pt_regs",
+            Defense::DeferredSysregPage => "deferred_sysreg_page",
+            Defense::RemoteShootdown => "remote_shootdown",
+        }
+    }
+}
+
+impl AblationConfig {
+    /// Turn one defense off on top of this config (polarity sweep
+    /// helper; the paper-default config has every defense on).
+    pub fn defense_off(mut self, defense: Defense) -> Self {
+        match defense {
+            Defense::EagerStage2 => self.eager_stage2 = false,
+            Defense::RetainHcrVttbr => self.retain_hcr_vttbr = false,
+            Defense::GateCheckPhase => self.gate_flavor.check_phase = false,
+            Defense::RandomizePhys => self.randomize_phys = false,
+            Defense::SharedPtRegs => self.shared_pt_regs = false,
+            Defense::DeferredSysregPage => self.deferred_sysreg_page = false,
+            Defense::RemoteShootdown => self.skip_remote_shootdown = true,
+        }
+        self
+    }
+
+    /// The default config with exactly one defense ablated.
+    pub fn with_defense_off(defense: Defense) -> Self {
+        AblationConfig::default().defense_off(defense)
     }
 }
 

@@ -12,9 +12,12 @@
 # benchmark as BENCH_sim_throughput.json (unified schema check + a MIPS
 # floor so fast-path regressions fail loudly), the chaos soak
 # (BENCH_chaos_soak.json: >=10k injected faults, zero invariant or
-# containment violations, byte-reproducible, fast path on and off), and
-# an unwrap/expect ratchet over the isolation-stack sources so
-# guest-reachable panics cannot creep back in (DESIGN.md §11).
+# containment violations, byte-reproducible, fast path on and off), the
+# attack-synthesis corpus gate (BENCH_attack_corpus.json: >=5 families,
+# zero escapes with defenses on, >=2 distinct shrunk exploits per
+# ablated security defense, byte-reproducible), and an unwrap/expect
+# ratchet over the isolation-stack sources so guest-reachable panics
+# cannot creep back in (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -140,6 +143,37 @@ print(f"chaos soak JSON ok: {injected} faults, {kills} kills, 0 violations")
 '
 cat BENCH_chaos_soak.json
 
+echo "== repro attacks -> BENCH_attack_corpus.json (corpus gate + determinism) =="
+./target/release/repro attacks --json > BENCH_attack_corpus.json
+./target/release/repro attacks --json > /tmp/attacks_rerun.json
+cmp BENCH_attack_corpus.json /tmp/attacks_rerun.json || {
+    echo "attack corpus is not byte-reproducible" >&2
+    exit 1
+}
+python3 -c '
+import json
+report = json.load(open("BENCH_attack_corpus.json"))
+assert report["benchmark"] == "attack_corpus"
+assert isinstance(report["seed"], int)
+assert report["problems"] == 0, "corpus gate reported problems"
+families = {f["name"] for f in report["families"]}
+assert len(families) >= 5, f"only {len(families)} attack families: {families}"
+assert report["defenses_on"]["escapes"] == 0, "an attack escaped with every defense on"
+cols = {a["defense"]: a for a in report["ablations"]}
+for d in ("remote_shootdown", "gate_check_phase", "randomize_phys"):
+    col = cols[d]
+    n = len(col["distinct_attacks"])
+    assert n >= 2, f"{d}: only {n} distinct escapes — the corpus has no teeth against it"
+    assert col["shrunk"], f"{d}: escapes were not shrunk"
+    for s in col["shrunk"]:
+        assert 1 <= s["shrunk_steps"] <= s["steps"], f"{d}: bad shrink {s}"
+for d in ("eager_stage2", "retain_hcr_vttbr", "shared_pt_regs", "deferred_sysreg_page"):
+    assert cols[d]["escapes"] == 0, f"cost-model ablation {d} must not weaken the boundary"
+esc = {d: len(cols[d]["distinct_attacks"]) for d in ("remote_shootdown", "gate_check_phase", "randomize_phys")}
+print(f"attack corpus JSON ok: {len(families)} families, 0 escapes defenses-on, per-defense escapes {esc}")
+'
+cat BENCH_attack_corpus.json
+
 echo "== unwrap/expect ratchet (non-test isolation-stack sources) =="
 # Guest-reachable host panics were swept into typed LzFault paths; the
 # survivors below are host-setup or internal-consistency asserts that a
@@ -165,5 +199,7 @@ ratchet crates/core/src/gate.rs 0
 ratchet crates/core/src/pgt.rs 0
 ratchet crates/core/src/fakephys.rs 0
 ratchet crates/kernel/src/kernel.rs 21
+ratchet crates/chaos/src/attacks.rs 0
+ratchet crates/chaos/src/synth.rs 0
 
 echo "CI OK"

@@ -3,44 +3,22 @@
 //! the paper names — direct access, control-flow hijacking, and
 //! sensitive-instruction injection — plus the PANIC-style W+X aliasing
 //! attack from §3.2. Every attack must end in process termination.
+//!
+//! The attack bodies live in [`lz_chaos::attacks`], shared with the
+//! attack synthesizer (`lz_chaos::synth`): the hand-written suite and
+//! the synthesized corpus exercise one source of truth.
 
-use lightzone::api::{LzAsm, LzProgramBuilder, RW, SAN_BOTH, SAN_PAN, SAN_TTBR, USER};
-use lightzone::pgt::PGT_ALL;
-use lightzone::{LightZone, SECURITY_KILL};
+use lightzone::api::{LzAsm, LzProgramBuilder, SAN_BOTH, SAN_PAN, SAN_TTBR};
+use lightzone::SECURITY_KILL;
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
+use lz_chaos::attacks::{
+    self, injected_words, pan_128_base, run, ttbr_128_base, wx_alias_attack_prog, wx_read_fault_flip_prog, ARENA, CODE,
+    DOMAINS,
+};
 use lz_kernel::VmProt;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-
-const CODE: u64 = 0x40_0000;
-const ARENA: u64 = 0x5000_0000;
-const DOMAINS: u64 = 128;
-
-fn run(prog: &lightzone::LzProgram, platform: Platform, guest: bool) -> i64 {
-    let mut lz = if guest { LightZone::new_guest(platform) } else { LightZone::new_host(platform) };
-    let pid = lz.spawn(prog);
-    lz.enter_process(pid);
-    lz.run_to_exit()
-}
-
-/// Build a process with 128 PAN-protected domains (first test of §7.2).
-fn pan_128_base(b: &mut LzProgramBuilder) {
-    b.with_anon_segment(ARENA, DOMAINS * PAGE_SIZE, VmProt::RW);
-    b.asm.lz_enter(false, SAN_PAN);
-    b.asm.lz_prot_imm(ARENA, DOMAINS * PAGE_SIZE, PGT_ALL, RW | USER);
-}
-
-/// Build a process with 128 TTBR domains (second test of §7.2).
-fn ttbr_128_base(b: &mut LzProgramBuilder) {
-    b.with_anon_segment(ARENA, DOMAINS * PAGE_SIZE, VmProt::RW);
-    b.asm.lz_enter(true, SAN_TTBR);
-    for d in 0..DOMAINS {
-        b.asm.lz_alloc();
-        b.asm.lz_map_gate_pgt_imm(d + 1, d);
-        b.asm.lz_prot_imm(ARENA + d * PAGE_SIZE, PAGE_SIZE, d + 1, RW);
-    }
-}
 
 #[test]
 fn pan_direct_access_random_domains_killed() {
@@ -113,8 +91,7 @@ fn hijack_gate_with_forged_lr_killed() {
     ttbr_128_base(&mut b);
     b.lz_switch_to_ttbr_gate(5); // legal use, registers gate 5
                                  // Attack: call gate 5 again from a *different* site (lr mismatch).
-    b.asm.mov_imm64(17, lightzone::gate::layout::gate_va(5));
-    b.asm.blr(17);
+    attacks::forged_gate_call(&mut b.asm, 5);
     b.asm.exit_imm(0);
     let prog = b.build();
     for platform in Platform::ALL {
@@ -135,19 +112,22 @@ fn hijack_unregistered_gate_killed() {
     assert_eq!(run(&prog, Platform::CortexA55, false), SECURITY_KILL);
 }
 
-/// All the sensitive encodings of Table 3 that a malicious binary might
-/// inject, each of which the sanitizer must reject before execution.
-fn injected_words() -> Vec<(&'static str, u32)> {
-    use lz_arch::insn::Insn;
-    use lz_arch::sysreg::SysReg;
-    vec![
-        ("eret", Insn::Eret.encode()),
-        ("msr ttbr1_el1", Insn::MsrReg { enc: SysReg::TTBR1_EL1.encoding(), rt: 0 }.encode()),
-        ("msr vbar_el1", Insn::MsrReg { enc: SysReg::VBAR_EL1.encoding(), rt: 0 }.encode()),
-        ("msr elr_el1", Insn::MsrReg { enc: SysReg::ELR_EL1.encoding(), rt: 0 }.encode()),
-        ("msr spsel", Insn::MsrImm { op1: 0b000, crm: 1, op2: 0b101 }.encode()),
-        ("dc civac", 0xD50B_7E20),
-    ]
+#[test]
+fn hijack_mid_gate_jump_killed() {
+    // Garmr-class hijack: land directly on the gate's phase-① `msr` with
+    // an attacker-chosen x13 (the legitimate TTBRTab entry of the victim
+    // table), skipping the GateTab lookup. Check phase ② still kills.
+    let mut b = LzProgramBuilder::new(CODE);
+    ttbr_128_base(&mut b);
+    b.lz_switch_to_ttbr_gate(9); // registers gate 9 legally
+    attacks::mid_gate_jump(&mut b.asm, 9, 42);
+    b.asm.exit_imm(0);
+    let prog = b.build();
+    // The primitive zeroes x10 so the skipped phase ①'s GateTab pointer
+    // is gone: the check phase's re-query faults fail-closed (-11) before
+    // the lr compare can even raise the SECURITY_KILL brk.
+    let exit = run(&prog, Platform::CortexA55, false);
+    assert!(exit == SECURITY_KILL || exit == -11, "mid-gate jump must die, got {exit}");
 }
 
 #[test]
@@ -185,36 +165,7 @@ fn wx_alias_attack_contained() {
     // X alias. In LightZone the two views live in different page tables
     // (the JIT pattern); the write revokes exec everywhere (break-before-
     // make) and the re-scan finds the injected instruction.
-    let jit = 0x61_0000u64;
-    let mut b = LzProgramBuilder::new(CODE);
-    let mut seed = Asm::new(jit);
-    seed.ret();
-    b.with_segment(jit, seed.bytes(), VmProt::RWX);
-    b.asm.lz_enter(true, SAN_TTBR);
-    b.asm.lz_alloc(); // 1: writer view
-    b.asm.lz_alloc(); // 2: executor view
-    b.asm.lz_map_gate_pgt_imm(1, 0);
-    b.asm.lz_map_gate_pgt_imm(2, 1);
-    b.asm.lz_map_gate_pgt_imm(2, 3);
-    b.asm.lz_map_gate_pgt_imm(0, 2);
-    b.asm.lz_prot_imm(jit, 4096, 1, RW);
-    b.asm.lz_prot_imm(jit, 4096, 2, 1 | 4); // READ | EXEC
-                                            // Execute once (scanned clean).
-    b.lz_switch_to_ttbr_gate(1);
-    b.asm.mov_imm64(17, jit);
-    b.asm.blr(17);
-    b.lz_switch_to_ttbr_gate(2); // back to default
-                                 // Write an ERET through the writer view.
-    b.lz_switch_to_ttbr_gate(0);
-    b.asm.mov_imm64(1, jit);
-    b.asm.mov_imm64(2, lz_arch::insn::Insn::Eret.encode() as u64);
-    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
-    // Execute through the executor view: rescan must catch the ERET.
-    b.lz_switch_to_ttbr_gate(3);
-    b.asm.mov_imm64(17, jit);
-    b.asm.blr(17);
-    b.asm.exit_imm(0);
-    let prog = b.build();
+    let prog = wx_alias_attack_prog();
     for platform in Platform::ALL {
         assert_eq!(run(&prog, platform, false), SECURITY_KILL, "{platform:?}");
     }
@@ -229,48 +180,28 @@ fn wx_read_fault_flip_contained() {
     // leaving the executor view's X mapping and TLB entry alive on the
     // now-writable page: the payload store then hits silently and the
     // stale alias executes it without a rescan. The read-fault flip must
-    // revoke exec everywhere just like the write-fault flip does.
-    let jit = 0x61_0000u64;
-    let mut b = LzProgramBuilder::new(CODE);
-    let mut seed = Asm::new(jit);
-    seed.nop();
-    seed.ret();
-    b.with_segment(jit, seed.bytes(), VmProt::RWX);
-    b.asm.lz_enter(true, SAN_TTBR);
-    b.asm.lz_alloc(); // 1: writer view
-    b.asm.lz_alloc(); // 2: executor view
-    b.asm.lz_map_gate_pgt_imm(1, 0);
-    b.asm.lz_map_gate_pgt_imm(2, 1);
-    b.asm.lz_map_gate_pgt_imm(2, 3);
-    b.asm.lz_map_gate_pgt_imm(0, 2);
-    b.asm.lz_prot_imm(jit, 4096, 1, RW);
-    b.asm.lz_prot_imm(jit, 4096, 2, 1 | 4); // READ | EXEC
-                                            // Execute once (scanned clean) through the executor view.
-    b.lz_switch_to_ttbr_gate(1);
-    b.asm.mov_imm64(17, jit);
-    b.asm.blr(17);
-    b.lz_switch_to_ttbr_gate(2); // back to default
-                                 // Read-fault the page in the writer view: the W+X VMA grants write
-                                 // on a read fault, flipping the page out of the Executable state.
-    b.lz_switch_to_ttbr_gate(0);
-    b.asm.mov_imm64(1, jit);
-    b.asm.ldr(2, 1, 0);
-    // The mapping is already writable — this store raises no fault. The
+    // revoke exec everywhere just like the write-fault flip does. The
     // payload (`dc civac`) is forbidden by the sanitizer but semantically
     // inert when it actually executes, so a successful attack runs to a
     // clean exit instead of being caught downstream.
-    let dc_civac = lz_arch::insn::Insn::Sys { l: false, op1: 3, crn: 7, crm: 14, op2: 1, rt: 2 };
-    b.asm.mov_imm64(2, dc_civac.encode() as u64);
-    b.asm.emit(lz_arch::insn::Insn::StrImm { rt: 2, rn: 1, offset: 0, size: lz_arch::insn::MemSize::W });
-    // Execute through the executor view: only break-before-make on the
-    // read-fault flip forces the refetch + rescan that catches the ERET.
-    b.lz_switch_to_ttbr_gate(3);
-    b.asm.mov_imm64(17, jit);
-    b.asm.blr(17);
-    b.asm.exit_imm(0);
-    let prog = b.build();
+    let prog = wx_read_fault_flip_prog();
     for platform in Platform::ALL {
         assert_eq!(run(&prog, platform, false), SECURITY_KILL, "{platform:?}");
+    }
+}
+
+#[test]
+fn kernel_context_pages_unwritable() {
+    // Garmr-class kernel-context abuse: stores into the TTBR1-mapped
+    // stub, gate-table and TTBR-table pages must all die.
+    use lightzone::gate::layout;
+    for va in [layout::STUB_VA, layout::TTBRTAB_VA, layout::GATETAB_VA, layout::gate_va(0)] {
+        let mut b = LzProgramBuilder::new(CODE);
+        ttbr_128_base(&mut b);
+        attacks::kernel_page_store(&mut b.asm, va, 0x4141_4141);
+        b.asm.exit_imm(0);
+        let prog = b.build();
+        assert_eq!(run(&prog, Platform::CortexA55, false), SECURITY_KILL, "store to {va:#x}");
     }
 }
 
@@ -281,7 +212,7 @@ fn unprivileged_loadstore_cannot_leak_pan_domain() {
     let mut b = LzProgramBuilder::new(CODE);
     b.with_anon_segment(ARENA, PAGE_SIZE, VmProt::RW);
     b.asm.lz_enter(false, SAN_PAN);
-    b.asm.lz_prot_imm(ARENA, PAGE_SIZE, PGT_ALL, RW | USER);
+    b.asm.lz_prot_imm(ARENA, PAGE_SIZE, lightzone::pgt::PGT_ALL, lightzone::api::RW | lightzone::api::USER);
     b.asm.mov_imm64(1, ARENA);
     b.asm.ldtr(2, 1, 0); // would bypass PAN if it ever executed
     b.asm.exit_imm(0);

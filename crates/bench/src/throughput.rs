@@ -100,7 +100,7 @@ impl ThroughputResult {
                 "\"speedup\":{:.2},\"cycles_cache_on\":{},\"cycles_cache_off\":{},",
                 "\"mem_insns\":{},\"mips_mem_on\":{:.2},\"mips_mem_off\":{:.2},",
                 "\"mem_speedup\":{:.2},\"cycles_mem_on\":{},\"cycles_mem_off\":{},",
-                "\"cycles_match\":{}}}"
+                "\"jit\":{},\"cycles_match\":{}}}"
             ),
             SEED,
             self.alu.insns,
@@ -117,6 +117,7 @@ impl ThroughputResult {
             self.mem.speedup(),
             self.mem.cycles_on,
             self.mem.cycles_off,
+            lz_machine::default_jit(),
             self.cycles_match(),
         )
     }
@@ -169,6 +170,10 @@ fn hot_loop_machine(insns_target: u64, accel: bool, workload: Workload) -> (Mach
     let mut m = Machine::new(Platform::CortexA55);
     m.set_fetch_cache(accel);
     m.set_fastpath(accel);
+    // The JIT polarity follows the process default (`LZ_JIT`), recorded
+    // in the report's `jit` field so the bench trajectory distinguishes
+    // the engines; the off leg disables the whole layer regardless.
+    m.set_jit(accel && lz_machine::default_jit());
     let root = alloc_table(&mut m.mem);
     let code_pa = m.mem.alloc_frame();
     m.mem.write_bytes(code_pa, &a.bytes());

@@ -195,6 +195,9 @@ pub struct SynthConfig {
     pub platform: Platform,
     pub cores: Vec<usize>,
     pub fastpaths: Vec<bool>,
+    /// Template-JIT polarities to sweep (compiled vs interpreted
+    /// superblocks must be attack-indistinguishable).
+    pub jits: Vec<bool>,
     pub pan_domains: u64,
     pub ttbr_domains: u64,
     /// ddmin-shrink escaping attacks (the expensive part).
@@ -203,13 +206,14 @@ pub struct SynthConfig {
 
 impl SynthConfig {
     /// The full release matrix (`repro attacks`): 1- and 4-core,
-    /// fastpath on and off.
+    /// fastpath on and off, JIT on and off.
     pub fn full(seed: u64) -> Self {
         SynthConfig {
             seed,
             platform: Platform::CortexA55,
             cores: vec![1, 4],
             fastpaths: vec![true, false],
+            jits: vec![true, false],
             pan_domains: 8,
             ttbr_domains: 6,
             shrink: true,
@@ -217,9 +221,14 @@ impl SynthConfig {
     }
 
     /// Reduced matrix for the in-tree debug test: both core counts
-    /// (the stale-alias family needs a remote core), default fast path.
+    /// (the stale-alias family needs a remote core), default fast path
+    /// and JIT polarity.
     pub fn reduced(seed: u64) -> Self {
-        SynthConfig { fastpaths: vec![lz_machine::default_fastpath()], ..SynthConfig::full(seed) }
+        SynthConfig {
+            fastpaths: vec![lz_machine::default_fastpath()],
+            jits: vec![lz_machine::default_jit()],
+            ..SynthConfig::full(seed)
+        }
     }
 }
 
@@ -685,9 +694,10 @@ pub fn run_candidate(
     ablation: AblationConfig,
     cores: usize,
     fastpath: bool,
+    jit: bool,
     cfg: &SynthConfig,
 ) -> bool {
-    let ablation = AblationConfig { fastpath, ..ablation };
+    let ablation = AblationConfig { fastpath, jit, ..ablation };
     let prog = materialize(c, subset, cfg);
     match c.family {
         Family::StaleAlias => run_stale_oracle(&prog, c, ablation, cores, cfg.platform),
@@ -813,21 +823,23 @@ pub fn run_synthesis(cfg: &SynthConfig) -> AttackCorpusReport {
         let mut col = AblationOutcome { defense, ..AblationOutcome::default() };
         let mut distinct: BTreeSet<String> = BTreeSet::new();
         for c in &candidates {
-            let mut escaping_cell: Option<(usize, bool)> = None;
+            let mut escaping_cell: Option<(usize, bool, bool)> = None;
             for &cores in &cfg.cores {
                 for &fp in &cfg.fastpaths {
-                    col.runs += 1;
-                    if run_candidate(c, &c.all_steps(), ablation, cores, fp, cfg) {
-                        col.escapes += 1;
-                        distinct.insert(c.id());
-                        escaping_cell.get_or_insert((cores, fp));
+                    for &jit in &cfg.jits {
+                        col.runs += 1;
+                        if run_candidate(c, &c.all_steps(), ablation, cores, fp, jit, cfg) {
+                            col.escapes += 1;
+                            distinct.insert(c.id());
+                            escaping_cell.get_or_insert((cores, fp, jit));
+                        }
                     }
                 }
             }
             if shrink {
-                if let Some((cores, fp)) = escaping_cell {
+                if let Some((cores, fp, jit)) = escaping_cell {
                     let shrunk =
-                        ddmin_set(&c.all_steps(), |s| run_candidate(c, s, ablation, cores, fp, cfg).then_some(()));
+                        ddmin_set(&c.all_steps(), |s| run_candidate(c, s, ablation, cores, fp, jit, cfg).then_some(()));
                     if let Some((minimal, ())) = shrunk {
                         col.shrunk.push(ShrunkAttack {
                             attack: c.id(),
@@ -883,7 +895,15 @@ mod tests {
         let cfg = SynthConfig::reduced(1);
         let c = generate(&cfg).into_iter().find(|c| c.family == Family::GateAbuse).expect("gate candidate");
         assert!(
-            !run_candidate(&c, &c.all_steps(), AblationConfig::default(), 1, lz_machine::default_fastpath(), &cfg),
+            !run_candidate(
+                &c,
+                &c.all_steps(),
+                AblationConfig::default(),
+                1,
+                lz_machine::default_fastpath(),
+                lz_machine::default_jit(),
+                &cfg
+            ),
             "gate abuse must be defeated with the check phase on"
         );
     }
@@ -899,6 +919,7 @@ mod tests {
                 AblationConfig::with_defense_off(Defense::GateCheckPhase),
                 1,
                 lz_machine::default_fastpath(),
+                lz_machine::default_jit(),
                 &cfg
             ),
             "forged gate call must land in the victim domain without the check phase"
@@ -910,12 +931,21 @@ mod tests {
         let cfg = SynthConfig::reduced(2);
         let c = generate(&cfg).into_iter().find(|c| c.family == Family::PhysProbe).expect("probe candidate");
         let fp = lz_machine::default_fastpath();
+        let jit = lz_machine::default_jit();
         assert!(
-            !run_candidate(&c, &c.all_steps(), AblationConfig::default(), 1, fp, &cfg),
+            !run_candidate(&c, &c.all_steps(), AblationConfig::default(), 1, fp, jit, &cfg),
             "randomized fake roots must not leak the real layout"
         );
         assert!(
-            run_candidate(&c, &c.all_steps(), AblationConfig::with_defense_off(Defense::RandomizePhys), 1, fp, &cfg),
+            run_candidate(
+                &c,
+                &c.all_steps(),
+                AblationConfig::with_defense_off(Defense::RandomizePhys),
+                1,
+                fp,
+                jit,
+                &cfg
+            ),
             "identity fake-phys must leak a real table root"
         );
     }
@@ -925,16 +955,33 @@ mod tests {
         let cfg = SynthConfig::reduced(3);
         let c = generate(&cfg).into_iter().find(|c| c.family == Family::StaleAlias).expect("stale candidate");
         let fp = lz_machine::default_fastpath();
+        let jit = lz_machine::default_jit();
         assert!(
-            !run_candidate(&c, &c.all_steps(), AblationConfig::default(), 4, fp, &cfg),
+            !run_candidate(&c, &c.all_steps(), AblationConfig::default(), 4, fp, jit, &cfg),
             "IPI shootdown must kill the stale alias"
         );
         assert!(
-            run_candidate(&c, &c.all_steps(), AblationConfig::with_defense_off(Defense::RemoteShootdown), 4, fp, &cfg),
+            run_candidate(
+                &c,
+                &c.all_steps(),
+                AblationConfig::with_defense_off(Defense::RemoteShootdown),
+                4,
+                fp,
+                jit,
+                &cfg
+            ),
             "skipping the remote shootdown must leave the stale alias live"
         );
         assert!(
-            !run_candidate(&c, &c.all_steps(), AblationConfig::with_defense_off(Defense::RemoteShootdown), 1, fp, &cfg),
+            !run_candidate(
+                &c,
+                &c.all_steps(),
+                AblationConfig::with_defense_off(Defense::RemoteShootdown),
+                1,
+                fp,
+                jit,
+                &cfg
+            ),
             "on one core the local invalidate alone must defeat the attack"
         );
     }

@@ -52,6 +52,11 @@ pub struct AblationConfig {
     /// construction; exposed as a knob so the differential harness can
     /// prove it (see `tests/differential.rs`).
     pub fastpath: bool,
+    /// Template-JIT superblock engine (see `lz_machine::jit`). Layers on
+    /// `fastpath`; cycle-invariant by construction and exposed as its own
+    /// ablation column so attack synthesis and the differential harness
+    /// sweep compiled and interpreted execution independently.
+    pub jit: bool,
     /// **Deliberately broken** when `true`: skip the cross-core IPI
     /// shootdown on break-before-make and detach paths, invalidating
     /// only the issuing core's TLB. Models a kernel that forgets remote
@@ -70,6 +75,7 @@ impl Default for AblationConfig {
             shared_pt_regs: true,
             deferred_sysreg_page: true,
             fastpath: lz_machine::default_fastpath(),
+            jit: lz_machine::default_jit(),
             skip_remote_shootdown: false,
         }
     }
@@ -1395,6 +1401,7 @@ impl LightZone {
     pub fn with_ablation(platform: Platform, guest: bool, ablation: AblationConfig) -> Self {
         let mut kernel = if guest { Kernel::new_guest(platform) } else { Kernel::new_host(platform) };
         kernel.machine.set_fastpath(ablation.fastpath);
+        kernel.machine.set_jit(ablation.jit);
         let mut module = LzModule::new();
         module.ablation = ablation;
         LightZone { kernel, module }

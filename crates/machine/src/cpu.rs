@@ -73,10 +73,36 @@ pub fn set_default_fastpath(on: bool) {
     fastpath_flag().store(on, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`Machine::set_jit`], initialised from the
+/// `LZ_JIT` environment variable (`0`/`off` disables). Governs the
+/// template-JIT superblock engine (see [`crate::jit`]); it layers on top
+/// of the fetch cache and the data-side fast path, so it only ever
+/// engages when both of those are on too.
+fn jit_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = !matches!(std::env::var("LZ_JIT").as_deref(), Ok("0") | Ok("off") | Ok("false"));
+        AtomicBool::new(on)
+    })
+}
+
+/// The default template-JIT setting for new [`Machine`]s.
+pub fn default_jit() -> bool {
+    jit_flag().load(Ordering::Relaxed)
+}
+
+/// Override the default template-JIT setting for new [`Machine`]s
+/// (tests and benchmarks; existing machines are unaffected).
+pub fn set_default_jit(on: bool) {
+    jit_flag().store(on, Ordering::Relaxed);
+}
+
 /// Upper bound on instructions per superblock. Bounds the per-block
 /// scratch buffer; the effective bound is `min(SUPERBLOCK_MAX, budget)`
-/// so scheduler quanta are never overrun.
-const SUPERBLOCK_MAX: u64 = 64;
+/// so scheduler quanta are never overrun. Compiled JIT blocks inherit
+/// this bound (they are lowered from extracted superblocks) and re-check
+/// it against the live budget at entry — see `Machine::step_block`.
+pub(crate) const SUPERBLOCK_MAX: u64 = 64;
 
 /// Why the interpreter stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +190,23 @@ impl Cpu {
         }
     }
 
+    /// Shared add/sub datapath with optional NZCV update — single source
+    /// of truth for the interpreter (`AddImm`/`AddReg`) and the JIT's
+    /// arithmetic templates, so their flag math cannot drift apart.
+    pub(crate) fn arith(&mut self, rd: u8, a: u64, b: u64, sub: bool, set_flags: bool) {
+        let (r, c, v) = if sub {
+            let r = a.wrapping_sub(b);
+            (r, a >= b, ((a ^ b) & (a ^ r)) >> 63 == 1)
+        } else {
+            let r = a.wrapping_add(b);
+            (r, r < a, ((!(a ^ b)) & (a ^ r)) >> 63 == 1)
+        };
+        if set_flags {
+            self.pstate.nzcv = Nzcv { n: r >> 63 == 1, z: r == 0, c, v };
+        }
+        self.set_reg(rd, r);
+    }
+
     /// Base-register read for loads/stores (31 = SP).
     fn base_reg(&self, i: u8) -> u64 {
         if i == 31 {
@@ -198,6 +241,11 @@ pub struct Machine {
     /// Decoded-block fetch cache toggle. Skips host-side walk + decode
     /// work only; modelled cycles are bit-identical either way.
     fetch_cache: bool,
+    /// Template-JIT toggle. Machine-wide (like `fetch_cache`): compiled
+    /// blocks themselves live per-core inside each TLB's icache. Only
+    /// engages when the fetch cache and the fast path are also on;
+    /// modelled cycles and journals are bit-identical either way.
+    jit: bool,
     /// Generation of the translation-regime system registers; bumped by
     /// [`Machine::set_sysreg`] so [`Machine::walk_config`] can memoise.
     cfg_gen: u64,
@@ -229,6 +277,7 @@ impl Machine {
             metrics: MachineMetrics::default(),
             el1_external: false,
             fetch_cache: default_fetch_cache(),
+            jit: default_jit(),
             cfg_gen: 0,
             cfg_memo: Cell::new(None),
             sb_buf: Vec::with_capacity(SUPERBLOCK_MAX as usize),
@@ -270,6 +319,22 @@ impl Machine {
     /// Whether the data-side fast path is enabled (active core).
     pub fn fastpath(&self) -> bool {
         self.tlb.fastpath()
+    }
+
+    /// Enable or disable the template-JIT superblock engine. Host-side
+    /// only — compiled blocks replay exactly the cycles, counters, and
+    /// journal the interpreter superblock would produce (differential
+    /// suite). Disabling drops nothing: stale compiled blocks are simply
+    /// never served, and the icache's invalidation scopes already drop
+    /// them alongside their decoded pages.
+    pub fn set_jit(&mut self, on: bool) {
+        self.jit = on;
+    }
+
+    /// Whether the template-JIT is enabled (it engages only when the
+    /// fetch cache and the data-side fast path are also on).
+    pub fn jit(&self) -> bool {
+        self.jit
     }
 
     /// Enable or disable journal recording for this machine, overriding
@@ -331,7 +396,9 @@ impl Machine {
             .with("s2_access_flag_faults", w.s2_access_flag_faults)
             .with("dtlb_hits", fast.dtlb_hits)
             .with("superblock_exits", fast.superblock_exits)
-            .with("walkcache_hits", fast.walkcache_hits);
+            .with("walkcache_hits", fast.walkcache_hits)
+            .with("jit_blocks", fast.jit_blocks)
+            .with("jit_compiled", fast.jit_compiled);
 
         let mut gate = Section::new("gate").with("switches", self.metrics.domain_switches);
         gate.push("distinct_domains", self.metrics.switches_by_asid.len() as u64);
@@ -558,6 +625,23 @@ impl Machine {
             return (1, self.step());
         }
         let el = self.cpu.pstate.el;
+        if self.jit {
+            if let Some((block, pa_page, frame_version)) =
+                self.tlb.jit_block(&self.mem, cfg.vmid(), cfg.asid(), el, pc, cfg.s1_enabled, cfg.wxn)
+            {
+                // A compiled block charges its ALU runs in batches, so it
+                // must never be entered with fewer budgeted instructions
+                // than it retires: re-check the quantum here rather than
+                // at extraction time (the interpreter path's `max` clamp)
+                // and fall back to the clamped interpreter superblock
+                // when the quantum is nearly spent.
+                if u64::from(block.total) <= budget {
+                    let (used, exit) = self.step_jit(&block, pc, pa_page, frame_version);
+                    debug_assert!(used <= budget, "JIT block overran its quantum budget");
+                    return (used, exit);
+                }
+            }
+        }
         let max = budget.min(SUPERBLOCK_MAX) as usize;
         let mut buf = std::mem::take(&mut self.sb_buf);
         let got =
@@ -566,6 +650,15 @@ impl Machine {
             self.sb_buf = buf;
             return (1, self.step());
         };
+        // Lower this superblock for future entries — but only when its
+        // boundary is natural (terminal, empty slot, page end), not an
+        // artifact of a nearly-spent quantum: compiled blocks must have
+        // budget-independent shape.
+        if self.jit && (buf.len() < max || max == SUPERBLOCK_MAX as usize) {
+            if let Some(block) = crate::jit::lower(pc, &buf, self.model.insn_base) {
+                self.tlb.store_jit_block(cfg.vmid(), cfg.asid(), el, pc, block);
+            }
+        }
         let gen0 = self.tlb.generation();
         let mut checked_wg = self.mem.write_gen();
         let mut used = 0u64;
@@ -602,6 +695,89 @@ impl Machine {
         (used, exit)
     }
 
+    /// Execute a compiled superblock (see [`crate::jit`]).
+    ///
+    /// Equivalence to the interpreter superblock: ALU-template runs
+    /// cannot touch the TLB, memory, the PC, or the journal, so the
+    /// per-instruction revalidation `step_block` performs is a provable
+    /// no-op inside a run and is instead performed once per segment
+    /// boundary — which observes exactly the states the interpreter
+    /// would, because only `Slow` segments can perturb them. Cycle,
+    /// instruction, and hit counters are charged in per-run batches that
+    /// sum to the interpreter's per-instruction totals, and no
+    /// cycle-stamped event can be emitted between the instructions of a
+    /// run. `Slow` segments run the interpreter's own bookkeeping
+    /// verbatim.
+    fn step_jit(
+        &mut self,
+        block: &crate::jit::CompiledBlock,
+        pc: u64,
+        pa_page: u64,
+        frame_version: u64,
+    ) -> (u64, Option<Exit>) {
+        use crate::jit::Segment;
+        self.tlb.count_jit_block();
+        let el = self.cpu.pstate.el;
+        let gen0 = self.tlb.generation();
+        let mut checked_wg = self.mem.write_gen();
+        let mut used = 0u64;
+        let mut exit = None;
+        let mut pc_k = pc;
+        for (si, seg) in block.segs.iter().enumerate() {
+            if si > 0 {
+                if self.tlb.generation() != gen0 {
+                    break;
+                }
+                let wg = self.mem.write_gen();
+                if wg != checked_wg {
+                    if self.mem.frame_version(pa_page) != Some(frame_version) {
+                        break;
+                    }
+                    checked_wg = wg;
+                }
+            }
+            match seg {
+                Segment::Alu { ops, cycles } => {
+                    let n = ops.len() as u64;
+                    self.tlb.count_superblock_insns(n);
+                    self.cpu.insns += n;
+                    self.cpu.cycles += cycles;
+                    used += n;
+                    if self.trace.enabled() {
+                        for op in ops.iter() {
+                            self.trace.record(pc_k, op.word, el);
+                            pc_k += 4;
+                        }
+                    } else {
+                        pc_k += 4 * n;
+                    }
+                    let cpu = &mut self.cpu;
+                    for op in ops.iter() {
+                        op.exec(cpu);
+                    }
+                    cpu.pc = pc_k;
+                }
+                Segment::Slow { word, insn } => {
+                    self.tlb.count_superblock_insn();
+                    used += 1;
+                    self.cpu.insns += 1;
+                    self.charge(self.model.insn_base);
+                    self.trace.record(pc_k, *word, el);
+                    exit = self.execute(*insn, *word);
+                    if exit.is_some() {
+                        break;
+                    }
+                    pc_k += 4;
+                    if self.cpu.pc != pc_k {
+                        break;
+                    }
+                }
+            }
+        }
+        self.tlb.count_superblock_exit();
+        (used, exit)
+    }
+
     fn execute(&mut self, insn: Insn, word: u32) -> Option<Exit> {
         let next_pc = self.cpu.pc + 4;
         match insn {
@@ -622,13 +798,13 @@ impl Machine {
             Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags } => {
                 let a = self.cpu.reg(rn);
                 let b = (imm12 as u64) << if shift12 { 12 } else { 0 };
-                self.arith(rd, a, b, sub, set_flags);
+                self.cpu.arith(rd, a, b, sub, set_flags);
                 self.cpu.pc = next_pc;
             }
             Insn::AddReg { rd, rn, rm, shift, sub, set_flags } => {
                 let a = self.cpu.reg(rn);
                 let b = self.cpu.reg(rm) << shift;
-                self.arith(rd, a, b, sub, set_flags);
+                self.cpu.arith(rd, a, b, sub, set_flags);
                 self.cpu.pc = next_pc;
             }
             Insn::LogicReg { rd, rn, rm, shift, op } => {
@@ -677,14 +853,14 @@ impl Machine {
             }
             Insn::Madd { rd, rn, rm, ra } => {
                 let v = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rn).wrapping_mul(self.cpu.reg(rm)));
-                self.charge(2); // multiply latency
+                self.charge(crate::jit::MADD_EXTRA_CYCLES); // multiply latency
                 self.cpu.set_reg(rd, v);
                 self.cpu.pc = next_pc;
             }
             Insn::Udiv { rd, rn, rm } => {
                 let d = self.cpu.reg(rm);
                 let v = self.cpu.reg(rn).checked_div(d).unwrap_or(0);
-                self.charge(8); // divide latency
+                self.charge(crate::jit::UDIV_EXTRA_CYCLES); // divide latency
                 self.cpu.set_reg(rd, v);
                 self.cpu.pc = next_pc;
             }
@@ -818,20 +994,6 @@ impl Machine {
             }
         }
         None
-    }
-
-    fn arith(&mut self, rd: u8, a: u64, b: u64, sub: bool, set_flags: bool) {
-        let (r, c, v) = if sub {
-            let r = a.wrapping_sub(b);
-            (r, a >= b, ((a ^ b) & (a ^ r)) >> 63 == 1)
-        } else {
-            let r = a.wrapping_add(b);
-            (r, r < a, ((!(a ^ b)) & (a ^ r)) >> 63 == 1)
-        };
-        if set_flags {
-            self.cpu.pstate.nzcv = Nzcv { n: r >> 63 == 1, z: r == 0, c, v };
-        }
-        self.cpu.set_reg(rd, r);
     }
 
     fn svc_target(&self) -> ExceptionLevel {

@@ -36,11 +36,13 @@
 //! path would, so paper tables are bit-identical with the cache on or off.
 
 use crate::fxhash::FxHashMap;
+use crate::jit::CompiledBlock;
 use crate::tlb::TlbEntry;
 use crate::PhysMem;
 use lz_arch::insn::Insn;
 use lz_arch::pstate::ExceptionLevel;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 const WORDS_PER_PAGE: usize = 1024;
 
@@ -87,6 +89,13 @@ struct PageEntry {
     fast_gen: u64,
     fast_asid: u16,
     slots: Vec<Option<(u32, Insn)>>,
+    /// Compiled superblocks keyed by start slot (see [`crate::jit`]).
+    /// Sharing the page entry means every path that drops or restarts the
+    /// decoded page — TLBI scopes, content staleness, capacity eviction —
+    /// drops its compiled blocks for the same reason at the same moment;
+    /// serve-time validation then only has to mirror
+    /// [`ICache::superblock`]'s checks.
+    blocks: FxHashMap<u16, Rc<CompiledBlock>>,
 }
 
 /// What a probe found.
@@ -228,7 +237,13 @@ impl ICache {
             if let Some(e) = entries.iter_mut().find(|e| e.info.asid == info.asid && e.info.el == info.el) {
                 if e.info == info && e.frame_version == frame_version {
                     e.checked_gen = checked_gen;
-                    e.slots[slot] = Some((word, insn));
+                    if e.slots[slot] != Some((word, insn)) {
+                        // A newly decoded slot can lengthen a run that
+                        // previously ended at an empty slot: drop compiled
+                        // blocks so they re-lower against the full run.
+                        e.blocks.clear();
+                        e.slots[slot] = Some((word, insn));
+                    }
                 } else {
                     // Regime or content moved on: restart the entry.
                     self.evictions += 1;
@@ -237,6 +252,7 @@ impl ICache {
                     e.checked_gen = checked_gen;
                     e.fast_gen = 0;
                     e.slots.iter_mut().for_each(|s| *s = None);
+                    e.blocks.clear();
                     e.slots[slot] = Some((word, insn));
                 }
                 return;
@@ -256,7 +272,15 @@ impl ICache {
         }
         let mut slots = vec![None; WORDS_PER_PAGE];
         slots[slot] = Some((word, insn));
-        entries.push(PageEntry { info, frame_version, checked_gen, fast_gen: 0, fast_asid: 0, slots });
+        entries.push(PageEntry {
+            info,
+            frame_version,
+            checked_gen,
+            fast_gen: 0,
+            fast_asid: 0,
+            slots,
+            blocks: FxHashMap::default(),
+        });
     }
 
     /// The memoised fast path: serve a block with *no* TLB interaction
@@ -358,11 +382,77 @@ impl ICache {
         Some((e.info.pa_page, e.frame_version))
     }
 
+    /// Serve a compiled superblock for the fetch at `va`. Validation is
+    /// exactly [`Self::superblock`]'s — armed at `tlb_gen` for `asid`,
+    /// regime flags unchanged, code frame content-fresh — so a compiled
+    /// block is served only in states where the decoded run it was
+    /// lowered from would have been. Returns the block plus the backing
+    /// `(pa_page, frame_version)` for per-segment content revalidation.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn jit_block(
+        &mut self,
+        mem: &PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+        tlb_gen: u64,
+    ) -> Option<(Rc<CompiledBlock>, u64, u64)> {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let entries = self.pages.get_mut(&key)?;
+        let e = entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
+        if e.fast_gen != tlb_gen || e.fast_asid != asid || e.info.s1_enabled != s1_enabled || e.info.wxn != wxn {
+            return None;
+        }
+        if e.checked_gen != mem.write_gen() {
+            if mem.frame_version(e.info.pa_page) != Some(e.frame_version) {
+                return None;
+            }
+            e.checked_gen = mem.write_gen();
+        }
+        let slot = (va >> 2) as u16 & (WORDS_PER_PAGE as u16 - 1);
+        let block = e.blocks.get(&slot)?;
+        Some((Rc::clone(block), e.info.pa_page, e.frame_version))
+    }
+
+    /// Attach a compiled superblock to the page entry its decoded run was
+    /// just extracted from. A missing entry (evicted between extraction
+    /// and lowering — impossible today, but cheap to tolerate) simply
+    /// drops the block.
+    pub(crate) fn store_jit_block(
+        &mut self,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        block: CompiledBlock,
+    ) -> bool {
+        let key = PageKey { vmid, vpn: va >> 12 };
+        let Some(entries) = self.pages.get_mut(&key) else { return false };
+        let Some(e) =
+            entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)
+        else {
+            return false;
+        };
+        let slot = (va >> 2) as u16 & (WORDS_PER_PAGE as u16 - 1);
+        e.blocks.insert(slot, Rc::new(block));
+        true
+    }
+
     /// Replay one decoded-block hit (superblock per-instruction
     /// bookkeeping).
     #[inline]
     pub(crate) fn count_hit(&mut self) {
         self.hits += 1;
+    }
+
+    /// Replay `n` decoded-block hits at once (JIT ALU-run bookkeeping).
+    #[inline]
+    pub(crate) fn count_hits(&mut self, n: u64) {
+        self.hits += n;
     }
 
     /// Record that, at TLB generation `tlb_gen`, serving this page's block

@@ -1,0 +1,366 @@
+//! Template-JIT superblock engine: a lowered IR of pre-specialized host
+//! closures for the chainable ALU subset.
+//!
+//! The interpreter's superblocks (see `Machine::step_block`) already
+//! execute straight-line decoded runs, but still dispatch one decoded
+//! [`Insn`] at a time through the full `execute` match, re-checking the
+//! TLB generation and the code frame's content version between every
+//! instruction. This module lowers a superblock once into a
+//! [`CompiledBlock`]: runs of pure-ALU *templates* — function pointers
+//! selected at lowering time with register slots resolved, immediates
+//! constant-folded (including fully PC-folded `ADR`/`ADRP`, since a
+//! block's virtual address is fixed by its icache key), and flag-setting
+//! variants split into their own entry points — separated by `Slow`
+//! segments for anything that needs full interpreter bookkeeping
+//! (loads/stores and the block's trailing non-chainable instruction).
+//!
+//! # Why per-segment revalidation is exact
+//!
+//! The interpreter superblock revalidates `Tlb::generation` and
+//! `PhysMem::write_gen`/`frame_version` before every instruction after
+//! the first. An ALU template touches only `Cpu` registers, NZCV, and
+//! the cycle/instruction counters: it cannot insert or promote a TLB
+//! entry, write memory, fault, or move the PC off the fall-through path.
+//! Both checks are therefore provably no-ops *inside* an ALU run, and
+//! checking once per segment boundary observes exactly the states the
+//! interpreter would. `Slow` segments run through `Machine::execute`
+//! with the interpreter's own per-instruction bookkeeping, so a store
+//! that bumps `write_gen` (self-modifying code) or a load that promotes
+//! a TLB entry ends the compiled block at the same boundary it would
+//! have ended the decoded one.
+//!
+//! # Why batched cycle charging is cycle-invariant
+//!
+//! Each ALU run's modelled cost (`n × insn_base` plus fixed
+//! multiply/divide latencies) is summed at lowering time and charged in
+//! one `cycles +=`. The only observers of intermediate cycle values are
+//! journal events (`Machine::record_event` stamps `cpu.cycles`) and
+//! traps — and ALU templates emit neither, so no observation point can
+//! distinguish batched from per-instruction charging. Trace entries are
+//! `(pc, word, EL)` tuples without a cycle stamp and are replayed
+//! per-op when tracing is enabled.
+
+use crate::cpu::Cpu;
+use lz_arch::insn::{Cond, Insn, LogicOp};
+use lz_arch::pstate::Nzcv;
+
+/// Extra modelled latency of `MADD` beyond `insn_base` (shared with the
+/// interpreter's `execute`).
+pub(crate) const MADD_EXTRA_CYCLES: u64 = 2;
+/// Extra modelled latency of `UDIV` beyond `insn_base`.
+pub(crate) const UDIV_EXTRA_CYCLES: u64 = 8;
+
+/// One lowered ALU instruction: a template function plus its resolved
+/// operands. `run` is selected at lowering time (flag-setting and
+/// add/sub variants get distinct entry points), register slots are plain
+/// indices (`x31` semantics live in [`Cpu::reg`]/[`Cpu::set_reg`]), and
+/// `a`/`b` carry folded immediates — a shift amount, a pre-shifted
+/// imm12, a MOVK keep-mask, or a fully PC-folded `ADR`/`ADRP` result.
+/// `word` is kept for trace replay.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tmpl {
+    run: fn(&mut Cpu, &Tmpl),
+    a: u64,
+    b: u64,
+    rd: u8,
+    rn: u8,
+    rm: u8,
+    ra: u8,
+    cond: Cond,
+    pub(crate) word: u32,
+}
+
+impl Tmpl {
+    /// Execute this template against `cpu`.
+    #[inline(always)]
+    pub(crate) fn exec(&self, cpu: &mut Cpu) {
+        (self.run)(cpu, self)
+    }
+}
+
+/// A compiled superblock segment.
+#[derive(Debug)]
+pub(crate) enum Segment {
+    /// A run of pure-ALU templates; `cycles` is the run's total modelled
+    /// cost (`ops.len() × insn_base` plus fixed latencies), charged once.
+    Alu { ops: Box<[Tmpl]>, cycles: u64 },
+    /// An instruction that needs full interpreter bookkeeping: a
+    /// load/store (may fault, self-modify, or perturb the TLB) or the
+    /// block's trailing non-chainable instruction.
+    Slow { word: u32, insn: Insn },
+}
+
+/// A superblock lowered to alternating ALU-template runs and `Slow`
+/// interpreter segments. Stored in the icache page entry that produced
+/// it and therefore dropped by exactly the invalidation scopes (TLBI,
+/// ASID/VMID maintenance, content staleness, capacity) that drop the
+/// decoded block; serve-time and per-segment revalidation mirror the
+/// interpreter superblock's checks.
+#[derive(Debug)]
+pub struct CompiledBlock {
+    pub(crate) segs: Box<[Segment]>,
+    /// Total instruction count across all segments — equals the decoded
+    /// run length, and bounds what one entry can retire (the dispatcher
+    /// refuses entry when this exceeds the remaining quantum budget).
+    pub(crate) total: u32,
+}
+
+// --- template library ---------------------------------------------------
+
+fn t_mov_const(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.set_reg(t.rd, t.a);
+}
+
+fn t_movk(cpu: &mut Cpu, t: &Tmpl) {
+    let old = cpu.reg(t.rd);
+    cpu.set_reg(t.rd, (old & t.a) | t.b);
+}
+
+fn t_add_imm(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), t.a, false, false);
+}
+
+fn t_adds_imm(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), t.a, false, true);
+}
+
+fn t_sub_imm(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), t.a, true, false);
+}
+
+fn t_subs_imm(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), t.a, true, true);
+}
+
+fn t_add_reg(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), cpu.reg(t.rm) << t.a, false, false);
+}
+
+fn t_adds_reg(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), cpu.reg(t.rm) << t.a, false, true);
+}
+
+fn t_sub_reg(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), cpu.reg(t.rm) << t.a, true, false);
+}
+
+fn t_subs_reg(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.arith(t.rd, cpu.reg(t.rn), cpu.reg(t.rm) << t.a, true, true);
+}
+
+fn t_and(cpu: &mut Cpu, t: &Tmpl) {
+    let r = cpu.reg(t.rn) & (cpu.reg(t.rm) << t.a);
+    cpu.set_reg(t.rd, r);
+}
+
+fn t_orr(cpu: &mut Cpu, t: &Tmpl) {
+    let r = cpu.reg(t.rn) | (cpu.reg(t.rm) << t.a);
+    cpu.set_reg(t.rd, r);
+}
+
+fn t_eor(cpu: &mut Cpu, t: &Tmpl) {
+    let r = cpu.reg(t.rn) ^ (cpu.reg(t.rm) << t.a);
+    cpu.set_reg(t.rd, r);
+}
+
+fn t_ands(cpu: &mut Cpu, t: &Tmpl) {
+    let r = cpu.reg(t.rn) & (cpu.reg(t.rm) << t.a);
+    cpu.pstate.nzcv = Nzcv { n: r >> 63 == 1, z: r == 0, c: false, v: false };
+    cpu.set_reg(t.rd, r);
+}
+
+fn t_lsr(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.set_reg(t.rd, cpu.reg(t.rn) >> t.a);
+}
+
+fn t_lsl(cpu: &mut Cpu, t: &Tmpl) {
+    cpu.set_reg(t.rd, cpu.reg(t.rn) << t.a);
+}
+
+fn t_madd(cpu: &mut Cpu, t: &Tmpl) {
+    let v = cpu.reg(t.ra).wrapping_add(cpu.reg(t.rn).wrapping_mul(cpu.reg(t.rm)));
+    cpu.set_reg(t.rd, v);
+}
+
+fn t_udiv(cpu: &mut Cpu, t: &Tmpl) {
+    let v = cpu.reg(t.rn).checked_div(cpu.reg(t.rm)).unwrap_or(0);
+    cpu.set_reg(t.rd, v);
+}
+
+fn t_csel(cpu: &mut Cpu, t: &Tmpl) {
+    let v = if t.cond.holds(cpu.pstate.nzcv) { cpu.reg(t.rn) } else { cpu.reg(t.rm) };
+    cpu.set_reg(t.rd, v);
+}
+
+fn t_csinc(cpu: &mut Cpu, t: &Tmpl) {
+    let v = if t.cond.holds(cpu.pstate.nzcv) { cpu.reg(t.rn) } else { cpu.reg(t.rm).wrapping_add(1) };
+    cpu.set_reg(t.rd, v);
+}
+
+fn t_nop(_cpu: &mut Cpu, _t: &Tmpl) {}
+
+// --- lowering -----------------------------------------------------------
+
+const BLANK: Tmpl = Tmpl { run: t_nop, a: 0, b: 0, rd: 31, rn: 31, rm: 31, ra: 31, cond: Cond::Al, word: 0 };
+
+/// Lower one instruction to an ALU template, or `None` when it needs a
+/// `Slow` segment. Returns the template plus its extra modelled latency
+/// beyond `insn_base`. `pc` is the instruction's virtual address (fixed
+/// by the block's icache key), letting `ADR`/`ADRP` fold completely.
+fn lower_alu(pc: u64, word: u32, insn: Insn) -> Option<(Tmpl, u64)> {
+    let t = match insn {
+        Insn::Movz { rd, imm16, hw } => Tmpl { run: t_mov_const, a: (imm16 as u64) << (16 * hw), rd, word, ..BLANK },
+        Insn::Movn { rd, imm16, hw } => Tmpl { run: t_mov_const, a: !((imm16 as u64) << (16 * hw)), rd, word, ..BLANK },
+        Insn::Movk { rd, imm16, hw } => {
+            let mask = 0xffffu64 << (16 * hw);
+            Tmpl { run: t_movk, a: !mask, b: (imm16 as u64) << (16 * hw), rd, word, ..BLANK }
+        }
+        Insn::AddImm { rd, rn, imm12, shift12, sub, set_flags } => {
+            let run = match (sub, set_flags) {
+                (false, false) => t_add_imm,
+                (false, true) => t_adds_imm,
+                (true, false) => t_sub_imm,
+                (true, true) => t_subs_imm,
+            };
+            let b = (imm12 as u64) << if shift12 { 12 } else { 0 };
+            Tmpl { run, a: b, rd, rn, word, ..BLANK }
+        }
+        Insn::AddReg { rd, rn, rm, shift, sub, set_flags } => {
+            let run = match (sub, set_flags) {
+                (false, false) => t_add_reg,
+                (false, true) => t_adds_reg,
+                (true, false) => t_sub_reg,
+                (true, true) => t_subs_reg,
+            };
+            Tmpl { run, a: shift as u64, rd, rn, rm, word, ..BLANK }
+        }
+        Insn::LogicReg { rd, rn, rm, shift, op } => {
+            let run = match op {
+                LogicOp::And => t_and,
+                LogicOp::Orr => t_orr,
+                LogicOp::Eor => t_eor,
+                LogicOp::Ands => t_ands,
+            };
+            Tmpl { run, a: shift as u64, rd, rn, rm, word, ..BLANK }
+        }
+        Insn::LsrImm { rd, rn, shift } => Tmpl { run: t_lsr, a: shift as u64, rd, rn, word, ..BLANK },
+        Insn::LslImm { rd, rn, shift } => Tmpl { run: t_lsl, a: shift as u64, rd, rn, word, ..BLANK },
+        Insn::Adr { rd, offset } => Tmpl { run: t_mov_const, a: pc.wrapping_add_signed(offset), rd, word, ..BLANK },
+        Insn::Adrp { rd, offset } => {
+            Tmpl { run: t_mov_const, a: (pc & !0xfff).wrapping_add_signed(offset), rd, word, ..BLANK }
+        }
+        Insn::Madd { rd, rn, rm, ra } => {
+            return Some((Tmpl { run: t_madd, rd, rn, rm, ra, word, ..BLANK }, MADD_EXTRA_CYCLES));
+        }
+        Insn::Udiv { rd, rn, rm } => {
+            return Some((Tmpl { run: t_udiv, rd, rn, rm, word, ..BLANK }, UDIV_EXTRA_CYCLES));
+        }
+        Insn::Csel { rd, rn, rm, cond } => Tmpl { run: t_csel, rd, rn, rm, cond, word, ..BLANK },
+        Insn::Csinc { rd, rn, rm, cond } => Tmpl { run: t_csinc, rd, rn, rm, cond, word, ..BLANK },
+        Insn::Nop => Tmpl { run: t_nop, word, ..BLANK },
+        _ => return None,
+    };
+    Some((t, 0))
+}
+
+/// Lower a decoded superblock (as extracted by `ICache::superblock`,
+/// starting at virtual address `va`) into a [`CompiledBlock`]. Returns
+/// `None` when no instruction lowers to an ALU template — a pure
+/// load/store or single-terminal block gains nothing over the
+/// interpreter superblock.
+pub(crate) fn lower(va: u64, buf: &[(u32, Insn)], insn_base: u64) -> Option<CompiledBlock> {
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut run: Vec<Tmpl> = Vec::new();
+    let mut run_cycles = 0u64;
+    for (k, &(word, insn)) in buf.iter().enumerate() {
+        let pc_k = va + 4 * k as u64;
+        match lower_alu(pc_k, word, insn) {
+            Some((t, extra)) => {
+                run.push(t);
+                run_cycles += insn_base + extra;
+            }
+            None => {
+                if !run.is_empty() {
+                    segs.push(Segment::Alu { ops: std::mem::take(&mut run).into_boxed_slice(), cycles: run_cycles });
+                    run_cycles = 0;
+                }
+                segs.push(Segment::Slow { word, insn });
+            }
+        }
+    }
+    if !run.is_empty() {
+        segs.push(Segment::Alu { ops: run.into_boxed_slice(), cycles: run_cycles });
+    }
+    if !segs.iter().any(|s| matches!(s, Segment::Alu { .. })) {
+        return None;
+    }
+    Some(CompiledBlock { segs: segs.into_boxed_slice(), total: buf.len() as u32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(words: &[u32]) -> Vec<(u32, Insn)> {
+        words.iter().map(|&w| (w, Insn::decode(w))).collect()
+    }
+
+    #[test]
+    fn pure_alu_block_lowers_to_one_run() {
+        // movz x0, #7 ; add x0, x0, #1 ; nop
+        let buf = block(&[0xD280_00E0, 0x9100_0400, 0xD503_201F]);
+        let b = lower(0x40_0000, &buf, 1).expect("lowers");
+        assert_eq!(b.total, 3);
+        assert_eq!(b.segs.len(), 1);
+        match &b.segs[0] {
+            Segment::Alu { ops, cycles } => {
+                assert_eq!(ops.len(), 3);
+                assert_eq!(*cycles, 3);
+            }
+            s => panic!("expected ALU run, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_ops_split_runs() {
+        // movz x0, #7 ; ldr x1, [x2] ; movz x3, #9
+        let buf = block(&[0xD280_00E0, 0xF940_0041, 0xD280_0123]);
+        let b = lower(0x40_0000, &buf, 1).expect("lowers");
+        assert_eq!(b.segs.len(), 3);
+        assert!(matches!(b.segs[0], Segment::Alu { .. }));
+        assert!(matches!(b.segs[1], Segment::Slow { .. }));
+        assert!(matches!(b.segs[2], Segment::Alu { .. }));
+    }
+
+    #[test]
+    fn block_with_no_alu_does_not_lower() {
+        // ldr x1, [x2] ; svc #0
+        let buf = block(&[0xF940_0041, 0xD400_0001]);
+        assert!(lower(0x40_0000, &buf, 1).is_none());
+    }
+
+    #[test]
+    fn madd_and_udiv_latencies_are_batched() {
+        // mul x0, x1, x2 ; udiv x3, x4, x5
+        let buf = block(&[0x9B02_7C20, 0x9AC5_0883]);
+        let b = lower(0x40_0000, &buf, 1).expect("lowers");
+        match &b.segs[0] {
+            Segment::Alu { cycles, .. } => {
+                assert_eq!(*cycles, 2 + MADD_EXTRA_CYCLES + UDIV_EXTRA_CYCLES);
+            }
+            s => panic!("expected ALU run, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn adr_folds_to_block_va() {
+        // adr x0, #+16 at va 0x40_0100
+        let buf = block(&[0x1000_0080]);
+        // Single ADR is still an ALU run.
+        let b = lower(0x40_0100, &buf, 1).expect("lowers");
+        let Segment::Alu { ops, .. } = &b.segs[0] else { panic!("expected ALU run") };
+        let mut cpu = Cpu::new();
+        ops[0].exec(&mut cpu);
+        assert_eq!(cpu.reg(0), 0x40_0100 + 16);
+    }
+}

@@ -28,6 +28,7 @@ pub mod chaos;
 pub mod cpu;
 pub mod fxhash;
 pub mod icache;
+pub mod jit;
 pub mod mem;
 pub mod metrics;
 pub mod pte;
@@ -37,7 +38,10 @@ pub mod trace;
 pub mod walk;
 
 pub use chaos::{ChaosState, FaultPlan, FaultSite, LzFault, ALL_SITES};
-pub use cpu::{default_fastpath, default_fetch_cache, set_default_fastpath, set_default_fetch_cache, Exit, Machine};
+pub use cpu::{
+    default_fastpath, default_fetch_cache, default_jit, set_default_fastpath, set_default_fetch_cache, set_default_jit,
+    Exit, Machine,
+};
 pub use icache::ICache;
 pub use mem::PhysMem;
 pub use metrics::{Event, EventKind, Journal, Report, Section};

@@ -136,6 +136,12 @@ pub struct FastStats {
     /// Stage-1(+stage-2) walks replayed from the walk cache instead of
     /// touching up to 7 table descriptors.
     pub walkcache_hits: u64,
+    /// Compiled superblocks executed by the template-JIT (zero with the
+    /// JIT — or anything it layers on — off).
+    pub jit_blocks: u64,
+    /// Superblocks lowered to compiled blocks (each counts once, at
+    /// compile time).
+    pub jit_compiled: u64,
 }
 
 /// Machine-level counters that belong to no single translation structure:

@@ -132,6 +132,14 @@ const EMPTY_DTLB_SLOT: DtlbSlot = DtlbSlot {
 /// the final stage-2 walk: 4 * (3 + 1) + 3 = 19; 24 leaves headroom).
 pub(crate) const WALK_FRAMES_MAX: usize = 24;
 
+// The walk-cache's `nframes` field and the superblock length bound must
+// both fit in a `u8` (`wcache_fill` converts with `u8::try_from`, and a
+// compiled superblock's per-run instruction counts derive from
+// `SUPERBLOCK_MAX`); widening either constant past 255 requires widening
+// those fields first.
+const _: () = assert!(WALK_FRAMES_MAX <= u8::MAX as usize);
+const _: () = assert!(crate::cpu::SUPERBLOCK_MAX <= u8::MAX as u64);
+
 /// Walk-cache capacity (FIFO replacement, like the TLB levels).
 const WCACHE_CAP: usize = 128;
 
@@ -542,18 +550,16 @@ impl Tlb {
         if !self.fastpath || frames.len() > WALK_FRAMES_MAX {
             return;
         }
+        // `nframes` is a u8: a checked conversion (rather than `as u8`)
+        // keeps a future widening of WALK_FRAMES_MAX from silently
+        // truncating the validation set — a truncated entry would skip
+        // frame-version checks and serve stale walks.
+        let Ok(nframes) = u8::try_from(frames.len()) else { return };
+        debug_assert!((nframes as usize) <= WALK_FRAMES_MAX, "walk-frame set exceeds the cacheable bound");
         let key = WalkCacheKey { root, vttbr_key, vpn: va >> 12 };
         let mut arr = [(0u64, 0u64); WALK_FRAMES_MAX];
         arr[..frames.len()].copy_from_slice(frames);
-        let entry = WalkCacheEntry {
-            ipa_page,
-            pa_page,
-            s1,
-            s2,
-            frames: arr,
-            nframes: frames.len() as u8,
-            checked_gen: mem.write_gen(),
-        };
+        let entry = WalkCacheEntry { ipa_page, pa_page, s1, s2, frames: arr, nframes, checked_gen: mem.write_gen() };
         if self.wcache.insert(key, entry).is_none() {
             self.wcache_order.push_back(key);
             while self.wcache_order.len() > WCACHE_CAP {
@@ -590,6 +596,53 @@ impl Tlb {
         self.icache.superblock(mem, vmid, asid, el, va, s1_enabled, wxn, gen, max, out)
     }
 
+    /// Serve a compiled superblock for the fetch at `va` (see
+    /// [`crate::jit`]). Validation mirrors [`Self::superblock`]: gated on
+    /// the fast path and armed at the *current* generation, so any TLBI,
+    /// insert, or promotion since arming refuses service exactly as it
+    /// would refuse the decoded run.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn jit_block(
+        &mut self,
+        mem: &crate::PhysMem,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        s1_enabled: bool,
+        wxn: bool,
+    ) -> Option<(std::rc::Rc<crate::jit::CompiledBlock>, u64, u64)> {
+        if !self.fastpath {
+            return None;
+        }
+        let gen = self.gen;
+        self.icache.jit_block(mem, vmid, asid, el, va, s1_enabled, wxn, gen)
+    }
+
+    /// Attach a freshly lowered block to its icache page entry.
+    pub(crate) fn store_jit_block(
+        &mut self,
+        vmid: u16,
+        asid: u16,
+        el: ExceptionLevel,
+        va: u64,
+        block: crate::jit::CompiledBlock,
+    ) {
+        if !self.fastpath {
+            return;
+        }
+        if self.icache.store_jit_block(vmid, asid, el, va, block) {
+            self.fast.jit_compiled += 1;
+        }
+    }
+
+    /// Count one compiled-block execution (host-side observability only).
+    #[inline]
+    pub(crate) fn count_jit_block(&mut self) {
+        self.fast.jit_blocks += 1;
+    }
+
     /// Replay the per-instruction bookkeeping a superblock instruction
     /// would have generated on the step path: one free L1 TLB hit and one
     /// decoded-block cache hit.
@@ -597,6 +650,14 @@ impl Tlb {
     pub(crate) fn count_superblock_insn(&mut self) {
         self.hits += 1;
         self.icache.count_hit();
+    }
+
+    /// Replay `n` instructions' bookkeeping at once (a JIT ALU run; sums
+    /// to exactly `n` calls of [`Self::count_superblock_insn`]).
+    #[inline]
+    pub(crate) fn count_superblock_insns(&mut self, n: u64) {
+        self.hits += n;
+        self.icache.count_hits(n);
     }
 
     /// Count one completed superblock (host-side observability only).

@@ -62,7 +62,7 @@ pub struct Fault {
 
 /// Translation regime configuration (a snapshot of the relevant system
 /// registers).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkConfig {
     /// `TTBR0_EL1` (ASID-packed).
     pub ttbr0: u64,

@@ -3,16 +3,17 @@
 #
 # Runs the format gate, the tier-1 verify (ROADMAP.md), the full
 # workspace suite with the decoded-block fetch cache both enabled and
-# disabled, with the data-side fast path disabled, and with the metrics
-# journal both enabled and disabled (all acceleration and observation
-# layers must be zero-cost in the modelled domain), the differential
-# suite, a `repro all` smoke pass, a `repro stats` JSON validation, the
-# SMP scaling leg (schema check + byte-for-byte determinism re-run,
-# emitted as BENCH_smp_scaling.json), the simulator-throughput
-# benchmark as BENCH_sim_throughput.json (unified schema check + a MIPS
-# floor so fast-path regressions fail loudly), the chaos soak
-# (BENCH_chaos_soak.json: >=10k injected faults, zero invariant or
-# containment violations, byte-reproducible, fast path on and off), the
+# disabled, with the data-side fast path disabled, with the template
+# JIT disabled, and with the metrics journal both enabled and disabled
+# (all acceleration and observation layers must be zero-cost in the
+# modelled domain), the differential suite, a `repro all` smoke pass, a
+# `repro stats` JSON validation, the SMP scaling leg (schema check +
+# byte-for-byte determinism re-run, emitted as BENCH_smp_scaling.json),
+# the simulator-throughput benchmark as BENCH_sim_throughput.json
+# (unified schema check + a MIPS floor so JIT/fast-path regressions
+# fail loudly), the chaos soak (BENCH_chaos_soak.json: >=10k injected
+# faults, zero invariant or containment violations, byte-reproducible,
+# fast path on and off and template JIT off), the
 # attack-synthesis corpus gate (BENCH_attack_corpus.json: >=5 families,
 # zero escapes with defenses on, >=2 distinct shrunk exploits per
 # ablated security defense, byte-reproducible), and an unwrap/expect
@@ -38,6 +39,9 @@ LZ_FETCH_CACHE=0 cargo test -q --release --workspace
 
 echo "== workspace tests, data-side fast path OFF =="
 LZ_FASTPATH=0 cargo test -q --release --workspace
+
+echo "== workspace tests, template JIT OFF =="
+LZ_JIT=0 cargo test -q --release --workspace
 
 echo "== workspace tests, metrics journal ON =="
 LZ_METRICS=1 cargo test -q --release --workspace
@@ -106,11 +110,16 @@ assert report["benchmark"] == "sim_throughput"
 assert report["cycles_match"] is True, "acceleration layer changed modelled cycles"
 assert report["cycles_cache_on"] == report["cycles_cache_off"]
 assert report["cycles_mem_on"] == report["cycles_mem_off"]
-# Throughput floor: the fast path must keep the ALU hot loop above
-# 35 MIPS on this class of host; a regression below it fails CI.
+# The report must record which engine produced the numbers, so the
+# bench trajectory can tell the template JIT from plain superblocks.
+assert isinstance(report["jit"], bool), "jit field missing or not a bool"
+# Throughput floor: the template JIT must keep the ALU hot loop above
+# 120 MIPS on this class of host (measured ~268); a regression below
+# it fails CI.
 mips = report["mips_cache_on"]
-assert mips >= 35.0, f"fast-path throughput regressed: {mips} MIPS < 35"
-print(f"sim_throughput JSON ok: {mips:.2f} MIPS on, floor 35")
+jit = report["jit"]
+assert mips >= 120.0, f"JIT throughput regressed: {mips} MIPS < 120"
+print(f"sim_throughput JSON ok: {mips:.2f} MIPS on, jit={jit}, floor 120")
 '
 cat BENCH_sim_throughput.json
 
@@ -124,6 +133,11 @@ cmp BENCH_chaos_soak.json /tmp/chaos_rerun.json || {
 LZ_FASTPATH=0 ./target/release/repro chaos --json > /tmp/chaos_slowpath.json
 cmp BENCH_chaos_soak.json /tmp/chaos_slowpath.json || {
     echo "chaos soak diverges with the data-side fast path off" >&2
+    exit 1
+}
+LZ_JIT=0 ./target/release/repro chaos --json > /tmp/chaos_nojit.json
+cmp BENCH_chaos_soak.json /tmp/chaos_nojit.json || {
+    echo "chaos soak diverges with the template JIT off" >&2
     exit 1
 }
 python3 -c '
@@ -194,6 +208,7 @@ ratchet() {
 ratchet crates/machine/src/walk.rs 1
 ratchet crates/machine/src/mem.rs 0
 ratchet crates/machine/src/cpu.rs 0
+ratchet crates/machine/src/jit.rs 0
 ratchet crates/core/src/module.rs 7
 ratchet crates/core/src/gate.rs 0
 ratchet crates/core/src/pgt.rs 0

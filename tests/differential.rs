@@ -19,6 +19,12 @@
 //! DESIGN.md §10): every scenario runs fastpath-on vs fastpath-off with
 //! the fetch cache held on, asserting byte-identical cycles, exits,
 //! snapshots, and metric journals.
+//!
+//! A third sweep differentials the *template-JIT superblock engine*
+//! (DESIGN.md §13): jit-on vs jit-off (both atop the full fast path)
+//! and vs the slow path, over the random-program families, domain
+//! switching, SMP quantum interleaving, and break-before-make /
+//! cross-core code-flip penetration scenarios.
 
 use lz_arch::asm::Asm;
 use lz_arch::esr::ExceptionClass;
@@ -629,4 +635,410 @@ fn lightzone_metrics_on_off_agree_and_violations_match() {
     assert_eq!(viol_on, viol_off, "violation counter must not depend on the journal");
     assert_eq!(j_on, viol_on, "journaled Violation events must match the counter");
     assert_eq!(j_off, 0, "disabled journal recorded events");
+}
+
+// ---------------------------------------------------------------------
+// Template-JIT superblock engine (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+/// Build the jit-on/jit-off machine pair: fetch cache and data-side
+/// fast path held ON on both sides (the JIT only compiles what the
+/// superblock extractor produces, and both layers have their own
+/// differentials above), metrics journal enabled so journal equality is
+/// part of the assertion.
+fn build_jit_pair(code: &[u8], patch: &[u8]) -> (Machine, Machine) {
+    let mut on = build_machine(code, patch, true);
+    on.set_fastpath(true);
+    on.set_jit(true);
+    on.set_metrics(true);
+    let mut off = build_machine(code, patch, true);
+    off.set_fastpath(true);
+    off.set_jit(false);
+    off.set_metrics(true);
+    (on, off)
+}
+
+/// Three-way differential over the randomized, self-modifying,
+/// trap-and-resume program generator: the template JIT vs the
+/// interpreter superblock engine vs the full slow path (no fetch cache,
+/// no fast path) must produce byte-identical snapshots and journals.
+#[test]
+fn jit_random_programs_agree() {
+    let mut jit_blocks = 0u64;
+    let mut jit_compiled = 0u64;
+    for seed in 0..16u64 {
+        let (code, patch) = random_program(seed, 400, 64);
+        let (mut on, mut off) = build_jit_pair(&code, &patch);
+        let mut slow = build_machine(&code, &patch, false);
+        slow.set_fastpath(false);
+        slow.set_metrics(true);
+        let (e_on, r_on) = run_to_completion(&mut on);
+        let (e_off, r_off) = run_to_completion(&mut off);
+        let (e_slow, r_slow) = run_to_completion(&mut slow);
+        assert_identical(
+            snapshot(&on, e_on, r_on),
+            snapshot(&off, e_off, r_off),
+            &format!("jit vs interpreter superblocks, seed {seed}"),
+        );
+        assert_identical(
+            snapshot(&on, e_on, r_on),
+            snapshot(&slow, e_slow, r_slow),
+            &format!("jit vs slow path, seed {seed}"),
+        );
+        assert_journals_identical(&on, &off, &format!("jit vs interpreter superblocks, seed {seed}"));
+        assert_journals_identical(&on, &slow, &format!("jit vs slow path, seed {seed}"));
+        let fast = on.tlb.fast_stats();
+        jit_blocks += fast.jit_blocks;
+        jit_compiled += fast.jit_compiled;
+        let fast_off = off.tlb.fast_stats();
+        assert_eq!((fast_off.jit_blocks, fast_off.jit_compiled), (0, 0), "seed {seed}: disabled JIT recorded activity");
+    }
+    // The comparison proves nothing unless compiled blocks actually ran.
+    assert!(jit_compiled > 0, "the template JIT never compiled a block across any seed");
+    assert!(jit_blocks > 0, "no compiled block ever executed across any seed");
+}
+
+/// JIT differential over TTBR/ASID domain switching: compiled blocks
+/// are keyed by the same `(vmid, asid, el, page)` tags as decoded
+/// superblocks, so switching domains must never serve a block compiled
+/// for the other address space.
+#[test]
+fn jit_domain_switch_agrees() {
+    let body = |tag: u64| {
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, tag);
+        a.mov_imm64(19, DATA);
+        a.ldr(1, 19, 0);
+        a.add_reg(1, 1, 0);
+        a.eor_reg(2, 1, 0);
+        a.orr_reg(3, 2, 1);
+        a.str(1, 19, 0);
+        a.svc(0);
+        a.bytes()
+    };
+    let global_rw = S1Perms { read: true, write: true, user_exec: false, priv_exec: false, el0: true, global: true };
+    let run = |jit: bool| {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_fetch_cache(true);
+        m.set_fastpath(true);
+        m.set_jit(jit);
+        m.trace.set_enabled(true);
+        let shared = m.mem.alloc_frame();
+        let mut roots = [0u64; 2];
+        for (i, tag) in [1u64, 1000].iter().enumerate() {
+            let root = alloc_table(&mut m.mem);
+            let code_pa = m.mem.alloc_frame();
+            m.mem.write_bytes(code_pa, &body(*tag));
+            s1_map_page(&mut m.mem, root, CODE, code_pa, user_rwx());
+            s1_map_page(&mut m.mem, root, DATA, shared, global_rw);
+            roots[i] = root;
+        }
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+        let mut last = Exit::Limit;
+        for round in 0..9u64 {
+            let domain = (round % 2) as usize;
+            m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(domain as u16 + 1, roots[domain]));
+            m.enter(PState::user(), CODE);
+            let (exit, _) = run_to_completion(&mut m);
+            assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+            last = exit;
+        }
+        let counter = {
+            let (pa, _, _) = lz_machine::walk::s1_lookup(&m.mem, roots[0], DATA).unwrap();
+            m.mem.read_u32(pa).unwrap() as u64
+        };
+        (snapshot(&m, last, 0), counter, m.tlb.fast_stats())
+    };
+    let (snap_on, counter_on, fast) = run(true);
+    let (snap_off, counter_off, fast_off) = run(false);
+    assert_identical(snap_on, snap_off, "jit domain switch");
+    assert_eq!(counter_on, 5 * 1 + 4 * 1000, "shared counter must accumulate across domains");
+    assert_eq!(counter_on, counter_off);
+    assert!(fast.jit_blocks > 0, "domain-switch rounds never executed a compiled block");
+    assert_eq!(fast_off.jit_blocks, 0, "disabled JIT executed a compiled block");
+}
+
+/// The break-before-make scenario from
+/// [`fastpath_bbm_with_hot_superblock_and_dtlb_agrees`], with the
+/// template JIT as the swept polarity: a *compiled* block over the
+/// remapped page must die with the decoded superblock it shadows —
+/// re-entry executes the fresh frame's bytes, identically with the JIT
+/// on or off.
+#[test]
+fn jit_bbm_with_hot_compiled_block_agrees() {
+    let stub = |marker: u16| {
+        let mut a = Asm::new(PATCH);
+        a.movz(17, marker, 0);
+        a.ldr(18, 21, 0);
+        a.ret();
+        a.bytes()
+    };
+    let first_dword = |bytes: &[u8]| u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    let mut warm = Asm::new(CODE);
+    warm.mov_imm64(21, PATCH);
+    warm.mov_imm64(10, PATCH);
+    warm.mov_imm64(11, 8);
+    let top = warm.label();
+    warm.bind(top);
+    warm.blr(10);
+    warm.subs_imm(11, 11, 1);
+    warm.b_ne(top);
+    warm.svc(0);
+    let run = |m: &mut Machine| {
+        let (exit, _) = run_to_completion(m);
+        assert_eq!(exit, Exit::El2(ExceptionClass::Svc));
+        assert_eq!(m.cpu.reg(17), 0x1111);
+        let root = ttbr::baddr(m.sysreg(SysReg::TTBR0_EL1));
+        s1_unmap(&mut m.mem, root, PATCH);
+        m.tlb.invalidate_va(0, PATCH);
+        let fresh = m.mem.alloc_frame();
+        m.mem.write_bytes(fresh, &stub(0x2222));
+        s1_map_page(&mut m.mem, root, PATCH, fresh, user_rwx());
+        m.cpu.x[30] = 0;
+        m.enter(PState::user(), PATCH);
+        let _ = m.run(8);
+        (m.cpu.reg(17), m.cpu.reg(18))
+    };
+    let code = warm.bytes();
+    let (mut on, mut off) = build_jit_pair(&code, &stub(0x1111));
+    let (x17_on, x18_on) = run(&mut on);
+    let (x17_off, x18_off) = run(&mut off);
+    let fresh_word = first_dword(&stub(0x2222));
+    assert_eq!(x17_on, 0x2222, "stale compiled block executed old code (jit on)");
+    assert_eq!(x18_on, fresh_word, "stale micro-DTLB entry served old data (jit on)");
+    assert_eq!((x17_on, x18_on), (x17_off, x18_off), "JIT changed BBM outcome");
+    assert_eq!(
+        (on.cpu.cycles, on.cpu.insns, on.tlb.stats()),
+        (off.cpu.cycles, off.cpu.insns, off.tlb.stats()),
+        "JIT changed BBM accounting"
+    );
+    assert!(on.tlb.fast_stats().jit_blocks > 0, "warm-up never executed a compiled block");
+}
+
+/// Cross-core code-byte flip on a bare SMP machine: core 0 compiles a
+/// hot block over its code page, core 1 patches the code *frame*
+/// physically (no TLBI, no IPI — the frame-version check is the only
+/// defence), and core 0 re-enters. The stale compiled block must not
+/// serve, identically with the JIT on or off.
+#[test]
+fn jit_cross_core_code_flip_agrees() {
+    let body = |tag: u16| {
+        let mut a = Asm::new(CODE);
+        a.movz(17, tag, 0);
+        a.add_imm(17, 17, 0);
+        a.svc(0);
+        a.bytes()
+    };
+    let run = |jit: bool| {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_fetch_cache(true);
+        m.set_fastpath(true);
+        m.set_jit(jit);
+        m.trace.set_enabled(true);
+        let root = alloc_table(&mut m.mem);
+        let code_pa = m.mem.alloc_frame();
+        m.mem.write_bytes(code_pa, &body(0x1111));
+        s1_map_page(&mut m.mem, root, CODE, code_pa, user_rwx());
+        m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+        m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+        m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+        m.configure_smp(2);
+        // Warm: core 0 executes the block enough times to compile and
+        // then serve it from the block cache.
+        for _ in 0..4 {
+            m.enter(PState::user(), CODE);
+            assert_eq!(m.run(8), Exit::El2(ExceptionClass::Svc));
+            assert_eq!(m.cpu.reg(17), 0x1111);
+        }
+        // Core 1 flips the code bytes in physical memory.
+        m.switch_core(1);
+        m.mem.write_bytes(code_pa, &body(0x2222));
+        m.switch_core(0);
+        m.enter(PState::user(), CODE);
+        assert_eq!(m.run(8), Exit::El2(ExceptionClass::Svc));
+        (m.cpu.reg(17), m.cpu.cycles, m.cpu.insns, m.tlb.fast_stats().jit_blocks)
+    };
+    let (x17_on, cy_on, in_on, blocks_on) = run(true);
+    let (x17_off, cy_off, in_off, blocks_off) = run(false);
+    assert_eq!(x17_on, 0x2222, "stale compiled block survived a cross-core code flip (jit on)");
+    assert_eq!((x17_on, cy_on, in_on), (x17_off, cy_off, in_off), "JIT changed the cross-core flip outcome");
+    assert!(blocks_on > 0, "warm-up never executed a compiled block");
+    assert_eq!(blocks_off, 0, "disabled JIT executed a compiled block");
+}
+
+/// Two cores interleaved on a quantum *smaller* than the hot block:
+/// compiled blocks must honor the per-slice instruction budget exactly
+/// like interpreter superblocks do (the dispatcher refuses entry when
+/// the block's footprint exceeds the remaining budget and falls back to
+/// the interpreter), so per-core cycles, instruction counts, and the
+/// round-robin schedule are identical with the JIT on or off.
+#[test]
+fn jit_smp_interleaved_quantum_agrees() {
+    let run = |jit: bool, quantum: u64| {
+        let mut m = Machine::new(Platform::CortexA55);
+        m.set_fetch_cache(true);
+        m.set_fastpath(true);
+        m.set_jit(jit);
+        let root = alloc_table(&mut m.mem);
+        let code_pa = m.mem.alloc_frame();
+        let mut a = Asm::new(CODE);
+        a.mov_imm64(0, 300);
+        let top = a.label();
+        a.bind(top);
+        a.add_imm(1, 1, 3);
+        a.eor_reg(2, 1, 0);
+        a.orr_reg(3, 2, 1);
+        a.add_reg(4, 3, 2);
+        a.subs_imm(0, 0, 1);
+        a.b_ne(top);
+        a.svc(0);
+        m.mem.write_bytes(code_pa, &a.bytes());
+        s1_map_page(&mut m.mem, root, CODE, code_pa, user_rwx());
+        m.configure_smp(2);
+        for core in [0usize, 1] {
+            m.switch_core(core);
+            m.set_sysreg(SysReg::SCTLR_EL1, sctlr::M | sctlr::SPAN);
+            m.set_sysreg(SysReg::HCR_EL2, hcr::TGE | hcr::E2H);
+            m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(1, root));
+            m.enter(PState::user(), CODE);
+        }
+        m.switch_core(0);
+        let exits = m.run_interleaved(quantum, 0x1234, 100_000);
+        let per_core: Vec<(u64, u64)> =
+            (0..m.num_cores()).map(|i| (m.core_cpu(i).insns, m.core_cpu(i).cycles)).collect();
+        let mut jit_blocks = 0u64;
+        for i in 0..m.num_cores() {
+            m.switch_core(i);
+            jit_blocks += m.tlb.fast_stats().jit_blocks;
+        }
+        (exits, per_core, jit_blocks)
+    };
+    // Quantum 7 ends most slices mid-block (the loop body is 6
+    // instructions plus the terminal), so the budget re-check — not the
+    // block length — decides where execution pauses. Quantum 64 lets
+    // whole blocks run; both must agree with the interpreter.
+    for quantum in [7u64, 64] {
+        let (exits_on, per_core_on, jit_blocks) = run(true, quantum);
+        let (exits_off, per_core_off, _) = run(false, quantum);
+        assert_eq!(exits_on, exits_off, "quantum {quantum}: JIT changed the interleaved exits");
+        assert_eq!(per_core_on, per_core_off, "quantum {quantum}: JIT changed per-core accounting");
+        assert!(jit_blocks > 0, "quantum {quantum}: no compiled block ever executed");
+    }
+}
+
+/// Exhaustive regression for the translation-regime memo (`cfg_memo`):
+/// after *every* mutator that can change the regime — a host-side
+/// `set_sysreg` and a charged kernel-path write of each of the five
+/// regime registers, an interpreted `MSR`, an `ERET`, `switch_core` in
+/// both directions, and a chaos-preempted SMP kernel run — the memoised
+/// [`Machine::walk_config`] must equal a config rebuilt from the live
+/// registers, so a stale memo can never serve a translation.
+#[test]
+fn walk_config_memo_matches_live_regs_exhaustively() {
+    use lz_machine::walk::WalkConfig;
+    let rebuild = |m: &Machine| -> WalkConfig {
+        let sctlr_el1 = m.sysreg(SysReg::SCTLR_EL1);
+        let hcr_el2 = m.sysreg(SysReg::HCR_EL2);
+        WalkConfig {
+            ttbr0: m.sysreg(SysReg::TTBR0_EL1),
+            ttbr1: m.sysreg(SysReg::TTBR1_EL1),
+            s1_enabled: sctlr_el1 & sctlr::M != 0,
+            wxn: sctlr_el1 & sctlr::WXN != 0,
+            vttbr: if hcr_el2 & hcr::VM != 0 { Some(m.sysreg(SysReg::VTTBR_EL2)) } else { None },
+        }
+    };
+    let check = |m: &Machine, ctx: &str| {
+        assert_eq!(m.walk_config(), rebuild(m), "memo went stale after {ctx}");
+    };
+
+    // 1. Host-side writes: both write paths, every regime register, the
+    // memo warmed before each so only a correct generation bump can
+    // keep it honest.
+    let mut m = Machine::new(Platform::CortexA55);
+    let mutations: [(SysReg, u64); 5] = [
+        (SysReg::TTBR0_EL1, ttbr::pack(3, 0x1000)),
+        (SysReg::TTBR1_EL1, 0x2000),
+        (SysReg::SCTLR_EL1, sctlr::M | sctlr::WXN | sctlr::SPAN),
+        (SysReg::HCR_EL2, hcr::VM),
+        (SysReg::VTTBR_EL2, 0x3000),
+    ];
+    for (reg, value) in mutations {
+        let _ = m.walk_config();
+        m.set_sysreg(reg, value);
+        check(&m, &format!("set_sysreg({reg:?})"));
+        let _ = m.walk_config();
+        m.write_sysreg_charged(reg, value ^ 0x40_0000);
+        check(&m, &format!("write_sysreg_charged({reg:?})"));
+    }
+
+    // 2. Interpreted MSR and ERET, run with the MMU off (identity
+    // regime) so the probe needs no page tables: the interpreter's
+    // sysreg-write path must bump the generation like the host's.
+    let mut m = Machine::new(Platform::CortexA55);
+    let entry = m.mem.alloc_frame();
+    let mut a = Asm::new(entry);
+    a.msr(SysReg::TTBR0_EL1, 20);
+    a.nop();
+    let code = a.bytes();
+    m.mem.write_bytes(entry, &code);
+    m.cpu.x[20] = ttbr::pack(7, 0x7000);
+    let _ = m.walk_config();
+    m.enter(PState::reset(), entry);
+    assert_eq!(m.run(2), Exit::Limit);
+    assert_eq!(m.walk_config().ttbr0, ttbr::pack(7, 0x7000), "interpreted MSR left the memo stale");
+    check(&m, "interpreted MSR TTBR0_EL1");
+    let mut a = Asm::new(entry);
+    a.eret();
+    a.nop();
+    m.mem.write_bytes(entry, &a.bytes());
+    m.set_sysreg(SysReg::SPSR_EL1, PState::user().to_spsr());
+    m.set_sysreg(SysReg::ELR_EL1, entry + 4);
+    let _ = m.walk_config();
+    m.enter(PState::reset(), entry);
+    assert_eq!(m.run(2), Exit::Limit);
+    check(&m, "ERET to EL0");
+
+    // 3. switch_core, both directions, with divergent per-core regimes.
+    m.configure_smp(2);
+    let core0_cfg = m.walk_config();
+    m.switch_core(1);
+    check(&m, "switch_core(1)");
+    m.set_sysreg(SysReg::TTBR0_EL1, ttbr::pack(9, 0x9000));
+    let _ = m.walk_config();
+    m.switch_core(0);
+    check(&m, "switch_core(0)");
+    assert_eq!(m.walk_config(), core0_cfg, "core 0's regime did not survive the round trip");
+    m.switch_core(1);
+    assert_eq!(m.walk_config().ttbr0, ttbr::pack(9, 0x9000), "core 1's regime was lost");
+
+    // 4. A chaos-preempted SMP kernel run: scheduler preemption fires
+    // mid-quantum on every core, and the memo must still match the live
+    // registers of whichever core ends up active — and of every core.
+    use lz_machine::{FaultPlan, FaultSite};
+    let compute = |iters: u16| {
+        let mut a = Asm::new(CODE);
+        a.movz(1, iters, 0);
+        let top = a.label();
+        a.bind(top);
+        a.add_imm(2, 2, 3);
+        a.sub_imm(1, 1, 1);
+        a.cbnz(1, top);
+        a.movz(0, 0x2a, 0);
+        a.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+        a.svc(0);
+        lz_kernel::Program::from_code(CODE, a.bytes())
+    };
+    let mut k = lz_kernel::Kernel::new_host(Platform::CortexA55);
+    k.machine.chaos.install(FaultPlan::new(11).with_sites(&[FaultSite::SchedPreempt]).with_rate(2));
+    k.spawn(&compute(400));
+    k.spawn(&compute(90));
+    let run = k.run_smp(lz_kernel::SmpConfig { cores: 2, quantum: 32, seed: 7 }, 10_000_000);
+    assert!(!run.stalled, "chaos-preempted SMP run stalled");
+    assert_eq!(run.exited.len(), 2, "both compute processes must exit");
+    assert!(k.machine.chaos.faults_injected > 0, "preemption site never fired");
+    for i in 0..k.machine.num_cores() {
+        k.machine.switch_core(i);
+        check(&k.machine, &format!("chaos-preempted SMP run, core {i}"));
+    }
 }

@@ -119,6 +119,14 @@ fn run_cross_core_attack(cores: usize, skip_remote_shootdown: bool) -> (u64, u64
 /// armed-DTLB variant lives in `tests/differential.rs`.)
 fn run_cross_core_attack_fp(cores: usize, skip_remote_shootdown: bool, fastpath: bool) -> (u64, u64, u64) {
     let ablation = AblationConfig { skip_remote_shootdown, fastpath, ..AblationConfig::default() };
+    run_cross_core_attack_abl(cores, ablation)
+}
+
+/// Same attack again with an arbitrary ablation cell — used to sweep
+/// the template-JIT polarity: core 1's warm-up leaves a *compiled*
+/// block over the JIT page, which must die with the shootdown exactly
+/// like the decoded superblock and the slow path's TLB entry do.
+fn run_cross_core_attack_abl(cores: usize, ablation: AblationConfig) -> (u64, u64, u64) {
     let mut lz = LightZone::with_ablation(Platform::CortexA55, false, ablation);
     let payload = movz_x17(0xbeef);
     let pid = lz.spawn(&wx_flip_prog(payload));
@@ -203,6 +211,35 @@ fn cross_core_wx_flip_leak_is_fastpath_invariant() {
     let on = run_cross_core_attack_fp(2, true, true);
     let off = run_cross_core_attack_fp(2, true, false);
     assert_eq!(on, off, "fast path changed the broken kernel's leak");
+    assert_eq!(on, (0x1111, 0xbeef, 0), "broken kernel: core 1 ran attacker-written bytes");
+}
+
+#[test]
+fn cross_core_wx_flip_shot_down_in_both_jit_polarities() {
+    // The template JIT must be as invalidation-honest as the layers it
+    // sits on: with the shootdown in place the stale translation (and
+    // the compiled block above it) dies whether or not the JIT ran,
+    // with identical observables.
+    let on = run_cross_core_attack_abl(2, AblationConfig { jit: true, ..AblationConfig::default() });
+    let off = run_cross_core_attack_abl(2, AblationConfig { jit: false, ..AblationConfig::default() });
+    assert_eq!(on, off, "template JIT changed the shootdown outcome");
+    assert_eq!(on, (0x1111, 0, 1));
+}
+
+#[test]
+fn cross_core_wx_flip_leak_is_jit_invariant() {
+    // Equivalence under the deliberately-broken kernel: the JIT may
+    // only reproduce the slow path's staleness, never add to it or
+    // hide it.
+    let on = run_cross_core_attack_abl(
+        2,
+        AblationConfig { skip_remote_shootdown: true, jit: true, ..AblationConfig::default() },
+    );
+    let off = run_cross_core_attack_abl(
+        2,
+        AblationConfig { skip_remote_shootdown: true, jit: false, ..AblationConfig::default() },
+    );
+    assert_eq!(on, off, "template JIT changed the broken kernel's leak");
     assert_eq!(on, (0x1111, 0xbeef, 0), "broken kernel: core 1 ran attacker-written bytes");
 }
 

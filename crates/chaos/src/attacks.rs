@@ -28,7 +28,8 @@ use lightzone::pgt::{perm, PGT_ALL};
 use lightzone::{AblationConfig, LightZone, LzProgram};
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
-use lz_kernel::VmProt;
+use lz_kernel::kvm::VmidAllocator;
+use lz_kernel::{Event, VmProt};
 
 /// Program text base (shared with the chaos program generators).
 pub const CODE: u64 = 0x40_0000;
@@ -327,6 +328,246 @@ pub fn wx_read_fault_flip_prog() -> LzProgram {
     wx_reexec(&mut b);
     b.asm.exit_imm(0);
     b.build()
+}
+
+// ---------------------------------------------------------------------
+// VMID-rollover stale-TLB attack (generation-tagged recycling)
+// ---------------------------------------------------------------------
+
+/// VA of the dead victim's secret page. Never mapped by the attacker:
+/// only a stale TLB entry left from the victim's life can translate it.
+pub const SECRET_VA: u64 = 0x6600_0000;
+/// The value the victim plants (and exits with, as the warm-up control).
+pub const ROLLOVER_SECRET: u64 = 0x5ec7;
+/// Shrunk VMID space: rollover after a handful of VEs instead of 65,535.
+pub const ROLLOVER_VMID_SPACE: u16 = 6;
+
+/// Everything a rollover pen test needs to judge one attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloverOutcome {
+    /// Victim exit code — must be [`ROLLOVER_SECRET`] (the warm-up load
+    /// both planted the secret and pulled its translation into the TLB).
+    pub victim_exit: i64,
+    /// Attacker exit code: a kill under the full defense, the leaked
+    /// [`ROLLOVER_SECRET`] when the reuse-time shootdown is ablated.
+    pub attacker_exit: i64,
+    /// Recycled VMID grants — ≥ 1 or the run never reached rollover.
+    pub vmid_recycles: u64,
+    /// Reuse-time invalidations the module performed.
+    pub rollover_shootdowns: u64,
+}
+
+/// Offset of the leak gadget inside the victim's executable page at
+/// [`ATTACKER_CODE`]; a nop sled covers every earlier offset, so any
+/// stale-fetch entry point slides into the gadget.
+pub const GADGET_OFF: u64 = 0xf00;
+/// Offset of the lone `ret` the victim calls to warm the page's fetch
+/// translation. Exec permission is only granted (and thus only cached)
+/// on a *fetch* fault — the sanitizer scans the page first — so a data
+/// read would leave a non-executable stale entry behind.
+pub const WARM_OFF: u64 = 0xf40;
+
+/// The victim's executable page at [`ATTACKER_CODE`]: a nop sled into a
+/// gadget that loads [`SECRET_VA`] into x0, raises x19, and parks, plus
+/// the `ret` landing pad at [`WARM_OFF`]. When the recycled-VMID
+/// attacker's *instruction fetches* hit this page's stale TLB entry,
+/// these dead-VE bytes run in place of the attacker's own binary — the
+/// fetch-side half of the stale-TLB escape.
+fn gadget_page_bytes() -> Vec<u8> {
+    let mut a = Asm::new(ATTACKER_CODE);
+    for _ in 0..GADGET_OFF / 4 {
+        a.nop();
+    }
+    a.mov_imm64(1, SECRET_VA);
+    a.ldr(0, 1, 0);
+    a.movz(19, 1, 0);
+    let spin = a.label();
+    a.bind(spin);
+    a.b(spin);
+    while a.here() < ATTACKER_CODE + WARM_OFF {
+        a.nop();
+    }
+    a.ret();
+    a.bytes()
+}
+
+/// Victim VE: plant the secret and load it back *inside* the VE so the
+/// TLB caches the `(vmid, SECRET_VA)` translation, execute the gadget
+/// page's `ret` pad so its translation is cached *with* exec permission,
+/// and exit with the secret. Both stale entries — data and fetch —
+/// outlive the VE until the VMID's reuse-time shootdown clears them.
+pub fn rollover_victim_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.with_anon_segment(SECRET_VA, PAGE_SIZE, VmProt::RW);
+    b.with_segment(ATTACKER_CODE, gadget_page_bytes(), VmProt::RX);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.mov_imm64(1, SECRET_VA);
+    b.asm.mov_imm64(2, ROLLOVER_SECRET);
+    b.asm.str(2, 1, 0);
+    b.asm.ldr(0, 1, 0);
+    b.asm.mov_imm64(3, ATTACKER_CODE + WARM_OFF);
+    b.asm.blr(3);
+    b.asm.mov_imm64(8, lz_kernel::Sysno::Exit.nr());
+    b.asm.svc(0);
+    b.build()
+}
+
+/// Minimal churn VE: enter LightZone (consuming one fresh VMID) and
+/// exit. A fleet of these drains the shrunk fresh space to force the
+/// allocator onto its free list.
+pub fn rollover_churn_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.exit_imm(0);
+    b.build()
+}
+
+/// Attacker code base — deliberately disjoint from the victim's
+/// [`CODE`]: under the recycled VMID *every* stale translation of the
+/// dead VE is live again (code, stub, tables — not just the secret), so
+/// an attacker sharing the victim's code VAs would execute the dead
+/// process's bytes instead of its own. Real malware would mind the same
+/// constraint: probe only VAs it does not itself occupy.
+pub const ATTACKER_CODE: u64 = 0x48_0000;
+
+/// Attacker VE: receives the victim's recycled VMID at `lz_enter`, then
+/// loads [`SECRET_VA`] — a VA this process never mapped. With the
+/// reuse-time shootdown in place the attacker's own code runs and the
+/// probe faults (kill). With stale entries still live, the attacker's
+/// *fetches* after `lz_enter` hit the dead VE's gadget-page entry at
+/// [`ATTACKER_CODE`] instead, and the gadget leaks the secret through
+/// the stale data entry. Either escape parks in a spin loop with the
+/// loot in x0 and x19 = 1 — no further traps (an exit `svc` would
+/// vector through `STUB_VA`, whose stale global entry points at the
+/// dead VE's *freed* stub frame), so the harness reads the registers
+/// directly. The attacker's own body mirrors the gadget: a nop sled
+/// (room for a small-quantum stepper to pause right after the recycled
+/// grant — the SMP variant migrates the attacker to the victim's core
+/// in that window) into the same probe/park sequence.
+pub fn rollover_attacker_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(ATTACKER_CODE);
+    b.asm.lz_enter(false, SAN_PAN);
+    for _ in 0..8 {
+        b.asm.nop();
+    }
+    b.asm.mov_imm64(1, SECRET_VA);
+    b.asm.ldr(0, 1, 0);
+    b.asm.movz(19, 1, 0);
+    let spin = b.asm.label();
+    b.asm.bind(spin);
+    b.asm.b(spin);
+    b.build()
+}
+
+/// Run until `cond` holds, stepping by `chunk`-instruction quanta.
+fn run_until(lz: &mut LightZone, chunk: u64, mut cond: impl FnMut(&LightZone) -> bool) {
+    for _ in 0..2_000_000 {
+        if cond(lz) {
+            return;
+        }
+        match lz.run(chunk) {
+            Event::Limit => {}
+            other => panic!("unexpected event while stepping: {other:?}"),
+        }
+    }
+    panic!("stepping condition never became true");
+}
+
+/// Run to process exit (rollover-attack phases are all exit-bounded).
+fn run_exit(lz: &mut LightZone) -> i64 {
+    match lz.run(50_000_000) {
+        Event::Exited(code) => code,
+        other => panic!("expected exit, got {other:?}"),
+    }
+}
+
+/// The full VMID-rollover stale-TLB attack, shared by the defended and
+/// ablated pen tests (the synthesis matrix keeps `skip_rollover_shootdown`
+/// out; this is its dedicated harness):
+///
+/// 1. Shrink the VMID space to [`ROLLOVER_VMID_SPACE`].
+/// 2. A victim VE warms `(vmid_v, SECRET_VA)` into the TLB of the
+///    *last* core and exits.
+/// 3. Module-only reap: `vmid_v` parks on the free list, but its TLB
+///    entries — and the kernel-owned data frame holding the secret —
+///    survive (the recycling contract defers invalidation to reuse).
+/// 4. Churn VEs exhaust the remaining fresh VMIDs (they stay un-reaped,
+///    holding their IDs live).
+/// 5. The attacker's `lz_enter` is granted `vmid_v` *recycled*; on SMP
+///    the attacker is then migrated to the victim's core before probing.
+///
+/// With the reuse-time shootdown in place the probe faults (kill); with
+/// `skip_rollover_shootdown` — or, cross-core, with only a local
+/// invalidate under `skip_remote_shootdown` — the stale entry translates
+/// the dead VE's page and the attacker exits with its secret.
+pub fn rollover_attack(platform: Platform, ablation: AblationConfig, cores: usize) -> RolloverOutcome {
+    let mut lz = LightZone::with_ablation(platform, false, ablation);
+    lz.kernel.vmids = VmidAllocator::with_space(ROLLOVER_VMID_SPACE);
+    if cores > 1 {
+        lz.kernel.machine.configure_smp(cores);
+    }
+    let victim_core = cores - 1;
+
+    // Phase 1: victim VE runs (and warms its TLB) on the last core.
+    let victim = lz.spawn(&rollover_victim_prog());
+    if cores > 1 {
+        lz.kernel.machine.switch_core(victim_core);
+    }
+    lz.schedule_to(victim);
+    let victim_exit = run_exit(&mut lz);
+    if cores > 1 {
+        lz.kernel.machine.switch_core(0);
+    }
+
+    // Phase 2: module-only reap parks the VMID with its TLB entries (and
+    // the secret's frame) intact — the exact window the reuse-time
+    // shootdown exists to close.
+    assert!(lz.module.reap(&mut lz.kernel, victim), "victim VE reaps");
+
+    // Phase 3: churn the remaining fresh VMIDs away on core 0.
+    for _ in 1..ROLLOVER_VMID_SPACE {
+        let pid = lz.spawn(&rollover_churn_prog());
+        lz.schedule_to(pid);
+        let code = run_exit(&mut lz);
+        assert_eq!(code, 0, "churn VE exits cleanly");
+    }
+
+    // Phase 4: the attacker is granted the victim's VMID, recycled.
+    let attacker = lz.spawn(&rollover_attacker_prog());
+    lz.schedule_to(attacker);
+    if cores > 1 {
+        // Pause right after the recycled grant (mid nop sled), then
+        // migrate the attacker VE onto the victim's core for the probe.
+        run_until(&mut lz, 2, |lz| lz.module.proc(attacker).is_some());
+        lz.kernel.save_current();
+        lz.kernel.machine.switch_core(victim_core);
+        lz.module.enter_ve_process(&mut lz.kernel, attacker);
+    }
+    // A defended probe faults and kills the attacker; a successful one
+    // parks in the spin loop with x19 = 1 and the loot in x0.
+    let mut attacker_exit = i64::MIN;
+    for _ in 0..1_000 {
+        if lz.kernel.machine.cpu.x[19] == 1 {
+            attacker_exit = lz.kernel.machine.cpu.x[0] as i64;
+            break;
+        }
+        match lz.run(64) {
+            Event::Limit => {}
+            Event::Exited(code) => {
+                attacker_exit = code;
+                break;
+            }
+            other => panic!("unexpected attacker event: {other:?}"),
+        }
+    }
+    assert_ne!(attacker_exit, i64::MIN, "attacker neither died nor finished its probe");
+
+    RolloverOutcome {
+        victim_exit,
+        attacker_exit,
+        vmid_recycles: lz.kernel.vmids.recycles(),
+        rollover_shootdowns: lz.kernel.stats.rollover_shootdowns + lz.module.rollover_shootdowns,
+    }
 }
 
 #[cfg(test)]

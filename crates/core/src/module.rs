@@ -24,7 +24,7 @@ use lz_arch::{page_align_down, Platform, PAGE_SIZE};
 use lz_kernel::syscall::{custom, CUSTOM_BASE};
 use lz_kernel::{Event, Kernel, KernelMode, Pid, SysOutcome};
 use lz_machine::pte::{S1Perms, S2Perms};
-use lz_machine::walk::{alloc_table, s2_map_block, s2_map_page, s2_unmap};
+use lz_machine::walk::{alloc_table, free_s2_tree, s2_map_block, s2_map_page, s2_unmap};
 use lz_machine::{EventKind, Exit, Machine, Report, Section};
 use std::collections::{BTreeMap, HashMap};
 
@@ -63,6 +63,15 @@ pub struct AblationConfig {
     /// TLB invalidation; the cross-core W^X penetration test asserts
     /// this leaves a stale executable alias on another core.
     pub skip_remote_shootdown: bool,
+    /// **Deliberately broken** when `true`: skip the TLB invalidation
+    /// that must run when a *recycled* VMID or table ASID is granted
+    /// after an allocator rollover. Models a kernel that recycles IDs
+    /// without maintenance; the rollover penetration test proves a VE
+    /// under a recycled VMID then reads a dead process's memory through
+    /// stale TLB entries. Not a [`Defense`] variant: the attack-corpus
+    /// schedule is frozen over `ALL_DEFENSES`, so this knob is swept by
+    /// the dedicated rollover pen tests instead of the synthesis matrix.
+    pub skip_rollover_shootdown: bool,
 }
 
 impl Default for AblationConfig {
@@ -77,6 +86,7 @@ impl Default for AblationConfig {
             fastpath: lz_machine::default_fastpath(),
             jit: lz_machine::default_jit(),
             skip_remote_shootdown: false,
+            skip_rollover_shootdown: false,
         }
     }
 }
@@ -202,12 +212,19 @@ pub struct LzProc {
     pub gates: GateTables,
     ttbrtab_frames: Vec<u64>,
     gatetab_frames: Vec<u64>,
+    /// Module-allocated code frames (stub page, gate-stub pages) that
+    /// reaping must return to the frame allocator.
+    owned_frames: Vec<u64>,
     /// Page protections by page VA.
     pub protections: BTreeMap<u64, PageProt>,
     /// Which tables currently map each page (for detach and BBM).
     residence: HashMap<u64, Vec<usize>>,
     pub wx: WxTracker,
-    next_asid: u16,
+    /// Per-process table-ASID allocator: `lz_free` returns a domain's
+    /// ASID here, and after the 16-bit space rolls over `lz_alloc` hands
+    /// out recycled ASIDs (with the reuse-time invalidation
+    /// `alloc_table_in` performs).
+    pub asids: lz_kernel::IdAlloc,
     /// Deferred stage-2 mappings when `eager_stage2` is off.
     s2_pending: HashMap<u64, (u64, S2Perms)>,
     /// Repeated-fault guard (va, count).
@@ -229,13 +246,40 @@ impl LzProc {
 }
 
 /// The LightZone kernel module (plus Lowvisor state for guests).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LzModule {
     procs: HashMap<Pid, LzProc>,
     /// Loader-provided gate entries per process (the statically designated
     /// ENTRY addresses of §6.2), registered at spawn.
     pending_entries: HashMap<Pid, Vec<(u16, u64)>>,
     pub ablation: AblationConfig,
+    /// Table-ASID space given to each new VE's allocator (full 16-bit
+    /// space by default; tests shrink it to reach per-process ASID
+    /// exhaustion and rollover in a few `lz_alloc` calls).
+    pub asid_space: u16,
+    /// Counters of processes torn down by [`LzModule::reap`], folded into
+    /// the aggregate so `metrics_sections` survives reaping.
+    retired: LzStats,
+    retired_asid_recycles: u64,
+    /// TLB invalidations forced by recycled VMID/ASID grants (the
+    /// rollover maintenance the stale-TLB pen test proves load-bearing).
+    pub rollover_shootdowns: u64,
+    reaps: u64,
+}
+
+impl Default for LzModule {
+    fn default() -> Self {
+        LzModule {
+            procs: HashMap::new(),
+            pending_entries: HashMap::new(),
+            ablation: AblationConfig::default(),
+            asid_space: u16::MAX,
+            retired: LzStats::default(),
+            retired_asid_recycles: 0,
+            rollover_shootdowns: 0,
+            reaps: 0,
+        }
+    }
 }
 
 impl LzModule {
@@ -264,7 +308,26 @@ impl LzModule {
         if self.procs.contains_key(&pid) {
             return u64::MAX; // one-way ticket, already inside
         }
-        let vmid = k.vmids.alloc();
+        // VMID allocation can fail only when every VMID is simultaneously
+        // live — a denied lz_enter, not a host panic. A *recycled* VMID
+        // may still tag TLB entries from its previous life on any core,
+        // so the reuse path shoots the whole VMID down before VTTBR_EL2
+        // ever carries it (unless the rollover ablation breaks this on
+        // purpose).
+        let grant = match k.vmids.alloc() {
+            Ok(g) => g,
+            Err(_) => return u64::MAX,
+        };
+        let vmid = grant.id;
+        if grant.recycled && !self.ablation.skip_rollover_shootdown {
+            if self.ablation.skip_remote_shootdown {
+                k.machine.tlb.invalidate_vmid(vmid);
+            } else {
+                k.machine.shootdown_vmid(vmid);
+            }
+            self.rollover_shootdowns += 1;
+            k.machine.charge(k.machine.model.dsb + k.machine.model.path_cost(60));
+        }
         let s2_root = alloc_table(&mut k.machine.mem);
         let mut fake = if self.ablation.randomize_phys { FakePhys::new() } else { FakePhys::identity() };
 
@@ -288,13 +351,14 @@ impl LzModule {
             S2Perms { read: true, write: false, exec: true },
         );
         ttbr1.map_page(&mut k.machine.mem, &mut fake, s2_root, layout::STUB_VA, stub_fake, gate_code_perms());
+        let mut owned_frames = vec![stub_real];
 
         // Gate stubs for every registered entry.
         for &(gate_id, entry_va) in &entries {
             gates.set_entry(gate_id, entry_va);
             let words = gate::emit_gate(gate_id, self.ablation.gate_flavor);
             let gva = layout::gate_va(gate_id);
-            self.write_ttbr1_code(k, &mut ttbr1, &mut fake, s2_root, gva, &words);
+            self.write_ttbr1_code(k, &mut ttbr1, &mut fake, s2_root, gva, &words, &mut owned_frames);
         }
 
         let mut proc = LzProc {
@@ -309,17 +373,24 @@ impl LzModule {
             gates,
             ttbrtab_frames: Vec::new(),
             gatetab_frames: Vec::new(),
+            owned_frames,
             protections: BTreeMap::new(),
             residence: HashMap::new(),
             wx: WxTracker::new(),
-            next_asid: 1,
+            asids: lz_kernel::IdAlloc::with_space(self.asid_space),
             s2_pending: HashMap::new(),
             fault_guard: (0, 0),
             stats: LzStats::default(),
         };
 
-        // Default table (pgt 0): a fresh proc has the whole ASID space.
-        let pgt0 = self.alloc_table_in(k, &mut proc).expect("fresh ASID space");
+        // Default table (pgt 0). With the configured ASID space this can
+        // only fail when `asid_space` was shrunk to zero — unwind the
+        // half-built VE (trees, frames, VMID) and deny the call instead
+        // of panicking the host.
+        let Some(pgt0) = self.alloc_table_in(k, &mut proc) else {
+            Self::scrap_proc_storage(k, proc);
+            return u64::MAX;
+        };
         debug_assert_eq!(pgt0, 0);
 
         // Enter the VE: one-way (paper §4.1.1). The process resumes at
@@ -358,6 +429,7 @@ impl LzModule {
         0
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn write_ttbr1_code(
         &self,
         k: &mut Kernel,
@@ -366,6 +438,7 @@ impl LzModule {
         s2_root: u64,
         va: u64,
         words: &[u32],
+        owned: &mut Vec<u64>,
     ) {
         let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut off = 0usize;
@@ -377,6 +450,7 @@ impl LzModule {
                 Some((leaf_fake, _)) => fake.real_of(leaf_fake).expect("fake resolves"),
                 None => {
                     let real = k.machine.mem.alloc_frame();
+                    owned.push(real);
                     let f = fake.assign(real);
                     s2_map_page(&mut k.machine.mem, s2_root, f, real, S2Perms { read: true, write: false, exec: true });
                     ttbr1.map_page(&mut k.machine.mem, fake, s2_root, page_va, f, gate_code_perms());
@@ -392,13 +466,25 @@ impl LzModule {
     // lz_alloc / lz_free / lz_map_gate_pgt / lz_prot (§6.1, Table 2).
     // ------------------------------------------------------------------
 
-    /// Returns `None` when the per-process ASID space is exhausted — a
-    /// guest can reach that by looping on `lz_alloc`, so it must be a
-    /// denied allocation, not a host panic.
+    /// Returns `None` when the per-process ASID space is exhausted with
+    /// every ASID live — a guest can reach that by looping on `lz_alloc`
+    /// without `lz_free`, so it must be a denied allocation, not a host
+    /// panic. After `lz_free` returns ASIDs, allocation resumes on the
+    /// recycled-ID path: a recycled table ASID may still tag stale
+    /// non-global TLB entries from the freed domain, so reuse
+    /// invalidates the (vmid, asid) scope on every core first.
     fn alloc_table_in(&mut self, k: &mut Kernel, proc: &mut LzProc) -> Option<usize> {
-        let asid = proc.next_asid;
-        proc.next_asid = proc.next_asid.checked_add(1)?;
-        let t = LzTable::new(&mut k.machine.mem, &mut proc.fake, proc.s2_root, asid);
+        let grant = proc.asids.alloc().ok()?;
+        if grant.recycled && !self.ablation.skip_rollover_shootdown {
+            if self.ablation.skip_remote_shootdown {
+                k.machine.tlb.invalidate_asid(proc.vmid, grant.id);
+            } else {
+                k.machine.shootdown_asid(proc.vmid, grant.id);
+            }
+            self.rollover_shootdowns += 1;
+            k.machine.charge(k.machine.model.dsb + k.machine.model.path_cost(40));
+        }
+        let t = LzTable::new(&mut k.machine.mem, &mut proc.fake, proc.s2_root, grant.id);
         let ttbr0 = t.ttbr0();
         let pgt = proc.tables.len();
         proc.by_root.insert(t.root_fake, pgt);
@@ -439,7 +525,12 @@ impl LzModule {
         let Some(t) = proc.tables[idx].take() else { return u64::MAX };
         proc.by_root.remove(&t.root_fake);
         let freed_frames = t.table_frames;
+        let freed_asid = t.asid;
         t.free_tree(&mut k.machine.mem, &mut proc.fake, proc.s2_root);
+        // The ASID goes back to the per-process pool; after rollover it
+        // will be granted again, and `alloc_table_in` invalidates its TLB
+        // scope at that reuse point.
+        proc.asids.free(freed_asid);
         // Invalidate every gate that targeted the freed table: its next
         // use must fail the gate's own validation, not silently load a
         // null table root.
@@ -555,6 +646,80 @@ impl LzModule {
                 k.machine.mem.write_bytes(frames[i], chunk);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Reaping (fleet-scale lifecycle): return a dead VE's storage.
+    // ------------------------------------------------------------------
+
+    /// Free every module-owned resource of a (possibly half-built) VE:
+    /// all stage-1 domain trees, the TTBR1 tree, the stub/gate/table
+    /// frames, the stage-2 tree, and the VMID itself. Deliberately does
+    /// **not** invalidate the dead VMID's TLB entries — the
+    /// generation-tagged allocator's contract is invalidation at *reuse*
+    /// (`lz_enter`'s recycled-grant path), which is exactly what the
+    /// rollover penetration test probes.
+    fn scrap_proc_storage(k: &mut Kernel, proc: LzProc) {
+        let LzProc { vmid, s2_root, mut fake, tables, ttbr1, ttbrtab_frames, gatetab_frames, owned_frames, .. } = proc;
+        for t in tables.into_iter().flatten() {
+            t.free_tree(&mut k.machine.mem, &mut fake, s2_root);
+        }
+        ttbr1.free_tree(&mut k.machine.mem, &mut fake, s2_root);
+        for real in ttbrtab_frames.into_iter().chain(gatetab_frames).chain(owned_frames) {
+            if let Some(f) = fake.fake_of(real) {
+                s2_unmap(&mut k.machine.mem, s2_root, f);
+                fake.release(real);
+            }
+            k.machine.mem.try_free_frame(real);
+        }
+        free_s2_tree(&mut k.machine.mem, s2_root);
+        k.vmids.free(vmid);
+    }
+
+    /// Tear down an exited VE's module state and recycle its VMID. The
+    /// process's own memory (VMAs, data frames) is the kernel's to free
+    /// ([`Kernel::reap`]); this reaps only what the module allocated.
+    /// Counters are folded into a retired aggregate first so
+    /// [`LzModule::metrics_sections`] keeps reporting them. Returns
+    /// `false` for a pid that never entered (or was already reaped).
+    pub fn reap(&mut self, k: &mut Kernel, pid: Pid) -> bool {
+        let Some(proc) = self.procs.remove(&pid) else { return false };
+        self.pending_entries.remove(&pid);
+        let s = &proc.stats;
+        let r = &mut self.retired;
+        if s.last_violation.is_some() {
+            r.last_violation = s.last_violation;
+        }
+        r.ve_traps += s.ve_traps;
+        r.ve_syscalls += s.ve_syscalls;
+        r.ve_faults += s.ve_faults;
+        r.sanitized_pages += s.sanitized_pages;
+        r.violations += s.violations;
+        r.stage2_faults += s.stage2_faults;
+        r.sanitizer_rejects += s.sanitizer_rejects;
+        r.wx_to_writable += s.wx_to_writable;
+        r.wx_to_exec += s.wx_to_exec;
+        r.bbm_unmaps += s.bbm_unmaps;
+        self.retired_asid_recycles += proc.asids.recycles();
+        Self::scrap_proc_storage(k, proc);
+        self.reaps += 1;
+        k.machine.charge(k.machine.model.path_cost(600));
+        true
+    }
+
+    /// Live (allocated, unfreed) domains across every resident VE.
+    pub fn domains_live(&self) -> u64 {
+        self.procs.values().map(|p| p.domain_count() as u64).sum()
+    }
+
+    /// Recycled table-ASID grants across live and reaped VEs.
+    pub fn asid_recycles(&self) -> u64 {
+        self.retired_asid_recycles + self.procs.values().map(|p| p.asids.recycles()).sum::<u64>()
+    }
+
+    /// VEs torn down via [`LzModule::reap`].
+    pub fn reaps(&self) -> u64 {
+        self.reaps
     }
 
     /// Re-enter a LightZone process after a context switch: restore the
@@ -1300,9 +1465,11 @@ impl LzModule {
 
     /// Snapshot the module-owned counters as report sections, aggregated
     /// across every LightZone process (exited processes keep their module
-    /// state, so post-mortem stats survive the kill).
+    /// state until reaped, and reaping folds their counters into the
+    /// retired aggregate, so post-mortem stats survive both the kill and
+    /// the reap).
     pub fn metrics_sections(&self) -> Vec<Section> {
-        let mut agg = LzStats::default();
+        let mut agg = self.retired.clone();
         let (mut fake_live, mut fake_high, mut domains, mut s2_pending) = (0u64, 0u64, 0u64, 0u64);
         for p in self.procs.values() {
             agg.ve_traps += p.stats.ve_traps;
@@ -1482,9 +1649,37 @@ impl LightZone {
         &mut self.kernel.machine
     }
 
+    /// Reap an *exited* process end to end: kernel side first (frames,
+    /// stage-1 tree, process ASID), then the module side (domain trees,
+    /// stage-2 tree, VMID). Returns `false` — and frees nothing — for a
+    /// pid that is missing or still running.
+    pub fn reap(&mut self, pid: Pid) -> bool {
+        if !self.kernel.reap(pid) {
+            return false;
+        }
+        self.module.reap(&mut self.kernel, pid);
+        true
+    }
+
+    /// Fleet-scale churn counters: live domains, ID-recycling traffic,
+    /// and the rollover shoot-downs that keep recycling sound. Aggregated
+    /// across the kernel's allocators (VMIDs, process ASIDs) and the
+    /// module's per-VE table-ASID allocators.
+    pub fn fleet_section(&self) -> Section {
+        Section::new("fleet")
+            .with("domains_live", self.module.domains_live())
+            .with("vmid_live", self.kernel.vmids.live())
+            .with("vmid_recycles", self.kernel.vmids.recycles())
+            .with("vmid_rollovers", self.kernel.vmids.rollovers())
+            .with("asid_recycles", self.kernel.asids.recycles() + self.module.asid_recycles())
+            .with("rollover_shootdowns", self.kernel.stats.rollover_shootdowns + self.module.rollover_shootdowns)
+            .with("ve_reaps", self.module.reaps())
+    }
+
     /// The full observability registry: machine sections (TLB, icache,
     /// walk, gate, traps, cpu) plus module sections (lz, wx, stage2,
-    /// fakephys) plus the kernel section. `repro stats` serialises this.
+    /// fakephys) plus the kernel and fleet sections. `repro stats`
+    /// serialises this.
     pub fn metrics_report(&self) -> Report {
         let mut report = Report::default();
         for s in self.kernel.machine.metrics_sections() {
@@ -1494,6 +1689,7 @@ impl LightZone {
             report.push(s);
         }
         report.push(self.kernel.metrics_section());
+        report.push(self.fleet_section());
         report
     }
 }

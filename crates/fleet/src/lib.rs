@@ -1,0 +1,27 @@
+//! Fleet-scale multi-tenant serving benchmark for LightZone.
+//!
+//! The per-VE microbenchmarks ([`lz_workloads::micro`]) price one
+//! domain switch in isolation; this crate asks the *fleet* question: a
+//! serving host packs thousands of LightZone domains across many
+//! tenants, VEs come and go fast enough to exhaust the 16-bit VMID
+//! space, and what matters operationally is the full request-latency
+//! distribution — p50, p99, p999 — not a mean.
+//!
+//! * [`load`] — open-loop arrival generation: a seeded, integer-only
+//!   exponential schedule drawn up front, immune to coordinated
+//!   omission.
+//! * [`hist`] — a 256-bucket log2 histogram (no floats) whose quantiles
+//!   serialise byte-identically across runs.
+//! * [`sim`] — the benchmark itself: a resident pool of tenant VEs
+//!   running real assembled gate-switching programs, an open-loop
+//!   queueing overlay on the measured service times, and a churn phase
+//!   that rolls the VMID space over to exercise generation-tagged
+//!   recycling (`repro fleet`).
+
+pub mod hist;
+pub mod load;
+pub mod sim;
+
+pub use hist::{LatSummary, Log2Hist};
+pub use load::{Lcg, OpenLoop};
+pub use sim::{run_fleet, FleetConfig, FleetRun};

@@ -8,6 +8,7 @@
 //! the paper's Table 4 measures for rows 1 ("host user mode to host
 //! hypervisor mode") and 2 ("guest user mode to guest kernel mode").
 
+use crate::idalloc::IdAlloc;
 use crate::kvm::VmidAllocator;
 use crate::process::{Pid, Process, Program, UserContext};
 use crate::syscall::{self, Sysno, CUSTOM_BASE};
@@ -42,6 +43,11 @@ pub struct Stats {
     pub page_faults: u64,
     pub ctx_switches: u64,
     pub written_bytes: u64,
+    /// Processes torn down and recycled by [`Kernel::reap`].
+    pub reaps: u64,
+    /// TLB shoot-downs performed because a recycled process ASID was
+    /// granted again (rollover hygiene: the reuse path invalidates).
+    pub rollover_shootdowns: u64,
 }
 
 /// Why [`Kernel::run`] returned.
@@ -67,7 +73,9 @@ pub struct Kernel {
     pub mode: KernelMode,
     pub(crate) procs: BTreeMap<Pid, Process>,
     next_pid: Pid,
-    next_asid: u16,
+    /// Process (kernel-managed table) ASIDs, recycled with rollover
+    /// hygiene: a recycled grant forces `shootdown_asid` before reuse.
+    pub asids: IdAlloc,
     pub(crate) cur: Option<Pid>,
     pub vmids: VmidAllocator,
     pub stats: Stats,
@@ -91,7 +99,7 @@ impl Kernel {
             mode: KernelMode::Host,
             procs: BTreeMap::new(),
             next_pid: 1,
-            next_asid: 1,
+            asids: IdAlloc::new(),
             cur: None,
             vmids: VmidAllocator::new(),
             stats: Stats::default(),
@@ -106,7 +114,11 @@ impl Kernel {
     pub fn new_guest(platform: Platform) -> Self {
         let mut machine = Machine::new(platform);
         let mut vmids = VmidAllocator::new();
-        let vmid = vmids.alloc();
+        let vmid = match vmids.alloc() {
+            Ok(grant) => grant.id,
+            // A fresh allocator's first grant cannot fail.
+            Err(e) => panic!("fresh VMID allocator: {e}"),
+        };
         let s2_root = lz_machine::walk::alloc_table(&mut machine.mem);
         // Identity-map PA 0..8 GiB with 2 MiB blocks. Unbacked frames
         // still bus-error at the PhysMem level, so this hides nothing.
@@ -123,7 +135,7 @@ impl Kernel {
             mode: KernelMode::Guest { vmid, s2_root },
             procs: BTreeMap::new(),
             next_pid: 1,
-            next_asid: 1,
+            asids: IdAlloc::new(),
             cur: None,
             vmids,
             stats: Stats::default(),
@@ -137,15 +149,63 @@ impl Kernel {
         self.machine.model.platform
     }
 
+    /// The VMID tagging this kernel's own (stage-1) translations: 0 for
+    /// the VHE host, the VM's VMID for a guest kernel.
+    pub fn kernel_vmid(&self) -> u16 {
+        match self.mode {
+            KernelMode::Host => 0,
+            KernelMode::Guest { vmid, .. } => vmid,
+        }
+    }
+
     /// Load a program as a new process (pages fault in on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics when 65,535 processes are simultaneously live — a host
+    /// resource limit (with recycling there is nothing left to recycle),
+    /// not the seed's bump-allocator overflow at 65,535 *cumulative*
+    /// spawns.
     pub fn spawn(&mut self, program: &Program) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
-        let asid = self.next_asid;
-        self.next_asid += 1;
-        let proc = Process::load(pid, asid, &mut self.machine.mem, program);
+        let grant = match self.asids.alloc() {
+            Ok(g) => g,
+            Err(e) => panic!("process ASID space: {e}"),
+        };
+        if grant.recycled {
+            // Rollover hygiene: the previous owner's kernel-managed
+            // translations may still be TLB-resident under this ASID on
+            // any core. Invalidate at reuse, on every core.
+            self.machine.shootdown_asid(self.kernel_vmid(), grant.id);
+            self.stats.rollover_shootdowns += 1;
+        }
+        let proc = Process::load(pid, grant.id, &mut self.machine.mem, program);
         self.procs.insert(pid, proc);
         pid
+    }
+
+    /// Tear down an exited process: free every resident frame and its
+    /// kernel-managed page-table tree, then recycle its ASID. Returns
+    /// `false` (and does nothing) unless `pid` exists and has exited.
+    ///
+    /// TLB entries tagged with the dead ASID are deliberately left
+    /// resident — they are unreachable until the ASID is granted again,
+    /// and [`Kernel::spawn`] shoots them down at that point (invalidation
+    /// at reuse, not at free).
+    pub fn reap(&mut self, pid: Pid) -> bool {
+        let exited = self.procs.get(&pid).is_some_and(|p| p.exit_code.is_some());
+        if !exited {
+            return false;
+        }
+        let Some(mut p) = self.procs.remove(&pid) else { return false };
+        p.mm.release_all(&mut self.machine.mem);
+        self.asids.free(p.mm.asid);
+        if self.cur == Some(pid) {
+            self.cur = None;
+        }
+        self.stats.reaps += 1;
+        true
     }
 
     /// Access a process.
@@ -583,6 +643,7 @@ impl Kernel {
             .with("ctx_switches", self.stats.ctx_switches)
             .with("written_bytes", self.stats.written_bytes)
             .with("processes", self.procs.len() as u64)
+            .with("reaps", self.stats.reaps)
     }
 
     /// Dispatch a base-kernel syscall on behalf of the current process.

@@ -7,31 +7,63 @@
 //! deferred system-register pages) live in the `lightzone` crate and are
 //! measured against this path by the ablation benchmarks.
 
+use crate::idalloc::{IdAlloc, IdExhausted, IdGrant};
 use lz_machine::Machine;
 
-/// Allocates 16-bit VMIDs, never reusing until wrap (the kernel would
-/// flush TLBs on rollover; the evaluation never allocates 2^16 VMs).
-#[derive(Debug)]
+/// Allocates 16-bit VMIDs with generation-tagged recycling (VMID 0 is
+/// reserved for the host). Fresh VMIDs are handed out until the 2^16
+/// space is exhausted; after that rollover, freed VMIDs are recycled
+/// oldest-first. A recycled grant's previous life may still tag live TLB
+/// entries, so the caller must `invalidate_vmid`/`shootdown_vmid` before
+/// programming a recycled VMID into `VTTBR_EL2` — see
+/// [`crate::idalloc::IdAlloc`].
+#[derive(Debug, Clone)]
 pub struct VmidAllocator {
-    next: u16,
+    ids: IdAlloc,
 }
 
 impl VmidAllocator {
-    /// VMID 0 is reserved for the host.
+    /// Full 2^16 − 1 VMID space.
     pub fn new() -> Self {
-        VmidAllocator { next: 1 }
+        VmidAllocator { ids: IdAlloc::new() }
     }
 
-    /// Allocate the next VMID.
-    ///
-    /// # Panics
-    ///
-    /// Panics on exhaustion (2^16 − 1 live VMs), which no experiment
-    /// approaches.
-    pub fn alloc(&mut self) -> u16 {
-        let id = self.next;
-        self.next = self.next.checked_add(1).expect("VMID space exhausted");
-        id
+    /// Restricted space `1..=space` — lets tests reach VMID rollover in a
+    /// few allocations instead of 65,535.
+    pub fn with_space(space: u16) -> Self {
+        VmidAllocator { ids: IdAlloc::with_space(space) }
+    }
+
+    /// Allocate a VMID. Errors (instead of the seed's panic) only when
+    /// every VMID in the space is simultaneously live.
+    pub fn alloc(&mut self) -> Result<IdGrant, IdExhausted> {
+        self.ids.alloc()
+    }
+
+    /// Return a dead VM's VMID for recycling. TLB entries tagged with it
+    /// may stay resident until the VMID is next granted.
+    pub fn free(&mut self, vmid: u16) {
+        self.ids.free(vmid);
+    }
+
+    /// VMIDs currently live.
+    pub fn live(&self) -> u64 {
+        self.ids.live()
+    }
+
+    /// Total recycled grants (each one forced a shoot-down at reuse).
+    pub fn recycles(&self) -> u64 {
+        self.ids.recycles()
+    }
+
+    /// Times the 16-bit space was exhausted and wrapped.
+    pub fn rollovers(&self) -> u64 {
+        self.ids.rollovers()
+    }
+
+    /// Current allocator generation.
+    pub fn generation(&self) -> u64 {
+        self.ids.generation()
     }
 }
 
@@ -103,10 +135,26 @@ mod tests {
     #[test]
     fn vmids_are_unique_and_nonzero() {
         let mut a = VmidAllocator::new();
-        let x = a.alloc();
-        let y = a.alloc();
-        assert_ne!(x, 0);
-        assert_ne!(x, y);
+        let x = a.alloc().unwrap();
+        let y = a.alloc().unwrap();
+        assert_ne!(x.id, 0);
+        assert_ne!(x.id, y.id);
+        assert!(!x.recycled && !y.recycled);
+    }
+
+    #[test]
+    fn vmid_rollover_marks_recycled_grants() {
+        let mut a = VmidAllocator::with_space(2);
+        let x = a.alloc().unwrap();
+        let y = a.alloc().unwrap();
+        assert!(a.alloc().is_err(), "all live: typed exhaustion, no panic");
+        a.free(x.id);
+        a.free(y.id);
+        let r = a.alloc().unwrap();
+        assert_eq!((r.id, r.recycled), (x.id, true), "oldest freed VMID first");
+        assert_eq!(a.rollovers(), 1);
+        assert_eq!(a.recycles(), 1);
+        assert_eq!(r.generation, 1);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`vma`] — virtual memory areas with demand paging,
 //! * [`process`] — processes, saved user contexts, programs,
 //! * [`syscall`] — the syscall numbers and dispatch results,
+//! * [`idalloc`] — the generation-tagged recycling allocator behind
+//!   VMIDs and ASIDs (rollover-correct: recycled IDs force TLB
+//!   invalidation at reuse),
 //! * [`kvm`] — the KVM-like virtualization layer: VMID allocation and the
 //!   world-switch cost paths (full switches for conventional VMs; the
 //!   partial, optimized switches LightZone uses are in the `lightzone`
@@ -16,6 +19,7 @@
 //! LightZone's kernel module and Lowvisor (the `lightzone` crate) sit on
 //! top of this crate exactly as the paper's patches sit on Linux/KVM.
 
+pub mod idalloc;
 pub mod kernel;
 pub mod kvm;
 pub mod process;
@@ -23,6 +27,7 @@ pub mod sched;
 pub mod syscall;
 pub mod vma;
 
+pub use idalloc::{IdAlloc, IdExhausted, IdGrant};
 pub use kernel::{Event, Kernel, KernelMode, SysOutcome};
 pub use process::{Pid, Process, Program, Segment, UserContext};
 pub use sched::{SmpConfig, SmpRun};

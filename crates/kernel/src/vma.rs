@@ -265,6 +265,29 @@ impl Mm {
     pub fn resident_bytes(&self) -> u64 {
         self.resident.len() as u64 * PAGE_SIZE + self.resident_blocks.len() as u64 * BLOCK_SIZE
     }
+
+    /// Tear the whole address space down: free every resident frame
+    /// (4 KB pages and huge blocks) and the kernel-managed page-table
+    /// tree itself. Used by process reaping — without it, fleet-scale
+    /// churn (65k+ process lifecycles) leaks every dead process's
+    /// memory. The TLB is *not* touched here: dead-ASID entries are
+    /// unreachable and are shot down when the ASID is recycled.
+    pub fn release_all(&mut self, mem: &mut PhysMem) {
+        for (_, pa) in std::mem::take(&mut self.resident) {
+            mem.free_frame(pa);
+        }
+        for (_, pa) in std::mem::take(&mut self.resident_blocks) {
+            let mut off = 0;
+            while off < BLOCK_SIZE {
+                mem.free_frame(pa + off);
+                off += PAGE_SIZE;
+            }
+        }
+        self.vmas.clear();
+        self.unmapped_hint.clear();
+        self.huge_ranges.clear();
+        lz_machine::walk::free_s1_tree(mem, self.root);
+    }
 }
 
 #[cfg(test)]

@@ -905,6 +905,45 @@ pub fn s2_unmap(mem: &mut PhysMem, root: u64, ipa: u64) -> Option<u64> {
     None
 }
 
+/// Free every *table* frame of a stage-1 tree (root plus intermediate
+/// levels). Leaf data frames are owned by whoever mapped them and are
+/// not touched. Teardown is tolerant like `LzTable::free_tree`: a
+/// corrupted descriptor costs at worst a leaked frame, never a panic —
+/// process reaping must survive trees a dying guest damaged.
+pub fn free_s1_tree(mem: &mut PhysMem, root: u64) {
+    fn walk(mem: &mut PhysMem, table: u64, level: u8) {
+        if level < 3 {
+            for idx in 0..512u64 {
+                let desc = mem.read_u64(table + idx * 8).unwrap_or(0);
+                if pte::is_valid(desc) && pte::is_table(desc, level) {
+                    walk(mem, pte::desc_oa(desc), level + 1);
+                }
+            }
+        }
+        mem.try_free_frame(table);
+    }
+    walk(mem, root, 0);
+}
+
+/// Free every *table* frame of a stage-2 tree (root at level 1). Leaf
+/// target frames (guest data, stage-1 tables) are owned elsewhere and
+/// are not touched. Same tolerant teardown contract as
+/// [`free_s1_tree`].
+pub fn free_s2_tree(mem: &mut PhysMem, root: u64) {
+    fn walk(mem: &mut PhysMem, table: u64, level: u8) {
+        if level < 3 {
+            for idx in 0..512u64 {
+                let desc = mem.read_u64(table + idx * 8).unwrap_or(0);
+                if pte::is_valid(desc) && pte::is_table(desc, level) {
+                    walk(mem, pte::desc_oa(desc), level + 1);
+                }
+            }
+        }
+        mem.try_free_frame(table);
+    }
+    walk(mem, root, 1);
+}
+
 /// Read back the stage-2 leaf mapping for `ipa`.
 pub fn s2_lookup(mem: &PhysMem, root: u64, ipa: u64) -> Option<(u64, S2Perms, u8)> {
     let mut table = root;

@@ -55,6 +55,19 @@ impl HttpdConfig {
     }
 }
 
+/// The integer per-request shape the fleet benchmark's *executed*
+/// tenant programs use for an httpd-like connection: the paper config's
+/// 20 key-domain crossings and 4 kernel round trips per request, plus a
+/// 1 KB response copied in 8-byte touches of the key domain's arena.
+pub fn fleet_shape() -> crate::FleetShape {
+    let cfg = HttpdConfig::paper(lz_arch::Platform::Carmel);
+    crate::FleetShape {
+        switches_per_request: cfg.key_accesses_per_request as u32,
+        arena_touches: 16,
+        syscalls_per_request: cfg.syscalls_per_request as u32,
+    }
+}
+
 /// Cycles to serve one request under `mechanism`.
 pub fn request_cycles(cfg: &HttpdConfig, prims: &Primitives, mechanism: Mechanism) -> f64 {
     let k = cfg.key_accesses_per_request;

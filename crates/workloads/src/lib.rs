@@ -28,3 +28,22 @@ pub mod oltp;
 
 pub use deploy::{Deployment, Mechanism};
 pub use micro::Primitives;
+
+/// Integer per-request shape of a workload for the fleet benchmark
+/// (`lz-fleet`): unlike the float operation-level models above, these
+/// drive *real assembled guest programs*, so every field is an exact
+/// instruction count the program generator unrolls. Shapes are derived
+/// from the paper configs ([`httpd::fleet_shape`], [`oltp::fleet_shape`])
+/// with the per-request counts kept small enough to run thousands of
+/// requests inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetShape {
+    /// Call-gate domain switches per request (each: gate `blr` + 8-byte
+    /// access in the entered domain).
+    pub switches_per_request: u32,
+    /// Extra 8-byte reads of the current domain's arena page per
+    /// request (application data work).
+    pub arena_touches: u32,
+    /// Kernel round trips per request (forwarded through the VE stub).
+    pub syscalls_per_request: u32,
+}

@@ -65,6 +65,16 @@ impl OltpConfig {
     }
 }
 
+/// The integer per-transaction shape the fleet benchmark's *executed*
+/// tenant programs use for an OLTP-like connection: one stack-domain
+/// crossing per query (20, the sysbench mix), a heavier arena working
+/// set (the MEMORY-engine heap), and the I/O syscall mix scaled 30 -> 8
+/// so thousands of transactions stay simulable.
+pub fn fleet_shape() -> crate::FleetShape {
+    let cfg = OltpConfig::paper(lz_arch::Platform::Carmel);
+    crate::FleetShape { switches_per_request: cfg.queries_per_txn as u32, arena_touches: 64, syscalls_per_request: 8 }
+}
+
 /// Cycles to execute one transaction under `mechanism` with `threads`
 /// concurrent connections.
 pub fn txn_cycles(cfg: &OltpConfig, prims: &Primitives, mechanism: Mechanism, threads: u64) -> f64 {

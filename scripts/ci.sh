@@ -16,7 +16,10 @@
 # fast path on and off and template JIT off), the
 # attack-synthesis corpus gate (BENCH_attack_corpus.json: >=5 families,
 # zero escapes with defenses on, >=2 distinct shrunk exploits per
-# ablated security defense, byte-reproducible), and an unwrap/expect
+# ablated security defense, byte-reproducible), the fleet-scale serving
+# gate (BENCH_fleet.json: >=2,000 live domains, >=1 full VMID-space
+# rollover, p50/p99/p999 switch and request latencies on 1 and 4 cores,
+# byte-reproducible), and an unwrap/expect
 # ratchet over the isolation-stack sources so guest-reachable panics
 # cannot creep back in (DESIGN.md §11).
 set -euo pipefail
@@ -59,7 +62,7 @@ echo "== repro stats --stats-json: validate the metrics registry =="
 ./target/release/repro stats --stats-json | python3 -c '
 import json, sys
 report = json.load(sys.stdin)
-required = ["tlb", "icache", "walk", "gate", "traps", "lz", "wx", "stage2", "kernel", "smp"]
+required = ["tlb", "icache", "walk", "gate", "traps", "lz", "wx", "stage2", "kernel", "smp", "fleet"]
 missing = [s for s in required if s not in report]
 assert not missing, f"missing sections: {missing}"
 assert report["gate"]["switches"] > 0, "no gate switches recorded"
@@ -187,6 +190,45 @@ esc = {d: len(cols[d]["distinct_attacks"]) for d in ("remote_shootdown", "gate_c
 print(f"attack corpus JSON ok: {len(families)} families, 0 escapes defenses-on, per-defense escapes {esc}")
 '
 cat BENCH_attack_corpus.json
+
+echo "== repro fleet -> BENCH_fleet.json (latency floors + determinism) =="
+./target/release/repro fleet --json > BENCH_fleet.json
+./target/release/repro fleet --json > /tmp/fleet_rerun.json
+cmp BENCH_fleet.json /tmp/fleet_rerun.json || {
+    echo "fleet benchmark is not byte-reproducible" >&2
+    exit 1
+}
+python3 -c '
+import json
+report = json.load(open("BENCH_fleet.json"))
+assert report["benchmark"] == "fleet"
+assert isinstance(report["seed"], int)
+cores = [r["cores"] for r in report["runs"]]
+assert cores == [1, 4], f"unexpected core sweep: {cores}"
+for r in report["runs"]:
+    peak = r["domains_live_peak"]
+    assert peak >= 2000, f"fleet under-packed: {peak} domains"
+    for lat in ("switch_cycles", "service_cycles", "request_latency"):
+        for q in ("p50", "p99", "p999"):
+            assert isinstance(r[lat][q], int) and r[lat][q] > 0, f"{lat}.{q}"
+        assert r[lat]["p50"] <= r[lat]["p99"] <= r[lat]["p999"], f"{lat} quantiles unordered"
+    # A gate switch is hundreds of cycles, not single digits or millions.
+    sw50 = r["switch_cycles"]["p50"]
+    assert 100 <= sw50 <= 5000, f"switch p50 implausible: {sw50}"
+    assert r["request_latency"]["p50"] >= r["service_cycles"]["p50"], "queue wait cannot be negative"
+one, quad = report["runs"]
+assert one["vmid_rollovers"] >= 1, "1-core churn must roll the full VMID space"
+assert one["vmid_recycles"] >= 1
+assert one["rollover_shootdowns"] >= one["vmid_recycles"], "recycled VMIDs must be shot down at reuse"
+assert one["ve_reaps"] + quad["ve_reaps"] > 60_000, "churn phase under-ran"
+p99_one = one["request_latency"]["p99"]
+p99_quad = quad["request_latency"]["p99"]
+assert p99_quad < p99_one, "4 cores must drain the open-loop queue that saturates 1 core"
+rolls = one["vmid_rollovers"]
+peak = one["domains_live_peak"]
+print(f"fleet JSON ok: {peak} domains, {rolls} rollover(s), request p99 {p99_one} -> {p99_quad} cycles at 4 cores")
+'
+cat BENCH_fleet.json
 
 echo "== unwrap/expect ratchet (non-test isolation-stack sources) =="
 # Guest-reachable host panics were swept into typed LzFault paths; the

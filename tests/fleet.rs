@@ -1,0 +1,219 @@
+//! Fleet-scale churn regressions: per-process ASID exhaustion must be a
+//! denied allocation (not a host panic), `lz_free` must return table
+//! ASIDs to the recycling pool with reuse-time invalidation, reaping an
+//! exited VE must return every frame it pinned, and the fleet counters
+//! plus the smoke-scale fleet run must stay byte-deterministic.
+
+use lightzone::api::{LzAsm, LzProgramBuilder, SAN_PAN, SAN_TTBR};
+use lightzone::LightZone;
+use lz_arch::Platform;
+use lz_fleet::{run_fleet, FleetConfig};
+use lz_kernel::Sysno;
+
+const CODE: u64 = 0x40_0000;
+
+/// Emit one `lz_alloc` and route its result into the counters:
+/// `x20 += 1` on success, `x21 += 1` when the call returns `u64::MAX`.
+/// (`x0 + 1 == 0` exactly when `x0 == u64::MAX`, so the wrapped sum
+/// doubles as the failure predicate without needing a 64-bit compare.)
+fn counted_alloc(b: &mut LzProgramBuilder) {
+    b.asm.lz_alloc();
+    b.asm.add_imm(9, 0, 1);
+    let fail = b.asm.label();
+    let done = b.asm.label();
+    b.asm.cbz(9, fail);
+    b.asm.add_imm(20, 20, 1);
+    b.asm.b(done);
+    b.asm.bind(fail);
+    b.asm.add_imm(21, 21, 1);
+    b.asm.bind(done);
+}
+
+fn exit_with_x0(b: &mut LzProgramBuilder) {
+    b.asm.mov_imm64(8, Sysno::Exit.nr());
+    b.asm.svc(0);
+}
+
+/// A scalable VE that attempts `attempts` table allocations and exits
+/// with `successes | failures << 8`.
+fn alloc_burst(attempts: usize) -> lightzone::LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.movz(20, 0, 0);
+    b.asm.movz(21, 0, 0);
+    for _ in 0..attempts {
+        counted_alloc(&mut b);
+    }
+    b.asm.lsl_imm(9, 21, 8);
+    b.asm.add_reg(0, 20, 9);
+    exit_with_x0(&mut b);
+    b.build()
+}
+
+#[test]
+fn asid_exhaustion_denies_alloc_gracefully() {
+    // Shrink the per-process table-ASID space to 4: pgt0 takes the
+    // first ASID at lz_enter, so exactly 3 of 6 lz_allocs can succeed.
+    // The remaining 3 must come back as u64::MAX — a denied syscall the
+    // guest observes and survives, never a kill or a host panic.
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.module.asid_space = 4;
+    let pid = lz.spawn(&alloc_burst(6));
+    lz.enter_process(pid);
+    let code = lz.run_to_exit();
+    assert_eq!(code & 0xff, 3, "successes before exhaustion");
+    assert_eq!(code >> 8, 3, "denied allocations after exhaustion");
+    // Denials are not recycles: nothing was freed, so nothing rolled.
+    assert_eq!(lz.module.asid_recycles(), 0);
+    assert_eq!(lz.module.rollover_shootdowns, 0);
+}
+
+#[test]
+fn lz_free_returns_asids_to_the_recycling_pool() {
+    // Space 4 again: allocs land pgts 1..=3 (ASIDs 2..=4), a 4th is
+    // denied, then freeing pgt 1 returns its ASID and the next alloc
+    // succeeds on the recycled-ID path. Exit code packs
+    // `successes | free_ret << 4 | new_pgt << 8`.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.movz(20, 0, 0);
+    b.asm.movz(21, 0, 0);
+    for _ in 0..4 {
+        counted_alloc(&mut b);
+    }
+    b.asm.lz_free_imm(1);
+    b.asm.mov_reg(22, 0); // lz_free result (0 on success)
+    b.asm.lz_alloc();
+    b.asm.mov_reg(23, 0); // recycled-ASID table's pgt id
+    b.asm.lsl_imm(9, 22, 4);
+    b.asm.add_reg(0, 20, 9);
+    b.asm.lsl_imm(9, 23, 8);
+    b.asm.add_reg(0, 0, 9);
+    exit_with_x0(&mut b);
+    let prog = b.build();
+
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.module.asid_space = 4;
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    let code = lz.run_to_exit();
+    assert_eq!(code & 0xf, 3, "initial successes");
+    assert_eq!((code >> 4) & 0xf, 0, "lz_free succeeded");
+    // Freed table slots are not reused — the new table gets a fresh
+    // pgt id (4) over a recycled ASID.
+    assert_eq!(code >> 8, 4, "post-free alloc succeeded with a new pgt id");
+    assert_eq!(lz.module.asid_recycles(), 1);
+    // The recycled grant forced a (vmid, asid)-scoped reuse shoot-down.
+    assert!(lz.module.rollover_shootdowns >= 1);
+}
+
+#[test]
+fn reap_returns_every_frame_to_the_allocator() {
+    // Spawn/run/reap one VE to absorb any one-time allocations, then
+    // measure: a second full cycle must return the frame count exactly
+    // to the post-warmup baseline (stage-1 trees, stage-2 tree, stub,
+    // gate pages, table frames — everything).
+    let prog = alloc_burst(3);
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    let warm = lz.spawn(&prog);
+    lz.enter_process(warm);
+    lz.run_to_exit();
+    assert!(lz.reap(warm));
+    let baseline = lz.kernel.machine.mem.allocated_frames();
+
+    let pid = lz.spawn(&prog);
+    lz.schedule_to(pid);
+    lz.run_to_exit();
+    let peak = lz.kernel.machine.mem.allocated_frames();
+    assert!(peak > baseline, "the VE pinned frames while alive");
+    assert!(lz.reap(pid));
+    assert_eq!(lz.kernel.machine.mem.allocated_frames(), baseline, "reap leaked frames");
+}
+
+#[test]
+fn fleet_counters_survive_reap() {
+    // Counters must aggregate retired VEs: after the only process is
+    // reaped, domains_live drops to zero but ve_reaps and the ASID
+    // recycling traffic it generated remain visible.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.movz(20, 0, 0);
+    b.asm.movz(21, 0, 0);
+    for _ in 0..3 {
+        counted_alloc(&mut b);
+    }
+    b.asm.lz_free_imm(1);
+    counted_alloc(&mut b); // recycled-ASID grant
+    b.asm.mov_reg(0, 20);
+    exit_with_x0(&mut b);
+    let prog = b.build();
+
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.module.asid_space = 4;
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    lz.run_to_exit();
+
+    let live = lz.fleet_section();
+    assert_eq!(live.get("domains_live"), Some(4));
+    assert_eq!(live.get("vmid_live"), Some(1));
+    assert_eq!(live.get("asid_recycles"), Some(1));
+
+    assert!(lz.reap(pid));
+    let reaped = lz.fleet_section();
+    assert_eq!(reaped.get("domains_live"), Some(0));
+    assert_eq!(reaped.get("vmid_live"), Some(0));
+    assert_eq!(reaped.get("ve_reaps"), Some(1));
+    assert_eq!(reaped.get("asid_recycles"), Some(1), "retired counters survive");
+    assert!(reaped.get("rollover_shootdowns").unwrap_or(0) >= 1);
+
+    // The registry exposes the same section by name.
+    let report = lz.metrics_report();
+    let section = report.section("fleet").expect("fleet section registered");
+    assert_eq!(section.get("ve_reaps"), Some(1));
+}
+
+#[test]
+fn non_scalable_ve_cannot_alloc_tables() {
+    // PAN-mode VEs opt out of scalable zones at lz_enter; every
+    // lz_alloc is denied, and the ASID pool is untouched.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.movz(20, 0, 0);
+    b.asm.movz(21, 0, 0);
+    counted_alloc(&mut b);
+    b.asm.lsl_imm(9, 21, 8);
+    b.asm.add_reg(0, 20, 9);
+    exit_with_x0(&mut b);
+    let prog = b.build();
+
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    let code = lz.run_to_exit();
+    assert_eq!(code & 0xff, 0, "no allocation succeeds");
+    assert_eq!(code >> 8, 1, "the call is denied, not fatal");
+}
+
+#[test]
+fn smoke_fleet_run_is_deterministic_and_rolls_the_vmid_space() {
+    // The integration-level contract behind BENCH_fleet.json: two runs
+    // of the same seeded open-loop config are *equal* (and serialise to
+    // identical bytes), the shrunken VMID space rolls over under churn,
+    // and the churn bookkeeping is exact.
+    let cfg = FleetConfig::smoke(1);
+    let a = run_fleet(&cfg);
+    let b = run_fleet(&cfg);
+    assert_eq!(a, b, "fleet runs must be deterministic");
+    assert_eq!(a.json(), b.json());
+
+    assert_eq!(a.tenants, 6);
+    assert_eq!(a.domains_live_peak, 6 * 5, "tenants x (domains + pgt0)");
+    assert_eq!(a.ve_reaps, 40, "every churn VE reaped");
+    assert!(a.vmid_recycles >= 1, "churn crossed the shrunken VMID space");
+    assert!(a.vmid_rollovers >= 1);
+    assert!(a.rollover_shootdowns >= a.vmid_recycles);
+    assert!(a.switch_cycles.p50 > 0 && a.switch_cycles.p50 <= a.switch_cycles.p999);
+    assert!(a.request_latency.p50 <= a.request_latency.p99);
+    assert!(a.request_latency.p99 <= a.request_latency.p999);
+}

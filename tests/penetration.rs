@@ -9,7 +9,7 @@
 //! the synthesized corpus exercise one source of truth.
 
 use lightzone::api::{LzAsm, LzProgramBuilder, SAN_BOTH, SAN_PAN, SAN_TTBR};
-use lightzone::SECURITY_KILL;
+use lightzone::{AblationConfig, SECURITY_KILL};
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
 use lz_chaos::attacks::{
@@ -232,6 +232,93 @@ fn guest_deployments_kill_equally() {
     for platform in Platform::ALL {
         assert_eq!(run(&prog, platform, true), SECURITY_KILL, "{platform:?} guest");
     }
+}
+
+// ---------------------------------------------------------------------
+// VMID rollover: recycled IDs vs stale TLB entries
+// ---------------------------------------------------------------------
+
+#[test]
+fn rollover_recycled_vmid_cannot_read_dead_ve() {
+    // A victim VE dies with its secret's translation still in the TLB;
+    // after the VMID space rolls over, an attacker VE is granted the
+    // same VMID. The reuse-time shootdown must have cleared the stale
+    // entry, so the attacker's probe of the never-mapped VA dies.
+    let out = attacks::rollover_attack(Platform::CortexA55, AblationConfig::default(), 1);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64, "victim planted and warmed the secret");
+    assert!(out.vmid_recycles >= 1, "the attack never reached rollover: {out:?}");
+    assert!(out.rollover_shootdowns >= 1, "recycled grant must have forced an invalidation");
+    assert!(out.attacker_exit < 0, "attacker must die, got {}", out.attacker_exit);
+    assert_ne!(out.attacker_exit, attacks::ROLLOVER_SECRET as i64, "dead VE's secret leaked");
+}
+
+#[test]
+fn rollover_without_reuse_shootdown_leaks_dead_ve_secret() {
+    // Negative control proving the shootdown is load-bearing: with the
+    // reuse-time invalidation ablated the very same attack *succeeds* —
+    // the stale TLB entry translates the dead VE's page and the attacker
+    // exits with its secret.
+    let ablation = AblationConfig { skip_rollover_shootdown: true, ..AblationConfig::default() };
+    let out = attacks::rollover_attack(Platform::CortexA55, ablation, 1);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert!(out.vmid_recycles >= 1);
+    assert_eq!(out.rollover_shootdowns, 0, "broken kernel performed no reuse invalidation");
+    assert_eq!(out.attacker_exit, attacks::ROLLOVER_SECRET as i64, "broken kernel: stale entry must leak");
+}
+
+#[test]
+fn rollover_smp_broadcast_clears_remote_core() {
+    // SMP: the victim warmed core 1's TLB; the attacker's lz_enter runs
+    // on core 0 and must *broadcast* the reuse invalidation, so the
+    // migrated attacker's probe on core 1 still faults.
+    let out = attacks::rollover_attack(Platform::CortexA55, AblationConfig::default(), 2);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert!(out.vmid_recycles >= 1);
+    assert!(out.attacker_exit < 0, "attacker must die on the remote core, got {}", out.attacker_exit);
+}
+
+#[test]
+fn rollover_smp_local_only_invalidate_leaks_on_remote_core() {
+    // With the remote half of the shootdown ablated the reuse path only
+    // invalidates the core running lz_enter (core 0): the victim's stale
+    // entry survives on core 1 and the migrated attacker reads the dead
+    // VE's secret through it.
+    let ablation = AblationConfig { skip_remote_shootdown: true, ..AblationConfig::default() };
+    let out = attacks::rollover_attack(Platform::CortexA55, ablation, 2);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert!(out.vmid_recycles >= 1);
+    assert!(out.rollover_shootdowns >= 1, "the broken kernel still invalidates locally");
+    assert_eq!(out.attacker_exit, attacks::ROLLOVER_SECRET as i64, "remote stale entry must leak");
+}
+
+#[test]
+fn rollover_outcomes_are_fastpath_and_jit_invariant() {
+    // The fast path and template JIT may only reproduce the slow path's
+    // TLB semantics — defended runs kill identically and the ablated
+    // runs leak identically across every (fastpath, jit) polarity.
+    let combos = [(false, false), (true, false), (false, true), (true, true)];
+    let defended: Vec<_> = combos
+        .iter()
+        .map(|&(fastpath, jit)| {
+            let ablation = AblationConfig { fastpath, jit, ..AblationConfig::default() };
+            attacks::rollover_attack(Platform::CortexA55, ablation, 1)
+        })
+        .collect();
+    for d in &defended[1..] {
+        assert_eq!(d, &defended[0], "fastpath/jit changed the defended rollover outcome");
+    }
+    assert!(defended[0].attacker_exit < 0);
+    let broken: Vec<_> = combos
+        .iter()
+        .map(|&(fastpath, jit)| {
+            let ablation = AblationConfig { skip_rollover_shootdown: true, fastpath, jit, ..AblationConfig::default() };
+            attacks::rollover_attack(Platform::CortexA55, ablation, 1)
+        })
+        .collect();
+    for b in &broken[1..] {
+        assert_eq!(b, &broken[0], "fastpath/jit changed the broken kernel's leak");
+    }
+    assert_eq!(broken[0].attacker_exit, attacks::ROLLOVER_SECRET as i64);
 }
 
 #[test]

@@ -1631,6 +1631,30 @@ impl LightZone {
         }
     }
 
+    /// Dispatch one machine exit for the current process exactly as
+    /// [`Self::run`] would between machine entries, without re-entering
+    /// the machine. `None` means handled — the process keeps running.
+    ///
+    /// Epoch-style drivers (the fleet wave drain) run many VEs
+    /// concurrently via [`lz_machine::Machine::run_epoch`] and commit
+    /// each core's pending exit barrier-side through this method, after
+    /// switching the machine to that core and pointing
+    /// [`Kernel::set_current`] at its process.
+    pub fn dispatch_exit(&mut self, exit: lz_machine::Exit) -> Option<Event> {
+        match self.kernel.handle_exit(exit)? {
+            Event::Custom { nr, args } => self.module.handle_custom(&mut self.kernel, nr, args),
+            Event::Raw(exit) => {
+                let in_lz = self.kernel.current().is_some_and(|pid| self.kernel.process(pid).in_lightzone);
+                if in_lz {
+                    self.module.handle_ve_exit(&mut self.kernel, exit)
+                } else {
+                    Some(Event::Raw(exit))
+                }
+            }
+            other => Some(other),
+        }
+    }
+
     /// Run to process exit; panics on anything else (test convenience).
     ///
     /// # Panics

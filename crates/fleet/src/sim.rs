@@ -49,6 +49,10 @@ const RESULTS_BASE: u64 = 0x2800_0000;
 const ARENA_BASE: u64 = 0x3000_0000;
 
 const RUN_LIMIT: u64 = 400_000_000;
+/// Instructions per epoch in the multi-core wave drain. Tenants share
+/// no memory, so the quantum only balances barrier overhead against
+/// trap-handling latency (a pending VE exit waits out the epoch).
+const FLEET_QUANTUM: u64 = 16_384;
 
 /// One fleet benchmark configuration.
 #[derive(Debug, Clone)]
@@ -300,11 +304,17 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     }
     let shapes = [lz_workloads::httpd::fleet_shape(), lz_workloads::oltp::fleet_shape()];
 
-    // Phase 1: resident tenants, each run to completion on its core.
+    // Phase 1: resident tenants. On one core each runs to completion
+    // sequentially; on an SMP machine every wave of `cores` tenants
+    // drains *concurrently* on the epoch executor — each tenant pinned
+    // to core `t % cores`, executing [`FLEET_QUANTUM`]-instruction
+    // epochs with all VE traps handled barrier-side in core order, so
+    // the drain is byte-deterministic on both the parallel and the
+    // replay backend.
     let mut services: Vec<Vec<u64>> = Vec::with_capacity(cfg.tenants);
     let mut switch_hist = Log2Hist::new();
     let mut service_hist = Log2Hist::new();
-    for t in 0..cfg.tenants {
+    let spawn_tenant = |lz: &mut LightZone, t: usize| {
         let shape = shapes[t % shapes.len()];
         let prog = tenant_prog(
             shape,
@@ -312,30 +322,86 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
             cfg.requests_per_tenant,
             cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9),
         );
-        if cfg.cores > 1 {
-            lz.kernel.machine.switch_core(t % cfg.cores);
-        }
         let pid = lz.spawn(&prog);
         // `schedule_to`, not `enter_process`: the previous tenant left
         // the core in VE state (HCR/VBAR/VTTBR), and the scheduler path
         // restores the host configuration for a fresh process.
         lz.schedule_to(pid);
-        let ev = lz.run(RUN_LIMIT);
-        assert_eq!(ev, Event::Exited(0), "tenant {t} did not exit cleanly");
-        let calib = read_guest_u64(&lz, pid, RESULTS_BASE);
+        pid
+    };
+    let mut record_tenant = |lz: &LightZone, t: usize, pid: Pid, services: &mut Vec<Vec<u64>>| {
+        let shape = shapes[t % shapes.len()];
+        let calib = read_guest_u64(lz, pid, RESULTS_BASE);
         let s = (shape.switches_per_request as u64).max(1);
         let mut per_tenant = Vec::with_capacity(cfg.requests_per_tenant);
         for r in 0..cfg.requests_per_tenant as u64 {
-            let sw = read_guest_u64(&lz, pid, RESULTS_BASE + 8 + r * 16);
-            let rq = read_guest_u64(&lz, pid, RESULTS_BASE + 16 + r * 16);
+            let sw = read_guest_u64(lz, pid, RESULTS_BASE + 8 + r * 16);
+            let rq = read_guest_u64(lz, pid, RESULTS_BASE + 16 + r * 16);
             switch_hist.record(sw.saturating_sub(calib) / s);
             let service = rq.saturating_sub(2 * calib).max(1);
             service_hist.record(service);
             per_tenant.push(service);
         }
         services.push(per_tenant);
-    }
-    if cfg.cores > 1 {
+    };
+    if cfg.cores == 1 {
+        for t in 0..cfg.tenants {
+            let pid = spawn_tenant(&mut lz, t);
+            let ev = lz.run(RUN_LIMIT);
+            assert_eq!(ev, Event::Exited(0), "tenant {t} did not exit cleanly");
+            record_tenant(&lz, t, pid, &mut services);
+        }
+    } else {
+        let n = cfg.cores;
+        for wave in 0..cfg.tenants.div_ceil(n) {
+            // Set up the wave: one tenant per core, entered via the
+            // costed VE scheduling path on its own core. `cur` is
+            // cleared between set-ups — with several processes live at
+            // once the active register state belongs to the core, not
+            // to a single kernel-wide current process.
+            let tenants: Vec<usize> = (wave * n..((wave + 1) * n).min(cfg.tenants)).collect();
+            let mut jobs: Vec<(usize, Pid, usize)> = Vec::with_capacity(tenants.len());
+            for &t in &tenants {
+                lz.kernel.machine.switch_core(t % n);
+                let pid = spawn_tenant(&mut lz, t);
+                lz.kernel.clear_current();
+                jobs.push((t % n, pid, t));
+            }
+            // Drain the wave in epochs until every tenant exited.
+            let mut done = vec![false; jobs.len()];
+            let mut spent = vec![0u64; jobs.len()];
+            while done.iter().any(|&d| !d) {
+                let mut budgets = vec![0u64; n];
+                for (j, &(core, ..)) in jobs.iter().enumerate() {
+                    if !done[j] {
+                        budgets[core] = FLEET_QUANTUM;
+                    }
+                }
+                let results = lz.kernel.machine.run_epoch(&budgets);
+                for (j, &(core, pid, t)) in jobs.iter().enumerate() {
+                    if done[j] {
+                        continue;
+                    }
+                    let (exit, used) = results[core];
+                    spent[j] += used;
+                    assert!(spent[j] <= RUN_LIMIT, "tenant {t} did not exit cleanly");
+                    if exit == lz_machine::Exit::Limit {
+                        continue;
+                    }
+                    lz.kernel.machine.switch_core(core);
+                    lz.kernel.set_current(pid);
+                    match lz.dispatch_exit(exit) {
+                        None => {}
+                        Some(Event::Exited(0)) => done[j] = true,
+                        Some(ev) => panic!("tenant {t} did not exit cleanly: {ev:?}"),
+                    }
+                    lz.kernel.clear_current();
+                }
+            }
+            for &(_, pid, t) in &jobs {
+                record_tenant(&lz, t, pid, &mut services);
+            }
+        }
         lz.kernel.machine.switch_core(0);
     }
     let domains_live_peak = lz.module.domains_live();
@@ -426,6 +492,23 @@ mod tests {
         // request, so the latency distribution dominates service.
         assert!(run.request_latency.p50 >= run.service_cycles.p50);
         assert!(run.request_latency.p999 >= run.request_latency.p50);
+    }
+
+    #[test]
+    fn four_core_wave_drain_matches_replay() {
+        // The epoch wave drain must produce byte-identical results on
+        // the parallel and the sequential-replay executor. Flipping the
+        // global default mid-suite is safe: the backends are
+        // semantically identical, which is exactly what this asserts.
+        let cfg = FleetConfig::smoke(4);
+        let prior = lz_machine::default_parallel();
+        lz_machine::set_default_parallel(true);
+        let a = run_fleet(&cfg);
+        lz_machine::set_default_parallel(false);
+        let b = run_fleet(&cfg);
+        lz_machine::set_default_parallel(prior);
+        assert_eq!(a, b, "parallel and replay wave drains diverged");
+        assert_eq!(a.json(), b.json());
     }
 
     #[test]

@@ -292,6 +292,16 @@ impl Kernel {
         self.cur = Some(pid);
     }
 
+    /// Detach the current process *without* saving its context. Epoch-
+    /// style drivers (the SMP scheduler, the fleet wave drain) keep many
+    /// processes live on different cores at once; between per-core
+    /// commits the machine's active register state does not belong to
+    /// `cur`, so a stray [`Self::save_current`] must find nothing to
+    /// save.
+    pub fn clear_current(&mut self) {
+        self.cur = None;
+    }
+
     /// Run the current process, handling base-kernel traps internally,
     /// until something interesting happens.
     pub fn run(&mut self, insn_limit: u64) -> Event {

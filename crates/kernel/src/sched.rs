@@ -1,16 +1,21 @@
 //! SMP scheduler: per-core run queues, work stealing, deterministic
-//! quantum-sliced interleaving.
+//! epoch-sliced execution.
 //!
 //! [`Kernel::run_smp`] drives an N-core [`lz_machine`] machine the way
-//! a real kernel's per-CPU schedulers would, except that execution is
-//! interleaved (one core at a time) so runs are byte-reproducible:
+//! a real kernel's per-CPU schedulers would. Guest execution happens in
+//! *epochs* ([`lz_machine::Machine::run_epoch`]): every busy core runs
+//! its remaining quantum concurrently (host threads under
+//! `LZ_PARALLEL`, sequential deterministic replay otherwise), and all
+//! kernel work — trap handling, futex parks and wakes, thread
+//! placement, shootdowns — happens barrier-side in core order, so runs
+//! are byte-reproducible on either executor:
 //!
 //! * every core has its own FIFO run queue of `(pid, thread)` entries;
 //! * `clone` places the new thread on the least-loaded *other* core;
 //! * an idle core steals from the longest remote queue;
-//! * the round-robin origin rotates each round under a seedable LCG,
-//!   so different seeds produce different (but each fully
-//!   deterministic) interleavings.
+//! * the schedule/commit visiting origin rotates each round under a
+//!   seedable LCG, so different seeds produce different (but each
+//!   fully deterministic) interleavings.
 //!
 //! While `run_smp` is active the base kernel's cooperative intra-
 //! process thread rotation is suppressed (`Kernel::smp_mode`): `yield`
@@ -54,19 +59,6 @@ pub struct SmpRun {
     pub stalled: bool,
 }
 
-/// How a scheduling slice ended.
-enum SliceEnd {
-    /// Quantum exhausted; the thread stays runnable.
-    Quantum,
-    /// The thread left the CPU (futex park or thread exit).
-    Descheduled,
-    /// The whole process exited with this code.
-    ProcExited(i64),
-    /// An event the SMP scheduler does not handle (custom syscall,
-    /// LightZone trap): fatal to the run.
-    Foreign,
-}
-
 impl Kernel {
     /// Run every spawned process across `cfg.cores` cores until all
     /// exit, `limit` total instructions retire, or nothing is runnable.
@@ -103,6 +95,12 @@ impl Kernel {
 
         let mut run = SmpRun::default();
         let mut lcg = cfg.seed;
+        // What each core is executing: `(pid, thread, instructions left
+        // in its quantum)`. A thread survives here across epochs when a
+        // syscall returns mid-quantum — it resumes without paying the
+        // activation path again, exactly like the pre-epoch scheduler's
+        // in-slice continuation.
+        let mut running: Vec<Option<(Pid, usize, u64)>> = vec![None; n];
         loop {
             if self.procs.values().all(|p| p.exit_code.is_some()) {
                 break;
@@ -111,49 +109,130 @@ impl Kernel {
                 run.stalled = true;
                 break;
             }
-            // Rotate the round's starting core (seedable schedule).
+            // Schedule phase: fill idle cores, visiting cores from a
+            // rotated origin (seedable schedule). Injected preemption
+            // draws from the global chaos engine here, barrier-side, so
+            // the schedule itself is fixed before the epoch runs.
             lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let start = ((lcg >> 33) as usize) % n;
-            let mut any_ran = false;
             for k in 0..n {
                 let c = (start + k) % n;
+                if running[c].is_some() {
+                    continue;
+                }
                 let Some((pid, t)) = Self::pick_work(&mut queues, &mut scheduled, &self.procs, c) else {
                     continue;
                 };
-                any_ran = true;
                 self.machine.switch_core(c);
                 self.activate_thread(host, pid, t);
-                let end = self.run_slice(cfg.quantum, &mut run.steps);
-                match end {
-                    SliceEnd::Quantum => {
-                        self.save_current();
-                        queues[c].push_back((pid, t));
+                // Injected preemption: the slice ends at an adversarially
+                // chosen instruction boundary instead of the full
+                // quantum. Fail closed by construction — the thread is
+                // re-queued exactly as on a normal quantum expiry, so the
+                // fault only perturbs the interleaving.
+                let quantum = match self.machine.chaos_fire(lz_machine::FaultSite::SchedPreempt) {
+                    Some(draw) => {
+                        self.machine.chaos.contained();
+                        1 + draw % cfg.quantum
                     }
-                    SliceEnd::Descheduled => {
-                        scheduled.remove(&(pid, t));
-                    }
-                    SliceEnd::ProcExited(code) => {
-                        run.exited.push((pid, code));
-                        for q in queues.iter_mut() {
-                            q.retain(|e| e.0 != pid);
-                        }
-                        scheduled.retain(|e| e.0 != pid);
-                    }
-                    SliceEnd::Foreign => {
-                        run.stalled = true;
-                        self.smp_mode = false;
-                        return run;
-                    }
-                }
-                // Admit threads that became runnable during the slice
-                // (clone, futex wake) onto the least-loaded other core.
-                self.admit_new(&mut queues, &mut scheduled, c);
+                    None => cfg.quantum,
+                };
+                running[c] = Some((pid, t, quantum));
             }
-            if !any_ran {
+            let mut budgets = vec![0u64; n];
+            for (c, slot) in running.iter().enumerate() {
+                if let Some((_, _, left)) = slot {
+                    budgets[c] = *left;
+                }
+            }
+            if budgets.iter().all(|&b| b == 0) {
                 // Every queue drained while processes remain: all
                 // surviving threads are parked (deadlock) — bail out.
                 run.stalled = true;
                 break;
+            }
+
+            // Run phase: every busy core executes its budget; cross-core
+            // effects commit at the barrier inside `run_epoch`.
+            let results = self.machine.run_epoch(&budgets);
+
+            // Commit phase: handle each core's exit in core order. All
+            // kernel state mutation happens here, serially, so the
+            // parallel and replay executors observe identical schedules.
+            let mut foreign = false;
+            for c in 0..n {
+                let Some((pid, t, left)) = running[c] else {
+                    continue;
+                };
+                let (exit, used) = results[c];
+                run.steps += used;
+                // The process may have exited on a core committed
+                // earlier in this loop: its slice is stale, discard it.
+                if self.procs[&pid].exit_code.is_some() {
+                    running[c] = None;
+                    continue;
+                }
+                self.machine.switch_core(c);
+                // Several cores commit between activations: re-assert
+                // which thread this core's register state belongs to
+                // before any save/trap path consults `cur`.
+                self.cur = Some(pid);
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    p.cur_thread = t;
+                }
+                if exit == Exit::Limit {
+                    // Quantum exhausted; the thread stays runnable.
+                    self.save_current();
+                    queues[c].push_back((pid, t));
+                    running[c] = None;
+                } else {
+                    match self.handle_exit(exit) {
+                        None => {
+                            if self.descheduled {
+                                // The thread left the CPU (futex park or
+                                // thread exit).
+                                self.descheduled = false;
+                                scheduled.remove(&(pid, t));
+                                running[c] = None;
+                            } else {
+                                // Syscall handled, thread resumes with
+                                // the remainder of its quantum.
+                                let left = left - used;
+                                if left == 0 {
+                                    self.save_current();
+                                    queues[c].push_back((pid, t));
+                                    running[c] = None;
+                                } else {
+                                    running[c] = Some((pid, t, left));
+                                }
+                            }
+                        }
+                        Some(Event::Exited(code)) => {
+                            run.exited.push((pid, code));
+                            for q in queues.iter_mut() {
+                                q.retain(|e| e.0 != pid);
+                            }
+                            scheduled.retain(|e| e.0 != pid);
+                            running[c] = None;
+                            // Slices of this pid still pending on later
+                            // cores are discarded by the exit_code
+                            // re-check above.
+                        }
+                        Some(_) => {
+                            // An event the SMP scheduler does not handle
+                            // (custom syscall, LightZone trap): fatal.
+                            foreign = true;
+                        }
+                    }
+                }
+                if foreign {
+                    run.stalled = true;
+                    self.smp_mode = false;
+                    return run;
+                }
+                // Admit threads that became runnable during the commit
+                // (clone, futex wake) onto the least-loaded other core.
+                self.admit_new(&mut queues, &mut scheduled, c);
             }
         }
         self.smp_mode = false;
@@ -228,46 +307,6 @@ impl Kernel {
         } else {
             self.machine.enter_from_el1(ctx.pstate, ctx.pc);
         }
-    }
-
-    /// Run the active core for one quantum, handling base-kernel traps
-    /// in place.
-    fn run_slice(&mut self, quantum: u64, total: &mut u64) -> SliceEnd {
-        // Injected preemption: the slice ends at an adversarially
-        // chosen instruction boundary instead of the full quantum. Fail
-        // closed by construction — the thread stays runnable and is
-        // re-queued exactly as on a normal quantum expiry, so the fault
-        // only perturbs the interleaving.
-        let quantum = match self.machine.chaos_fire(lz_machine::FaultSite::SchedPreempt) {
-            Some(draw) => {
-                self.machine.chaos.contained();
-                1 + draw % quantum
-            }
-            None => quantum,
-        };
-        let start = self.machine.cpu.insns;
-        let end = loop {
-            let used = self.machine.cpu.insns - start;
-            if used >= quantum {
-                break SliceEnd::Quantum;
-            }
-            let exit = self.machine.run(quantum - used);
-            if exit == Exit::Limit {
-                break SliceEnd::Quantum;
-            }
-            match self.handle_exit(exit) {
-                None => {
-                    if self.descheduled {
-                        self.descheduled = false;
-                        break SliceEnd::Descheduled;
-                    }
-                }
-                Some(Event::Exited(code)) => break SliceEnd::ProcExited(code),
-                Some(_) => break SliceEnd::Foreign,
-            }
-        };
-        *total += self.machine.cpu.insns - start;
-        end
     }
 
     /// Enqueue threads that are runnable but not scheduled anywhere —

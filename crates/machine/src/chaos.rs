@@ -249,6 +249,25 @@ pub struct ChaosState {
     pub ve_kills: u64,
     /// Recorded schedule of fired faults: `(seq, site)` pairs.
     pub fired: Vec<(u64, FaultSite)>,
+    /// Plan-installation generation; per-core forks compare against it
+    /// to detect a stale plan (see [`ChaosState::fork_for_core`]).
+    installs: u64,
+    /// High-water marks of counters already drained to the global
+    /// engine (per-core forks only; see [`ChaosState::drain_delta`]).
+    drained_injected: u64,
+    drained_contained: u64,
+    drained_kills: u64,
+    drained_fired: usize,
+}
+
+/// Counter deltas drained from a per-core chaos fork at an epoch
+/// barrier, to be folded into the global engine in commit order.
+#[derive(Debug, Default)]
+pub struct ChaosDelta {
+    pub faults_injected: u64,
+    pub faults_contained: u64,
+    pub ve_kills: u64,
+    pub fired: Vec<(u64, FaultSite)>,
 }
 
 impl ChaosState {
@@ -267,12 +286,72 @@ impl ChaosState {
         self.faults_contained = 0;
         self.ve_kills = 0;
         self.fired.clear();
+        self.drained_injected = 0;
+        self.drained_contained = 0;
+        self.drained_kills = 0;
+        self.drained_fired = 0;
+        self.installs += 1;
         self.plan = Some(plan);
     }
 
     /// Remove the plan (counters and schedule are kept for reporting).
     pub fn uninstall(&mut self) {
+        self.installs += 1;
         self.plan = None;
+    }
+
+    /// Plan-installation generation: bumped on every install/uninstall
+    /// so cached per-core forks know when to re-fork.
+    pub fn install_gen(&self) -> u64 {
+        self.installs
+    }
+
+    /// Derive a per-core fork of the engine for remote cores (core > 0;
+    /// core 0's epoch shell takes the global engine itself so
+    /// single-core fault schedules are unchanged by the epoch refactor).
+    ///
+    /// The fork draws from core-salted streams and numbers its
+    /// consultations from `core << 56`, so fork sequence numbers are
+    /// globally unique and stable — a recorded `(seq, site)` schedule
+    /// replays through [`FaultPlan::only`] exactly, on either the
+    /// parallel or the replay executor. Inert when no plan is installed.
+    pub fn fork_for_core(&self, core: usize) -> ChaosState {
+        let mut fork = ChaosState::default();
+        if let Some(plan) = &self.plan {
+            fork.enabled = self.enabled;
+            for (i, s) in fork.streams.iter_mut().enumerate() {
+                *s = mix(plan.seed ^ mix(((core as u64) << 32) | (i as u64 + 1)));
+            }
+            fork.seq = (core as u64) << 56;
+            fork.plan = Some(plan.clone());
+        }
+        fork
+    }
+
+    /// Drain the counters and fired entries accumulated since the last
+    /// drain (epoch barrier; the fork keeps its streams, sequence
+    /// counter, and cumulative totals so `max_faults` caps the fork's
+    /// whole lifetime, not one epoch).
+    pub fn drain_delta(&mut self) -> ChaosDelta {
+        let delta = ChaosDelta {
+            faults_injected: self.faults_injected - self.drained_injected,
+            faults_contained: self.faults_contained - self.drained_contained,
+            ve_kills: self.ve_kills - self.drained_kills,
+            fired: self.fired[self.drained_fired..].to_vec(),
+        };
+        self.drained_injected = self.faults_injected;
+        self.drained_contained = self.faults_contained;
+        self.drained_kills = self.ve_kills;
+        self.drained_fired = self.fired.len();
+        delta
+    }
+
+    /// Fold a fork's drained delta into this (global) engine.
+    pub fn absorb_delta(&mut self, delta: ChaosDelta) {
+        self.faults_injected += delta.faults_injected;
+        self.faults_contained += delta.faults_contained;
+        self.ve_kills += delta.ve_kills;
+        self.fired.extend(delta.fired);
     }
 
     /// Whether a plan is installed.

@@ -97,6 +97,33 @@ pub fn set_default_jit(on: bool) {
     jit_flag().store(on, Ordering::Relaxed);
 }
 
+/// Process-wide default for [`Machine::set_parallel`], initialised from
+/// the `LZ_PARALLEL` environment variable (`0`/`off` disables). Governs
+/// the epoch execution backend: `true` runs concurrent cores of an
+/// epoch on real host threads, `false` replays the identical epoch
+/// schedule sequentially in core order (the deterministic-replay
+/// verification mode). Both backends commit at the same barriers in the
+/// same order, so every modelled quantity — cycles, journals, counters
+/// — is byte-identical either way (CI runs both and compares).
+fn parallel_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = !matches!(std::env::var("LZ_PARALLEL").as_deref(), Ok("0") | Ok("off") | Ok("false"));
+        AtomicBool::new(on)
+    })
+}
+
+/// The default epoch-parallelism setting for new [`Machine`]s.
+pub fn default_parallel() -> bool {
+    parallel_flag().load(Ordering::Relaxed)
+}
+
+/// Override the default epoch-parallelism setting for new [`Machine`]s
+/// (tests and benchmarks; existing machines are unaffected).
+pub fn set_default_parallel(on: bool) {
+    parallel_flag().store(on, Ordering::Relaxed);
+}
+
 /// Upper bound on instructions per superblock. Bounds the per-block
 /// scratch buffer; the effective bound is `min(SUPERBLOCK_MAX, budget)`
 /// so scheduler quanta are never overrun. Compiled JIT blocks inherit
@@ -237,22 +264,29 @@ pub struct Machine {
     /// When set, exceptions targeting EL1 exit the interpreter instead of
     /// vectoring through `VBAR_EL1` (the EL1 software is a modelled guest
     /// kernel rather than interpreted code).
-    el1_external: bool,
+    pub(crate) el1_external: bool,
     /// Decoded-block fetch cache toggle. Skips host-side walk + decode
     /// work only; modelled cycles are bit-identical either way.
-    fetch_cache: bool,
+    pub(crate) fetch_cache: bool,
     /// Template-JIT toggle. Machine-wide (like `fetch_cache`): compiled
     /// blocks themselves live per-core inside each TLB's icache. Only
     /// engages when the fetch cache and the fast path are also on;
     /// modelled cycles and journals are bit-identical either way.
-    jit: bool,
+    pub(crate) jit: bool,
+    /// Epoch execution backend: host threads (`true`) or sequential
+    /// deterministic replay (`false`). Host-side only; see
+    /// [`Machine::run_epoch`].
+    pub(crate) parallel: bool,
+    /// Set while this machine is a per-core epoch shell: carries the
+    /// core identity and the cross-core effects deferred to the barrier.
+    pub(crate) epoch: Option<crate::smp::EpochCtx>,
     /// Generation of the translation-regime system registers; bumped by
     /// [`Machine::set_sysreg`] so [`Machine::walk_config`] can memoise.
-    cfg_gen: u64,
-    cfg_memo: Cell<Option<(u64, WalkConfig)>>,
+    pub(crate) cfg_gen: u64,
+    pub(crate) cfg_memo: Cell<Option<(u64, WalkConfig)>>,
     /// Reusable scratch buffer for superblock extraction (avoids a heap
     /// allocation per block).
-    sb_buf: Vec<(u32, Insn)>,
+    pub(crate) sb_buf: Vec<(u32, Insn)>,
     /// SMP state: parked cores and cross-core traffic counters. A
     /// default machine is single-core; see [`crate::smp`].
     pub(crate) smp: crate::smp::SmpState,
@@ -278,6 +312,8 @@ impl Machine {
             el1_external: false,
             fetch_cache: default_fetch_cache(),
             jit: default_jit(),
+            parallel: default_parallel(),
+            epoch: None,
             cfg_gen: 0,
             cfg_memo: Cell::new(None),
             sb_buf: Vec::with_capacity(SUPERBLOCK_MAX as usize),
@@ -335,6 +371,21 @@ impl Machine {
     /// fetch cache and the data-side fast path are also on).
     pub fn jit(&self) -> bool {
         self.jit
+    }
+
+    /// Choose the epoch execution backend: `true` (the `LZ_PARALLEL`
+    /// default) runs concurrent cores of an epoch on real host threads,
+    /// `false` replays the identical epoch schedule sequentially in core
+    /// order — the deterministic-replay verification mode. Host-side
+    /// only: commit order is the same either way, so cycles, journals,
+    /// and every counter are byte-identical.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Whether epoch execution uses host threads.
+    pub fn parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Enable or disable journal recording for this machine, overriding
@@ -429,7 +480,11 @@ impl Machine {
             .with("shootdowns_sent", self.smp.shootdowns_sent)
             .with("shootdowns_acked", self.smp.shootdowns_acked)
             .with("ipis_sent", self.smp.ipis_sent)
-            .with("tlbi_broadcasts", self.smp.tlbi_broadcasts);
+            .with("tlbi_broadcasts", self.smp.tlbi_broadcasts)
+            .with("epochs", self.smp.epochs)
+            .with("epoch_waits", self.smp.epoch_waits)
+            .with("barrier_stalls", self.smp.barrier_stalls)
+            .with("phys_merge_conflicts", self.smp.phys_merge_conflicts);
 
         let mut sections = vec![tlb, icache, walk, gate, traps, cpu, chaos, smp];
         sections.extend(self.per_core_sections());

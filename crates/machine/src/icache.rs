@@ -42,7 +42,7 @@ use crate::PhysMem;
 use lz_arch::insn::Insn;
 use lz_arch::pstate::ExceptionLevel;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const WORDS_PER_PAGE: usize = 1024;
 
@@ -95,7 +95,7 @@ struct PageEntry {
     /// drops its compiled blocks for the same reason at the same moment;
     /// serve-time validation then only has to mirror
     /// [`ICache::superblock`]'s checks.
-    blocks: FxHashMap<u16, Rc<CompiledBlock>>,
+    blocks: FxHashMap<u16, Arc<CompiledBlock>>,
 }
 
 /// What a probe found.
@@ -400,7 +400,7 @@ impl ICache {
         s1_enabled: bool,
         wxn: bool,
         tlb_gen: u64,
-    ) -> Option<(Rc<CompiledBlock>, u64, u64)> {
+    ) -> Option<(Arc<CompiledBlock>, u64, u64)> {
         let key = PageKey { vmid, vpn: va >> 12 };
         let entries = self.pages.get_mut(&key)?;
         let e = entries.iter_mut().find(|e| (e.info.asid.is_none() || e.info.asid == Some(asid)) && e.info.el == el)?;
@@ -415,7 +415,7 @@ impl ICache {
         }
         let slot = (va >> 2) as u16 & (WORDS_PER_PAGE as u16 - 1);
         let block = e.blocks.get(&slot)?;
-        Some((Rc::clone(block), e.info.pa_page, e.frame_version))
+        Some((Arc::clone(block), e.info.pa_page, e.frame_version))
     }
 
     /// Attach a compiled superblock to the page entry its decoded run was
@@ -438,7 +438,7 @@ impl ICache {
             return false;
         };
         let slot = (va >> 2) as u16 & (WORDS_PER_PAGE as u16 - 1);
-        e.blocks.insert(slot, Rc::new(block));
+        e.blocks.insert(slot, Arc::new(block));
         true
     }
 

@@ -39,8 +39,8 @@ pub mod walk;
 
 pub use chaos::{ChaosState, FaultPlan, FaultSite, LzFault, ALL_SITES};
 pub use cpu::{
-    default_fastpath, default_fetch_cache, default_jit, set_default_fastpath, set_default_fetch_cache, set_default_jit,
-    Exit, Machine,
+    default_fastpath, default_fetch_cache, default_jit, default_parallel, set_default_fastpath,
+    set_default_fetch_cache, set_default_jit, set_default_parallel, Exit, Machine,
 };
 pub use icache::ICache;
 pub use mem::PhysMem;

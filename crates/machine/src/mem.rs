@@ -2,15 +2,32 @@
 
 use crate::fxhash::FxHashMap;
 use lz_arch::{page_align_down, PAGE_SHIFT, PAGE_SIZE};
+use std::sync::Arc;
 
 /// One physical frame plus the generation of its last mutation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     data: Box<[u8; PAGE_SIZE as usize]>,
     /// `PhysMem::write_gen` at the time of the last write/alloc/zero.
     /// Consumers (the decoded-block cache) snapshot this to detect stale
     /// cached views of frame *contents* without scanning the frame.
     version: u64,
+}
+
+/// Dirty frames written by one core during an epoch, plus the shell-local
+/// generation they reached. Produced by [`PhysMem::take_epoch_overlay`],
+/// consumed by [`PhysMem::merge_epoch`] at the barrier.
+#[derive(Debug)]
+pub struct EpochWrites {
+    dirty: FxHashMap<u64, Frame>,
+    local_gen: u64,
+}
+
+impl EpochWrites {
+    /// Number of frames this core dirtied during the epoch.
+    pub fn dirty_frames(&self) -> usize {
+        self.dirty.len()
+    }
 }
 
 /// Simulated physical memory.
@@ -24,9 +41,22 @@ struct Frame {
 /// it touched, so content caches can validate in O(1): if the global
 /// generation hasn't moved since the cache entry was last checked, no frame
 /// anywhere has changed; otherwise compare the single frame's version.
+///
+/// # Epoch sharding
+///
+/// For parallel SMP execution ([`crate::smp`]), [`Self::epoch_view`]
+/// produces a copy-on-write view sharing the frame table via `Arc`: writes
+/// land in a private overlay with shell-local generation stamps, and the
+/// overlays merge back deterministically in core order at the epoch
+/// barrier ([`Self::merge_epoch`]). Frame allocation and freeing never
+/// happen inside an epoch — only the kernel allocates, and it runs
+/// barrier-side — so the shared base is immutable while views exist.
 #[derive(Debug, Default)]
 pub struct PhysMem {
-    frames: FxHashMap<u64, Frame>,
+    frames: Arc<FxHashMap<u64, Frame>>,
+    /// Epoch write overlay: `Some` only inside a per-core epoch view.
+    /// Reads check it before the shared base; writes copy the frame up.
+    overlay: Option<FxHashMap<u64, Frame>>,
     /// Next frame number to hand out.
     next_frame: u64,
     /// Recycled frames.
@@ -40,7 +70,116 @@ impl PhysMem {
     /// at 1 MiB so that physical address 0 never aliases a real frame
     /// (null-PA bugs fault loudly).
     pub fn new() -> Self {
-        PhysMem { frames: FxHashMap::default(), next_frame: (1 << 20) >> PAGE_SHIFT, free: Vec::new(), write_gen: 1 }
+        PhysMem {
+            frames: Arc::new(FxHashMap::default()),
+            overlay: None,
+            next_frame: (1 << 20) >> PAGE_SHIFT,
+            free: Vec::new(),
+            write_gen: 1,
+        }
+    }
+
+    /// A per-core copy-on-write view for one epoch: shares the frame table,
+    /// writes go to a private overlay stamped with shell-local generations.
+    pub fn epoch_view(&self) -> PhysMem {
+        PhysMem {
+            frames: Arc::clone(&self.frames),
+            overlay: Some(FxHashMap::default()),
+            next_frame: self.next_frame,
+            free: Vec::new(),
+            write_gen: self.write_gen,
+        }
+    }
+
+    /// Detach this epoch view's dirty frames for the barrier merge.
+    /// Returns `None` if this is not an epoch view.
+    pub fn take_epoch_overlay(&mut self) -> Option<EpochWrites> {
+        let dirty = self.overlay.take()?;
+        Some(EpochWrites { dirty, local_gen: self.write_gen })
+    }
+
+    /// Merge per-core epoch writes back into the shared base, in the core
+    /// order the caller supplies. The merge is *byte-granular*: each dirty
+    /// frame copy is diffed against the pre-epoch original and only the
+    /// changed bytes are applied, so cores writing disjoint words of the
+    /// same page (per-thread slots in a shared frame, futex flags next to
+    /// each other) all land. Returns the number of write conflicts —
+    /// copies whose changed bytes overlap an earlier core's changes; for
+    /// those bytes the last core in commit order wins, matching the
+    /// replay schedule's commit order.
+    ///
+    /// The global generation is first raised to the maximum shell-local
+    /// generation, then bumped once per merged frame copy. Every
+    /// shell-local bump implies at least one dirty frame, so after the
+    /// merge the global `write_gen` strictly exceeds every generation any
+    /// shell observed — a stale shell-side snapshot can therefore never
+    /// validate against post-merge state.
+    pub fn merge_epoch(&mut self, parts: Vec<EpochWrites>) -> u64 {
+        debug_assert!(self.overlay.is_none(), "merge targets the shared base, not a view");
+        let mut gen = self.write_gen;
+        for part in &parts {
+            gen = gen.max(part.local_gen);
+        }
+        // Group the dirty copies by frame, keeping commit order within
+        // each group; iterate frames in ascending number order.
+        let mut by_frame: FxHashMap<u64, Vec<Frame>> = FxHashMap::default();
+        let mut keys: Vec<u64> = Vec::new();
+        for part in parts {
+            for (key, frame) in part.dirty {
+                let copies = by_frame.entry(key).or_default();
+                if copies.is_empty() {
+                    keys.push(key);
+                }
+                copies.push(frame);
+            }
+        }
+        keys.sort_unstable();
+        let mut conflicts = 0u64;
+        let frames = Arc::make_mut(&mut self.frames);
+        for key in keys {
+            let copies = by_frame.remove(&key).unwrap_or_default();
+            // The shared base is immutable while views exist, so the
+            // base frame (zeros if the frame vanished) is the pre-epoch
+            // original every copy descended from.
+            let orig: Box<[u8; PAGE_SIZE as usize]> = match frames.get(&key) {
+                Some(f) => f.data.clone(),
+                None => Box::new([0u8; PAGE_SIZE as usize]),
+            };
+            let mut merged = orig.clone();
+            let mut touched = [0u64; (PAGE_SIZE as usize) / 64];
+            for copy in copies {
+                gen += 1;
+                let mut overlapped = false;
+                for (i, (&new, &old)) in copy.data.iter().zip(orig.iter()).enumerate() {
+                    if new != old {
+                        if touched[i / 64] >> (i % 64) & 1 == 1 {
+                            overlapped = true;
+                        }
+                        touched[i / 64] |= 1 << (i % 64);
+                        merged[i] = new;
+                    }
+                }
+                if overlapped {
+                    conflicts += 1;
+                }
+            }
+            frames.insert(key, Frame { data: merged, version: gen });
+        }
+        self.write_gen = gen;
+        conflicts
+    }
+
+    /// Whether this is an epoch view (writes shard into an overlay).
+    pub fn is_epoch_view(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Mutable access to the shared frame table outside epochs. All
+    /// views are merged and dropped before allocator paths run, so the
+    /// `Arc` is unshared and this never copies.
+    fn base_mut(&mut self) -> &mut FxHashMap<u64, Frame> {
+        debug_assert!(self.overlay.is_none(), "allocator paths never run inside an epoch");
+        Arc::make_mut(&mut self.frames)
     }
 
     fn fresh_frame(&mut self) -> Frame {
@@ -56,7 +195,7 @@ impl PhysMem {
             f
         });
         let fresh = self.fresh_frame();
-        self.frames.insert(frame, fresh);
+        self.base_mut().insert(frame, fresh);
         frame << PAGE_SHIFT
     }
 
@@ -68,7 +207,7 @@ impl PhysMem {
         self.next_frame = start + n;
         for f in start..start + n {
             let fresh = self.fresh_frame();
-            self.frames.insert(f, fresh);
+            self.base_mut().insert(f, fresh);
         }
         start << PAGE_SHIFT
     }
@@ -90,7 +229,7 @@ impl PhysMem {
     /// free degrades to a leak instead of killing the host.
     pub fn try_free_frame(&mut self, pa: u64) -> bool {
         let frame = pa >> PAGE_SHIFT;
-        if self.frames.remove(&frame).is_none() {
+        if self.base_mut().remove(&frame).is_none() {
             return false;
         }
         self.write_gen += 1;
@@ -99,7 +238,8 @@ impl PhysMem {
     }
 
     /// Global mutation counter. Strictly increases on every write, alloc,
-    /// free, or zeroing anywhere in physical memory.
+    /// free, or zeroing anywhere in physical memory. Inside an epoch view
+    /// this is the shell-local generation.
     pub fn write_gen(&self) -> u64 {
         self.write_gen
     }
@@ -108,10 +248,18 @@ impl PhysMem {
     /// bus error. Reallocation after a free changes the version, so a stale
     /// snapshot can never validate against a recycled frame.
     pub fn frame_version(&self, pa: u64) -> Option<u64> {
-        self.frames.get(&(pa >> PAGE_SHIFT)).map(|f| f.version)
+        let key = pa >> PAGE_SHIFT;
+        if let Some(overlay) = &self.overlay {
+            if let Some(frame) = overlay.get(&key) {
+                return Some(frame.version);
+            }
+        }
+        self.frames.get(&key).map(|f| f.version)
     }
 
-    /// Is this physical address backed by an allocated frame?
+    /// Is this physical address backed by an allocated frame? (Epoch
+    /// overlays only ever hold frames copied up from the base, so the
+    /// base alone answers this.)
     pub fn is_mapped(&self, pa: u64) -> bool {
         self.frames.contains_key(&(pa >> PAGE_SHIFT))
     }
@@ -122,14 +270,32 @@ impl PhysMem {
     }
 
     fn frame(&self, pa: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.frames.get(&(pa >> PAGE_SHIFT)).map(|f| &*f.data)
+        let key = pa >> PAGE_SHIFT;
+        if let Some(overlay) = &self.overlay {
+            if let Some(frame) = overlay.get(&key) {
+                return Some(&*frame.data);
+            }
+        }
+        self.frames.get(&key).map(|f| &*f.data)
     }
 
     /// Mutable frame access; bumps the generation stamps because every
-    /// caller is about to write.
+    /// caller is about to write. Inside an epoch view the frame is copied
+    /// up into the overlay and stamped with the shell-local generation.
     fn frame_mut(&mut self, pa: u64) -> Option<&mut [u8; PAGE_SIZE as usize]> {
+        let key = pa >> PAGE_SHIFT;
         let gen = self.write_gen + 1;
-        let frame = self.frames.get_mut(&(pa >> PAGE_SHIFT))?;
+        if let Some(overlay) = self.overlay.as_mut() {
+            if !overlay.contains_key(&key) {
+                let copied = self.frames.get(&key)?.clone();
+                overlay.insert(key, copied);
+            }
+            let frame = overlay.get_mut(&key)?;
+            self.write_gen = gen;
+            frame.version = gen;
+            return Some(&mut *frame.data);
+        }
+        let frame = Arc::make_mut(&mut self.frames).get_mut(&key)?;
         self.write_gen = gen;
         frame.version = gen;
         Some(&mut *frame.data)
@@ -317,6 +483,75 @@ mod tests {
         let b = m.alloc_frame();
         assert_eq!(b, a, "frame is recycled");
         assert!(m.frame_version(b).unwrap() > v0, "recycled frame gets a fresh version");
+    }
+
+    #[test]
+    fn epoch_view_shards_writes_until_merge() {
+        let mut m = PhysMem::new();
+        let pa = m.alloc_frame();
+        m.write_u64(pa, 1);
+        let mut view = m.epoch_view();
+        assert!(view.is_epoch_view());
+        assert_eq!(view.read_u64(pa), Some(1), "view sees base contents");
+        assert!(view.write_u64(pa, 2));
+        assert_eq!(view.read_u64(pa), Some(2), "view sees its own write");
+        assert_eq!(m.read_u64(pa), Some(1), "base unchanged until merge");
+        let part = view.take_epoch_overlay().unwrap();
+        assert_eq!(part.dirty_frames(), 1);
+        let conflicts = m.merge_epoch(vec![part]);
+        assert_eq!(conflicts, 0);
+        assert_eq!(m.read_u64(pa), Some(2), "merge installs the write");
+    }
+
+    #[test]
+    fn merge_counts_conflicts_and_last_core_wins() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        let mut v0 = m.epoch_view();
+        let mut v1 = m.epoch_view();
+        assert!(v0.write_u64(a, 10));
+        assert!(v1.write_u64(a, 11));
+        assert!(v1.write_u64(b, 21));
+        let parts = vec![v0.take_epoch_overlay().unwrap(), v1.take_epoch_overlay().unwrap()];
+        let conflicts = m.merge_epoch(parts);
+        assert_eq!(conflicts, 1, "one frame written by both cores");
+        assert_eq!(m.read_u64(a), Some(11), "last core in commit order wins");
+        assert_eq!(m.read_u64(b), Some(21));
+    }
+
+    #[test]
+    fn merged_write_gen_exceeds_every_shell_generation() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        let mut v0 = m.epoch_view();
+        let mut v1 = m.epoch_view();
+        for i in 0..17 {
+            assert!(v0.write_u64(a, i));
+        }
+        assert!(v1.write_u64(b, 99));
+        let g0 = v0.write_gen();
+        let g1 = v1.write_gen();
+        let base_before = m.write_gen();
+        let parts = vec![v0.take_epoch_overlay().unwrap(), v1.take_epoch_overlay().unwrap()];
+        m.merge_epoch(parts);
+        assert!(m.write_gen() > g0 && m.write_gen() > g1 && m.write_gen() > base_before);
+        assert!(m.frame_version(a).unwrap() <= m.write_gen());
+        assert!(m.frame_version(b).unwrap() <= m.write_gen());
+    }
+
+    #[test]
+    fn epoch_view_bus_errors_do_not_dirty() {
+        let mut m = PhysMem::new();
+        let pa = m.alloc_frame();
+        let mut view = m.epoch_view();
+        assert!(!view.write_u64(0x10_0000_0000, 1));
+        assert_eq!(view.read_u64(0x10_0000_0000), None);
+        assert_eq!(view.read_u64(pa), Some(0));
+        let part = view.take_epoch_overlay().unwrap();
+        assert_eq!(part.dirty_frames(), 0);
+        assert_eq!(m.merge_epoch(vec![part]), 0);
     }
 
     #[test]

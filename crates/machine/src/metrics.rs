@@ -173,6 +173,18 @@ impl MachineMetrics {
     pub fn trap_count(&self, class: ExceptionClass) -> u64 {
         self.traps.get(&format!("{class:?}")).copied().unwrap_or(0)
     }
+
+    /// Fold the counters accumulated by an epoch shell into this set
+    /// (commit-order barrier merge; see [`crate::smp`]).
+    pub fn absorb(&mut self, other: MachineMetrics) {
+        self.domain_switches += other.domain_switches;
+        for (asid, n) in other.switches_by_asid {
+            *self.switches_by_asid.entry(asid).or_insert(0) += n;
+        }
+        for (class, n) in other.traps {
+            *self.traps.entry(class).or_insert(0) += n;
+        }
+    }
 }
 
 /// A typed journal event. Variants mirror the security-relevant
@@ -276,6 +288,32 @@ impl Journal {
             capacity,
             enabled: default_metrics(),
             dropped: 0,
+        }
+    }
+
+    /// An empty journal with this journal's capacity and enablement —
+    /// the per-core shell journal for one epoch (see [`crate::smp`]).
+    pub fn fork(&self) -> Journal {
+        Journal {
+            events: VecDeque::with_capacity(self.capacity.min(4096)),
+            capacity: self.capacity,
+            enabled: self.enabled,
+            dropped: 0,
+        }
+    }
+
+    /// Append an epoch shell's events (oldest first) with normal ring
+    /// semantics, folding its eviction count in. Barrier-side merge:
+    /// commit order is the deterministic core order, so parallel and
+    /// replay schedules absorb identical sequences.
+    pub fn absorb(&mut self, other: Journal) {
+        self.dropped += other.dropped;
+        for e in other.events {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back(e);
         }
     }
 

@@ -39,9 +39,26 @@
 //!
 //! What is *not* modelled: weak-memory reordering. Interleaved
 //! execution is sequentially consistent at instruction granularity.
+//!
+//! # Epochs: true parallel host execution
+//!
+//! [`Machine::run_epoch`] generalizes the interleaver: every core with
+//! a nonzero budget runs its quantum in a private *shell* machine (its
+//! own `Cpu`/`Tlb`/icache/JIT cache plus a copy-on-write
+//! [`PhysMem`](crate::PhysMem) view), and all cross-core effects
+//! commit at the quantum barrier in core order — shared-memory write
+//! overlays merge with deterministically re-stamped write generations,
+//! deferred Inner-Shareable TLBIs reach the other cores' TLBs, chaos
+//! deltas and journal/trace/metric streams fold into the globals. With
+//! [`Machine::set_parallel`] on (`LZ_PARALLEL`, the default) the
+//! shells run on real host threads; off, the identical shells run
+//! sequentially in core order — the deterministic-replay verification
+//! mode. The schedule of epochs and the commit order are the same in
+//! both modes, so cycles, journals, and counters are byte-identical
+//! (CI runs both and compares; see DESIGN.md §15).
 
 use crate::cpu::{Cpu, Exit, Machine};
-use crate::metrics::{EventKind, Section};
+use crate::metrics::{EventKind, MachineMetrics, Section};
 use crate::tlb::Tlb;
 use lz_arch::tlbi::{self, TlbiOp, TlbiScope};
 
@@ -61,6 +78,16 @@ pub struct CoreCtx {
     pub tlb: Tlb,
 }
 
+/// Per-shell epoch context: the cross-core effects one shell deferred
+/// to the barrier.
+#[derive(Debug, Default)]
+pub(crate) struct EpochCtx {
+    /// Inner-Shareable TLBIs issued in-shell. The issuing core's local
+    /// invalidate already happened inside the shell; the DVM half
+    /// (remote cores) commits at the barrier.
+    pub(crate) deferred_tlbi: Vec<(TlbiOp, u16, u64)>,
+}
+
 /// SMP bookkeeping embedded in [`Machine`]: the parked cores plus the
 /// cross-core traffic counters.
 #[derive(Debug)]
@@ -69,6 +96,10 @@ pub struct SmpState {
     /// lives directly in `Machine::{cpu,tlb}`).
     pub(crate) cores: Vec<Option<CoreCtx>>,
     pub(crate) active: usize,
+    /// Cached per-core chaos forks for epoch shells (cores > 0; core 0
+    /// uses the global engine). Tagged with the plan-installation
+    /// generation so a new plan re-forks lazily.
+    pub(crate) chaos_forks: Vec<Option<(u64, crate::chaos::ChaosState)>>,
     /// IPI shootdown requests sent to remote cores.
     pub shootdowns_sent: u64,
     /// IPI shootdown acknowledgements received (the model acks
@@ -79,6 +110,19 @@ pub struct SmpState {
     /// Remote-core invalidations performed by Inner Shareable TLBIs
     /// (hardware DVM, no IPI involved).
     pub tlbi_broadcasts: u64,
+    /// Epochs executed (each [`Machine::run_epoch`] call, including
+    /// single-active-core epochs that bypass the shell machinery).
+    pub epochs: u64,
+    /// Core-epochs spent idle: cores with a zero budget while at least
+    /// one other core ran (scheduler had no work to hand them).
+    pub epoch_waits: u64,
+    /// Epochs a core ended early (non-`Limit` exit): the barrier
+    /// committed before the quantum was exhausted, stalling the other
+    /// shells at the commit point.
+    pub barrier_stalls: u64,
+    /// Frames written by more than one core in the same epoch (the
+    /// last core in commit order wins; see `PhysMem::merge_epoch`).
+    pub phys_merge_conflicts: u64,
 }
 
 impl Default for SmpState {
@@ -86,10 +130,15 @@ impl Default for SmpState {
         SmpState {
             cores: vec![None],
             active: 0,
+            chaos_forks: vec![None],
             shootdowns_sent: 0,
             shootdowns_acked: 0,
             ipis_sent: 0,
             tlbi_broadcasts: 0,
+            epochs: 0,
+            epoch_waits: 0,
+            barrier_stalls: 0,
+            phys_merge_conflicts: 0,
         }
     }
 }
@@ -119,7 +168,8 @@ impl Machine {
             tlb.set_fastpath(self.tlb.fastpath());
             cores.push(Some(CoreCtx { cpu: self.cpu.fork_boot_state(), tlb }));
         }
-        self.smp = SmpState { cores, ..SmpState::default() };
+        let chaos_forks = (0..n).map(|_| None).collect();
+        self.smp = SmpState { cores, chaos_forks, ..SmpState::default() };
     }
 
     /// Number of cores online (1 unless [`Machine::configure_smp`] ran).
@@ -173,8 +223,14 @@ impl Machine {
     }
 
     /// DVM propagation of an interpreted Inner Shareable TLBI: apply
-    /// the same invalidation to every remote core's TLB.
+    /// the same invalidation to every remote core's TLB. Inside an
+    /// epoch shell the remote TLBs belong to other shells, so the
+    /// broadcast is deferred and commits at the barrier instead.
     pub(crate) fn dvm_broadcast(&mut self, op: TlbiOp, vmid: u16, xt: u64) {
+        if let Some(epoch) = self.epoch.as_mut() {
+            epoch.deferred_tlbi.push((op, vmid, xt));
+            return;
+        }
         let active = self.smp.active;
         let mut n = 0;
         for (i, slot) in self.smp.cores.iter_mut().enumerate() {
@@ -258,10 +314,216 @@ impl Machine {
         self.record_event(EventKind::Shootdown { vmid, page, targets: n as u8 });
     }
 
-    /// Step all cores with a deterministic round-robin interleaver:
-    /// each round visits every still-running core for up to `quantum`
-    /// instructions, with the round's starting core rotated by a
-    /// seedable LCG schedule. Returns each core's exit (in core order);
+    /// Execute one epoch: every core with a nonzero budget runs up to
+    /// that many instructions in a private shell (its own `Cpu`/`Tlb`
+    /// and a copy-on-write view of physical memory); all cross-core
+    /// effects commit at the barrier in core order. Returns each
+    /// core's `(exit, instructions_retired)`; zero-budget cores report
+    /// `(Exit::Limit, 0)` without running.
+    ///
+    /// The epoch schedule *is* the SMP semantics for both execution
+    /// backends: with [`Machine::set_parallel`] on, concurrent shells
+    /// run on real host threads (the first on the calling thread);
+    /// off, the identical shells run sequentially in core order —
+    /// deterministic replay. Because the shells are isolated and the
+    /// barrier commits in core order either way, every modelled
+    /// quantity is byte-identical across backends.
+    ///
+    /// Epochs with at most one active core bypass the shell machinery
+    /// and run in place — exactly the pre-epoch single-core path, so
+    /// serial workloads see no allocation or bookkeeping overhead.
+    pub fn run_epoch(&mut self, budgets: &[u64]) -> Vec<(Exit, u64)> {
+        let n = self.num_cores();
+        assert_eq!(budgets.len(), n, "one budget per core");
+        let mut results = vec![(Exit::Limit, 0u64); n];
+        let order: Vec<usize> = (0..n).filter(|&c| budgets[c] > 0).collect();
+        self.smp.epochs += 1;
+        if !order.is_empty() {
+            self.smp.epoch_waits += (n - order.len()) as u64;
+        }
+        if order.len() <= 1 {
+            if let Some(&c) = order.first() {
+                self.switch_core(c);
+                let before = self.cpu.insns;
+                let exit = self.run(budgets[c]);
+                results[c] = (exit, self.cpu.insns - before);
+                if exit != Exit::Limit {
+                    self.smp.barrier_stalls += 1;
+                }
+            }
+            return results;
+        }
+
+        // Refresh per-core chaos forks (cores > 0) while the global
+        // engine is still in place; core 0's shell takes the global
+        // engine itself, so single-core fault streams are exactly the
+        // pre-epoch schedules.
+        let chaos_gen = self.chaos.install_gen();
+        for &c in &order {
+            if c == 0 {
+                continue;
+            }
+            let fresh = matches!(&self.smp.chaos_forks[c], Some((g, _)) if *g == chaos_gen);
+            if !fresh {
+                self.smp.chaos_forks[c] = Some((chaos_gen, self.chaos.fork_for_core(c)));
+            }
+        }
+
+        // Park the active core so every core is uniformly in its slot.
+        let active = self.smp.active;
+        let parked_cpu = std::mem::replace(&mut self.cpu, Cpu::new());
+        let parked_tlb = std::mem::replace(&mut self.tlb, Tlb::with_l1(1, 1));
+        self.smp.cores[active] = Some(CoreCtx { cpu: parked_cpu, tlb: parked_tlb });
+
+        // Assemble one shell machine per active core.
+        let mut work: Vec<(usize, Machine)> = Vec::with_capacity(order.len());
+        for &c in &order {
+            let Some(ctx) = self.smp.cores[c].take() else { continue };
+            let chaos = if c == 0 {
+                std::mem::take(&mut self.chaos)
+            } else {
+                match self.smp.chaos_forks[c].take() {
+                    Some((_, fork)) => fork,
+                    None => crate::chaos::ChaosState::default(),
+                }
+            };
+            work.push((
+                c,
+                Machine {
+                    mem: self.mem.epoch_view(),
+                    tlb: ctx.tlb,
+                    cpu: ctx.cpu,
+                    model: self.model.clone(),
+                    trace: self.trace.fork(),
+                    journal: self.journal.fork(),
+                    metrics: MachineMetrics::default(),
+                    el1_external: self.el1_external,
+                    fetch_cache: self.fetch_cache,
+                    jit: self.jit,
+                    parallel: false,
+                    epoch: Some(EpochCtx::default()),
+                    cfg_gen: 0,
+                    cfg_memo: std::cell::Cell::new(None),
+                    sb_buf: Vec::with_capacity(crate::cpu::SUPERBLOCK_MAX as usize),
+                    smp: SmpState::default(),
+                    chaos,
+                },
+            ));
+        }
+
+        // Run the shells: host threads when parallel (the first shell
+        // on the calling thread), sequentially in core order when
+        // replaying. Shells share nothing mutable, so the two backends
+        // compute identical states.
+        let mut done: Vec<(usize, Machine, Exit, u64)> = if self.parallel {
+            let mut rest = work.split_off(1);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rest
+                    .drain(..)
+                    .map(|(c, mut shell)| {
+                        let budget = budgets[c];
+                        s.spawn(move || {
+                            let before = shell.cpu.insns;
+                            let exit = shell.run(budget);
+                            let used = shell.cpu.insns - before;
+                            (c, shell, exit, used)
+                        })
+                    })
+                    .collect();
+                let mut finished: Vec<(usize, Machine, Exit, u64)> = work
+                    .drain(..)
+                    .map(|(c, mut shell)| {
+                        let before = shell.cpu.insns;
+                        let exit = shell.run(budgets[c]);
+                        let used = shell.cpu.insns - before;
+                        (c, shell, exit, used)
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => finished.push(r),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+                finished
+            })
+        } else {
+            work.drain(..)
+                .map(|(c, mut shell)| {
+                    let before = shell.cpu.insns;
+                    let exit = shell.run(budgets[c]);
+                    let used = shell.cpu.insns - before;
+                    (c, shell, exit, used)
+                })
+                .collect()
+        };
+        done.sort_unstable_by_key(|&(c, ..)| c);
+
+        // Barrier: dismantle shells and commit cross-core effects in
+        // core order — memory overlays first (exit handlers such as
+        // futex re-read user memory through the merged view), then
+        // deferred TLBI broadcasts, chaos deltas, and the
+        // journal/trace/metric streams.
+        let mut overlays = Vec::with_capacity(done.len());
+        let mut deferred: Vec<(usize, Vec<(TlbiOp, u16, u64)>)> = Vec::new();
+        for (c, mut shell, exit, used) in done {
+            results[c] = (exit, used);
+            if exit != Exit::Limit {
+                self.smp.barrier_stalls += 1;
+            }
+            if let Some(part) = shell.mem.take_epoch_overlay() {
+                overlays.push(part);
+            }
+            if let Some(ctx) = shell.epoch.take() {
+                if !ctx.deferred_tlbi.is_empty() {
+                    deferred.push((c, ctx.deferred_tlbi));
+                }
+            }
+            self.smp.cores[c] = Some(CoreCtx { cpu: shell.cpu, tlb: shell.tlb });
+            if c == 0 {
+                self.chaos = shell.chaos;
+            } else {
+                let delta = shell.chaos.drain_delta();
+                self.chaos.absorb_delta(delta);
+                self.smp.chaos_forks[c] = Some((chaos_gen, shell.chaos));
+            }
+            self.journal.absorb(shell.journal);
+            self.trace.absorb(shell.trace);
+            self.metrics.absorb(shell.metrics);
+        }
+        self.smp.phys_merge_conflicts += self.mem.merge_epoch(overlays);
+
+        // Deferred Inner-Shareable TLBIs: the issuer already
+        // invalidated its own TLB in-shell; the DVM half reaches every
+        // other core's TLB now, in commit order.
+        for (issuer, ops) in deferred {
+            for (op, vmid, xt) in ops {
+                for (i, slot) in self.smp.cores.iter_mut().enumerate() {
+                    if i == issuer {
+                        continue;
+                    }
+                    if let Some(core) = slot.as_mut() {
+                        apply_tlbi(&mut core.tlb, op, vmid, xt);
+                    }
+                }
+                self.smp.tlbi_broadcasts += (n - 1) as u64;
+            }
+        }
+
+        // Reinstate the active core's architectural state.
+        if let Some(ctx) = self.smp.cores[active].take() {
+            self.cpu = ctx.cpu;
+            self.tlb = ctx.tlb;
+        }
+        self.regime_changed();
+        results
+    }
+
+    /// Step all cores with a deterministic round-robin interleaver
+    /// built on [`Machine::run_epoch`]: each round hands every
+    /// still-running core a budget of up to `quantum` instructions
+    /// (assignment order rotated by a seedable LCG schedule) and runs
+    /// them as one epoch. Returns each core's exit (in core order);
     /// `None` means the core was still running when the total `limit`
     /// of retired instructions (summed across cores) was reached.
     pub fn run_interleaved(&mut self, quantum: u64, seed: u64, limit: u64) -> Vec<Option<Exit>> {
@@ -270,21 +532,30 @@ impl Machine {
         let mut exits: Vec<Option<Exit>> = vec![None; n];
         let mut lcg = seed;
         let mut executed = 0u64;
-        'rounds: while exits.iter().any(|e| e.is_none()) {
+        while exits.iter().any(|e| e.is_none()) && executed < limit {
             lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let start = ((lcg >> 33) as usize) % n;
+            let mut budgets = vec![0u64; n];
+            let mut remaining = limit - executed;
             for k in 0..n {
                 let c = (start + k) % n;
-                if exits[c].is_some() {
+                if exits[c].is_some() || remaining == 0 {
                     continue;
                 }
-                if executed >= limit {
-                    break 'rounds;
+                let b = quantum.min(remaining);
+                budgets[c] = b;
+                remaining -= b;
+            }
+            if budgets.iter().all(|&b| b == 0) {
+                break;
+            }
+            let results = self.run_epoch(&budgets);
+            for c in 0..n {
+                if budgets[c] == 0 {
+                    continue;
                 }
-                self.switch_core(c);
-                let before = self.cpu.insns;
-                let exit = self.run(quantum.min(limit - executed));
-                executed += self.cpu.insns - before;
+                let (exit, used) = results[c];
+                executed += used;
                 if exit != Exit::Limit {
                     exits[c] = Some(exit);
                 }

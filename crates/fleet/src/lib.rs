@@ -17,11 +17,24 @@
 //!   queueing overlay on the measured service times, and a churn phase
 //!   that rolls the VMID space over to exercise generation-tagged
 //!   recycling (`repro fleet`).
+//! * [`supervisor`] — the pure kill → backoff → warm-restart →
+//!   quarantine state machine: typed fault reports, strike ledgers,
+//!   exponential backoff, and queue-depth admission control.
+//! * [`recovery`] — the chaos-driven crash-recovery soak: `ve_crash` /
+//!   `snapshot_corrupt` / `restart_storm` injection against a fleet of
+//!   request servers, warm restarts from request-boundary snapshots,
+//!   and per-restart invariant oracles (`repro recovery`).
 
 pub mod hist;
 pub mod load;
+pub mod recovery;
 pub mod sim;
+pub mod supervisor;
 
 pub use hist::{LatSummary, Log2Hist};
 pub use load::{Lcg, OpenLoop};
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryRun};
 pub use sim::{run_fleet, FleetConfig, FleetRun};
+pub use supervisor::{
+    Denial, FaultKind, FaultReport, Supervisor, SupervisorConfig, SupervisorStats, TenantState, Verdict,
+};

@@ -1,0 +1,340 @@
+//! Per-VE supervision: typed fault reports feeding a deterministic
+//! kill → backoff → warm-restart → quarantine state machine, plus
+//! admission control that sheds load with typed denials.
+//!
+//! The supervisor itself is a *pure* state machine over integers — no
+//! kernel or machine access — so its policy (strike ledger, exponential
+//! backoff, healthy-window decay, queue-depth admission) is unit-tested
+//! exhaustively here, and the recovery soak ([`crate::recovery`]) only
+//! wires its verdicts to real kills, reaps, and restores.
+
+/// Why the supervisor intervened on a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The VE died mid-request (isolation violation, injected
+    /// `ve_crash`, or a contained host panic in its epoch shell).
+    Crash,
+    /// The watchdog saw `watchdog_budget` retired instructions without a
+    /// single completed request — the VE is live but wedged.
+    WatchdogDeadline,
+    /// The VE was scheduled with a full quantum and retired zero
+    /// instructions — its epoch shell made no progress at all.
+    MissedEpoch,
+    /// Its warm-restart image failed the digest/version admission check
+    /// (the `snapshot_corrupt` chaos site exercises this).
+    SnapshotCorrupt,
+}
+
+/// One typed fault report — the only way the soak talks to the
+/// supervisor's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Tenant slot the fault belongs to.
+    pub slot: usize,
+    pub kind: FaultKind,
+    /// Epoch the fault was detected in (backoff is computed from it).
+    pub epoch: u64,
+}
+
+/// A typed admission denial: load is shed, never queued unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Denial {
+    /// The target core's ready queue is at `max_queue_depth`.
+    QueueFull { core: usize, depth: usize },
+    /// The tenant is permanently quarantined.
+    Quarantined { slot: usize },
+}
+
+/// The supervisor's verdict on a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Restart after the (exponential, possibly storm-compressed)
+    /// backoff expires at `until`.
+    Backoff { until: u64 },
+    /// Strike `max_strikes` — the tenant is out for good.
+    Quarantine,
+}
+
+/// Lifecycle state of one tenant slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantState {
+    /// Admitted: runnable on its core's ready queue.
+    Ready,
+    /// Killed; waiting out its backoff before re-admission.
+    Backoff { until: u64 },
+    /// Permanently quarantined (until the slot is replaced).
+    Quarantined,
+}
+
+/// Supervision policy knobs (all deterministic integers).
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Strikes before permanent quarantine.
+    pub max_strikes: u32,
+    /// First backoff, in epochs; doubles per strike.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in epochs.
+    pub backoff_cap: u64,
+    /// Completed requests after a restart that clear the strike ledger.
+    pub healthy_window: u64,
+    /// Retired instructions without a completed request before the
+    /// watchdog kills the VE.
+    pub watchdog_budget: u64,
+    /// Per-core ready-queue depth beyond which admissions are denied.
+    pub max_queue_depth: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_strikes: 3,
+            backoff_base: 2,
+            backoff_cap: 32,
+            healthy_window: 4,
+            watchdog_budget: 100_000,
+            max_queue_depth: 5,
+        }
+    }
+}
+
+/// Per-tenant supervision ledger.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantLedger {
+    pub state: TenantState,
+    pub strikes: u32,
+    /// Requests completed since the last (re)start.
+    pub requests_since_restart: u64,
+    /// Retired instructions since the last completed request.
+    pub insns_since_progress: u64,
+    /// Epoch of the most recent fault (recovery latency = restart epoch
+    /// minus this).
+    pub fault_epoch: u64,
+    /// Bumped when a quarantined slot is replaced by a fresh tenant.
+    pub generation: u64,
+}
+
+/// Aggregate supervision counters (serialised into `BENCH_recovery`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    pub crashes: u64,
+    pub watchdog_kills: u64,
+    pub missed_epochs: u64,
+    pub snapshot_corruptions: u64,
+    pub strikes_total: u64,
+    pub quarantines: u64,
+    pub denials: u64,
+    pub storm_compressions: u64,
+}
+
+/// The fleet supervisor: one ledger per tenant slot plus the counters.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    pub cfg: SupervisorConfig,
+    ledgers: Vec<TenantLedger>,
+    pub stats: SupervisorStats,
+}
+
+impl Supervisor {
+    pub fn new(cfg: SupervisorConfig, slots: usize) -> Self {
+        let ledger = TenantLedger {
+            state: TenantState::Backoff { until: 0 },
+            strikes: 0,
+            requests_since_restart: 0,
+            insns_since_progress: 0,
+            fault_epoch: 0,
+            generation: 0,
+        };
+        Supervisor { cfg, ledgers: vec![ledger; slots], stats: SupervisorStats::default() }
+    }
+
+    pub fn ledger(&self, slot: usize) -> &TenantLedger {
+        &self.ledgers[slot]
+    }
+
+    /// Feed one typed fault report through the state machine. `storm`
+    /// compresses the backoff to a single epoch (the `restart_storm`
+    /// chaos site); the strike ledger still bounds total restarts.
+    pub fn on_fault(&mut self, report: FaultReport, storm: bool) -> Verdict {
+        let l = &mut self.ledgers[report.slot];
+        l.strikes += 1;
+        l.fault_epoch = report.epoch;
+        l.requests_since_restart = 0;
+        l.insns_since_progress = 0;
+        self.stats.strikes_total += 1;
+        match report.kind {
+            FaultKind::Crash => self.stats.crashes += 1,
+            FaultKind::WatchdogDeadline => self.stats.watchdog_kills += 1,
+            FaultKind::MissedEpoch => self.stats.missed_epochs += 1,
+            FaultKind::SnapshotCorrupt => self.stats.snapshot_corruptions += 1,
+        }
+        if l.strikes >= self.cfg.max_strikes {
+            l.state = TenantState::Quarantined;
+            self.stats.quarantines += 1;
+            return Verdict::Quarantine;
+        }
+        let delay = if storm {
+            self.stats.storm_compressions += 1;
+            1
+        } else {
+            (self.cfg.backoff_base << (l.strikes - 1)).min(self.cfg.backoff_cap)
+        };
+        let until = report.epoch + delay;
+        l.state = TenantState::Backoff { until };
+        Verdict::Backoff { until }
+    }
+
+    /// Admission control for a slot whose backoff expired: admitted
+    /// tenants become [`TenantState::Ready`]; a full core queue sheds
+    /// the attempt with a typed denial and pushes the retry out by
+    /// `backoff_base` (bounded queues, unbounded patience not included).
+    pub fn try_admit(&mut self, slot: usize, core: usize, depth: usize, epoch: u64) -> Result<(), Denial> {
+        if self.ledgers[slot].state == TenantState::Quarantined {
+            self.stats.denials += 1;
+            return Err(Denial::Quarantined { slot });
+        }
+        if depth >= self.cfg.max_queue_depth {
+            self.stats.denials += 1;
+            let until = epoch + self.cfg.backoff_base;
+            self.ledgers[slot].state = TenantState::Backoff { until };
+            return Err(Denial::QueueFull { core, depth });
+        }
+        let l = &mut self.ledgers[slot];
+        l.state = TenantState::Ready;
+        l.requests_since_restart = 0;
+        l.insns_since_progress = 0;
+        Ok(())
+    }
+
+    /// Record completed requests; a healthy window clears the strikes.
+    pub fn on_progress(&mut self, slot: usize, completed: u64) {
+        let l = &mut self.ledgers[slot];
+        l.insns_since_progress = 0;
+        l.requests_since_restart += completed;
+        if l.requests_since_restart >= self.cfg.healthy_window {
+            l.strikes = 0;
+        }
+    }
+
+    /// Charge retired instructions against the watchdog deadline;
+    /// `true` means the deadline blew and the VE must be killed.
+    pub fn on_insns(&mut self, slot: usize, used: u64) -> bool {
+        let l = &mut self.ledgers[slot];
+        l.insns_since_progress += used;
+        l.insns_since_progress > self.cfg.watchdog_budget
+    }
+
+    /// Replace a quarantined slot with a fresh tenant generation: clean
+    /// ledger, immediate (next-epoch) restart eligibility.
+    pub fn replace(&mut self, slot: usize, epoch: u64) {
+        let l = &mut self.ledgers[slot];
+        assert_eq!(l.state, TenantState::Quarantined, "only quarantined slots are replaced");
+        *l = TenantLedger {
+            state: TenantState::Backoff { until: epoch + 1 },
+            strikes: 0,
+            requests_since_restart: 0,
+            insns_since_progress: 0,
+            fault_epoch: epoch,
+            generation: l.generation + 1,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sup(slots: usize) -> Supervisor {
+        Supervisor::new(SupervisorConfig::default(), slots)
+    }
+
+    #[test]
+    fn strikes_escalate_exponentially_then_quarantine() {
+        let mut s = sup(1);
+        let v1 = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 10 }, false);
+        assert_eq!(v1, Verdict::Backoff { until: 12 }, "first strike: base backoff");
+        let v2 = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 20 }, false);
+        assert_eq!(v2, Verdict::Backoff { until: 24 }, "second strike: doubled");
+        let v3 = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 30 }, false);
+        assert_eq!(v3, Verdict::Quarantine, "third strike is out");
+        assert_eq!(s.ledger(0).state, TenantState::Quarantined);
+        assert_eq!(s.stats.quarantines, 1);
+        assert_eq!(s.stats.crashes, 3);
+    }
+
+    #[test]
+    fn backoff_caps_and_storm_compresses() {
+        let mut s = Supervisor::new(
+            SupervisorConfig { max_strikes: 10, backoff_base: 4, backoff_cap: 8, ..Default::default() },
+            1,
+        );
+        s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 0 }, false);
+        s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 0 }, false);
+        let capped = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 0 }, false);
+        assert_eq!(capped, Verdict::Backoff { until: 8 }, "16 would exceed the cap");
+        let storm = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 100 }, true);
+        assert_eq!(storm, Verdict::Backoff { until: 101 }, "storm compresses to one epoch");
+        assert_eq!(s.stats.storm_compressions, 1);
+    }
+
+    #[test]
+    fn healthy_window_clears_the_ledger() {
+        let mut s = sup(1);
+        s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 0 }, false);
+        s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 5 }, false);
+        assert_eq!(s.ledger(0).strikes, 2);
+        s.try_admit(0, 0, 0, 9).expect("admitted");
+        s.on_progress(0, SupervisorConfig::default().healthy_window);
+        assert_eq!(s.ledger(0).strikes, 0, "a healthy run forgives old strikes");
+        // The next fault is strike one again, not three.
+        let v = s.on_fault(FaultReport { slot: 0, kind: FaultKind::Crash, epoch: 20 }, false);
+        assert_eq!(v, Verdict::Backoff { until: 22 });
+    }
+
+    #[test]
+    fn watchdog_trips_only_past_the_budget() {
+        let mut s = sup(1);
+        let budget = s.cfg.watchdog_budget;
+        assert!(!s.on_insns(0, budget), "exactly at budget is still fine");
+        assert!(s.on_insns(0, 1), "one instruction past the deadline trips");
+        // Progress resets the accounting.
+        s.on_progress(0, 1);
+        assert!(!s.on_insns(0, budget));
+    }
+
+    #[test]
+    fn admission_sheds_on_full_queue_and_quarantine() {
+        let mut s = sup(2);
+        let depth = s.cfg.max_queue_depth;
+        assert_eq!(
+            s.try_admit(0, 1, depth, 50),
+            Err(Denial::QueueFull { core: 1, depth }),
+            "full queue sheds the restart"
+        );
+        assert_eq!(
+            s.ledger(0).state,
+            TenantState::Backoff { until: 50 + s.cfg.backoff_base },
+            "denied tenant retries after base backoff"
+        );
+        assert!(s.try_admit(0, 1, depth - 1, 60).is_ok());
+        for _ in 0..s.cfg.max_strikes {
+            s.on_fault(FaultReport { slot: 1, kind: FaultKind::WatchdogDeadline, epoch: 0 }, false);
+        }
+        assert_eq!(s.try_admit(1, 0, 0, 70), Err(Denial::Quarantined { slot: 1 }));
+        assert_eq!(s.stats.denials, 2);
+    }
+
+    #[test]
+    fn replacement_starts_a_clean_generation() {
+        let mut s = sup(1);
+        for _ in 0..s.cfg.max_strikes {
+            s.on_fault(FaultReport { slot: 0, kind: FaultKind::MissedEpoch, epoch: 7 }, false);
+        }
+        assert_eq!(s.ledger(0).state, TenantState::Quarantined);
+        s.replace(0, 40);
+        let l = *s.ledger(0);
+        assert_eq!(l.state, TenantState::Backoff { until: 41 });
+        assert_eq!(l.strikes, 0);
+        assert_eq!(l.generation, 1);
+        assert_eq!(s.stats.missed_epochs, 3);
+    }
+}

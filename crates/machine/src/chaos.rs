@@ -54,6 +54,10 @@ pub enum LzFault {
     /// A frame was freed twice (guest-driven teardown raced or a tree
     /// was corrupted).
     DoubleFree { pa: u64 },
+    /// The host panicked inside a parallel epoch shell; the panic was
+    /// caught at the shell boundary and converted into a kill of the VE
+    /// that was running on that core.
+    HostPanic,
 }
 
 impl LzFault {
@@ -68,6 +72,7 @@ impl LzFault {
             LzFault::BadHandle { .. } => "fault: bad identifier",
             LzFault::AsidExhausted => "fault: ASID space exhausted",
             LzFault::DoubleFree { .. } => "fault: double free",
+            LzFault::HostPanic => "fault: host panic in epoch shell",
         }
     }
 }
@@ -83,6 +88,7 @@ impl std::fmt::Display for LzFault {
             LzFault::BadHandle { id } => write!(f, "identifier {id} out of range"),
             LzFault::AsidExhausted => write!(f, "ASID space exhausted"),
             LzFault::DoubleFree { pa } => write!(f, "double free of frame {pa:#x}"),
+            LzFault::HostPanic => write!(f, "host panic caught at the epoch-shell boundary"),
         }
     }
 }
@@ -124,11 +130,24 @@ pub enum FaultSite {
     /// The scheduler preempts at an adversarially chosen instruction
     /// boundary (a shortened quantum).
     SchedPreempt,
+    /// The running VE crashes mid-request (modelled guest wreckage).
+    /// Contained by the kill path: the VE dies with a typed violation
+    /// and the supervisor warm-restarts it; no other VE is touched.
+    VeCrash,
+    /// A snapshot image is corrupted in flight (one payload-chosen byte
+    /// flipped). Contained by the digest check: restore rejects the
+    /// image fail-closed and the supervisor falls back to a cold start.
+    SnapshotCorrupt,
+    /// A restart storm: backoff after a fault is compressed to its
+    /// minimum. Contained by the strike ledger — the quarantine
+    /// threshold still bounds total restarts per tenant.
+    RestartStorm,
 }
 
 /// Every site, in a fixed order (stream derivation and reports index
-/// into this).
-pub const ALL_SITES: [FaultSite; 10] = [
+/// into this). New sites are appended so existing seeds keep their
+/// per-site streams.
+pub const ALL_SITES: [FaultSite; 13] = [
     FaultSite::PtwBitFlip,
     FaultSite::ShootdownDrop,
     FaultSite::ShootdownDup,
@@ -139,6 +158,9 @@ pub const ALL_SITES: [FaultSite; 10] = [
     FaultSite::GateTransient,
     FaultSite::SanitizerInterrupt,
     FaultSite::SchedPreempt,
+    FaultSite::VeCrash,
+    FaultSite::SnapshotCorrupt,
+    FaultSite::RestartStorm,
 ];
 
 impl FaultSite {
@@ -159,6 +181,9 @@ impl FaultSite {
             FaultSite::GateTransient => "gate_transient",
             FaultSite::SanitizerInterrupt => "sanitizer_interrupt",
             FaultSite::SchedPreempt => "sched_preempt",
+            FaultSite::VeCrash => "ve_crash",
+            FaultSite::SnapshotCorrupt => "snapshot_corrupt",
+            FaultSite::RestartStorm => "restart_storm",
         }
     }
 }
@@ -477,6 +502,7 @@ mod tests {
             LzFault::BadHandle { id: 6 },
             LzFault::AsidExhausted,
             LzFault::DoubleFree { pa: 7 },
+            LzFault::HostPanic,
         ];
         let reasons: BTreeSet<&'static str> = faults.iter().map(|f| f.reason()).collect();
         assert_eq!(reasons.len(), faults.len());

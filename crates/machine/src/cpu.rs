@@ -143,6 +143,12 @@ pub enum Exit {
     El1(ExceptionClass),
     /// The instruction budget given to [`Machine::run`] was exhausted.
     Limit,
+    /// A host panic inside this core's epoch shell was caught at the
+    /// shell boundary ([`Machine::run_epoch`]). The shell's state up to
+    /// the panic point committed normally; the layer owning the running
+    /// VE converts this into a typed [`crate::chaos::LzFault::HostPanic`]
+    /// kill.
+    HostPanic,
 }
 
 /// A hardware watchpoint (DBGWVR/DBGWCR pair, simplified).
@@ -293,6 +299,11 @@ pub struct Machine {
     /// Deterministic fault-injection engine (inert unless a
     /// [`crate::chaos::FaultPlan`] is installed; see [`crate::chaos`]).
     pub chaos: crate::chaos::ChaosState,
+    /// Host-panic test hook: when set, [`Machine::run`] panics once the
+    /// retired-instruction counter reaches this value. Exercises the
+    /// epoch-shell `catch_unwind` containment (see [`crate::smp`]);
+    /// `None` (the default) costs one branch per run-loop iteration.
+    pub(crate) panic_after: Option<u64>,
 }
 
 impl Machine {
@@ -319,7 +330,17 @@ impl Machine {
             sb_buf: Vec::with_capacity(SUPERBLOCK_MAX as usize),
             smp: crate::smp::SmpState::default(),
             chaos: crate::chaos::ChaosState::default(),
+            panic_after: None,
         }
+    }
+
+    /// Arm (or disarm) the host-panic test hook: the next [`Machine::run`]
+    /// panics once `cpu.insns` reaches `threshold`. Deterministic — the
+    /// check sits at run-loop iteration boundaries, so the parallel and
+    /// replay epoch backends panic at the identical retired-instruction
+    /// count. Test-only by construction; production code never arms it.
+    pub fn set_panic_after(&mut self, threshold: Option<u64>) {
+        self.panic_after = threshold;
     }
 
     /// Invalidate the translation-regime memo (a different core's
@@ -484,7 +505,8 @@ impl Machine {
             .with("epochs", self.smp.epochs)
             .with("epoch_waits", self.smp.epoch_waits)
             .with("barrier_stalls", self.smp.barrier_stalls)
-            .with("phys_merge_conflicts", self.smp.phys_merge_conflicts);
+            .with("phys_merge_conflicts", self.smp.phys_merge_conflicts)
+            .with("shell_panics", self.smp.shell_panics);
 
         let mut sections = vec![tlb, icache, walk, gate, traps, cpu, chaos, smp];
         sections.extend(self.per_core_sections());
@@ -609,6 +631,7 @@ impl Machine {
         if self.fetch_cache && self.tlb.fastpath() {
             let mut remaining = limit;
             while remaining > 0 {
+                self.check_panic_hook();
                 let (used, exit) = self.step_block(remaining);
                 if let Some(exit) = exit {
                     return exit;
@@ -618,11 +641,22 @@ impl Machine {
             return Exit::Limit;
         }
         for _ in 0..limit {
+            self.check_panic_hook();
             if let Some(exit) = self.step() {
                 return exit;
             }
         }
         Exit::Limit
+    }
+
+    /// Fire the armed host-panic test hook (see [`Machine::set_panic_after`]).
+    #[inline]
+    fn check_panic_hook(&self) {
+        if let Some(n) = self.panic_after {
+            if self.cpu.insns >= n {
+                panic!("injected host panic for containment testing (insns={})", self.cpu.insns);
+            }
+        }
     }
 
     /// Execute one instruction. Returns `Some(exit)` when control leaves

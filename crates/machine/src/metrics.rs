@@ -215,6 +215,14 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Priority-lane events: security violations and injected faults are
+    /// what the supervisor and the post-mortem tooling need, so the
+    /// journal's drop-oldest eviction skips over them while any
+    /// non-priority event remains to evict (see [`Journal::record`]).
+    pub fn is_priority(&self) -> bool {
+        matches!(self, EventKind::Violation { .. } | EventKind::Fault { .. })
+    }
+
     /// Short type tag used by the text and JSON dumps.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -310,11 +318,25 @@ impl Journal {
         self.dropped += other.dropped;
         for e in other.events {
             if self.events.len() == self.capacity {
-                self.events.pop_front();
-                self.dropped += 1;
+                self.evict_one();
             }
             self.events.push_back(e);
         }
+    }
+
+    /// Evict one event to make room: the oldest non-priority event, or —
+    /// when the whole ring is priority events — the oldest outright (the
+    /// capacity bound always holds).
+    fn evict_one(&mut self) {
+        match self.events.iter().position(|e| !e.kind.is_priority()) {
+            Some(i) => {
+                self.events.remove(i);
+            }
+            None => {
+                self.events.pop_front();
+            }
+        }
+        self.dropped += 1;
     }
 
     /// Turn recording on or off. Events already recorded are kept.
@@ -328,16 +350,18 @@ impl Journal {
     }
 
     /// Record an event at the given cycle stamp. No-op while disabled;
-    /// the oldest event is dropped (and counted) once the ring is full,
-    /// so the newest events are always retained and the loss is visible
-    /// in [`Journal::dropped`].
+    /// once the ring is full the oldest *non-priority* event is dropped
+    /// (and counted), so violations and injected faults — the priority
+    /// lane ([`EventKind::is_priority`]) — are never evicted by routine
+    /// traffic. Only when the ring holds nothing but priority events does
+    /// the oldest of those go; the loss is visible in
+    /// [`Journal::dropped`] either way.
     pub fn record(&mut self, cycles: u64, kind: EventKind) {
         if !self.enabled {
             return;
         }
         if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
+            self.evict_one();
         }
         self.events.push_back(Event { cycles, kind });
     }
@@ -520,6 +544,51 @@ mod tests {
         assert_eq!(stamps, vec![2, 3, 4], "oldest events dropped first");
         assert_eq!(j.dropped(), 2, "evictions are counted, not silent");
         assert!(j.len() <= j.capacity());
+    }
+
+    #[test]
+    fn journal_priority_events_survive_drop_oldest() {
+        let mut j = Journal::new(3);
+        j.set_enabled(true);
+        j.record(0, EventKind::Violation { reason: "first" });
+        j.record(1, EventKind::Fault { site: "ve_crash", seq: 1 });
+        // Flood with routine traffic: the ring must keep both priority
+        // events and cycle the non-priority slot.
+        for i in 2..20 {
+            j.record(i, EventKind::BbmUnmap { page: i << 12 });
+        }
+        assert_eq!(j.len(), 3);
+        let kinds: Vec<&'static str> = j.events().map(|e| e.kind.tag()).collect();
+        assert_eq!(kinds, vec!["Violation", "Fault", "BbmUnmap"]);
+        assert_eq!(j.events().last().map(|e| e.cycles), Some(19), "newest routine event kept");
+        assert_eq!(j.dropped(), 17, "every eviction still counted");
+
+        // All-priority ring: the bound holds by evicting the oldest
+        // priority event.
+        let mut p = Journal::new(2);
+        p.set_enabled(true);
+        p.record(0, EventKind::Violation { reason: "a" });
+        p.record(1, EventKind::Violation { reason: "b" });
+        p.record(2, EventKind::Violation { reason: "c" });
+        assert_eq!(p.len(), 2);
+        let stamps: Vec<u64> = p.events().map(|e| e.cycles).collect();
+        assert_eq!(stamps, vec![1, 2]);
+        assert_eq!(p.dropped(), 1);
+    }
+
+    #[test]
+    fn journal_absorb_respects_priority_lane() {
+        let mut j = Journal::new(2);
+        j.set_enabled(true);
+        j.record(0, EventKind::Violation { reason: "keep" });
+        j.record(1, EventKind::BbmUnmap { page: 0x1000 });
+        let mut shell = j.fork();
+        shell.record(2, EventKind::BbmUnmap { page: 0x2000 });
+        j.absorb(shell);
+        let kinds: Vec<&'static str> = j.events().map(|e| e.kind.tag()).collect();
+        assert_eq!(kinds, vec!["Violation", "BbmUnmap"]);
+        assert_eq!(j.events().last().map(|e| e.cycles), Some(2));
+        assert_eq!(j.dropped(), 1);
     }
 
     #[test]

@@ -123,6 +123,11 @@ pub struct SmpState {
     /// Frames written by more than one core in the same epoch (the
     /// last core in commit order wins; see `PhysMem::merge_epoch`).
     pub phys_merge_conflicts: u64,
+    /// Host panics caught at the epoch-shell boundary and converted
+    /// into [`Exit::HostPanic`] (each kills exactly the VE that was
+    /// running on the panicking core; the other shells commit
+    /// normally).
+    pub shell_panics: u64,
 }
 
 impl Default for SmpState {
@@ -139,8 +144,34 @@ impl Default for SmpState {
             epoch_waits: 0,
             barrier_stalls: 0,
             phys_merge_conflicts: 0,
+            shell_panics: 0,
         }
     }
+}
+
+/// Run one core's epoch quantum behind a host-panic firewall: a panic
+/// anywhere inside `shell.run` is caught at the shell boundary,
+/// journaled as a priority `Violation` event, and surfaced as
+/// [`Exit::HostPanic`] so the layer owning the running VE can convert
+/// it into a typed [`crate::chaos::LzFault::HostPanic`] kill. The
+/// shell's state up to the panic point commits at the barrier like any
+/// other early exit; panics never cross the barrier, so the other
+/// shells commit normally and the process stays up.
+///
+/// Both epoch backends (host threads and sequential replay) run shells
+/// only through this helper, so a deterministic panic — e.g. the
+/// [`Machine::set_panic_after`] hook — produces byte-identical results
+/// on either.
+fn run_shell_contained(shell: &mut Machine, budget: u64) -> (Exit, u64) {
+    let before = shell.cpu.insns;
+    let exit = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shell.run(budget))) {
+        Ok(exit) => exit,
+        Err(_) => {
+            shell.record_event(EventKind::Violation { reason: crate::chaos::LzFault::HostPanic.reason() });
+            Exit::HostPanic
+        }
+    };
+    (exit, shell.cpu.insns - before)
 }
 
 /// Apply one decoded TLBI operation to a single core's TLB.
@@ -344,11 +375,13 @@ impl Machine {
         if order.len() <= 1 {
             if let Some(&c) = order.first() {
                 self.switch_core(c);
-                let before = self.cpu.insns;
-                let exit = self.run(budgets[c]);
-                results[c] = (exit, self.cpu.insns - before);
+                let (exit, used) = run_shell_contained(self, budgets[c]);
+                results[c] = (exit, used);
                 if exit != Exit::Limit {
                     self.smp.barrier_stalls += 1;
+                }
+                if exit == Exit::HostPanic {
+                    self.smp.shell_panics += 1;
                 }
             }
             return results;
@@ -407,6 +440,7 @@ impl Machine {
                     sb_buf: Vec::with_capacity(crate::cpu::SUPERBLOCK_MAX as usize),
                     smp: SmpState::default(),
                     chaos,
+                    panic_after: self.panic_after,
                 },
             ));
         }
@@ -423,9 +457,7 @@ impl Machine {
                     .map(|(c, mut shell)| {
                         let budget = budgets[c];
                         s.spawn(move || {
-                            let before = shell.cpu.insns;
-                            let exit = shell.run(budget);
-                            let used = shell.cpu.insns - before;
+                            let (exit, used) = run_shell_contained(&mut shell, budget);
                             (c, shell, exit, used)
                         })
                     })
@@ -433,9 +465,7 @@ impl Machine {
                 let mut finished: Vec<(usize, Machine, Exit, u64)> = work
                     .drain(..)
                     .map(|(c, mut shell)| {
-                        let before = shell.cpu.insns;
-                        let exit = shell.run(budgets[c]);
-                        let used = shell.cpu.insns - before;
+                        let (exit, used) = run_shell_contained(&mut shell, budgets[c]);
                         (c, shell, exit, used)
                     })
                     .collect();
@@ -450,9 +480,7 @@ impl Machine {
         } else {
             work.drain(..)
                 .map(|(c, mut shell)| {
-                    let before = shell.cpu.insns;
-                    let exit = shell.run(budgets[c]);
-                    let used = shell.cpu.insns - before;
+                    let (exit, used) = run_shell_contained(&mut shell, budgets[c]);
                     (c, shell, exit, used)
                 })
                 .collect()
@@ -470,6 +498,9 @@ impl Machine {
             results[c] = (exit, used);
             if exit != Exit::Limit {
                 self.smp.barrier_stalls += 1;
+            }
+            if exit == Exit::HostPanic {
+                self.smp.shell_panics += 1;
             }
             if let Some(part) = shell.mem.take_epoch_overlay() {
                 overlays.push(part);

@@ -20,7 +20,11 @@
 # gate (BENCH_fleet.json: >=2,000 live domains, >=1 full VMID-space
 # rollover, p50/p99/p999 switch and request latencies on 1, 4 and 8
 # cores, byte-reproducible, and byte-identical under LZ_PARALLEL=0
-# replay), the parallel-executor equivalence legs (full workspace under
+# replay), the crash-recovery gate (BENCH_recovery.json: >=10k injected
+# faults with >=100 VE crashes, >=10 warm restarts, >=1 quarantine,
+# zero invariant violations, byte-reproducible and replay-identical,
+# plus a debug-build panic-containment smoke), the parallel-executor
+# equivalence legs (full workspace under
 # LZ_PARALLEL=0, a debug-build run of tests/parallel.rs as the
 # data-race smoke, and a modelled-field byte-compare of the SMP scaling
 # report between the host-threaded backend and sequential replay), and
@@ -289,6 +293,65 @@ print(f"fleet JSON ok: {peak} domains, {rolls} rollover(s), request p99 {p99_one
 '
 cat BENCH_fleet.json
 
+echo "== repro recovery -> BENCH_recovery.json (soak floors + determinism + replay) =="
+./target/release/repro recovery --json > BENCH_recovery.json
+./target/release/repro recovery --json > /tmp/recovery_rerun.json
+cmp BENCH_recovery.json /tmp/recovery_rerun.json || {
+    echo "recovery soak is not byte-reproducible" >&2
+    exit 1
+}
+LZ_PARALLEL=0 ./target/release/repro recovery --json > /tmp/recovery_replay.json
+cmp BENCH_recovery.json /tmp/recovery_replay.json || {
+    echo "recovery soak diverges from LZ_PARALLEL=0 replay" >&2
+    exit 1
+}
+python3 -c '
+import json
+report = json.load(open("BENCH_recovery.json"))
+assert report["benchmark"] == "recovery"
+assert isinstance(report["seed"], int)
+run = report["run"]
+for key in ("cores", "tenants", "seed", "epochs", "requests", "spawns",
+            "faults_injected", "faults_contained", "ve_crashes",
+            "watchdog_kills", "missed_epochs", "snapshot_corruptions",
+            "warm_restarts", "cold_restarts", "denials",
+            "storm_compressions", "strikes", "quarantines",
+            "snapshots_taken", "vmid_recycles", "rollover_shootdowns",
+            "priority_events", "invariant_violations"):
+    assert isinstance(run[key], int), key
+# The recovery contract (ISSUE 10 acceptance floors).
+assert run["invariant_violations"] == 0, "recovery invariants violated"
+assert run["faults_injected"] >= 10_000, "soak under-injected"
+assert run["faults_injected"] == run["faults_contained"], \
+    "some injected faults were not handled fail-closed"
+assert run["ve_crashes"] >= 100, "soak produced too few VE crashes"
+assert run["warm_restarts"] >= 10, "warm-restart path under-exercised"
+assert run["quarantines"] >= 1, "no tenant reached quarantine"
+assert run["watchdog_kills"] >= 1, "the wedged tenant never tripped the watchdog"
+assert run["denials"] >= 1, "admission control never shed load"
+assert run["missed_epochs"] == 0, "a scheduled shell retired nothing"
+assert run["snapshots_taken"] >= run["warm_restarts"], \
+    "every warm restart consumes a request-boundary snapshot"
+assert run["priority_events"] >= 1, "priority journal lane lost the fault record"
+lat = run["recovery_epochs"]
+assert lat["samples"] == run["warm_restarts"] + run["cold_restarts"]
+assert 1 <= lat["p50"] <= lat["p99"], "recovery latency quantiles unordered"
+faults, crashes = run["faults_injected"], run["ve_crashes"]
+warm, cold, quar = run["warm_restarts"], run["cold_restarts"], run["quarantines"]
+p50, p99 = lat["p50"], lat["p99"]
+print(f"recovery JSON ok: {faults} faults, {crashes} crashes, "
+      f"{warm} warm / {cold} cold restarts, {quar} quarantines, "
+      f"recovery p50/p99 {p50}/{p99} epochs")
+'
+cat BENCH_recovery.json
+
+echo "== panic-containment smoke (debug build: catch_unwind under debug assertions) =="
+# A host panic injected into one epoch shell must kill only the VE that
+# was running there; the debug build keeps the containment honest with
+# debug assertions on and exercises the same catch_unwind boundary the
+# recovery soak relies on.
+cargo test -q --test fleet host_panic
+
 echo "== unwrap/expect ratchet (non-test isolation-stack sources) =="
 # Guest-reachable host panics were swept into typed LzFault paths; the
 # survivors below are host-setup or internal-consistency asserts that a
@@ -322,5 +385,12 @@ ratchet crates/core/src/fakephys.rs 0
 ratchet crates/kernel/src/kernel.rs 21
 ratchet crates/chaos/src/attacks.rs 0
 ratchet crates/chaos/src/synth.rs 0
+# The fleet crate (sim, supervisor, recovery soak) is guest-adjacent
+# control-plane code and stays unwrap-free outside tests.
+ratchet crates/fleet/src/hist.rs 0
+ratchet crates/fleet/src/load.rs 0
+ratchet crates/fleet/src/sim.rs 0
+ratchet crates/fleet/src/supervisor.rs 0
+ratchet crates/fleet/src/recovery.rs 0
 
 echo "CI OK"

@@ -5,10 +5,11 @@
 //! plus the smoke-scale fleet run must stay byte-deterministic.
 
 use lightzone::api::{LzAsm, LzProgramBuilder, SAN_PAN, SAN_TTBR};
-use lightzone::LightZone;
+use lightzone::{LightZone, SECURITY_KILL};
 use lz_arch::Platform;
 use lz_fleet::{run_fleet, FleetConfig};
-use lz_kernel::Sysno;
+use lz_kernel::{Event, Sysno};
+use lz_machine::{EventKind, Exit, LzFault};
 
 const CODE: u64 = 0x40_0000;
 
@@ -108,6 +109,78 @@ fn lz_free_returns_asids_to_the_recycling_pool() {
 }
 
 #[test]
+fn asid_denial_then_free_recovers() {
+    // The exhaustion-recovery contract on the per-process table-ASID
+    // allocator: drive it to an observed `IdExhausted` denial, free one
+    // table, and the very next alloc must be granted again (on the
+    // recycled-ID path). Exit code packs
+    // `successes | denials << 4 | free_ret << 8`.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    b.asm.movz(20, 0, 0);
+    b.asm.movz(21, 0, 0);
+    for _ in 0..4 {
+        counted_alloc(&mut b); // pgt0 holds ASID 1, so the 4th is denied
+    }
+    b.asm.lz_free_imm(1);
+    b.asm.mov_reg(22, 0); // lz_free result (0 on success)
+    counted_alloc(&mut b); // the post-denial grant under test
+    b.asm.lsl_imm(9, 21, 4);
+    b.asm.add_reg(0, 20, 9);
+    b.asm.lsl_imm(9, 22, 8);
+    b.asm.add_reg(0, 0, 9);
+    exit_with_x0(&mut b);
+    let prog = b.build();
+
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.module.asid_space = 4;
+    let pid = lz.spawn(&prog);
+    lz.enter_process(pid);
+    let code = lz.run_to_exit();
+    assert_eq!(code & 0xf, 4, "the freed ASID was granted again");
+    assert_eq!((code >> 4) & 0xf, 1, "exactly one denial before the free");
+    assert_eq!(code >> 8, 0, "lz_free succeeded");
+    assert_eq!(lz.module.asid_recycles(), 1, "recovery went through recycling");
+}
+
+#[test]
+fn vmid_exhaustion_denial_then_reap_recovers() {
+    // Same contract one layer up, on the VMID allocator: with every
+    // VMID simultaneously live `lz_enter` is a typed denial the guest
+    // observes (u64::MAX, exiting 0 here) — not a kill or host panic —
+    // and reaping one dead VE un-wedges the allocator, with the next
+    // grant taking the generation-tagged recycled path.
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    // lz_enter leaves 0 in x0 on success, u64::MAX on denial; +1 turns
+    // that into exit code 1 (entered) / 0 (denied).
+    b.asm.add_imm(0, 0, 1);
+    exit_with_x0(&mut b);
+    let prog = b.build();
+
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.kernel.vmids = lz_kernel::kvm::VmidAllocator::with_space(2);
+    let run = |lz: &mut LightZone| {
+        let pid = lz.spawn(&prog);
+        lz.schedule_to(pid); // restores the host regime after a VE exit
+        (pid, lz.run_to_exit())
+    };
+    let (first, code) = run(&mut lz);
+    assert_eq!(code, 1, "first enter granted");
+    let (_, code) = run(&mut lz);
+    assert_eq!(code, 1, "second enter granted");
+    // The space is fully live (exited VEs hold their VMID until reaped).
+    let (_, code) = run(&mut lz);
+    assert_eq!(code, 0, "exhausted space denies lz_enter");
+    assert_eq!(lz.kernel.vmids.recycles(), 0, "denial is not a recycle");
+
+    assert!(lz.reap(first), "reaping returns the VMID");
+    let (_, code) = run(&mut lz);
+    assert_eq!(code, 1, "post-reap enter granted again");
+    assert_eq!(lz.kernel.vmids.recycles(), 1, "recovery reused the freed VMID");
+}
+
+#[test]
 fn reap_returns_every_frame_to_the_allocator() {
     // Spawn/run/reap one VE to absorb any one-time allocations, then
     // measure: a second full cycle must return the frame count exactly
@@ -193,6 +266,125 @@ fn non_scalable_ve_cannot_alloc_tables() {
     let code = lz.run_to_exit();
     assert_eq!(code & 0xff, 0, "no allocation succeeds");
     assert_eq!(code >> 8, 1, "the call is denied, not fatal");
+}
+
+/// An infinite VE compute loop (never exits on its own).
+fn looper() -> lightzone::LzProgram {
+    let mut b = LzProgramBuilder::new(CODE);
+    b.asm.lz_enter(true, SAN_TTBR);
+    let top = b.asm.label();
+    b.asm.bind(top);
+    b.asm.add_imm(20, 20, 1);
+    b.asm.b(top);
+    b.build()
+}
+
+/// Everything the panic-containment run observes, for the
+/// parallel-vs-replay byte compare.
+#[derive(Debug, PartialEq)]
+struct PanicImage {
+    panic_epoch: Vec<(Exit, u64)>,
+    kill_event: Option<Event>,
+    shell_panics: u64,
+    violation_events: u64,
+    survivor_insns: u64,
+    journal_json: String,
+}
+
+/// Two cores, two tenant VEs; the host-panic hook fires inside core 0's
+/// epoch shell only. The blast radius must stop at that shell: core 0's
+/// VE dies with a typed `SECURITY_KILL`, core 1's VE commits its full
+/// quantum in the same epoch and keeps running afterwards.
+fn contained_panic_run(parallel: bool) -> PanicImage {
+    let mut lz = LightZone::new_host(Platform::Carmel);
+    lz.kernel.machine.set_parallel(parallel);
+    lz.kernel.machine.configure_smp(2);
+    let prog = looper();
+    let mut pids = Vec::new();
+    for core in 0..2 {
+        lz.kernel.machine.switch_core(core);
+        let pid = lz.spawn(&prog);
+        lz.schedule_to(pid);
+        lz.kernel.clear_current();
+        pids.push(pid);
+    }
+
+    // Warm up past demand paging: run epochs (servicing stage-2 faults
+    // barrier-side) until both cores retire a full unfaulted quantum.
+    let mut warm = false;
+    for _ in 0..64 {
+        let results = lz.kernel.machine.run_epoch(&[2_000, 2_000]);
+        for core in 0..2 {
+            let (exit, _) = results[core];
+            if exit != Exit::Limit {
+                lz.kernel.machine.switch_core(core);
+                lz.kernel.set_current(pids[core]);
+                assert!(lz.dispatch_exit(exit).is_none(), "warm-up trap killed a VE");
+                lz.kernel.clear_current();
+            }
+        }
+        if results.iter().all(|&(exit, used)| exit == Exit::Limit && used == 2_000) {
+            warm = true;
+            break;
+        }
+    }
+    assert!(warm, "VEs never reached steady state");
+
+    // Arm the hook above both cores' retired counts, with budgets that
+    // let only core 0 cross it: core 0 panics mid-epoch, core 1 cannot.
+    let i0 = lz.kernel.machine.core_cpu(0).insns;
+    let i1 = lz.kernel.machine.core_cpu(1).insns;
+    let threshold = i0.max(i1) + 1_000;
+    lz.kernel.machine.set_panic_after(Some(threshold));
+    let results = lz.kernel.machine.run_epoch(&[4_000, 500]);
+    lz.kernel.machine.set_panic_after(None);
+    assert_eq!(results[0].0, Exit::HostPanic, "core 0's shell must trip the hook");
+    assert_eq!(results[0].1, threshold - i0, "panic point is insn-deterministic");
+    assert_eq!(results[1], (Exit::Limit, 500), "the neighbour shell commits its quantum");
+
+    // Barrier-side the panic becomes a typed kill of exactly that VE.
+    lz.kernel.machine.switch_core(0);
+    lz.kernel.set_current(pids[0]);
+    let kill_event = lz.dispatch_exit(Exit::HostPanic);
+    lz.kernel.clear_current();
+    assert!(lz.reap(pids[0]), "the killed VE reaps cleanly");
+
+    // The survivor keeps serving: one more full quantum on core 1.
+    let after = lz.kernel.machine.run_epoch(&[0, 800]);
+    assert_eq!(after[1], (Exit::Limit, 800), "survivor wedged after the panic");
+
+    PanicImage {
+        panic_epoch: results,
+        kill_event,
+        shell_panics: lz.kernel.machine.smp().shell_panics,
+        violation_events: lz
+            .kernel
+            .machine
+            .journal
+            .count(|e| matches!(e, EventKind::Violation { reason } if *reason == LzFault::HostPanic.reason())),
+        survivor_insns: lz.kernel.machine.core_cpu(1).insns,
+        journal_json: lz.kernel.machine.journal.dump_json(),
+    }
+}
+
+#[test]
+fn host_panic_is_contained_to_the_offending_ve() {
+    let image = contained_panic_run(true);
+    assert_eq!(image.kill_event, Some(Event::Exited(SECURITY_KILL)));
+    assert_eq!(image.shell_panics, 1, "exactly one shell panicked");
+    // The shell journals the priority violation at the catch point and
+    // the module journals the typed kill: both must be present.
+    assert!(image.violation_events >= 2, "host-panic violations journalled");
+}
+
+#[test]
+fn host_panic_containment_matches_replay() {
+    // The injected panic fires at a fixed retired-instruction count, so
+    // the host-threaded and sequential-replay backends must agree
+    // byte-for-byte — including the journal dump.
+    let par = contained_panic_run(true);
+    let rep = contained_panic_run(false);
+    assert_eq!(par, rep, "containment diverged across epoch backends");
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! the synthesized corpus exercise one source of truth.
 
 use lightzone::api::{LzAsm, LzProgramBuilder, SAN_BOTH, SAN_PAN, SAN_TTBR};
-use lightzone::{AblationConfig, SECURITY_KILL};
+use lightzone::{AblationConfig, LightZone, SECURITY_KILL};
 use lz_arch::asm::Asm;
 use lz_arch::{Platform, PAGE_SIZE};
 use lz_chaos::attacks::{
@@ -319,6 +319,151 @@ fn rollover_outcomes_are_fastpath_and_jit_invariant() {
         assert_eq!(b, &broken[0], "fastpath/jit changed the broken kernel's leak");
     }
     assert_eq!(broken[0].attacker_exit, attacks::ROLLOVER_SECRET as i64);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot/restore: warm restarts vs stale TLB state
+// ---------------------------------------------------------------------
+
+#[test]
+fn restore_rebuilt_ve_cannot_read_dead_ve() {
+    // A warm restart hands the restored VE a recycled VMID whose dead
+    // previous owner still has TLB entries. The restore path rebuilds
+    // through the normal lz_enter, so the reuse-time shootdown must run
+    // and the restored VE's probe of the never-mapped VA dies.
+    let out = attacks::restore_attack(Platform::CortexA55, AblationConfig::default(), 1);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64, "victim planted and warmed the secret");
+    assert_eq!(out.restores, 1, "the snapshot must restore exactly once: {out:?}");
+    assert!(out.vmid_recycles >= 1, "the restore never hit recycling: {out:?}");
+    assert!(out.rollover_shootdowns >= 1, "recycled grant must have forced an invalidation");
+    assert!(out.probe_exit < 0, "restored VE must die, got {}", out.probe_exit);
+    assert_ne!(out.probe_exit, attacks::ROLLOVER_SECRET as i64, "dead VE's secret leaked");
+}
+
+#[test]
+fn restore_without_reuse_shootdown_leaks_dead_ve_secret() {
+    // Negative control proving the restart-time invalidation is
+    // load-bearing: with it ablated, the restored VE's first fetch
+    // resumes into the dead victim's gadget page and exfiltrates the
+    // secret through the stale data entry.
+    let ablation = AblationConfig { skip_rollover_shootdown: true, ..AblationConfig::default() };
+    let out = attacks::restore_attack(Platform::CortexA55, ablation, 1);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert_eq!(out.restores, 1);
+    assert!(out.vmid_recycles >= 1);
+    assert_eq!(out.rollover_shootdowns, 0, "broken kernel performed no reuse invalidation");
+    assert_eq!(out.probe_exit, attacks::ROLLOVER_SECRET as i64, "broken kernel: stale entry must leak");
+}
+
+#[test]
+fn restore_smp_broadcast_clears_remote_core() {
+    // SMP: the victim warmed the last core's TLB; the restore runs on
+    // core 0 and must *broadcast* the reuse invalidation, so the
+    // restored VE scheduled onto the victim's core still faults.
+    let out = attacks::restore_attack(Platform::CortexA55, AblationConfig::default(), 2);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert_eq!(out.restores, 1);
+    assert!(out.vmid_recycles >= 1);
+    assert!(out.probe_exit < 0, "restored VE must die on the remote core, got {}", out.probe_exit);
+}
+
+#[test]
+fn restore_smp_local_only_invalidate_leaks_on_remote_core() {
+    // With the remote half of the shootdown ablated the restore only
+    // invalidates core 0: the victim's stale entries survive on its own
+    // core and the restored VE reads the dead secret through them.
+    let ablation = AblationConfig { skip_remote_shootdown: true, ..AblationConfig::default() };
+    let out = attacks::restore_attack(Platform::CortexA55, ablation, 2);
+    assert_eq!(out.victim_exit, attacks::ROLLOVER_SECRET as i64);
+    assert_eq!(out.restores, 1);
+    assert!(out.vmid_recycles >= 1);
+    assert!(out.rollover_shootdowns >= 1, "the broken kernel still invalidates locally");
+    assert_eq!(out.probe_exit, attacks::ROLLOVER_SECRET as i64, "remote stale entry must leak");
+}
+
+#[test]
+fn restore_outcomes_are_fastpath_and_jit_invariant() {
+    // Fast path and template JIT may only reproduce the slow path's
+    // restart semantics: defended restores kill identically and ablated
+    // restores leak identically across every (fastpath, jit) polarity.
+    let combos = [(false, false), (true, false), (false, true), (true, true)];
+    let defended: Vec<_> = combos
+        .iter()
+        .map(|&(fastpath, jit)| {
+            let ablation = AblationConfig { fastpath, jit, ..AblationConfig::default() };
+            attacks::restore_attack(Platform::CortexA55, ablation, 1)
+        })
+        .collect();
+    for d in &defended[1..] {
+        assert_eq!(d, &defended[0], "fastpath/jit changed the defended restore outcome");
+    }
+    assert!(defended[0].probe_exit < 0);
+    let broken: Vec<_> = combos
+        .iter()
+        .map(|&(fastpath, jit)| {
+            let ablation = AblationConfig { skip_rollover_shootdown: true, fastpath, jit, ..AblationConfig::default() };
+            attacks::restore_attack(Platform::CortexA55, ablation, 1)
+        })
+        .collect();
+    for b in &broken[1..] {
+        assert_eq!(b, &broken[0], "fastpath/jit changed the broken kernel's leak");
+    }
+    assert_eq!(broken[0].probe_exit, attacks::ROLLOVER_SECRET as i64);
+}
+
+#[test]
+fn restore_rejects_corrupt_and_wrong_version_images() {
+    // The digest/version admission check is fail-closed: a flipped byte
+    // or a future version must be refused outright, with no half-built
+    // VE left behind (frame accounting returns to the pre-call level).
+    let mut lz = LightZone::with_ablation(Platform::CortexA55, false, AblationConfig::default());
+    let prog = attacks::restore_donor_prog();
+    let donor = lz.spawn(&prog);
+    lz.schedule_to(donor);
+    let mut steps = 0u32;
+    while lz.kernel.machine.cpu.x[21] != 1 {
+        match lz.run(2) {
+            lz_kernel::Event::Limit => {}
+            other => panic!("donor died before its boundary: {other:?}"),
+        }
+        steps += 1;
+        assert!(steps < 1_000_000, "donor never reached its request boundary");
+    }
+    lz.kernel.save_current();
+    lz.kernel.clear_current();
+    let snap = lz.snapshot_ve(donor).expect("donor snapshots");
+    lz.kernel.set_current(donor);
+    lz.kernel.kill_current(SECURITY_KILL);
+    assert!(lz.reap(donor));
+
+    let frames_before = lz.kernel.machine.mem.allocated_frames();
+    let mut corrupt = snap.clone();
+    corrupt.x[7] ^= 1;
+    assert_eq!(lz.restore_ve(&prog, &corrupt), None, "flipped byte must be refused");
+    let mut wrong_version = snap.clone();
+    wrong_version.version += 1;
+    wrong_version.seal();
+    assert_eq!(lz.restore_ve(&prog, &wrong_version), None, "unknown version must be refused");
+    assert_eq!(lz.kernel.machine.mem.allocated_frames(), frames_before, "rejects must leak no frames");
+    assert_eq!(lz.fleet_section().get("snapshot_rejects"), Some(2));
+
+    // The pristine image still restores and runs to a clean exit... the
+    // donor probes an unmapped VA, so the restored run ends in the kill
+    // that proves it executed its own (restored) code.
+    let restored = lz.restore_ve(&prog, &snap).expect("pristine image restores");
+    lz.schedule_to(restored);
+    let mut exit = i64::MIN;
+    for _ in 0..1_000 {
+        match lz.run(64) {
+            lz_kernel::Event::Limit => {}
+            lz_kernel::Event::Exited(code) => {
+                exit = code;
+                break;
+            }
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+    assert!(exit < 0, "restored donor probes the unmapped VA and dies, got {exit}");
 }
 
 #[test]
